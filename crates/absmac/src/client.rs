@@ -1,0 +1,267 @@
+//! Event-driven client automata over a MAC layer, and the runner that
+//! couples them.
+
+use crate::{CmdSink, MacCmd, MacError, MacEvent, MacLayer, TraceEvent, TraceKind};
+
+/// A higher-level protocol instance running at one node, above an abstract
+/// MAC layer.
+///
+/// The paper's plug-and-play claim (§2.2, §12) is that protocols written
+/// against this interface run unchanged over *any* absMAC implementation;
+/// the protocols in `sinr-protocols` are tested over both [`crate::IdealMac`]
+/// and the SINR implementation.
+pub trait MacClient<P> {
+    /// Called once, before the first step; the environment delivers
+    /// initial inputs (e.g. the broadcast message of SMB) here.
+    fn on_start(&mut self, _node: usize, _sink: &mut CmdSink<P>) {}
+
+    /// Called for every MAC event addressed to this node, with the layer
+    /// time `now` at which the event fired.
+    fn on_event(&mut self, node: usize, now: u64, ev: &MacEvent<P>, sink: &mut CmdSink<P>);
+
+    /// Called once per step after event dispatch (enhanced absMAC: clients
+    /// may keep timers).
+    fn on_step(&mut self, _node: usize, _now: u64, _sink: &mut CmdSink<P>) {}
+
+    /// Whether this node considers its task complete (used by
+    /// [`Runner::run_until_done`]).
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+/// Couples one [`MacClient`] per node to a [`MacLayer`] and records an
+/// execution trace for the measurement harness.
+#[derive(Debug)]
+pub struct Runner<M: MacLayer, C> {
+    mac: M,
+    clients: Vec<C>,
+    trace: Vec<TraceEvent>,
+    tracing: bool,
+}
+
+impl<M, C> Runner<M, C>
+where
+    M: MacLayer,
+    C: MacClient<M::Payload>,
+{
+    /// Creates a runner and delivers `on_start` to every client (applying
+    /// any commands they issue).
+    ///
+    /// # Errors
+    ///
+    /// [`MacError::NodeOutOfRange`] if the client count differs from the
+    /// layer size, or any error from commands issued in `on_start`.
+    pub fn new(mac: M, clients: Vec<C>) -> Result<Self, MacError> {
+        if mac.len() != clients.len() {
+            return Err(MacError::NodeOutOfRange {
+                node: clients.len(),
+                len: mac.len(),
+            });
+        }
+        let mut runner = Runner {
+            mac,
+            clients,
+            trace: Vec::new(),
+            tracing: true,
+        };
+        let mut sink = CmdSink::new();
+        for node in 0..runner.clients.len() {
+            runner.clients[node].on_start(node, &mut sink);
+            runner.apply(node, &mut sink)?;
+        }
+        Ok(runner)
+    }
+
+    /// Disables trace recording (saves memory on long runs).
+    pub fn disable_tracing(&mut self) {
+        self.tracing = false;
+    }
+
+    /// The recorded execution trace, in time order.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// The underlying MAC layer.
+    pub fn mac(&self) -> &M {
+        &self.mac
+    }
+
+    /// The client at `node`.
+    pub fn client(&self, node: usize) -> &C {
+        &self.clients[node]
+    }
+
+    /// Iterates over all clients in node order.
+    pub fn clients(&self) -> impl Iterator<Item = &C> {
+        self.clients.iter()
+    }
+
+    fn apply(&mut self, node: usize, sink: &mut CmdSink<M::Payload>) -> Result<(), MacError> {
+        for cmd in sink.drain() {
+            match cmd {
+                MacCmd::Bcast(payload) => {
+                    let id = self.mac.bcast(node, payload)?;
+                    if self.tracing {
+                        self.trace.push(TraceEvent {
+                            t: self.mac.now(),
+                            node,
+                            kind: TraceKind::Bcast(id),
+                        });
+                    }
+                }
+                MacCmd::Abort(id) => {
+                    self.mac.abort(node, id)?;
+                    if self.tracing {
+                        self.trace.push(TraceEvent {
+                            t: self.mac.now(),
+                            node,
+                            kind: TraceKind::Abort(id),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the layer one step, dispatching events and commands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MacError`] from commands issued by clients — a client
+    /// violating the one-outstanding-broadcast contract is a bug worth
+    /// surfacing, not masking.
+    pub fn step(&mut self) -> Result<u64, MacError> {
+        let step = self.mac.step();
+        let t = step.t;
+        let mut sink = CmdSink::new();
+        for (node, ev) in step.events {
+            if self.tracing {
+                let kind = match &ev {
+                    MacEvent::Rcv(m) => TraceKind::Rcv(m.id),
+                    MacEvent::Ack(id) => TraceKind::Ack(*id),
+                };
+                self.trace.push(TraceEvent { t, node, kind });
+            }
+            self.clients[node].on_event(node, t, &ev, &mut sink);
+            self.apply(node, &mut sink)?;
+        }
+        for node in 0..self.clients.len() {
+            self.clients[node].on_step(node, t, &mut sink);
+            self.apply(node, &mut sink)?;
+        }
+        Ok(t)
+    }
+
+    /// Steps until every client reports done or `max_steps` elapse.
+    ///
+    /// Returns the completion time, or `None` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MacError`] from [`Runner::step`].
+    pub fn run_until_done(&mut self, max_steps: u64) -> Result<Option<u64>, MacError> {
+        for _ in 0..max_steps {
+            let t = self.step()?;
+            if self.clients.iter().all(|c| c.is_done()) {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IdealMac, SchedulerPolicy};
+    use sinr_graphs::Graph;
+
+    /// Re-broadcasts the first message it hears, once; done when heard.
+    struct Gossip {
+        start: bool,
+        heard: bool,
+        relayed: bool,
+    }
+
+    impl MacClient<u32> for Gossip {
+        fn on_start(&mut self, _node: usize, sink: &mut CmdSink<u32>) {
+            if self.start {
+                sink.bcast(99);
+                self.heard = true;
+                self.relayed = true;
+            }
+        }
+        fn on_event(
+            &mut self,
+            _node: usize,
+            _now: u64,
+            ev: &MacEvent<u32>,
+            sink: &mut CmdSink<u32>,
+        ) {
+            if let MacEvent::Rcv(m) = ev {
+                self.heard = true;
+                if !self.relayed {
+                    self.relayed = true;
+                    sink.bcast(m.payload);
+                }
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.heard
+        }
+    }
+
+    fn gossip(n: usize, src: usize) -> Vec<Gossip> {
+        (0..n)
+            .map(|i| Gossip {
+                start: i == src,
+                heard: false,
+                relayed: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flood_reaches_all_nodes_on_a_path() {
+        let g = Graph::from_edges(5, (0..4).map(|i| (i, i + 1)));
+        let mac: IdealMac<u32> = IdealMac::new(g, SchedulerPolicy::Eager, 0);
+        let mut runner = Runner::new(mac, gossip(5, 0)).unwrap();
+        let done = runner.run_until_done(100).unwrap();
+        // Eager policy: one hop per 2 steps (rcv, then relay next step).
+        assert!(done.is_some());
+        assert!(runner.clients().all(|c| c.heard));
+    }
+
+    #[test]
+    fn trace_records_bcasts_rcvs_acks() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let mac: IdealMac<u32> = IdealMac::new(g, SchedulerPolicy::Eager, 0);
+        let mut runner = Runner::new(mac, gossip(2, 0)).unwrap();
+        runner.run_until_done(10).unwrap();
+        let kinds: Vec<_> = runner.trace().iter().map(|e| e.kind).collect();
+        assert!(kinds.iter().any(|k| matches!(k, TraceKind::Bcast(_))));
+        assert!(kinds.iter().any(|k| matches!(k, TraceKind::Rcv(_))));
+        // Traces are time-ordered.
+        let times: Vec<u64> = runner.trace().iter().map(|e| e.t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn mismatched_sizes_error() {
+        let g = Graph::empty(3);
+        let mac: IdealMac<u32> = IdealMac::new(g, SchedulerPolicy::Eager, 0);
+        assert!(Runner::new(mac, gossip(2, 0)).is_err());
+    }
+
+    #[test]
+    fn run_until_done_times_out() {
+        let g = Graph::from_edges(2, []);
+        let mac: IdealMac<u32> = IdealMac::new(g, SchedulerPolicy::Eager, 0);
+        // Node 1 never hears anything (no edges): timeout.
+        let mut runner = Runner::new(mac, gossip(2, 0)).unwrap();
+        assert_eq!(runner.run_until_done(5).unwrap(), None);
+    }
+}

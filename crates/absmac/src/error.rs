@@ -1,0 +1,67 @@
+//! Error type for MAC layer operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::MsgId;
+
+/// Errors returned by [`crate::MacLayer`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MacError {
+    /// The node already has a broadcast in progress; the absMAC interface
+    /// accepts one outstanding `bcast` per node (clients queue above the
+    /// layer, as BMMB does with its `bcastq`).
+    Busy {
+        /// The node that issued the second `bcast`.
+        node: usize,
+        /// The message still in progress.
+        in_progress: MsgId,
+    },
+    /// `abort` named a message that is not currently in progress here.
+    UnknownMessage {
+        /// The node that issued the `abort`.
+        node: usize,
+        /// The unknown message id.
+        id: MsgId,
+    },
+    /// A node index was out of range for this layer.
+    NodeOutOfRange {
+        /// The offending index.
+        node: usize,
+        /// Number of nodes in the layer.
+        len: usize,
+    },
+}
+
+impl fmt::Display for MacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MacError::Busy { node, in_progress } => {
+                write!(f, "node {node} already broadcasting {in_progress}")
+            }
+            MacError::UnknownMessage { node, id } => {
+                write!(f, "node {node} has no broadcast {id} in progress")
+            }
+            MacError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range for layer of {len} nodes")
+            }
+        }
+    }
+}
+
+impl Error for MacError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_node() {
+        let e = MacError::Busy {
+            node: 3,
+            in_progress: MsgId { origin: 3, seq: 0 },
+        };
+        assert!(e.to_string().contains("node 3"));
+    }
+}

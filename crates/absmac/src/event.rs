@@ -1,0 +1,102 @@
+//! MAC-layer events and message identities.
+
+use std::fmt;
+
+/// Globally unique identifier of a broadcast message.
+///
+/// The absMAC specification assumes w.l.o.g. that broadcast messages are
+/// unique (§4.4); implementations realize that by tagging each `bcast`
+/// with its origin node and a per-origin sequence number.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId {
+    /// The node at which the `bcast` occurred.
+    pub origin: usize,
+    /// Per-origin sequence number, starting at 0.
+    pub seq: u32,
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}.{}", self.origin, self.seq)
+    }
+}
+
+/// A broadcast message in flight: identity plus client payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MacMessage<P> {
+    /// Unique message identity.
+    pub id: MsgId,
+    /// The client payload handed to `bcast`.
+    pub payload: P,
+}
+
+/// An output event of the MAC layer, delivered to exactly one client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MacEvent<P> {
+    /// `rcv(m)` — this node received message `m`.
+    Rcv(MacMessage<P>),
+    /// `ack(m)` — this node's broadcast of `m` completed: every
+    /// `G`-neighbor has received it.
+    Ack(MsgId),
+}
+
+impl<P> MacEvent<P> {
+    /// The message identity this event concerns.
+    pub fn msg_id(&self) -> MsgId {
+        match self {
+            MacEvent::Rcv(m) => m.id,
+            MacEvent::Ack(id) => *id,
+        }
+    }
+}
+
+/// What happened, for execution traces consumed by [`crate::measure`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A `bcast` input occurred at this node.
+    Bcast(MsgId),
+    /// This node received the message.
+    Rcv(MsgId),
+    /// This node's broadcast was acknowledged.
+    Ack(MsgId),
+    /// This node aborted its broadcast.
+    Abort(MsgId),
+}
+
+/// A timestamped trace record.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Layer time (slot) at which the event occurred.
+    pub t: u64,
+    /// The node the event belongs to.
+    pub node: usize,
+    /// The event itself.
+    pub kind: TraceKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_id_display() {
+        let id = MsgId { origin: 4, seq: 2 };
+        assert_eq!(id.to_string(), "m4.2");
+    }
+
+    #[test]
+    fn msg_id_ordering_is_origin_then_seq() {
+        let a = MsgId { origin: 1, seq: 9 };
+        let b = MsgId { origin: 2, seq: 0 };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn event_msg_id_extraction() {
+        let id = MsgId { origin: 0, seq: 1 };
+        let rcv: MacEvent<&str> = MacEvent::Rcv(MacMessage { id, payload: "x" });
+        let ack: MacEvent<&str> = MacEvent::Ack(id);
+        assert_eq!(rcv.msg_id(), id);
+        assert_eq!(ack.msg_id(), id);
+    }
+}

@@ -1,0 +1,590 @@
+//! A graph-based reference implementation of the probabilistic absMAC.
+//!
+//! `IdealMac` delivers broadcasts over an arbitrary communication graph
+//! with scheduler-controlled timing. It exists to (a) test higher-level
+//! protocols (`sinr-protocols`) independently of the SINR substrate, and
+//! (b) serve as an executable reading of the absMAC specification that the
+//! SINR implementation is validated against.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sinr_graphs::Graph;
+
+use crate::{MacError, MacEvent, MacLayer, MacMessage, MsgId, StepEvents};
+
+/// How the ideal layer times deliveries and acknowledgments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedulerPolicy {
+    /// Every neighbor receives in the next step; ack one step later.
+    /// (`f_ack = 2`, `f_prog = 1`.)
+    Eager,
+    /// Per-neighbor delivery uniformly random in `[t+1, t+f_ack−1]`,
+    /// ack at `t+f_ack`; the progress invariant is maintained by clamping
+    /// (see below).
+    Random {
+        /// Acknowledgment bound.
+        fack: u64,
+        /// Progress bound (`≤ fack`).
+        fprog: u64,
+    },
+    /// Worst-case legal timing: deliveries at `t+f_ack−1`, ack at
+    /// `t+f_ack`, except the clamped delivery at exactly `t+f_prog`.
+    Adversarial {
+        /// Acknowledgment bound.
+        fack: u64,
+        /// Progress bound (`≤ fack`).
+        fprog: u64,
+    },
+}
+
+impl SchedulerPolicy {
+    fn fack(&self) -> u64 {
+        match *self {
+            SchedulerPolicy::Eager => 2,
+            SchedulerPolicy::Random { fack, .. } | SchedulerPolicy::Adversarial { fack, .. } => {
+                fack
+            }
+        }
+    }
+
+    fn fprog(&self) -> u64 {
+        match *self {
+            SchedulerPolicy::Eager => 1,
+            SchedulerPolicy::Random { fprog, .. } | SchedulerPolicy::Adversarial { fprog, .. } => {
+                fprog
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ActiveBcast<P> {
+    id: MsgId,
+    #[allow(dead_code)]
+    payload: P,
+    aborted: bool,
+}
+
+#[derive(Debug)]
+enum Scheduled<P> {
+    Deliver {
+        receiver: usize,
+        msg: MacMessage<P>,
+        /// Whether this delivery participates in the progress-clamp
+        /// bookkeeping. Deliveries over unreliable `G'`-edges never do:
+        /// the progress bound must be satisfiable by reliable edges alone.
+        counted: bool,
+    },
+    Ack {
+        origin: usize,
+        id: MsgId,
+    },
+}
+
+/// The graph-based reference absMAC (see module docs).
+///
+/// # Progress invariant
+///
+/// Whenever a broadcast from `u` starts at time `t`, each neighbor `v`
+/// that has no pending delivery due by `t + f_prog` gets this broadcast's
+/// delivery clamped into `(t, t + f_prog]`. Consequently a node with at
+/// least one active broadcasting neighbor always has a delivery pending
+/// within `f_prog` of the moment its neighborhood became active, which is
+/// the progress bound of the specification.
+#[derive(Debug)]
+pub struct IdealMac<P> {
+    graph: Graph,
+    policy: SchedulerPolicy,
+    rng: StdRng,
+    t: u64,
+    seq: Vec<u32>,
+    active: Vec<Option<ActiveBcast<P>>>,
+    schedule: BTreeMap<u64, Vec<Scheduled<P>>>,
+    /// Multiset of pending delivery times per receiver (for clamping).
+    pending: Vec<BTreeMap<u64, u32>>,
+    /// Optional dual-graph extension (Remark 7.2 of the paper / the
+    /// `G'` of Ghaffari et al. [23]): extra edges over which each
+    /// broadcast is delivered only with probability `q`, independently.
+    unreliable: Option<(Graph, f64)>,
+}
+
+impl<P: Clone> IdealMac<P> {
+    /// Creates a layer over `graph` with the given policy and seed.
+    pub fn new(graph: Graph, policy: SchedulerPolicy, seed: u64) -> Self {
+        assert!(
+            policy.fprog() >= 1 && policy.fack() >= policy.fprog(),
+            "policy must satisfy 1 <= fprog <= fack"
+        );
+        let n = graph.len();
+        IdealMac {
+            graph,
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+            t: 0,
+            seq: vec![0; n],
+            active: (0..n).map(|_| None).collect(),
+            schedule: BTreeMap::new(),
+            pending: vec![BTreeMap::new(); n],
+            unreliable: None,
+        }
+    }
+
+    /// Enables the dual-graph extension (Remark 7.2): edges of
+    /// `unreliable` that are not already reliable edges deliver each
+    /// broadcast with probability `q`, independently per (broadcast,
+    /// receiver). Such receptions are real `rcv` events — exactly like
+    /// `G₁`-receptions in the SINR implementation — but never count
+    /// towards the progress guarantee or the acknowledgment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes differ or `q` is outside `[0, 1]`.
+    pub fn set_unreliable(&mut self, unreliable: Graph, q: f64) {
+        assert_eq!(
+            unreliable.len(),
+            self.graph.len(),
+            "dual graph must have the same node count"
+        );
+        assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+        self.unreliable = Some((unreliable, q));
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The acknowledgment bound of the configured policy.
+    pub fn fack(&self) -> u64 {
+        self.policy.fack()
+    }
+
+    /// The progress bound of the configured policy.
+    pub fn fprog(&self) -> u64 {
+        self.policy.fprog()
+    }
+
+    fn push(&mut self, at: u64, item: Scheduled<P>) {
+        if let Scheduled::Deliver {
+            receiver,
+            counted: true,
+            ..
+        } = item
+        {
+            *self.pending[receiver].entry(at).or_insert(0) += 1;
+        }
+        self.schedule.entry(at).or_default().push(item);
+    }
+
+    fn has_pending_by(&self, receiver: usize, deadline: u64) -> bool {
+        self.pending[receiver]
+            .range(..=deadline)
+            .any(|(_, &c)| c > 0)
+    }
+
+    fn delivery_time(&mut self, receiver: usize, now: u64) -> u64 {
+        let fack = self.policy.fack();
+        let fprog = self.policy.fprog();
+        match self.policy {
+            SchedulerPolicy::Eager => now + 1,
+            SchedulerPolicy::Random { .. } => {
+                let latest = (now + fack - 1).max(now + 1);
+                let mut at = self.rng.random_range(now + 1..=latest);
+                if !self.has_pending_by(receiver, now + fprog) {
+                    at = self.rng.random_range(now + 1..=now + fprog);
+                }
+                at
+            }
+            SchedulerPolicy::Adversarial { .. } => {
+                if self.has_pending_by(receiver, now + fprog) {
+                    (now + fack - 1).max(now + 1)
+                } else {
+                    now + fprog
+                }
+            }
+        }
+    }
+}
+
+impl<P: Clone> MacLayer for IdealMac<P> {
+    type Payload = P;
+
+    fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    fn now(&self) -> u64 {
+        self.t
+    }
+
+    fn bcast(&mut self, node: usize, payload: P) -> Result<MsgId, MacError> {
+        let n = self.graph.len();
+        if node >= n {
+            return Err(MacError::NodeOutOfRange { node, len: n });
+        }
+        if let Some(active) = &self.active[node] {
+            if !active.aborted {
+                return Err(MacError::Busy {
+                    node,
+                    in_progress: active.id,
+                });
+            }
+        }
+        let id = MsgId {
+            origin: node,
+            seq: self.seq[node],
+        };
+        self.seq[node] += 1;
+        let now = self.t;
+        let neighbors: Vec<usize> = self
+            .graph
+            .neighbors(node)
+            .iter()
+            .map(|&x| x as usize)
+            .collect();
+        let mut last = now;
+        for v in neighbors {
+            let at = self.delivery_time(v, now);
+            last = last.max(at);
+            self.push(
+                at,
+                Scheduled::Deliver {
+                    receiver: v,
+                    msg: MacMessage {
+                        id,
+                        payload: payload.clone(),
+                    },
+                    counted: true,
+                },
+            );
+        }
+        // Dual-graph extension: G'-only edges deliver with probability q.
+        if let Some((unreliable, q)) = self.unreliable.clone() {
+            let fack = self.policy.fack();
+            for &v in unreliable.neighbors(node) {
+                let v = v as usize;
+                if self.graph.has_edge(node, v) || !self.rng.random_bool(q) {
+                    continue;
+                }
+                let latest = (now + fack - 1).max(now + 1);
+                let at = self.rng.random_range(now + 1..=latest);
+                self.push(
+                    at,
+                    Scheduled::Deliver {
+                        receiver: v,
+                        msg: MacMessage {
+                            id,
+                            payload: payload.clone(),
+                        },
+                        counted: false,
+                    },
+                );
+            }
+        }
+        let ack_at = match self.policy {
+            SchedulerPolicy::Eager => last + 1,
+            _ => now + self.policy.fack(),
+        };
+        self.push(ack_at, Scheduled::Ack { origin: node, id });
+        self.active[node] = Some(ActiveBcast {
+            id,
+            payload,
+            aborted: false,
+        });
+        Ok(id)
+    }
+
+    fn abort(&mut self, node: usize, id: MsgId) -> Result<(), MacError> {
+        if node >= self.graph.len() {
+            return Err(MacError::NodeOutOfRange {
+                node,
+                len: self.graph.len(),
+            });
+        }
+        match &mut self.active[node] {
+            Some(active) if active.id == id && !active.aborted => {
+                active.aborted = true;
+                Ok(())
+            }
+            _ => Err(MacError::UnknownMessage { node, id }),
+        }
+    }
+
+    fn step(&mut self) -> StepEvents<P> {
+        self.t += 1;
+        let t = self.t;
+        let mut events = Vec::new();
+        let Some(batch) = self.schedule.remove(&t) else {
+            return StepEvents { t, events };
+        };
+        // Deliveries fire before acks within the same step, so an origin
+        // never sees its ack precede a neighbor's reception.
+        let (deliveries, acks): (Vec<_>, Vec<_>) = batch
+            .into_iter()
+            .partition(|s| matches!(s, Scheduled::Deliver { .. }));
+        for item in deliveries {
+            let Scheduled::Deliver {
+                receiver,
+                msg,
+                counted,
+            } = item
+            else {
+                unreachable!()
+            };
+            if counted {
+                if let Some(count) = self.pending[receiver].get_mut(&t) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.pending[receiver].remove(&t);
+                    }
+                }
+            }
+            let alive = matches!(
+                &self.active[msg.id.origin],
+                Some(a) if a.id == msg.id && !a.aborted
+            );
+            if alive {
+                events.push((receiver, MacEvent::Rcv(msg)));
+            }
+        }
+        for item in acks {
+            let Scheduled::Ack { origin, id } = item else {
+                unreachable!()
+            };
+            match &self.active[origin] {
+                Some(a) if a.id == id => {
+                    let aborted = a.aborted;
+                    self.active[origin] = None;
+                    if !aborted {
+                        events.push((origin, MacEvent::Ack(id)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        events.sort_by_key(|(node, ev)| (*node, ev.msg_id()));
+        StepEvents { t, events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    fn collect_run<P: Clone>(mac: &mut IdealMac<P>, steps: u64) -> Vec<(u64, usize, MacEvent<P>)> {
+        let mut all = Vec::new();
+        for _ in 0..steps {
+            let step = mac.step();
+            for (node, ev) in step.events {
+                all.push((step.t, node, ev));
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn eager_delivers_then_acks() {
+        let mut mac: IdealMac<&str> = IdealMac::new(path(3), SchedulerPolicy::Eager, 0);
+        let id = mac.bcast(1, "x").unwrap();
+        let log = collect_run(&mut mac, 3);
+        let rcvs: Vec<_> = log
+            .iter()
+            .filter(|(_, _, e)| matches!(e, MacEvent::Rcv(_)))
+            .collect();
+        assert_eq!(rcvs.len(), 2); // both neighbors of node 1
+        assert!(rcvs.iter().all(|(t, _, _)| *t == 1));
+        let acks: Vec<_> = log
+            .iter()
+            .filter(|(_, n, e)| *n == 1 && matches!(e, MacEvent::Ack(i) if *i == id))
+            .collect();
+        assert_eq!(acks.len(), 1);
+        assert_eq!(acks[0].0, 2);
+    }
+
+    #[test]
+    fn busy_node_rejects_second_bcast() {
+        let mut mac: IdealMac<u8> = IdealMac::new(path(2), SchedulerPolicy::Eager, 0);
+        mac.bcast(0, 1).unwrap();
+        assert!(matches!(mac.bcast(0, 2), Err(MacError::Busy { .. })));
+        // After the ack the node is free again.
+        mac.step();
+        mac.step();
+        assert!(mac.bcast(0, 2).is_ok());
+    }
+
+    #[test]
+    fn abort_suppresses_pending_deliveries_and_ack() {
+        let mut mac: IdealMac<u8> = IdealMac::new(
+            path(2),
+            SchedulerPolicy::Adversarial { fack: 10, fprog: 5 },
+            0,
+        );
+        let id = mac.bcast(0, 7).unwrap();
+        mac.abort(0, id).unwrap();
+        let log = collect_run(&mut mac, 12);
+        assert!(log.is_empty(), "aborted broadcast must be silent: {log:?}");
+    }
+
+    #[test]
+    fn abort_unknown_message_errors() {
+        let mut mac: IdealMac<u8> = IdealMac::new(path(2), SchedulerPolicy::Eager, 0);
+        let err = mac.abort(0, MsgId { origin: 0, seq: 9 });
+        assert!(matches!(err, Err(MacError::UnknownMessage { .. })));
+    }
+
+    #[test]
+    fn random_policy_meets_bounds() {
+        let g = Graph::from_edges(6, (1..6).map(|i| (0, i))); // star
+        let fack = 12;
+        let fprog = 3;
+        let mut mac: IdealMac<u8> = IdealMac::new(g, SchedulerPolicy::Random { fack, fprog }, 42);
+        let _ = mac.bcast(0, 1).unwrap();
+        let log = collect_run(&mut mac, fack + 1);
+        let rcv_times: Vec<u64> = log
+            .iter()
+            .filter(|(_, _, e)| matches!(e, MacEvent::Rcv(_)))
+            .map(|(t, _, _)| *t)
+            .collect();
+        assert_eq!(rcv_times.len(), 5);
+        assert!(rcv_times.iter().all(|&t| t <= fack));
+        let ack_t = log
+            .iter()
+            .find(|(_, n, e)| *n == 0 && matches!(e, MacEvent::Ack(_)))
+            .map(|(t, _, _)| *t)
+            .unwrap();
+        assert_eq!(ack_t, fack);
+        assert!(rcv_times.iter().all(|&t| t < ack_t));
+    }
+
+    #[test]
+    fn adversarial_policy_progress_clamp() {
+        // Single broadcaster: every neighbor must receive within fprog.
+        let g = path(3);
+        let fack = 20;
+        let fprog = 4;
+        let mut mac: IdealMac<u8> =
+            IdealMac::new(g, SchedulerPolicy::Adversarial { fack, fprog }, 0);
+        mac.bcast(1, 9).unwrap();
+        let log = collect_run(&mut mac, fack + 1);
+        let rcv_times: Vec<u64> = log
+            .iter()
+            .filter(|(_, _, e)| matches!(e, MacEvent::Rcv(_)))
+            .map(|(t, _, _)| *t)
+            .collect();
+        // With no other pending deliveries both neighbors get the clamped
+        // delivery at exactly fprog.
+        assert_eq!(rcv_times, vec![fprog, fprog]);
+    }
+
+    #[test]
+    fn adversarial_contention_defers_to_fack() {
+        // Two broadcasters sharing receiver 1: second bcast may be lazy.
+        let g = path(3);
+        let fack = 20;
+        let fprog = 4;
+        let mut mac: IdealMac<u8> =
+            IdealMac::new(g, SchedulerPolicy::Adversarial { fack, fprog }, 0);
+        mac.bcast(0, 1).unwrap();
+        mac.bcast(2, 2).unwrap();
+        let log = collect_run(&mut mac, fack + 1);
+        let rcvs_at_1: Vec<u64> = log
+            .iter()
+            .filter(|(_, n, e)| *n == 1 && matches!(e, MacEvent::Rcv(_)))
+            .map(|(t, _, _)| *t)
+            .collect();
+        // Progress satisfied once at fprog; the other delivery is deferred
+        // to the last legal moment.
+        assert_eq!(rcvs_at_1, vec![fprog, fack - 1]);
+    }
+
+    #[test]
+    fn isolated_node_gets_immediate_ack() {
+        let g = Graph::empty(1);
+        let mut mac: IdealMac<u8> = IdealMac::new(g, SchedulerPolicy::Eager, 0);
+        let id = mac.bcast(0, 3).unwrap();
+        let log = collect_run(&mut mac, 2);
+        assert_eq!(log.len(), 1);
+        assert!(matches!(&log[0].2, MacEvent::Ack(i) if *i == id));
+    }
+
+    #[test]
+    fn unreliable_edges_deliver_with_q_one() {
+        // Reliable path 0-1; unreliable extra edge 0-2.
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let gp = Graph::from_edges(3, [(0, 1), (0, 2)]);
+        let mut mac: IdealMac<u8> =
+            IdealMac::new(g, SchedulerPolicy::Random { fack: 8, fprog: 2 }, 1);
+        mac.set_unreliable(gp, 1.0);
+        mac.bcast(0, 5).unwrap();
+        let log = collect_run(&mut mac, 10);
+        let rcv_nodes: Vec<usize> = log
+            .iter()
+            .filter(|(_, _, e)| matches!(e, MacEvent::Rcv(_)))
+            .map(|(_, n, _)| *n)
+            .collect();
+        assert!(rcv_nodes.contains(&1), "reliable neighbor must receive");
+        assert!(rcv_nodes.contains(&2), "q=1 dual edge must deliver");
+    }
+
+    #[test]
+    fn unreliable_edges_silent_with_q_zero() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let gp = Graph::from_edges(3, [(0, 1), (0, 2)]);
+        let mut mac: IdealMac<u8> = IdealMac::new(g, SchedulerPolicy::Eager, 1);
+        mac.set_unreliable(gp, 0.0);
+        mac.bcast(0, 5).unwrap();
+        let log = collect_run(&mut mac, 10);
+        assert!(log
+            .iter()
+            .all(|(_, n, e)| !(matches!(e, MacEvent::Rcv(_)) && *n == 2)));
+    }
+
+    #[test]
+    fn unreliable_deliveries_never_satisfy_the_clamp() {
+        // Receiver 1 has a reliable broadcasting neighbor (0) and an
+        // unreliable one (2). The reliable progress clamp must still put
+        // a delivery at <= fprog even though the unreliable delivery may
+        // already be pending.
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let gp = Graph::from_edges(3, [(1, 2)]);
+        let fack = 20;
+        let fprog = 3;
+        let mut mac: IdealMac<u8> =
+            IdealMac::new(g, SchedulerPolicy::Adversarial { fack, fprog }, 5);
+        mac.set_unreliable(gp, 1.0);
+        mac.bcast(2, 9).unwrap(); // unreliable-only broadcaster
+        mac.bcast(0, 7).unwrap(); // reliable broadcaster
+        let log = collect_run(&mut mac, fack + 1);
+        let reliable_rcv = log
+            .iter()
+            .find(|(_, n, e)| *n == 1 && matches!(e, MacEvent::Rcv(m) if m.id.origin == 0))
+            .map(|(t, _, _)| *t)
+            .expect("reliable delivery must happen");
+        assert!(
+            reliable_rcv <= fprog,
+            "clamp must ignore unreliable pending deliveries (got {reliable_rcv})"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut mac: IdealMac<u8> =
+                IdealMac::new(path(5), SchedulerPolicy::Random { fack: 9, fprog: 3 }, seed);
+            mac.bcast(2, 1).unwrap();
+            collect_run(&mut mac, 10)
+                .into_iter()
+                .map(|(t, n, e)| (t, n, e.msg_id()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

@@ -1,0 +1,64 @@
+//! The abstract MAC layer (absMAC) specification and reference
+//! implementation.
+//!
+//! An abstract MAC layer (Kuhn, Lynch, Newport; probabilistic version by
+//! Khabbazian et al. [37]) provides *acknowledged local broadcast* over a
+//! communication graph `G` while hiding contention management. Its
+//! interface events are:
+//!
+//! * `bcast(m)ᵢ` — node `i` starts broadcasting `m`,
+//! * `rcv(m)ⱼ` — node `j` receives `m`,
+//! * `ack(m)ᵢ` — the layer tells `i` that every `G`-neighbor received `m`,
+//! * `abort(m)ᵢ` — node `i` cancels an in-progress broadcast (enhanced
+//!   layer).
+//!
+//! Timing is constrained by the **acknowledgment bound** `f_ack`, the
+//! **progress bound** `f_prog` and — the paper's contribution — the
+//! **approximate progress bound** `f_approg` (Definition 7.1), which
+//! measures progress with respect to a subgraph `G̃ ⊆ G`. Each bound holds
+//! with probability `1 − ε_{ack,prog,approg}` in the probabilistic layer.
+//!
+//! This crate contains:
+//!
+//! * [`MacLayer`] — the multi-node layer abstraction every implementation
+//!   in the workspace satisfies (the SINR one lives in `sinr-mac`),
+//! * [`MacClient`] + [`Runner`] — event-driven automata over a MAC layer
+//!   (the higher-level protocols in `sinr-protocols` are `MacClient`s),
+//! * [`IdealMac`] — a graph-based reference implementation with pluggable
+//!   delivery scheduling (eager, seeded-random, adversarial), used to test
+//!   protocols independently of the SINR substrate,
+//! * [`measure`] — latency extraction from execution traces: empirical
+//!   `f_ack`, `f_prog` and `f_approg` used by every experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use absmac::{IdealMac, MacLayer, MacEvent, SchedulerPolicy};
+//! use sinr_graphs::Graph;
+//!
+//! // A 3-node path; node 0 broadcasts one message.
+//! let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+//! let mut mac = IdealMac::new(g, SchedulerPolicy::Eager, 7);
+//! let id = mac.bcast(0, "hello").unwrap();
+//! let step = mac.step();
+//! assert!(step.events.iter().any(|(n, e)| *n == 1 && matches!(e, MacEvent::Rcv(m) if m.id == id)));
+//! let step = mac.step();
+//! assert!(step.events.iter().any(|(n, e)| *n == 0 && matches!(e, MacEvent::Ack(i) if *i == id)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+mod event;
+mod ideal;
+mod spec;
+
+pub mod measure;
+
+pub use client::{MacClient, Runner};
+pub use error::MacError;
+pub use event::{MacEvent, MacMessage, MsgId, TraceEvent, TraceKind};
+pub use ideal::{IdealMac, SchedulerPolicy};
+pub use spec::{CmdSink, MacCmd, MacLayer, StepEvents};

@@ -1,0 +1,140 @@
+//! The multi-node MAC layer abstraction and client command plumbing.
+
+use crate::{MacError, MacEvent, MsgId};
+
+/// Events produced by one [`MacLayer::step`], tagged with their node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepEvents<P> {
+    /// The layer time at which these events fired (the step just run).
+    pub t: u64,
+    /// `(node, event)` pairs, in deterministic order.
+    pub events: Vec<(usize, MacEvent<P>)>,
+}
+
+impl<P> StepEvents<P> {
+    /// A step with no events.
+    pub fn empty(t: u64) -> Self {
+        StepEvents {
+            t,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// A multi-node abstract MAC layer.
+///
+/// One implementor simulates the whole network; clients address it by node
+/// index. Two implementations exist in this workspace:
+///
+/// * [`crate::IdealMac`] — graph-based reference model,
+/// * `sinr_mac::SinrAbsMac` — the paper's Algorithm 11.1 running on the
+///   slotted SINR simulator.
+///
+/// # Contract
+///
+/// * At most one broadcast per node may be in progress; a second `bcast`
+///   fails with [`MacError::Busy`].
+/// * `ack(m)` is delivered to the origin after every `G`-neighbor
+///   received `m` (with probability `1 − ε_ack` within `f_ack` steps for
+///   probabilistic layers).
+/// * Aborted broadcasts never produce an `ack`.
+pub trait MacLayer {
+    /// The client payload carried by broadcasts.
+    type Payload: Clone;
+
+    /// Number of nodes in the layer.
+    fn len(&self) -> usize;
+
+    /// Whether the layer has zero nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Layer time: number of steps executed so far.
+    fn now(&self) -> u64;
+
+    /// `bcast(m)ᵢ`: start broadcasting `payload` from `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`MacError::Busy`] if the node has a broadcast in progress,
+    /// [`MacError::NodeOutOfRange`] for a bad index.
+    fn bcast(&mut self, node: usize, payload: Self::Payload) -> Result<MsgId, MacError>;
+
+    /// `abort(m)ᵢ`: cancel an in-progress broadcast (enhanced layer).
+    ///
+    /// # Errors
+    ///
+    /// [`MacError::UnknownMessage`] if `id` is not in progress at `node`.
+    fn abort(&mut self, node: usize, id: MsgId) -> Result<(), MacError>;
+
+    /// Advances the layer by one time unit and returns the events fired.
+    fn step(&mut self) -> StepEvents<Self::Payload>;
+}
+
+/// A command a client issues in response to events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MacCmd<P> {
+    /// Start a broadcast with this payload.
+    Bcast(P),
+    /// Abort the broadcast with this id.
+    Abort(MsgId),
+}
+
+/// Collects commands from a client callback; the [`crate::Runner`]
+/// applies them to the layer after the callback returns.
+#[derive(Debug)]
+pub struct CmdSink<P> {
+    cmds: Vec<MacCmd<P>>,
+}
+
+impl<P> CmdSink<P> {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        CmdSink { cmds: Vec::new() }
+    }
+
+    /// Queues a `bcast` of `payload`.
+    pub fn bcast(&mut self, payload: P) {
+        self.cmds.push(MacCmd::Bcast(payload));
+    }
+
+    /// Queues an `abort` of `id`.
+    pub fn abort(&mut self, id: MsgId) {
+        self.cmds.push(MacCmd::Abort(id));
+    }
+
+    /// Drains the queued commands.
+    pub fn drain(&mut self) -> Vec<MacCmd<P>> {
+        std::mem::take(&mut self.cmds)
+    }
+
+    /// Whether any command is queued.
+    pub fn is_pending(&self) -> bool {
+        !self.cmds.is_empty()
+    }
+}
+
+impl<P> Default for CmdSink<P> {
+    fn default() -> Self {
+        CmdSink::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_collects_and_drains() {
+        let mut sink: CmdSink<u8> = CmdSink::new();
+        assert!(!sink.is_pending());
+        sink.bcast(5);
+        sink.abort(MsgId { origin: 0, seq: 0 });
+        assert!(sink.is_pending());
+        let cmds = sink.drain();
+        assert_eq!(cmds.len(), 2);
+        assert!(matches!(cmds[0], MacCmd::Bcast(5)));
+        assert!(!sink.is_pending());
+    }
+}

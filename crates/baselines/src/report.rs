@@ -1,0 +1,43 @@
+//! Common result type for global broadcast runs.
+
+use sinr_phys::EngineStats;
+
+/// Outcome of a global single-message broadcast execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmbReport {
+    /// Slot at which each node first held the message (`Some(0)` for the
+    /// source, `None` if never informed within the horizon).
+    pub informed_at: Vec<Option<u64>>,
+    /// Slot at which the last node became informed, or `None` on timeout.
+    pub completion: Option<u64>,
+    /// Physical-layer counters at the end of the run.
+    pub stats: EngineStats,
+}
+
+impl SmbReport {
+    /// Number of informed nodes.
+    pub fn informed_count(&self) -> usize {
+        self.informed_at.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Whether every node was informed.
+    pub fn complete(&self) -> bool {
+        self.completion.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_helpers() {
+        let r = SmbReport {
+            informed_at: vec![Some(0), Some(5), None],
+            completion: None,
+            stats: EngineStats::default(),
+        };
+        assert_eq!(r.informed_count(), 2);
+        assert!(!r.complete());
+    }
+}

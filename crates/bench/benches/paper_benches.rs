@@ -1,0 +1,154 @@
+//! Criterion benches touching every experiment of the paper at reduced
+//! scale, so `cargo bench --workspace` regenerates (small versions of)
+//! every table and figure. The full-range regenerators are the binaries
+//! in `src/bin/` (see DESIGN.md §2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sinr_bench::common::connected_uniform;
+use sinr_bench::{exp_decay, exp_fig1, exp_global, exp_local, exp_table2};
+use sinr_mac::MacParams;
+use sinr_phys::reception::decide_receptions;
+use sinr_phys::{InterferenceModel, SinrParams};
+
+/// E1 — Table 1 local rows at reduced scale.
+fn bench_table1_local(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_local");
+    group.sample_size(10);
+    let sinr = SinrParams::builder().range(8.0).build().unwrap();
+    let (positions, graphs, seed) = connected_uniform(&sinr, 24, 20.0, 1);
+    group.bench_function("fack_n24", |b| {
+        b.iter(|| {
+            let params = MacParams::builder().build(&sinr);
+            black_box(exp_local::measure_fack(
+                &sinr, &positions, &graphs, params, 6, seed,
+            ))
+        })
+    });
+    group.bench_function("approg_n24", |b| {
+        b.iter(|| {
+            let params = MacParams::builder().build(&sinr);
+            let horizon = 3 * 2 * params.layout().epoch_len();
+            black_box(exp_local::measure_progress(
+                &sinr, &positions, &graphs, params, 2, horizon, seed,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// E2 — Table 1 global rows at reduced scale.
+fn bench_table1_global(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_global");
+    group.sample_size(10);
+    let sinr = SinrParams::builder().range(8.0).build().unwrap();
+    let (positions, graphs, seed) = connected_uniform(&sinr, 20, 18.0, 2);
+    group.bench_function("smb_n20", |b| {
+        b.iter(|| {
+            let params = MacParams::builder().build(&sinr);
+            black_box(exp_global::smb_over_mac(
+                &sinr, &positions, &graphs, params, 3_000_000, seed,
+            ))
+        })
+    });
+    group.bench_function("mmb_n20_k2", |b| {
+        b.iter(|| {
+            let params = MacParams::builder().build(&sinr);
+            black_box(exp_global::mmb_over_mac(
+                &sinr, &positions, &graphs, params, 2, 6_000_000, seed,
+            ))
+        })
+    });
+    group.bench_function("consensus_n20", |b| {
+        b.iter(|| {
+            let params = MacParams::builder().build(&sinr);
+            black_box(exp_global::consensus_over_mac(
+                &sinr, &positions, &graphs, params, seed,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// E3 — Table 2 comparison at reduced scale.
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    let sinr = SinrParams::builder().range(8.0).build().unwrap();
+    let (positions, graphs, seed) = connected_uniform(&sinr, 20, 18.0, 3);
+    group.bench_function("three_way_smb_n20", |b| {
+        b.iter(|| {
+            black_box(exp_table2::compare_smb(
+                &sinr, &positions, &graphs, 5_000_000, seed,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// E4 — Figure 1 gadget at reduced scale.
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    for delta in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("gadget", delta), &delta, |b, &d| {
+            b.iter(|| black_box(exp_fig1::run_fig1(d, 2, 11)))
+        });
+    }
+    group.finish();
+}
+
+/// E5 — Theorem 8.1 comparison at reduced scale.
+fn bench_decay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decay");
+    group.sample_size(10);
+    group.bench_function("two_balls_d8", |b| {
+        b.iter(|| black_box(exp_decay::run_decay_comparison(8, 48.0, 40_000, 13)))
+    });
+    group.finish();
+}
+
+/// A3 — interference-model ablation: exact vs grid-aggregated wall-clock
+/// of the reception kernel itself.
+fn bench_interference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interference");
+    let sinr = SinrParams::builder().range(16.0).build().unwrap();
+    for &n in &[128usize, 512] {
+        let side = (n as f64).sqrt() * 2.0;
+        let positions = sinr_geom::deploy::uniform(n, side, 5).unwrap();
+        let senders: Vec<usize> = (0..n).step_by(2).collect();
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(decide_receptions(
+                    &sinr,
+                    &positions,
+                    &senders,
+                    InterferenceModel::Exact,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(decide_receptions(
+                    &sinr,
+                    &positions,
+                    &senders,
+                    InterferenceModel::GridFarField { cell_size: 8.0 },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_local,
+    bench_table1_global,
+    bench_table2,
+    bench_fig1,
+    bench_decay,
+    bench_interference
+);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! Shared plumbing for all experiments: deployments, trace capture,
+//! a repeating-broadcast client, and table printing.
+
+use absmac::{CmdSink, MacClient, MacEvent, MacLayer, Runner, TraceEvent};
+use sinr_geom::{deploy, Point};
+use sinr_graphs::SinrGraphs;
+use sinr_phys::SinrParams;
+
+/// Finds a seed (starting at `seed0`) whose uniform deployment has a
+/// connected strong graph; the paper assumes `G₁₋ε` connected (§4.6).
+///
+/// # Panics
+///
+/// Panics if 64 consecutive seeds fail — the density is too low for the
+/// requested size, which is an experiment-configuration bug.
+pub fn connected_uniform(
+    sinr: &SinrParams,
+    n: usize,
+    side: f64,
+    seed0: u64,
+) -> (Vec<Point>, SinrGraphs, u64) {
+    for seed in seed0..seed0 + 64 {
+        if let Ok(positions) = deploy::uniform(n, side, seed) {
+            let graphs = SinrGraphs::induce(sinr, &positions);
+            if graphs.strong.is_connected() {
+                return (positions, graphs, seed);
+            }
+        }
+    }
+    panic!("no connected uniform deployment found for n={n}, side={side}");
+}
+
+/// A client that broadcasts its payload at start and re-broadcasts on
+/// every ack, keeping the node permanently in the broadcasting set —
+/// the workload of the progress measurements (Def. 7.1 fixes an interval
+/// *throughout which* the neighbor is broadcasting).
+#[derive(Debug, Clone)]
+pub struct Repeater<P> {
+    payload: Option<P>,
+}
+
+impl<P: Clone> Repeater<P> {
+    /// A node that broadcasts `payload` forever.
+    pub fn source(payload: P) -> Self {
+        Repeater {
+            payload: Some(payload),
+        }
+    }
+
+    /// A node that only listens.
+    pub fn idle() -> Self {
+        Repeater { payload: None }
+    }
+
+    /// A network where `is_source(i)` selects the broadcasters.
+    pub fn network(n: usize, payload_of: impl Fn(usize) -> Option<P>) -> Vec<Self> {
+        (0..n)
+            .map(|i| match payload_of(i) {
+                Some(p) => Repeater::source(p),
+                None => Repeater::idle(),
+            })
+            .collect()
+    }
+}
+
+impl<P: Clone> MacClient<P> for Repeater<P> {
+    fn on_start(&mut self, _node: usize, sink: &mut CmdSink<P>) {
+        if let Some(p) = &self.payload {
+            sink.bcast(p.clone());
+        }
+    }
+
+    fn on_event(&mut self, _node: usize, _now: u64, ev: &MacEvent<P>, sink: &mut CmdSink<P>) {
+        if let (MacEvent::Ack(_), Some(p)) = (ev, &self.payload) {
+            sink.bcast(p.clone());
+        }
+    }
+}
+
+/// Runs `clients` over `mac` for `horizon` steps and returns the trace.
+///
+/// # Panics
+///
+/// Panics if a client violates the MAC contract (surfacing protocol bugs
+/// rather than corrupting measurements).
+pub fn run_for_trace<M, C>(mac: M, clients: Vec<C>, horizon: u64) -> Vec<TraceEvent>
+where
+    M: MacLayer,
+    C: MacClient<M::Payload>,
+{
+    let mut runner = Runner::new(mac, clients).expect("runner construction");
+    for _ in 0..horizon {
+        runner.step().expect("client respected MAC contract");
+    }
+    runner.trace().to_vec()
+}
+
+/// A printed experiment table: aligned text for humans plus a `# csv`
+/// block for machines, in one pass.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders aligned text followed by a CSV block.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out.push_str("# csv\n");
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_and_csv() {
+        let mut t = Table::new("demo", &["a", "long_header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("a,long_header"));
+        assert!(s.contains("1,2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn connected_uniform_returns_connected() {
+        let sinr = SinrParams::builder().range(16.0).build().unwrap();
+        let (pts, graphs, _) = connected_uniform(&sinr, 24, 28.0, 0);
+        assert_eq!(pts.len(), 24);
+        assert!(graphs.strong.is_connected());
+    }
+}

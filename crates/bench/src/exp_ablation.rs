@@ -1,0 +1,129 @@
+//! A1/A2 — ablations over the paper's Θ(·) constants.
+//!
+//! * **A1 (repetitions `T`, §10.1.2):** the paper's key trick is using
+//!   `T = Θ(log(f(h₁)/ε_approg))` repetitions instead of \[14\]'s
+//!   `Θ(… log n)`. Sweeping the `T` multiplier shows the trade-off:
+//!   short windows mis-estimate `H̃̃` (drop-outs, set `W`), long windows
+//!   burn slots.
+//! * **A2 (temporary labels, §10.2):** the label range
+//!   `(Λ/ε)^label_exp` controls collision probability; collisions block
+//!   MIS progress (ties keep competing), hurting sparsification.
+
+use absmac::measure::{self, LatencyStats};
+use absmac::Runner;
+use sinr_geom::Point;
+use sinr_graphs::SinrGraphs;
+use sinr_mac::{MacParams, SinrAbsMac};
+use sinr_phys::SinrParams;
+
+use crate::common::Repeater;
+
+/// One ablation measurement.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// The swept multiplier value.
+    pub value: f64,
+    /// Epoch length (slots) under this configuration.
+    pub epoch_len: u64,
+    /// Approximate-progress latencies (satisfied obligations).
+    pub approg: LatencyStats,
+    /// Obligations unsatisfied at the horizon.
+    pub pending: usize,
+    /// Peak number of dropped-out nodes observed (the realized set `W`).
+    pub max_dropped: usize,
+}
+
+fn measure_with_params(
+    sinr: &SinrParams,
+    positions: &[Point],
+    graphs: &SinrGraphs,
+    params: MacParams,
+    value: f64,
+    epochs: u64,
+    seed: u64,
+) -> AblationPoint {
+    let n = positions.len();
+    let epoch_len = 2 * params.layout().epoch_len();
+    let horizon = epochs * epoch_len;
+    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let clients = Repeater::network(n, |i| (i % 2 == 0).then_some(i as u64));
+    let mut runner = Runner::new(mac, clients).expect("runner");
+    let mut max_dropped = 0;
+    for _ in 0..horizon {
+        runner.step().expect("contract");
+        max_dropped = max_dropped.max(runner.mac().dropped_count());
+    }
+    let outcomes = measure::first_progress(runner.trace(), &graphs.approx, &graphs.strong, horizon);
+    let satisfied: Vec<u64> = outcomes.iter().filter_map(|o| o.latency()).collect();
+    let pending = outcomes
+        .iter()
+        .filter(|o| matches!(o, measure::ProgressOutcome::Pending { .. }))
+        .count();
+    AblationPoint {
+        value,
+        epoch_len,
+        approg: LatencyStats::from_samples(satisfied),
+        pending,
+        max_dropped,
+    }
+}
+
+/// A1: sweep the estimation-window multiplier `t_mult`.
+pub fn sweep_t_mult(
+    sinr: &SinrParams,
+    positions: &[Point],
+    graphs: &SinrGraphs,
+    values: &[f64],
+    epochs: u64,
+    seed: u64,
+) -> Vec<AblationPoint> {
+    values
+        .iter()
+        .map(|&t| {
+            let params = MacParams::builder().t_mult(t).build(sinr);
+            measure_with_params(sinr, positions, graphs, params, t, epochs, seed)
+        })
+        .collect()
+}
+
+/// A2: sweep the label-range exponent.
+pub fn sweep_label_exp(
+    sinr: &SinrParams,
+    positions: &[Point],
+    graphs: &SinrGraphs,
+    values: &[f64],
+    epochs: u64,
+    seed: u64,
+) -> Vec<AblationPoint> {
+    values
+        .iter()
+        .map(|&e| {
+            let params = MacParams::builder().label_exp(e).build(sinr);
+            measure_with_params(sinr, positions, graphs, params, e, epochs, seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::connected_uniform;
+
+    #[test]
+    fn t_mult_sweep_runs() {
+        let sinr = SinrParams::builder().range(8.0).build().unwrap();
+        let (positions, graphs, seed) = connected_uniform(&sinr, 12, 14.0, 7);
+        let points = sweep_t_mult(&sinr, &positions, &graphs, &[1.0, 2.0], 3, seed);
+        assert_eq!(points.len(), 2);
+        // Longer windows → longer epochs.
+        assert!(points[1].epoch_len > points[0].epoch_len);
+    }
+
+    #[test]
+    fn label_exp_sweep_runs() {
+        let sinr = SinrParams::builder().range(8.0).build().unwrap();
+        let (positions, graphs, seed) = connected_uniform(&sinr, 12, 14.0, 7);
+        let points = sweep_label_exp(&sinr, &positions, &graphs, &[0.5, 2.0], 3, seed);
+        assert_eq!(points.len(), 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! E2 — Table 1, global rows: SMB, MMB and consensus over the SINR
+//! absMAC (Theorems 12.7 and Corollary 5.5).
+
+use absmac::Runner;
+use sinr_geom::Point;
+use sinr_graphs::SinrGraphs;
+use sinr_mac::{MacParams, SinrAbsMac};
+use sinr_phys::SinrParams;
+use sinr_protocols::{Bmmb, Bsmb, FloodMaxConsensus};
+
+/// Completion slots of BSMB over the paper's MAC from node 0, plus the
+/// theory shape `(D_{G₁₋₂ε} + log n/ε)·log₂^{α+1} Λ`.
+pub fn smb_over_mac(
+    sinr: &SinrParams,
+    positions: &[Point],
+    graphs: &SinrGraphs,
+    params: MacParams,
+    horizon: u64,
+    seed: u64,
+) -> (Option<u64>, f64) {
+    let n = positions.len();
+    let eps = params.eps_approg;
+    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let mut runner = Runner::new(mac, Bsmb::network(n, 0, 7u64)).expect("runner");
+    let done = runner.run_until_done(horizon).expect("contract");
+    let d = graphs.approx.diameter().unwrap_or(n as u32) as f64;
+    let log_l = graphs.lambda.log2().max(1.0);
+    let theory = (d + (n as f64 / eps).log2()) * log_l.powf(sinr.alpha() + 1.0);
+    (done, theory)
+}
+
+/// Completion slots of BMMB with `k` messages spread over the network,
+/// plus the theory shape
+/// `D·log^{α+1}Λ + k·(Δ + polylog)·log(nk/ε)`.
+pub fn mmb_over_mac(
+    sinr: &SinrParams,
+    positions: &[Point],
+    graphs: &SinrGraphs,
+    params: MacParams,
+    k: usize,
+    horizon: u64,
+    seed: u64,
+) -> (Option<u64>, f64) {
+    let n = positions.len();
+    let eps = params.eps_approg;
+    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let stride = (n / k.max(1)).max(1);
+    let clients = Bmmb::network(
+        n,
+        |i| {
+            if i % stride == 0 && i / stride < k {
+                vec![1000 + (i / stride) as u64]
+            } else {
+                vec![]
+            }
+        },
+        Some(k),
+    );
+    let mut runner = Runner::new(mac, clients).expect("runner");
+    let done = runner.run_until_done(horizon).expect("contract");
+    let d = graphs.approx.diameter().unwrap_or(n as u32) as f64;
+    let delta = graphs.strong.max_degree() as f64;
+    let log_l = graphs.lambda.log2().max(1.0);
+    let nk = (n * k) as f64;
+    let theory = d * log_l.powf(sinr.alpha() + 1.0) + k as f64 * delta * (nk / eps).log2().max(1.0);
+    (done, theory)
+}
+
+/// Outcome of a consensus run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsensusResult {
+    /// Slot by which every node decided (always the configured deadline
+    /// for flood-max), or `None` on horizon overrun.
+    pub decided_at: Option<u64>,
+    /// Whether all decisions were equal.
+    pub agreement: bool,
+    /// Whether the decided value was someone's input.
+    pub validity: bool,
+    /// Theory shape: `D·(Δ + log Λ)·log(nΛ/ε)`.
+    pub theory: f64,
+}
+
+/// Runs flood-max consensus over the paper's MAC with random inputs.
+pub fn consensus_over_mac(
+    sinr: &SinrParams,
+    positions: &[Point],
+    graphs: &SinrGraphs,
+    params: MacParams,
+    seed: u64,
+) -> ConsensusResult {
+    use rand::{Rng, SeedableRng};
+    let n = positions.len();
+    let eps = params.eps_ack;
+    let d = graphs.strong.diameter().unwrap_or(n as u32) as u64;
+    let fack_bound = 2 * params.ack_slot_cap as u64;
+    let deadline = 2 * (d + 1) * fack_bound;
+    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let values: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
+    let clients = FloodMaxConsensus::network(&values, deadline);
+    let mut runner = Runner::new(mac, clients).expect("runner");
+    runner.disable_tracing();
+    let decided_at = runner.run_until_done(deadline + 1000).expect("contract");
+    let decisions: Vec<Option<bool>> = runner.clients().map(|c| c.decision()).collect();
+    let agreement = decisions.windows(2).all(|w| w[0] == w[1]) && decisions[0].is_some();
+    let validity = decisions[0].map(|v| values.contains(&v)).unwrap_or(false);
+    let delta = graphs.strong.max_degree() as f64;
+    let lambda = graphs.lambda;
+    let theory = d as f64 * (delta + lambda.log2()) * ((n as f64 * lambda) / eps).log2().max(1.0);
+    ConsensusResult {
+        decided_at,
+        agreement,
+        validity,
+        theory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::connected_uniform;
+
+    fn setup() -> (SinrParams, Vec<Point>, SinrGraphs, u64) {
+        let sinr = SinrParams::builder().range(8.0).build().unwrap();
+        let (p, g, s) = connected_uniform(&sinr, 14, 15.0, 3);
+        (sinr, p, g, s)
+    }
+
+    #[test]
+    fn smb_completes() {
+        let (sinr, positions, graphs, seed) = setup();
+        let params = MacParams::builder().build(&sinr);
+        let (done, theory) = smb_over_mac(&sinr, &positions, &graphs, params, 2_000_000, seed);
+        assert!(done.is_some());
+        assert!(theory > 0.0);
+    }
+
+    #[test]
+    fn mmb_completes_with_two_messages() {
+        let (sinr, positions, graphs, seed) = setup();
+        let params = MacParams::builder().build(&sinr);
+        let (done, _) = mmb_over_mac(&sinr, &positions, &graphs, params, 2, 4_000_000, seed);
+        assert!(done.is_some());
+    }
+
+    #[test]
+    fn consensus_agrees_and_is_valid() {
+        let (sinr, positions, graphs, seed) = setup();
+        let params = MacParams::builder().build(&sinr);
+        let r = consensus_over_mac(&sinr, &positions, &graphs, params, seed);
+        assert!(r.decided_at.is_some());
+        assert!(r.agreement);
+        assert!(r.validity);
+    }
+}

@@ -1,0 +1,214 @@
+//! E1 — Table 1, local rows: empirical `f_ack`, `f_prog`, `f_approg`.
+//!
+//! Workload: a uniform (or clustered) deployment in which a chosen set of
+//! nodes broadcasts continuously. Acknowledgment latency comes straight
+//! from the trace; progress latencies are the cold-start measurement of
+//! [`absmac::measure::first_progress`] with
+//! `trigger = rcv = G₁₋ε` (standard progress) and
+//! `trigger = G₁₋₂ε, rcv = G₁₋ε` (the paper's approximate progress).
+
+use absmac::measure::{self, LatencyStats, ProgressOutcome};
+use absmac::{CmdSink, MacClient, MacEvent, Runner, TraceKind};
+use sinr_geom::Point;
+use sinr_graphs::SinrGraphs;
+use sinr_mac::{MacParams, SinrAbsMac};
+use sinr_phys::SinrParams;
+
+use crate::common::Repeater;
+
+/// A client that broadcasts once and reports done on its ack.
+#[derive(Debug, Clone)]
+pub struct OneShot<P> {
+    payload: Option<P>,
+    acked: bool,
+}
+
+impl<P: Clone> OneShot<P> {
+    /// Builds a network where `payload_of(i)` selects broadcasters.
+    pub fn network(n: usize, payload_of: impl Fn(usize) -> Option<P>) -> Vec<Self> {
+        (0..n)
+            .map(|i| OneShot {
+                payload: payload_of(i),
+                acked: false,
+            })
+            .collect()
+    }
+}
+
+impl<P: Clone> MacClient<P> for OneShot<P> {
+    fn on_start(&mut self, _node: usize, sink: &mut CmdSink<P>) {
+        if let Some(p) = &self.payload {
+            sink.bcast(p.clone());
+        }
+    }
+    fn on_event(&mut self, _node: usize, _now: u64, ev: &MacEvent<P>, _sink: &mut CmdSink<P>) {
+        if matches!(ev, MacEvent::Ack(_)) {
+            self.acked = true;
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.payload.is_none() || self.acked
+    }
+}
+
+/// Result of one acknowledgment measurement.
+#[derive(Debug, Clone)]
+pub struct FackResult {
+    /// Latency of every acknowledged broadcast.
+    pub latencies: LatencyStats,
+    /// Ground truth: fraction of (broadcast, strong-neighbor) pairs where
+    /// the neighbor received the message before the ack — the empirical
+    /// `1 − ε_ack`.
+    pub delivery_rate: f64,
+    /// Theory shape: `Δ·log₂(Λ/ε) + log₂Λ·log₂(Λ/ε)`.
+    pub theory: f64,
+}
+
+/// Measures `f_ack` with `broadcasters` nodes (evenly spread) contending.
+pub fn measure_fack(
+    sinr: &SinrParams,
+    positions: &[Point],
+    graphs: &SinrGraphs,
+    params: MacParams,
+    broadcasters: usize,
+    seed: u64,
+) -> FackResult {
+    let n = positions.len();
+    let stride = (n / broadcasters.max(1)).max(1);
+    let is_source = |i: usize| i % stride == 0 && i / stride < broadcasters;
+    let eps_ack = params.eps_ack;
+    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let horizon = 16 * mac.params().ack_slot_cap as u64 + 1024;
+    let clients = OneShot::network(n, |i| is_source(i).then_some(i as u64));
+    let mut runner = Runner::new(mac, clients).expect("runner");
+    let _ = runner.run_until_done(horizon).expect("contract");
+    let trace = runner.trace();
+    let acks = measure::ack_latencies(trace);
+    // Ground truth deliveries before the ack.
+    let mut pairs = 0usize;
+    let mut ok = 0usize;
+    for ev in trace {
+        if let TraceKind::Bcast(id) = ev.kind {
+            let ack_t = trace
+                .iter()
+                .find(|e| e.kind == TraceKind::Ack(id))
+                .map(|e| e.t)
+                .unwrap_or(u64::MAX);
+            let deliveries = measure::delivery_times(trace, id, n);
+            for &v in graphs.strong.neighbors(ev.node) {
+                pairs += 1;
+                if deliveries[v as usize].is_some_and(|t| t <= ack_t) {
+                    ok += 1;
+                }
+            }
+        }
+    }
+    let delta = graphs.strong.max_degree() as f64;
+    let lambda = graphs.lambda;
+    let theory = delta * (lambda / eps_ack).log2() + lambda.log2() * (lambda / eps_ack).log2();
+    FackResult {
+        latencies: LatencyStats::from_samples(acks.into_iter().map(|(_, l)| l).collect()),
+        delivery_rate: if pairs == 0 {
+            1.0
+        } else {
+            ok as f64 / pairs as f64
+        },
+        theory,
+    }
+}
+
+/// Result of one progress measurement (standard and approximate).
+#[derive(Debug, Clone)]
+pub struct ProgressResult {
+    /// Latencies of satisfied standard-progress obligations (`f_prog`).
+    pub prog: LatencyStats,
+    /// Standard-progress obligations still unsatisfied at the horizon.
+    pub prog_pending: usize,
+    /// Latencies of satisfied approximate-progress obligations
+    /// (`f_approg`).
+    pub approg: LatencyStats,
+    /// Approximate-progress obligations unsatisfied at the horizon.
+    pub approg_pending: usize,
+    /// Theory shape for `f_approg`:
+    /// `(log₂^α Λ + log* 1/ε)·log₂ Λ·log₂(1/ε)`.
+    pub theory_approg: f64,
+}
+
+/// Measures progress and approximate progress with every `stride`-th node
+/// broadcasting continuously for `horizon` slots.
+pub fn measure_progress(
+    sinr: &SinrParams,
+    positions: &[Point],
+    graphs: &SinrGraphs,
+    params: MacParams,
+    stride: usize,
+    horizon: u64,
+    seed: u64,
+) -> ProgressResult {
+    let n = positions.len();
+    let eps = params.eps_approg;
+    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let clients = Repeater::network(n, |i| (i % stride == 0).then_some(i as u64));
+    let trace = {
+        let mut runner = Runner::new(mac, clients).expect("runner");
+        for _ in 0..horizon {
+            runner.step().expect("contract");
+        }
+        runner.trace().to_vec()
+    };
+    let collect = |trigger, rcv| {
+        let outcomes = measure::first_progress(&trace, trigger, rcv, horizon);
+        let satisfied: Vec<u64> = outcomes.iter().filter_map(|o| o.latency()).collect();
+        let pending = outcomes
+            .iter()
+            .filter(|o| matches!(o, ProgressOutcome::Pending { .. }))
+            .count();
+        (LatencyStats::from_samples(satisfied), pending)
+    };
+    let (prog, prog_pending) = collect(&graphs.strong, &graphs.strong);
+    let (approg, approg_pending) = collect(&graphs.approx, &graphs.strong);
+    let lambda = graphs.lambda;
+    let log_l = lambda.log2().max(1.0);
+    let theory_approg = (log_l.powf(sinr.alpha()) + sinr_mac::log_star(1.0 / eps) as f64)
+        * log_l
+        * (1.0 / eps).log2().max(1.0);
+    ProgressResult {
+        prog,
+        prog_pending,
+        approg,
+        approg_pending,
+        theory_approg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::connected_uniform;
+
+    #[test]
+    fn fack_measurement_on_small_network() {
+        let sinr = SinrParams::builder().range(8.0).build().unwrap();
+        let (positions, graphs, seed) = connected_uniform(&sinr, 12, 14.0, 1);
+        let params = MacParams::builder().build(&sinr);
+        let r = measure_fack(&sinr, &positions, &graphs, params, 3, seed);
+        assert_eq!(r.latencies.count(), 3, "every broadcast must ack");
+        assert!(r.delivery_rate > 0.5, "rate {}", r.delivery_rate);
+        assert!(r.theory > 0.0);
+    }
+
+    #[test]
+    fn progress_measurement_on_small_network() {
+        let sinr = SinrParams::builder().range(8.0).build().unwrap();
+        let (positions, graphs, seed) = connected_uniform(&sinr, 12, 14.0, 9);
+        let params = MacParams::builder().build(&sinr);
+        let epoch = 2 * params.layout().epoch_len();
+        let r = measure_progress(&sinr, &positions, &graphs, params, 2, 6 * epoch, seed);
+        // Someone must have made approximate progress.
+        assert!(
+            r.approg.count() > 0,
+            "no approximate progress at all (pending {})",
+            r.approg_pending
+        );
+    }
+}

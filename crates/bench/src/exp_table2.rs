@@ -1,0 +1,135 @@
+//! E3 — Table 2: global SMB, ours vs. DGKN \[14\] vs. the Decay/\[32\]
+//! proxy, on identical deployments.
+//!
+//! Table 2 of the paper claims: our runtime
+//! `(D + log n)·log^{α+1}Λ` improves on \[14\]
+//! (`D·log^{α+1}Λ·log n`) for **all** parameters, and on \[32\]
+//! (`D·log²n`) when `log^{α+1}Λ ≤ min(D·log n, log²n)`. The experiment
+//! reports measured slots for all three on the same deployment so the
+//! winner and the crossover regime can be read off directly.
+
+use absmac::Runner;
+use sinr_baselines::{DecaySmb, DecaySmbConfig, DgknSmb, DgknSmbConfig};
+use sinr_geom::Point;
+use sinr_graphs::SinrGraphs;
+use sinr_mac::{MacParams, SinrAbsMac};
+use sinr_phys::SinrParams;
+use sinr_protocols::Bsmb;
+
+/// One Table 2 comparison point.
+#[derive(Debug, Clone)]
+pub struct Table2Point {
+    /// Network size.
+    pub n: usize,
+    /// Strong-graph diameter.
+    pub diameter: u32,
+    /// `Λ` of the deployment.
+    pub lambda: f64,
+    /// Slots for BSMB over the paper's MAC (`None` = horizon).
+    pub ours: Option<u64>,
+    /// Slots for DGKN \[14\].
+    pub dgkn: Option<u64>,
+    /// Slots for the Decay/\[32\] proxy.
+    pub decay_proxy: Option<u64>,
+    /// The paper's crossover quantity `log₂^{α+1} Λ`.
+    pub crossover_lhs: f64,
+    /// The paper's crossover quantity `min(D·log₂ n, log₂² n)`.
+    pub crossover_rhs: f64,
+}
+
+impl Table2Point {
+    /// Label of the fastest measured algorithm.
+    pub fn winner(&self) -> &'static str {
+        let mut best = ("none", u64::MAX);
+        for (name, v) in [
+            ("ours", self.ours),
+            ("dgkn", self.dgkn),
+            ("decay", self.decay_proxy),
+        ] {
+            if let Some(t) = v {
+                if t < best.1 {
+                    best = (name, t);
+                }
+            }
+        }
+        best.0
+    }
+}
+
+/// Runs all three algorithms on one deployment.
+pub fn compare_smb(
+    sinr: &SinrParams,
+    positions: &[Point],
+    graphs: &SinrGraphs,
+    horizon: u64,
+    seed: u64,
+) -> Table2Point {
+    let n = positions.len();
+
+    // Ours: BSMB over Algorithm 11.1.
+    let params = MacParams::builder().build(sinr);
+    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let mut runner = Runner::new(mac, Bsmb::network(n, 0, 7u64)).expect("runner");
+    runner.disable_tracing();
+    let ours = runner.run_until_done(horizon).expect("contract");
+
+    // DGKN [14].
+    let mut dgkn: DgknSmb<u64> =
+        DgknSmb::new(*sinr, positions, &DgknSmbConfig::default(), 0, 7, seed)
+            .expect("valid deployment");
+    let dgkn_t = dgkn.run(horizon).completion;
+
+    // Decay / [32] proxy.
+    let mut decay: DecaySmb<u64> = DecaySmb::new(
+        *sinr,
+        positions,
+        DecaySmbConfig::for_network_size(n),
+        0,
+        7,
+        seed,
+    )
+    .expect("valid deployment");
+    let decay_t = decay.run(horizon).completion;
+
+    let d = graphs.strong.diameter().unwrap_or(n as u32);
+    let log_l = graphs.lambda.log2().max(1.0);
+    let log_n = (n as f64).log2().max(1.0);
+    Table2Point {
+        n,
+        diameter: d,
+        lambda: graphs.lambda,
+        ours,
+        dgkn: dgkn_t,
+        decay_proxy: decay_t,
+        crossover_lhs: log_l.powf(sinr.alpha() + 1.0),
+        crossover_rhs: (d as f64 * log_n).min(log_n * log_n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::connected_uniform;
+
+    #[test]
+    fn all_three_complete_on_a_small_network() {
+        let sinr = SinrParams::builder().range(8.0).build().unwrap();
+        let (positions, graphs, seed) = connected_uniform(&sinr, 12, 14.0, 5);
+        let p = compare_smb(&sinr, &positions, &graphs, 3_000_000, seed);
+        assert!(p.ours.is_some(), "ours timed out");
+        assert!(p.dgkn.is_some(), "dgkn timed out");
+        assert!(p.decay_proxy.is_some(), "decay timed out");
+        assert_ne!(p.winner(), "none");
+    }
+
+    #[test]
+    fn ours_beats_dgkn() {
+        // The headline claim of Table 2: improvement over [14] in the
+        // full range of parameters (the log n epoch factor).
+        let sinr = SinrParams::builder().range(8.0).build().unwrap();
+        let (positions, graphs, seed) = connected_uniform(&sinr, 16, 16.0, 11);
+        let p = compare_smb(&sinr, &positions, &graphs, 5_000_000, seed);
+        let (ours, dgkn) = (p.ours.unwrap(), p.dgkn.unwrap());
+        assert!(ours < dgkn, "expected ours ({ours}) to beat DGKN ({dgkn})");
+    }
+}

@@ -1,0 +1,23 @@
+//! Experiment harness: everything needed to regenerate the paper's
+//! tables and figures (see DESIGN.md §2 for the experiment index).
+//!
+//! Each experiment is a function here, called by
+//!
+//! * the binaries in `src/bin/` (full parameter ranges, CSV + aligned
+//!   text output), and
+//! * the Criterion benches in `benches/paper_benches.rs` (reduced
+//!   ranges so `cargo bench --workspace` touches every experiment).
+//!
+//! All measurements are **slot counts** of the simulated network — the
+//! unit the paper's bounds are stated in — not wall-clock time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod exp_ablation;
+pub mod exp_decay;
+pub mod exp_fig1;
+pub mod exp_global;
+pub mod exp_local;
+pub mod exp_table2;

@@ -1,0 +1,283 @@
+//! Algorithm B.1: the acknowledgment layer (Theorem 5.1).
+//!
+//! This is the Halldórsson–Mitra local-broadcast algorithm, transferred to
+//! local parameters: a broadcasting node keeps transmitting with an
+//! adaptive probability and *halts* (performing `ack`) once its
+//! accumulated transmission probability exceeds `γ'·log(Ñ/ε_ack)` — at
+//! which point every `G₁₋ε`-neighbor has received the message with
+//! probability at least `1 − ε_ack`. Receptions from other broadcasters
+//! serve as a congestion signal: too many of them trigger a *fall-back*
+//! that slashes the transmission probability.
+//!
+//! The acknowledgment is timer-based (the node cannot sense success);
+//! correctness is probabilistic exactly as in the probabilistic absMAC
+//! specification, and the experiment harness measures the realized
+//! `ε_ack` against the configured one.
+
+use absmac::MsgId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sinr_phys::Action;
+
+use crate::{Frame, MacParams};
+
+#[derive(Debug, Clone)]
+struct ActiveBcast<P> {
+    id: MsgId,
+    payload: P,
+    /// Current transmission probability `p_y`.
+    p: f64,
+    /// Accumulated transmission probability `tp_y`.
+    tp: f64,
+    /// Receptions since the last fall-back (`rc_y`).
+    rc: u32,
+    /// Position inside the inner `for` loop.
+    inner_j: u32,
+    /// Ack-layer slots consumed by this broadcast.
+    slots_used: u32,
+}
+
+/// Per-node state of Algorithm B.1. Driven by `sinr_mac`'s node automaton
+/// on even physical slots.
+#[derive(Debug, Clone)]
+pub struct AckLayer<P> {
+    n_tilde: f64,
+    inner_slots: u32,
+    tp_budget: f64,
+    rc_trigger: u32,
+    slot_cap: u32,
+    active: Option<ActiveBcast<P>>,
+    completed: Option<MsgId>,
+}
+
+impl<P: Clone> AckLayer<P> {
+    /// Creates an idle layer from resolved parameters.
+    pub fn new(params: &MacParams) -> Self {
+        AckLayer {
+            n_tilde: params.n_tilde,
+            inner_slots: params.ack_inner_slots,
+            tp_budget: params.ack_tp_budget,
+            rc_trigger: params.ack_rc_trigger,
+            slot_cap: params.ack_slot_cap,
+            active: None,
+            completed: None,
+        }
+    }
+
+    /// Whether a broadcast is in progress.
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// The id of the in-progress broadcast, if any.
+    pub fn active_id(&self) -> Option<MsgId> {
+        self.active.as_ref().map(|a| a.id)
+    }
+
+    /// Starts broadcasting; lines 1–2 of Algorithm B.1
+    /// (`tp ← 0`, `p ← 1/(4Ñ)`), with the outer-loop entry applied so the
+    /// first inner loop runs at `p = max(1/(128Ñ), p/32) · 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a broadcast is already active (the MAC front-end enforces
+    /// the one-outstanding-broadcast contract before calling this).
+    pub fn start(&mut self, id: MsgId, payload: P) {
+        assert!(self.active.is_none(), "ack layer already active");
+        let p0 = 1.0 / (4.0 * self.n_tilde);
+        let mut a = ActiveBcast {
+            id,
+            payload,
+            p: p0,
+            tp: 0.0,
+            rc: 0,
+            inner_j: 0,
+            slots_used: 0,
+        };
+        Self::enter_outer(&mut a, self.n_tilde);
+        Self::enter_inner(&mut a);
+        self.active = Some(a);
+    }
+
+    /// Aborts the in-progress broadcast; no ack will be produced.
+    pub fn abort(&mut self) {
+        self.active = None;
+    }
+
+    /// Takes the ack produced since the last poll, if any.
+    pub fn poll_ack(&mut self) -> Option<MsgId> {
+        self.completed.take()
+    }
+
+    /// Line 4: `p ← max(1/(128Ñ), p/32)`, `rc ← 0`.
+    fn enter_outer(a: &mut ActiveBcast<P>, n_tilde: f64) {
+        a.p = (a.p / 32.0).max(1.0 / (128.0 * n_tilde));
+        a.rc = 0;
+    }
+
+    /// Line 7: `p ← min(1/16, 2p)`; resets the inner counter.
+    fn enter_inner(a: &mut ActiveBcast<P>) {
+        a.p = (2.0 * a.p).min(1.0 / 16.0);
+        a.inner_j = 0;
+    }
+
+    /// One ack-layer slot (lines 8–16). Returns the physical action.
+    pub fn on_slot(&mut self, rng: &mut StdRng) -> Action<Frame<P>> {
+        let Some(a) = self.active.as_mut() else {
+            return Action::Listen;
+        };
+        let transmit = rng.random_bool(a.p);
+        a.tp += a.p;
+        a.slots_used += 1;
+        a.inner_j += 1;
+        let halted = a.tp > self.tp_budget || a.slots_used >= self.slot_cap;
+        let action = if transmit {
+            Action::Transmit(Frame::Data {
+                id: a.id,
+                payload: a.payload.clone(),
+            })
+        } else {
+            Action::Listen
+        };
+        if halted {
+            self.completed = Some(a.id);
+            self.active = None;
+            return action;
+        }
+        if a.inner_j >= self.inner_slots {
+            Self::enter_inner(a);
+        }
+        action
+    }
+
+    /// Reception while broadcasting (lines 17–22): count it and fall back
+    /// on congestion. Only *broadcast messages* count (Algorithm B.1's
+    /// receptions are local-broadcast messages); coordination or junk
+    /// frames must not poison the congestion estimate — a jammer spraying
+    /// label frames would otherwise pin `p` at its floor and silence the
+    /// broadcaster (caught by `tests/failure_injection.rs`).
+    pub fn on_receive(&mut self, frame: &Frame<P>) {
+        if !matches!(frame, Frame::Data { .. }) {
+            return;
+        }
+        let n_tilde = self.n_tilde;
+        let Some(a) = self.active.as_mut() else {
+            return;
+        };
+        a.rc += 1;
+        if a.rc > self.rc_trigger {
+            Self::enter_outer(a, n_tilde);
+            Self::enter_inner(a);
+        }
+    }
+
+    /// Current transmission probability (diagnostics / tests).
+    pub fn current_p(&self) -> Option<f64> {
+        self.active.as_ref().map(|a| a.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sinr_phys::SinrParams;
+
+    fn params() -> MacParams {
+        let sinr = SinrParams::builder().range(8.0).build().unwrap();
+        MacParams::builder().build(&sinr)
+    }
+
+    fn mk() -> AckLayer<u32> {
+        AckLayer::new(&params())
+    }
+
+    fn id() -> MsgId {
+        MsgId { origin: 0, seq: 0 }
+    }
+
+    #[test]
+    fn idle_layer_listens() {
+        let mut layer = mk();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(layer.on_slot(&mut rng), Action::Listen));
+        assert_eq!(layer.poll_ack(), None);
+    }
+
+    #[test]
+    fn probability_doubles_per_inner_loop_up_to_cap() {
+        let mut layer = mk();
+        layer.start(id(), 1);
+        let p0 = layer.current_p().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let inner = params().ack_inner_slots;
+        for _ in 0..inner {
+            let _ = layer.on_slot(&mut rng);
+        }
+        let p1 = layer.current_p().unwrap();
+        assert!((p1 - (2.0 * p0).min(1.0 / 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eventually_halts_with_ack() {
+        let mut layer = mk();
+        layer.start(id(), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cap = params().ack_slot_cap;
+        let mut acked = None;
+        for _ in 0..=cap {
+            let _ = layer.on_slot(&mut rng);
+            if let Some(a) = layer.poll_ack() {
+                acked = Some(a);
+                break;
+            }
+        }
+        assert_eq!(acked, Some(id()));
+        assert!(!layer.is_active());
+    }
+
+    #[test]
+    fn fallback_slashes_probability() {
+        let mut layer = mk();
+        layer.start(id(), 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Drive p up for a few inner loops.
+        for _ in 0..(4 * params().ack_inner_slots) {
+            let _ = layer.on_slot(&mut rng);
+        }
+        let before = layer.current_p().unwrap();
+        let frame = Frame::Data {
+            id: MsgId { origin: 9, seq: 0 },
+            payload: 0,
+        };
+        for _ in 0..=params().ack_rc_trigger {
+            layer.on_receive(&frame);
+        }
+        let after = layer.current_p().unwrap();
+        assert!(
+            after < before,
+            "fallback must reduce p: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn abort_prevents_ack() {
+        let mut layer = mk();
+        layer.start(id(), 1);
+        layer.abort();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..params().ack_slot_cap + 1 {
+            let _ = layer.on_slot(&mut rng);
+        }
+        assert_eq!(layer.poll_ack(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn double_start_panics() {
+        let mut layer = mk();
+        layer.start(id(), 1);
+        layer.start(MsgId { origin: 0, seq: 1 }, 2);
+    }
+}

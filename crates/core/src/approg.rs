@@ -1,0 +1,523 @@
+//! Algorithm 9.1: the approximate-progress layer (Theorem 9.1).
+//!
+//! Runs in *epochs* of `Φ = Θ(log Λ)` phases. At the start of an epoch,
+//! `S₁` is the set of nodes with an ongoing broadcast; each phase `φ`
+//! sparsifies it further:
+//!
+//! 1. **Window A** (`T` slots): members of `S_φ` draw a fresh random
+//!    *temporary label* and transmit it with probability `p` per slot,
+//!    recording their own coin flips as the schedule `τ_φ`. Receivers
+//!    count label receptions; labels counted at least
+//!    `(1−γ/2)·μ·T` times become *potential neighbors*. This estimates
+//!    the reliability graph `H^μ_p[S_φ]` of Daum et al. by a local
+//!    approximation `H̃̃^μ_p[S_φ]`.
+//! 2. **Window B** (`T` slots): members exchange their potential lists
+//!    (again with probability `p`); mutual listing makes an `H̃̃` edge.
+//! 3. **MIS segment** (`R` rounds × `2T` slots): a modified
+//!    Schneider–Wattenhofer MIS over `H̃̃` labels. Each CONGEST round is
+//!    simulated by replaying `τ_φ` — SINR reception is deterministic in
+//!    the transmitter set, so every reception of window A reproduces —
+//!    with interleaved acknowledgment subslots (reliability `μ²`,
+//!    §9.3.2). A member that misses a round message or an ack from any
+//!    `H̃̃`-neighbor *drops out* of the epoch (its possible wrong
+//!    neighborhood is the set `W` of Definition 10.2).
+//! 4. **Data window** (`D = Θ(Q·log 1/ε_approg)` slots): members transmit
+//!    their broadcast payload with probability `p/Q`, `Q = Θ(log^α Λ)`.
+//!
+//! Dominators of the MIS form `S_{φ+1}`. The sets thin geometrically
+//! (Lemma 10.15), so some phase matches every receiver's local density
+//! and delivers a payload from a `G₁₋ε`-neighbor — that is approximate
+//! progress with respect to `G₁₋₂ε`.
+//!
+//! Conditional wake-up (Definition 4.4) holds by construction: a node
+//! transmits nothing until it has a broadcast of its own, and epoch
+//! membership is sampled only at epoch boundaries, which is the paper's
+//! "join at the beginning of the next epoch".
+
+use std::collections::{HashMap, HashSet};
+
+use absmac::MsgId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sinr_phys::Action;
+
+use crate::{swmis, EpochLayout, Frame, Label, MacParams, MisState, PhasePos};
+
+/// Upper bound on how many potential neighbors a node keeps (the paper
+/// bounds this by `1/((1−γ/2)μ) = O(1)`, footnote 9).
+const POTENTIAL_CAP: usize = 16;
+
+/// Per-node state of Algorithm 9.1. Driven by the MAC node automaton on
+/// odd physical slots.
+#[derive(Debug, Clone)]
+pub struct ApprogLayer<P> {
+    layout: EpochLayout,
+    p: f64,
+    data_p: f64,
+    potential_threshold: u32,
+    label_range: u64,
+
+    current: Option<(MsgId, P)>,
+
+    // ---- epoch / phase state ----
+    member: bool,
+    dropped: bool,
+    label: Label,
+    mis_state: MisState,
+    schedule: Vec<bool>,
+    label_counts: HashMap<Label, u32>,
+    potentials: Vec<Label>,
+    mutual: HashSet<Label>,
+    neighbors: Vec<Label>,
+
+    // ---- per-round state ----
+    round_msgs: HashMap<Label, MisState>,
+    round_acked_me: HashSet<Label>,
+    pending_ack: Option<Label>,
+}
+
+impl<P: Clone> ApprogLayer<P> {
+    /// Creates an idle layer from resolved parameters.
+    pub fn new(params: &MacParams) -> Self {
+        ApprogLayer {
+            layout: params.layout(),
+            p: params.p,
+            data_p: (params.p / params.q).clamp(0.0, 1.0),
+            potential_threshold: params.potential_threshold,
+            label_range: params.label_range,
+            current: None,
+            member: false,
+            dropped: false,
+            label: 0,
+            mis_state: MisState::Competitor,
+            schedule: Vec::new(),
+            label_counts: HashMap::new(),
+            potentials: Vec::new(),
+            mutual: HashSet::new(),
+            neighbors: Vec::new(),
+            round_msgs: HashMap::new(),
+            round_acked_me: HashSet::new(),
+            pending_ack: None,
+        }
+    }
+
+    /// Registers an ongoing broadcast; the node joins `S₁` at the next
+    /// epoch boundary.
+    pub fn start(&mut self, id: MsgId, payload: P) {
+        self.current = Some((id, payload));
+    }
+
+    /// Ends the ongoing broadcast (ack or abort). The node finishes the
+    /// current epoch's structures but stops offering the payload.
+    pub fn finish(&mut self) {
+        self.current = None;
+    }
+
+    /// Whether a broadcast is ongoing.
+    pub fn is_active(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Whether this node is a member of the current phase set `S_φ`.
+    pub fn is_member(&self) -> bool {
+        self.member && !self.dropped
+    }
+
+    /// Whether the node dropped out of the current epoch (§9.3.2).
+    pub fn is_dropped(&self) -> bool {
+        self.dropped
+    }
+
+    /// The current `H̃̃` neighbor labels (diagnostics).
+    pub fn neighbor_labels(&self) -> &[Label] {
+        &self.neighbors
+    }
+
+    /// Current MIS state (diagnostics).
+    pub fn mis_state(&self) -> MisState {
+        self.mis_state
+    }
+
+    fn begin_epoch(&mut self) {
+        self.member = self.current.is_some();
+        self.dropped = false;
+    }
+
+    fn begin_phase(&mut self, rng: &mut StdRng) {
+        self.schedule.clear();
+        self.label_counts.clear();
+        self.potentials.clear();
+        self.mutual.clear();
+        self.neighbors.clear();
+        self.round_msgs.clear();
+        self.round_acked_me.clear();
+        self.pending_ack = None;
+        self.mis_state = MisState::Competitor;
+        if self.member && !self.dropped {
+            self.label = rng.random_range(1..=self.label_range);
+        }
+    }
+
+    fn compute_potentials(&mut self) {
+        let mut counted: Vec<(Label, u32)> = self
+            .label_counts
+            .iter()
+            .filter(|&(_, &c)| c >= self.potential_threshold)
+            .map(|(&l, &c)| (l, c))
+            .collect();
+        // Keep the strongest links; deterministic tie-break by label.
+        counted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        counted.truncate(POTENTIAL_CAP);
+        self.potentials = counted.into_iter().map(|(l, _)| l).collect();
+        self.potentials.sort_unstable();
+    }
+
+    fn finalize_neighbors(&mut self) {
+        self.neighbors = self
+            .potentials
+            .iter()
+            .copied()
+            .filter(|l| self.mutual.contains(l))
+            .collect();
+    }
+
+    fn begin_round(&mut self) {
+        self.round_msgs.clear();
+        self.round_acked_me.clear();
+        self.pending_ack = None;
+    }
+
+    fn end_round(&mut self) {
+        if !(self.member && !self.dropped) {
+            return;
+        }
+        let complete = self
+            .neighbors
+            .iter()
+            .all(|l| self.round_msgs.contains_key(l) && self.round_acked_me.contains(l));
+        if !complete {
+            // Unsuccessful communication: leave the epoch (§9.3.2).
+            self.dropped = true;
+            return;
+        }
+        let view: Vec<(Label, MisState)> = self
+            .neighbors
+            .iter()
+            .map(|l| (*l, self.round_msgs[l]))
+            .collect();
+        self.mis_state = swmis::transition(self.label, self.mis_state, &view);
+    }
+
+    fn end_phase(&mut self) {
+        self.member = self.member && !self.dropped && self.mis_state == MisState::Dominator;
+    }
+
+    /// One approximate-progress slot (`layer_slot` counts this layer's
+    /// slots only; the combined MAC maps odd physical slots here).
+    pub fn on_slot(&mut self, layer_slot: u64, rng: &mut StdRng) -> Action<Frame<P>> {
+        if self.layout.is_epoch_start(layer_slot) {
+            self.begin_epoch();
+        }
+        let pos = self.layout.locate(layer_slot);
+        match pos {
+            PhasePos::EstimateLabels { t: 0, .. } => self.begin_phase(rng),
+            PhasePos::ExchangePotentials { t: 0, .. } => self.compute_potentials(),
+            PhasePos::MisData { round, t: 0, .. } => {
+                if round == 0 {
+                    self.finalize_neighbors();
+                }
+                self.begin_round();
+            }
+            _ => {}
+        }
+        if !(self.member && !self.dropped) {
+            return Action::Listen;
+        }
+        match pos {
+            PhasePos::EstimateLabels { .. } => {
+                let send = rng.random_bool(self.p);
+                self.schedule.push(send);
+                if send {
+                    Action::Transmit(Frame::Label { label: self.label })
+                } else {
+                    Action::Listen
+                }
+            }
+            PhasePos::ExchangePotentials { .. } => {
+                if rng.random_bool(self.p) {
+                    Action::Transmit(Frame::Potentials {
+                        label: self.label,
+                        potentials: self.potentials.clone(),
+                    })
+                } else {
+                    Action::Listen
+                }
+            }
+            PhasePos::MisData { round, t, .. } => {
+                if self.schedule.get(t as usize).copied().unwrap_or(false) {
+                    Action::Transmit(Frame::Mis {
+                        label: self.label,
+                        round,
+                        state: self.mis_state,
+                    })
+                } else {
+                    Action::Listen
+                }
+            }
+            PhasePos::MisAck { round, .. } => {
+                if let Some(acked) = self.pending_ack.take() {
+                    Action::Transmit(Frame::MisAck {
+                        from: self.label,
+                        acked,
+                        round,
+                    })
+                } else {
+                    Action::Listen
+                }
+            }
+            PhasePos::Data { .. } => {
+                if let Some((id, payload)) = &self.current {
+                    if rng.random_bool(self.data_p) {
+                        return Action::Transmit(Frame::Data {
+                            id: *id,
+                            payload: payload.clone(),
+                        });
+                    }
+                }
+                Action::Listen
+            }
+        }
+    }
+
+    /// Reception on an approximate-progress slot. `Data` frames are
+    /// handled by the MAC node (rcv events); everything else is
+    /// coordination below the layer.
+    pub fn on_receive(&mut self, layer_slot: u64, frame: &Frame<P>) {
+        if !(self.member && !self.dropped) {
+            return;
+        }
+        let pos = self.layout.locate(layer_slot);
+        match (pos, frame) {
+            (PhasePos::EstimateLabels { .. }, Frame::Label { label }) => {
+                *self.label_counts.entry(*label).or_insert(0) += 1;
+            }
+            (PhasePos::ExchangePotentials { .. }, Frame::Potentials { label, potentials }) => {
+                if potentials.contains(&self.label) {
+                    self.mutual.insert(*label);
+                }
+            }
+            (
+                PhasePos::MisData { round, .. },
+                Frame::Mis {
+                    label,
+                    round: r,
+                    state,
+                },
+            ) if *r == round => {
+                self.round_msgs.insert(*label, *state);
+                // Only H̃̃-neighbors are acknowledged (§9.3.2).
+                if self.neighbors.binary_search(label).is_ok() {
+                    self.pending_ack = Some(*label);
+                }
+            }
+            (
+                PhasePos::MisAck { round, .. },
+                Frame::MisAck {
+                    from,
+                    acked,
+                    round: r,
+                },
+            ) if *r == round && *acked == self.label => {
+                if self.neighbors.binary_search(from).is_ok() {
+                    self.round_acked_me.insert(*from);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// End-of-slot bookkeeping: round and phase boundaries.
+    pub fn on_slot_end(&mut self, layer_slot: u64) {
+        let t_last = self.layout.t_window() - 1;
+        let d_last = self.layout.data_slots() - 1;
+        match self.layout.locate(layer_slot) {
+            PhasePos::MisAck { t, .. } if t == t_last => self.end_round(),
+            PhasePos::Data { t, .. } if t == d_last => self.end_phase(),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sinr_phys::SinrParams;
+
+    fn params() -> MacParams {
+        let sinr = SinrParams::builder().range(8.0).build().unwrap();
+        MacParams::builder().build(&sinr)
+    }
+
+    fn mk() -> ApprogLayer<u32> {
+        ApprogLayer::new(&params())
+    }
+
+    fn id() -> MsgId {
+        MsgId { origin: 0, seq: 0 }
+    }
+
+    #[test]
+    fn idle_node_stays_silent_for_a_whole_epoch() {
+        let mut layer = mk();
+        let mut rng = StdRng::seed_from_u64(0);
+        let epoch = params().layout().epoch_len();
+        for s in 0..epoch {
+            assert!(matches!(layer.on_slot(s, &mut rng), Action::Listen));
+            layer.on_slot_end(s);
+        }
+        assert!(!layer.is_member());
+    }
+
+    #[test]
+    fn broadcaster_joins_at_epoch_boundary_only() {
+        let mut layer = mk();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Start mid-epoch: not a member until the next boundary.
+        let _ = layer.on_slot(0, &mut rng);
+        layer.start(id(), 7);
+        for s in 1..params().layout().epoch_len() {
+            let _ = layer.on_slot(s, &mut rng);
+            assert!(!layer.is_member(), "joined early at slot {s}");
+            layer.on_slot_end(s);
+        }
+        let _ = layer.on_slot(params().layout().epoch_len(), &mut rng);
+        assert!(layer.is_member());
+    }
+
+    #[test]
+    fn lone_member_becomes_dominator_and_transmits_data() {
+        // A single broadcaster with no neighbors: empty H̃̃ neighborhood,
+        // dominator after round 1, transmits in data windows.
+        let mut layer = mk();
+        layer.start(id(), 7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let layout = params().layout();
+        let mut data_transmissions = 0;
+        for s in 0..layout.epoch_len() {
+            let act = layer.on_slot(s, &mut rng);
+            if let (PhasePos::Data { .. }, Action::Transmit(Frame::Data { id: i, payload })) =
+                (layout.locate(s), &act)
+            {
+                assert_eq!(*i, id());
+                assert_eq!(*payload, 7);
+                data_transmissions += 1;
+            }
+            layer.on_slot_end(s);
+        }
+        assert!(layer.is_member(), "lone node must survive all phases");
+        assert_eq!(layer.mis_state(), MisState::Dominator);
+        assert!(data_transmissions > 0, "must transmit payload data");
+        assert!(!layer.is_dropped());
+    }
+
+    #[test]
+    fn window_a_counts_feed_potentials() {
+        let mut layer = mk();
+        layer.start(id(), 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let layout = params().layout();
+        let threshold = params().potential_threshold;
+        // Walk through window A, injecting label 42 receptions.
+        for s in 0..layout.t_window() as u64 {
+            let _ = layer.on_slot(s, &mut rng);
+            // First slot of the epoch initializes membership; skip before.
+            for _ in 0..threshold {
+                layer.on_receive(s, &Frame::Label { label: 42 });
+            }
+            layer.on_slot_end(s);
+        }
+        // First slot of window B computes potentials.
+        let _ = layer.on_slot(layout.t_window() as u64, &mut rng);
+        assert!(layer.potentials.contains(&42));
+    }
+
+    #[test]
+    fn missing_ack_drops_the_node() {
+        let mut layer = mk();
+        layer.start(id(), 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let layout = params().layout();
+        let t = layout.t_window() as u64;
+        // Window A: make label 42 a potential neighbor.
+        for s in 0..t {
+            let _ = layer.on_slot(s, &mut rng);
+            for _ in 0..params().potential_threshold {
+                layer.on_receive(s, &Frame::Label { label: 42 });
+            }
+            layer.on_slot_end(s);
+        }
+        // Window B: 42 lists us (whatever our random label is).
+        for s in t..2 * t {
+            let _ = layer.on_slot(s, &mut rng);
+            layer.on_receive(
+                s,
+                &Frame::Potentials {
+                    label: 42,
+                    potentials: vec![layer.label],
+                },
+            );
+            layer.on_slot_end(s);
+        }
+        // MIS round 0: neighbor 42 sends round messages but never acks us.
+        for k in 0..2 * t {
+            let s = 2 * t + k;
+            let _ = layer.on_slot(s, &mut rng);
+            if let PhasePos::MisData { round, .. } = layout.locate(s) {
+                layer.on_receive(
+                    s,
+                    &Frame::Mis {
+                        label: 42,
+                        round,
+                        state: MisState::Competitor,
+                    },
+                );
+            }
+            layer.on_slot_end(s);
+        }
+        assert_eq!(layer.neighbor_labels(), &[42]);
+        assert!(layer.is_dropped(), "missing acks must drop the node");
+        assert!(!layer.is_member());
+    }
+
+    #[test]
+    fn finish_stops_data_transmissions_immediately() {
+        let mut layer = mk();
+        layer.start(id(), 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let layout = params().layout();
+        // Run into the first data window.
+        let mut s = 0;
+        loop {
+            let pos = layout.locate(s);
+            let _ = layer.on_slot(s, &mut rng);
+            layer.on_slot_end(s);
+            s += 1;
+            if matches!(pos, PhasePos::Data { .. }) {
+                break;
+            }
+        }
+        layer.finish();
+        for _ in 0..200 {
+            match layer.on_slot(s, &mut rng) {
+                Action::Transmit(Frame::Data { .. }) => {
+                    panic!("finished broadcast must not transmit data")
+                }
+                _ => {}
+            }
+            layer.on_slot_end(s);
+            s += 1;
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Frames the MAC implementation puts on the air.
+//!
+//! Below the MAC layer, nodes never reveal unique hardware identities:
+//! coordination frames carry only the *temporary labels* of §9.3.2 (drawn
+//! uniformly at random per phase, possibly colliding). Only `Data` frames
+//! carry a [`MsgId`], which is part of the absMAC interface itself
+//! (message uniqueness is assumed w.l.o.g. by the specification).
+
+use absmac::MsgId;
+
+/// A temporary label drawn from `[1, label_range]` (non-unique, §9.3.2).
+pub type Label = u64;
+
+/// State of a node in the modified Schneider–Wattenhofer MIS computation.
+///
+/// The paper's `ruler`/`ruled` refinement collapses here: with fixed
+/// per-phase labels the only observable distinction is
+/// competitor / dominator / dominated (ties simply keep competing until
+/// the round budget runs out — the fixed-time termination of §9.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MisState {
+    /// Still competing for MIS membership.
+    Competitor,
+    /// Joined the independent set.
+    Dominator,
+    /// Covered by a dominator neighbor.
+    Dominated,
+}
+
+/// A physical-layer frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame<P> {
+    /// A replica of a broadcast payload (ack layer, and the `p/Q` data
+    /// window of Algorithm 9.1, line 11).
+    Data {
+        /// The absMAC message identity.
+        id: MsgId,
+        /// The client payload.
+        payload: P,
+    },
+    /// Window A of a phase: the sender's temporary label.
+    Label {
+        /// The sender's label for this phase.
+        label: Label,
+    },
+    /// Window B: the sender's label plus its potential-neighbor labels
+    /// (at most `O(1)` of them, footnote 9 of the paper).
+    Potentials {
+        /// The sender's label.
+        label: Label,
+        /// Labels the sender counted often enough in window A.
+        potentials: Vec<Label>,
+    },
+    /// MIS data subslot: the sender's label and current MIS state.
+    Mis {
+        /// The sender's label.
+        label: Label,
+        /// The CONGEST round this message belongs to.
+        round: u32,
+        /// The sender's state entering the round.
+        state: MisState,
+    },
+    /// MIS acknowledgment subslot: `from` acknowledges having received
+    /// `acked`'s round message in the paired data subslot.
+    MisAck {
+        /// The acknowledging node's label.
+        from: Label,
+        /// The label whose round message is acknowledged.
+        acked: Label,
+        /// The round being acknowledged.
+        round: u32,
+    },
+}
+
+impl<P> Frame<P> {
+    /// The payload-bearing message id, if this is a `Data` frame.
+    pub fn data_id(&self) -> Option<MsgId> {
+        match self {
+            Frame::Data { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_id_extraction() {
+        let id = MsgId { origin: 1, seq: 2 };
+        let f: Frame<u8> = Frame::Data { id, payload: 9 };
+        assert_eq!(f.data_id(), Some(id));
+        let g: Frame<u8> = Frame::Label { label: 3 };
+        assert_eq!(g.data_id(), None);
+    }
+}

@@ -1,0 +1,268 @@
+//! Slot layout of an approximate-progress epoch.
+//!
+//! Algorithm 9.1 is globally synchronous: every awake node derives, from
+//! the shared slot counter, which phase and which window the current slot
+//! belongs to. One epoch consists of `Φ` phases; each phase is
+//!
+//! ```text
+//! [ window A: T slots ][ window B: T slots ][ MIS: R rounds × 2T ][ data: D ]
+//!   label estimation     potential exchange   data/ack subslots     p/Q slots
+//! ```
+
+/// Position of a slot within an epoch, as decoded by [`EpochLayout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhasePos {
+    /// Window A: estimation slot `t ∈ [0, T)` — transmit own label w.p. `p`.
+    EstimateLabels {
+        /// Phase index `φ ∈ [0, Φ)`.
+        phase: u32,
+        /// Slot within the window.
+        t: u32,
+    },
+    /// Window B: potential-neighbor exchange slot `t ∈ [0, T)`.
+    ExchangePotentials {
+        /// Phase index.
+        phase: u32,
+        /// Slot within the window.
+        t: u32,
+    },
+    /// MIS round `round`, data subslot `t` (schedule-replay slot).
+    MisData {
+        /// Phase index.
+        phase: u32,
+        /// CONGEST round being simulated.
+        round: u32,
+        /// Replay slot within the round.
+        t: u32,
+    },
+    /// MIS round `round`, acknowledgment subslot `t`.
+    MisAck {
+        /// Phase index.
+        phase: u32,
+        /// CONGEST round being simulated.
+        round: u32,
+        /// Replay slot within the round.
+        t: u32,
+    },
+    /// Data window slot `t ∈ [0, D)` — members of `S_φ` transmit the
+    /// bcast payload w.p. `p/Q`.
+    Data {
+        /// Phase index.
+        phase: u32,
+        /// Slot within the data window.
+        t: u32,
+    },
+}
+
+impl PhasePos {
+    /// The phase this position belongs to.
+    pub fn phase(&self) -> u32 {
+        match *self {
+            PhasePos::EstimateLabels { phase, .. }
+            | PhasePos::ExchangePotentials { phase, .. }
+            | PhasePos::MisData { phase, .. }
+            | PhasePos::MisAck { phase, .. }
+            | PhasePos::Data { phase, .. } => phase,
+        }
+    }
+}
+
+/// Deterministic slot geometry of an epoch (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochLayout {
+    phases: u32,
+    t_window: u32,
+    mis_rounds: u32,
+    data_slots: u32,
+}
+
+impl EpochLayout {
+    /// Creates a layout; all dimensions must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(phases: u32, t_window: u32, mis_rounds: u32, data_slots: u32) -> Self {
+        assert!(
+            phases > 0 && t_window > 0 && mis_rounds > 0 && data_slots > 0,
+            "all layout dimensions must be nonzero"
+        );
+        EpochLayout {
+            phases,
+            t_window,
+            mis_rounds,
+            data_slots,
+        }
+    }
+
+    /// Number of phases `Φ`.
+    pub fn phases(&self) -> u32 {
+        self.phases
+    }
+
+    /// Estimation window length `T`.
+    pub fn t_window(&self) -> u32 {
+        self.t_window
+    }
+
+    /// MIS rounds per phase.
+    pub fn mis_rounds(&self) -> u32 {
+        self.mis_rounds
+    }
+
+    /// Data window length `D`.
+    pub fn data_slots(&self) -> u32 {
+        self.data_slots
+    }
+
+    /// Slots in one phase: `2T + R·2T + D`.
+    pub fn phase_len(&self) -> u64 {
+        2 * self.t_window as u64
+            + self.mis_rounds as u64 * 2 * self.t_window as u64
+            + self.data_slots as u64
+    }
+
+    /// Slots in one epoch: `Φ · phase_len`.
+    pub fn epoch_len(&self) -> u64 {
+        self.phases as u64 * self.phase_len()
+    }
+
+    /// The epoch index containing layer slot `slot`.
+    pub fn epoch_of(&self, slot: u64) -> u64 {
+        slot / self.epoch_len()
+    }
+
+    /// Whether `slot` is the first slot of an epoch.
+    pub fn is_epoch_start(&self, slot: u64) -> bool {
+        slot % self.epoch_len() == 0
+    }
+
+    /// Decodes a layer slot into its position within the epoch.
+    pub fn locate(&self, slot: u64) -> PhasePos {
+        let in_epoch = slot % self.epoch_len();
+        let phase = (in_epoch / self.phase_len()) as u32;
+        let mut off = in_epoch % self.phase_len();
+        let t_w = self.t_window as u64;
+        if off < t_w {
+            return PhasePos::EstimateLabels {
+                phase,
+                t: off as u32,
+            };
+        }
+        off -= t_w;
+        if off < t_w {
+            return PhasePos::ExchangePotentials {
+                phase,
+                t: off as u32,
+            };
+        }
+        off -= t_w;
+        let mis_len = self.mis_rounds as u64 * 2 * t_w;
+        if off < mis_len {
+            let round = (off / (2 * t_w)) as u32;
+            let within = off % (2 * t_w);
+            let t = (within / 2) as u32;
+            return if within % 2 == 0 {
+                PhasePos::MisData { phase, round, t }
+            } else {
+                PhasePos::MisAck { phase, round, t }
+            };
+        }
+        off -= mis_len;
+        PhasePos::Data {
+            phase,
+            t: off as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> EpochLayout {
+        EpochLayout::new(3, 4, 2, 5)
+    }
+
+    #[test]
+    fn lengths() {
+        let l = layout();
+        // phase: 2*4 + 2*2*4 + 5 = 8 + 16 + 5 = 29
+        assert_eq!(l.phase_len(), 29);
+        assert_eq!(l.epoch_len(), 87);
+    }
+
+    #[test]
+    fn locate_walks_the_phase_structure() {
+        let l = layout();
+        assert_eq!(l.locate(0), PhasePos::EstimateLabels { phase: 0, t: 0 });
+        assert_eq!(l.locate(3), PhasePos::EstimateLabels { phase: 0, t: 3 });
+        assert_eq!(l.locate(4), PhasePos::ExchangePotentials { phase: 0, t: 0 });
+        assert_eq!(
+            l.locate(8),
+            PhasePos::MisData {
+                phase: 0,
+                round: 0,
+                t: 0
+            }
+        );
+        assert_eq!(
+            l.locate(9),
+            PhasePos::MisAck {
+                phase: 0,
+                round: 0,
+                t: 0
+            }
+        );
+        assert_eq!(
+            l.locate(16),
+            PhasePos::MisData {
+                phase: 0,
+                round: 1,
+                t: 0
+            }
+        );
+        assert_eq!(l.locate(24), PhasePos::Data { phase: 0, t: 0 });
+        assert_eq!(l.locate(28), PhasePos::Data { phase: 0, t: 4 });
+        assert_eq!(l.locate(29), PhasePos::EstimateLabels { phase: 1, t: 0 });
+    }
+
+    #[test]
+    fn locate_wraps_between_epochs() {
+        let l = layout();
+        assert_eq!(l.locate(87), PhasePos::EstimateLabels { phase: 0, t: 0 });
+        assert!(l.is_epoch_start(0));
+        assert!(l.is_epoch_start(87));
+        assert!(!l.is_epoch_start(5));
+        assert_eq!(l.epoch_of(86), 0);
+        assert_eq!(l.epoch_of(87), 1);
+    }
+
+    #[test]
+    fn every_slot_of_an_epoch_is_covered_exactly_once() {
+        let l = layout();
+        let mut counts = [0u32; 5];
+        for s in 0..l.epoch_len() {
+            match l.locate(s) {
+                PhasePos::EstimateLabels { .. } => counts[0] += 1,
+                PhasePos::ExchangePotentials { .. } => counts[1] += 1,
+                PhasePos::MisData { .. } => counts[2] += 1,
+                PhasePos::MisAck { .. } => counts[3] += 1,
+                PhasePos::Data { .. } => counts[4] += 1,
+            }
+        }
+        assert_eq!(counts, [12, 12, 24, 24, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_rejected() {
+        let _ = EpochLayout::new(0, 4, 2, 5);
+    }
+
+    #[test]
+    fn phase_accessor() {
+        let l = layout();
+        assert_eq!(l.locate(30).phase(), 1);
+    }
+}

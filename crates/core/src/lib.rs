@@ -1,0 +1,73 @@
+//! The paper's primary contribution: an abstract MAC layer implemented in
+//! the SINR model.
+//!
+//! *“A Local Broadcast Layer for the SINR Network Model”* (Halldórsson,
+//! Holzer, Lynch — PODC 2015) builds a probabilistic absMAC for the strong
+//! connectivity graph `G₁₋ε` out of two interleaved algorithms:
+//!
+//! * **Algorithm B.1** (acknowledgments; [`AckLayer`]) — the
+//!   Halldórsson–Mitra local-broadcast algorithm re-analyzed with local
+//!   parameters. Runs on even slots. Gives
+//!   `f_ack = O(Δ·log(Λ/ε_ack) + log Λ · log(Λ/ε_ack))`.
+//! * **Algorithm 9.1** (approximate progress; [`ApprogLayer`]) — a
+//!   localized re-engineering of the Daum–Gilbert–Kuhn–Newport broadcast
+//!   machinery: per epoch, it estimates reliability graphs `H̃̃^μ_p[S_φ]`
+//!   from `T` random transmissions, replays the recorded schedule `τ_φ` to
+//!   simulate CONGEST rounds, runs a modified Schneider–Wattenhofer MIS
+//!   with *non-unique random temporary labels* to sparsify the sender set,
+//!   and transmits payloads with probability `p/Q`. Runs on odd slots.
+//!   Gives `f_approg = O((log^α Λ + log* 1/ε)·log Λ·log 1/ε)` w.r.t.
+//!   `G̃ = G₁₋₂ε`.
+//! * **Algorithm 11.1** ([`SinrAbsMac`]) — the even/odd multiplexer that
+//!   implements the [`absmac::MacLayer`] interface.
+//!
+//! [`DecayMac`] implements the classic Decay strategy behind the same
+//! interface; Theorem 8.1 proves (and experiment E5 shows) that it cannot
+//! achieve fast approximate progress.
+//!
+//! All Θ(·) constants of the paper are explicit fields of [`MacParams`].
+//!
+//! # Examples
+//!
+//! ```
+//! use absmac::{MacLayer, MacEvent};
+//! use sinr_mac::{MacParams, SinrAbsMac};
+//! use sinr_phys::SinrParams;
+//!
+//! let sinr = SinrParams::builder().range(8.0).build().unwrap();
+//! let positions = sinr_geom::deploy::line(3, 2.0).unwrap();
+//! let params = MacParams::builder().build(&sinr);
+//! let mut mac = SinrAbsMac::new(sinr, &positions, params, 1).unwrap();
+//! let id = mac.bcast(0, 7u32).unwrap();
+//! // Step until the broadcast is acknowledged.
+//! let mut acked = false;
+//! for _ in 0..50_000 {
+//!     let step = mac.step();
+//!     if step.events.iter().any(|(n, e)| *n == 0 && matches!(e, MacEvent::Ack(i) if *i == id)) {
+//!         acked = true;
+//!         break;
+//!     }
+//! }
+//! assert!(acked);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ack;
+mod approg;
+mod decay;
+mod frames;
+mod layout;
+mod mac;
+mod params;
+
+pub mod swmis;
+
+pub use ack::AckLayer;
+pub use approg::ApprogLayer;
+pub use decay::{DecayMac, DecayParams};
+pub use frames::{Frame, Label, MisState};
+pub use layout::{EpochLayout, PhasePos};
+pub use mac::SinrAbsMac;
+pub use params::{log_star, MacParams, MacParamsBuilder};

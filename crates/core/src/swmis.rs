@@ -1,0 +1,214 @@
+//! The modified Schneider–Wattenhofer MIS computation (§9.3.2, §10.2).
+//!
+//! The paper modifies the deterministic MIS algorithm of Schneider &
+//! Wattenhofer for growth-bounded graphs in two ways: nodes use **random
+//! temporary labels** from `[1, poly(Λ/ε_approg)]` instead of unique IDs,
+//! and the computation **terminates at a predetermined round budget**
+//! instead of waiting for every node to resolve. Unresolved nodes are
+//! simply ignored (they do not join `S_{φ+1}`), trading maximality (with
+//! probability controlled by the label range, Lemma 10.1) for a fixed
+//! running time — independence is preserved *unconditionally*.
+//!
+//! This module holds the pure round-transition function used by the
+//! distributed layer in [`crate::ApprogLayer`], plus a centralized
+//! executor used for validation and property tests.
+//!
+//! # Transition rule
+//!
+//! In each round every participating node announces `(label, state)`. A
+//! competitor that hears a dominator neighbor becomes dominated; a
+//! competitor whose label is strictly smaller than the label of every
+//! *competing* neighbor becomes a dominator. Equal labels block each
+//! other (neither strictly smaller), so two adjacent nodes can never both
+//! become dominators — even when labels collide — provided views are
+//! consistent, which the drop-out rule of §9.3.2 enforces distributedly.
+
+use crate::{Label, MisState};
+
+/// One round-transition for a single node, given the `(label, state)`
+/// pairs announced by its neighbors this round.
+///
+/// Non-competitors never change state. See the module docs for the rule.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_mac::swmis::transition;
+/// use sinr_mac::MisState::*;
+///
+/// // Strictly smallest label among competitors → dominator.
+/// assert_eq!(transition(3, Competitor, &[(5, Competitor), (9, Competitor)]), Dominator);
+/// // A dominator neighbor dominates.
+/// assert_eq!(transition(3, Competitor, &[(5, Dominator)]), Dominated);
+/// // Ties block.
+/// assert_eq!(transition(3, Competitor, &[(3, Competitor)]), Competitor);
+/// ```
+pub fn transition(
+    my_label: Label,
+    my_state: MisState,
+    neighbors: &[(Label, MisState)],
+) -> MisState {
+    if my_state != MisState::Competitor {
+        return my_state;
+    }
+    if neighbors.iter().any(|(_, s)| *s == MisState::Dominator) {
+        return MisState::Dominated;
+    }
+    let beats_all = neighbors
+        .iter()
+        .filter(|(_, s)| *s == MisState::Competitor)
+        .all(|(l, _)| my_label < *l);
+    if beats_all {
+        MisState::Dominator
+    } else {
+        MisState::Competitor
+    }
+}
+
+/// Centralized execution of the round protocol on an explicit adjacency
+/// structure: `adj[v]` lists the neighbor indices of `v`, `labels[v]` its
+/// temporary label. Runs exactly `rounds` rounds and returns final states.
+///
+/// Used by tests and by the experiment harness to cross-check the
+/// distributed computation inside the MAC layer.
+///
+/// # Panics
+///
+/// Panics if `adj` and `labels` lengths differ or an index is out of
+/// range.
+pub fn run_centralized(adj: &[Vec<usize>], labels: &[Label], rounds: u32) -> Vec<MisState> {
+    assert_eq!(adj.len(), labels.len(), "adj/labels length mismatch");
+    let n = adj.len();
+    let mut states = vec![MisState::Competitor; n];
+    for _ in 0..rounds {
+        let mut next = states.clone();
+        for v in 0..n {
+            let view: Vec<(Label, MisState)> = adj[v]
+                .iter()
+                .map(|&w| {
+                    assert!(w < n, "neighbor index out of range");
+                    (labels[w], states[w])
+                })
+                .collect();
+            next[v] = transition(labels[v], states[v], &view);
+        }
+        states = next;
+    }
+    states
+}
+
+/// Indices in state [`MisState::Dominator`] — the computed independent
+/// set.
+pub fn dominators(states: &[MisState]) -> Vec<usize> {
+    states
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| (*s == MisState::Dominator).then_some(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_adj(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(i - 1);
+                }
+                if i + 1 < n {
+                    v.push(i + 1);
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn isolated_node_dominates_immediately() {
+        assert_eq!(
+            transition(7, MisState::Competitor, &[]),
+            MisState::Dominator
+        );
+    }
+
+    #[test]
+    fn dominator_and_dominated_are_absorbing() {
+        let view = [(1, MisState::Competitor)];
+        assert_eq!(
+            transition(9, MisState::Dominator, &view),
+            MisState::Dominator
+        );
+        assert_eq!(
+            transition(9, MisState::Dominated, &view),
+            MisState::Dominated
+        );
+    }
+
+    #[test]
+    fn path_with_unique_labels_resolves_to_mis() {
+        let adj = path_adj(6);
+        let labels = vec![4, 2, 6, 1, 5, 3];
+        let states = run_centralized(&adj, &labels, 6);
+        let dom = dominators(&states);
+        // Independence.
+        for w in dom.windows(2) {
+            assert!(w[1] - w[0] >= 2, "adjacent dominators {dom:?}");
+        }
+        // Maximality: every node dominated or dominator.
+        assert!(states.iter().all(|s| *s != MisState::Competitor));
+    }
+
+    #[test]
+    fn colliding_labels_preserve_independence() {
+        // All labels equal: nobody ever dominates, but independence holds.
+        let adj = path_adj(4);
+        let labels = vec![5, 5, 5, 5];
+        let states = run_centralized(&adj, &labels, 10);
+        assert!(states.iter().all(|s| *s == MisState::Competitor));
+    }
+
+    #[test]
+    fn partial_collisions_still_independent() {
+        let adj = path_adj(5);
+        let labels = vec![2, 2, 1, 9, 9];
+        let states = run_centralized(&adj, &labels, 10);
+        let dom = dominators(&states);
+        for w in dom.windows(2) {
+            assert!(w[1] - w[0] >= 2);
+        }
+        // Node 2 (label 1) is the strict local min → dominates.
+        assert!(dom.contains(&2));
+    }
+
+    #[test]
+    fn budget_too_small_leaves_competitors_but_never_violates_independence() {
+        // Increasing labels along a path: one new dominator per round from
+        // the left; with 1 round only node 0 resolves.
+        let adj = path_adj(5);
+        let labels = vec![1, 2, 3, 4, 5];
+        let states = run_centralized(&adj, &labels, 1);
+        assert_eq!(states[0], MisState::Dominator);
+        assert_eq!(states[1], MisState::Competitor); // hasn't heard yet
+        let dom = dominators(&states);
+        for w in dom.windows(2) {
+            assert!(w[1] - w[0] >= 2);
+        }
+    }
+
+    #[test]
+    fn star_center_with_min_label_dominates_all() {
+        let n = 6;
+        let mut adj = vec![Vec::new(); n];
+        for leaf in 1..n {
+            adj[0].push(leaf);
+            adj[leaf].push(0);
+        }
+        let labels = vec![1, 4, 5, 6, 7, 8];
+        let states = run_centralized(&adj, &labels, 3);
+        assert_eq!(states[0], MisState::Dominator);
+        assert!(states[1..].iter().all(|s| *s == MisState::Dominated));
+    }
+}

@@ -1,0 +1,524 @@
+//! Deployment generators for every workload in the paper's evaluation.
+//!
+//! All generators enforce the paper's near-field assumption (§4.2): the
+//! minimum distance between any two nodes is at least `1`. Generators that
+//! involve randomness take an explicit `seed` and are fully deterministic,
+//! so every experiment in this repository is reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{GeomError, HashGrid, Point};
+
+/// Minimum distance any generator is allowed to produce between two nodes.
+pub const MIN_NODE_DISTANCE: f64 = 1.0;
+
+const PLACEMENT_RETRIES_PER_NODE: usize = 512;
+
+/// Returns the minimum pairwise distance of `points`.
+///
+/// Returns `f64::INFINITY` for fewer than two points. This is O(n²) and is
+/// meant for validation in tests and assertions, not hot paths.
+pub fn min_pairwise_distance(points: &[Point]) -> f64 {
+    let mut best = f64::INFINITY;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            best = best.min(points[i].dist(points[j]));
+        }
+    }
+    best
+}
+
+fn place_with_rejection(
+    rng: &mut StdRng,
+    n: usize,
+    mut sample: impl FnMut(&mut StdRng) -> Point,
+) -> Result<Vec<Point>, GeomError> {
+    let mut pts: Vec<Point> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut placed = false;
+        for _ in 0..PLACEMENT_RETRIES_PER_NODE {
+            let cand = sample(rng);
+            // A fresh grid per candidate would be wasteful; with the modest
+            // n used in simulations a linear scan over accepted points is
+            // already cheap, and exactness matters more than speed here.
+            if pts
+                .iter()
+                .all(|p| p.dist_sq(cand) >= MIN_NODE_DISTANCE * MIN_NODE_DISTANCE)
+            {
+                pts.push(cand);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return Err(GeomError::PlacementExhausted {
+                placed: pts.len(),
+                requested: n,
+            });
+        }
+    }
+    Ok(pts)
+}
+
+/// Places `n` nodes uniformly at random in the square `[0, side]²`,
+/// rejecting candidates closer than distance `1` to an accepted node.
+///
+/// # Errors
+///
+/// * [`GeomError::InvalidParameter`] if `side` is not positive and finite.
+/// * [`GeomError::InfeasibleDensity`] if the square provably cannot hold
+///   `n` unit-separated nodes (`side² < n/2` is used as a safe screen).
+/// * [`GeomError::PlacementExhausted`] if rejection sampling runs out of
+///   retries (the region is too dense in practice).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), sinr_geom::GeomError> {
+/// let pts = sinr_geom::deploy::uniform(100, 50.0, 42)?;
+/// assert_eq!(pts.len(), 100);
+/// # Ok(())
+/// # }
+/// ```
+pub fn uniform(n: usize, side: f64, seed: u64) -> Result<Vec<Point>, GeomError> {
+    if !(side.is_finite() && side > 0.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "side",
+            requirement: "must be positive and finite",
+        });
+    }
+    // Packing unit-separated points achieves density ~1 point per unit area
+    // only under optimal packing; n/2 is a conservative feasibility screen.
+    if (side * side) < n as f64 / 2.0 {
+        return Err(GeomError::InfeasibleDensity {
+            n,
+            extent: side as u64,
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    place_with_rejection(&mut rng, n, |rng| {
+        Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side))
+    })
+}
+
+/// Places `clusters × per_cluster` nodes: cluster centers uniform in
+/// `[0, side]²`, members uniform in a disc of radius `cluster_radius`
+/// around their center. Models the high-contention pockets that motivate
+/// the paper's *local* (per-degree) analysis.
+///
+/// # Errors
+///
+/// Same failure modes as [`uniform`]; additionally `cluster_radius` must
+/// be at least `1` so a cluster can hold more than one node.
+pub fn clusters(
+    clusters: usize,
+    per_cluster: usize,
+    side: f64,
+    cluster_radius: f64,
+    seed: u64,
+) -> Result<Vec<Point>, GeomError> {
+    if !(side.is_finite() && side > 0.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "side",
+            requirement: "must be positive and finite",
+        });
+    }
+    if !(cluster_radius.is_finite() && cluster_radius >= 1.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "cluster_radius",
+            requirement: "must be >= 1 and finite",
+        });
+    }
+    let n = clusters
+        .checked_mul(per_cluster)
+        .ok_or(GeomError::InvalidParameter {
+            name: "clusters * per_cluster",
+            requirement: "must not overflow",
+        })?;
+    let area_per_cluster = std::f64::consts::PI * cluster_radius * cluster_radius;
+    if area_per_cluster < per_cluster as f64 / 2.0 {
+        return Err(GeomError::InfeasibleDensity {
+            n: per_cluster,
+            extent: cluster_radius as u64,
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point> = (0..clusters)
+        .map(|_| Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
+        .collect();
+    let mut next_cluster = 0usize;
+    let mut in_cluster = 0usize;
+    place_with_rejection(&mut rng, n, |rng| {
+        let c = centers[next_cluster];
+        in_cluster += 1;
+        if in_cluster >= per_cluster {
+            in_cluster = 0;
+            next_cluster = (next_cluster + 1) % clusters;
+        }
+        // Uniform in a disc via sqrt-radius sampling.
+        let r = cluster_radius * rng.random_range(0.0f64..1.0).sqrt();
+        let theta = rng.random_range(0.0..std::f64::consts::TAU);
+        Point::new(c.x + r * theta.cos(), c.y + r * theta.sin())
+    })
+}
+
+/// Places `n` nodes on a horizontal line with the given spacing.
+///
+/// # Errors
+///
+/// [`GeomError::InvalidParameter`] if `spacing < 1`.
+pub fn line(n: usize, spacing: f64) -> Result<Vec<Point>, GeomError> {
+    if !(spacing.is_finite() && spacing >= MIN_NODE_DISTANCE) {
+        return Err(GeomError::InvalidParameter {
+            name: "spacing",
+            requirement: "must be >= 1 and finite",
+        });
+    }
+    Ok((0..n)
+        .map(|i| Point::new(i as f64 * spacing, 0.0))
+        .collect())
+}
+
+/// Places `rows × cols` nodes on an axis-aligned lattice with the given
+/// spacing — the maximally regular deployment, useful as a best-case
+/// contrast to [`clusters`].
+///
+/// # Errors
+///
+/// [`GeomError::InvalidParameter`] if `spacing < 1`.
+pub fn lattice(rows: usize, cols: usize, spacing: f64) -> Result<Vec<Point>, GeomError> {
+    if !(spacing.is_finite() && spacing >= MIN_NODE_DISTANCE) {
+        return Err(GeomError::InvalidParameter {
+            name: "spacing",
+            requirement: "must be >= 1 and finite",
+        });
+    }
+    let mut pts = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            pts.push(Point::new(c as f64 * spacing, r as f64 * spacing));
+        }
+    }
+    Ok(pts)
+}
+
+/// The Figure 1 / Theorem 6.1 lower-bound gadget: two parallel lines.
+///
+/// `Δ` nodes `V = {v_1..v_Δ}` sit on the lower line at unit spacing and
+/// `Δ` nodes `U = {u_1..u_Δ}` on the upper line, vertically above them at
+/// distance `separation`. With the strong-connectivity radius set to
+/// exactly `separation` (the paper uses `R₁₋ε = 10Δ`), each `v_i` has one
+/// cross edge — to `u_i` — and every same-line pair is adjacent, so every
+/// node has degree exactly `Δ` in `G₁₋ε`.
+#[derive(Debug, Clone)]
+pub struct TwoLines {
+    /// All positions: `points[0..delta]` is line `V`, `points[delta..]` is `U`.
+    pub points: Vec<Point>,
+    /// Indices of the lower line `V` (the broadcasters in Theorem 6.1).
+    pub line_v: Vec<usize>,
+    /// Indices of the upper line `U` (the receivers in Theorem 6.1).
+    pub line_u: Vec<usize>,
+    /// The strong radius `R₁₋ε` the gadget is designed for.
+    pub strong_radius: f64,
+}
+
+impl TwoLines {
+    /// The cross partner of node `i`, i.e. `u_i` for `v_i` and vice versa.
+    pub fn partner(&self, i: usize) -> usize {
+        let delta = self.line_v.len();
+        if i < delta {
+            i + delta
+        } else {
+            i - delta
+        }
+    }
+}
+
+/// Builds the [`TwoLines`] gadget with `delta` nodes per line.
+///
+/// The separation defaults to the paper's choice `10·Δ` when
+/// `separation` is `None`; a custom separation must be at least `delta`
+/// so the same-line cliques and single cross edges come out as in Fig. 1.
+///
+/// # Errors
+///
+/// [`GeomError::InvalidParameter`] if `delta < 2` or the separation is
+/// smaller than `delta`.
+pub fn two_lines(delta: usize, separation: Option<f64>) -> Result<TwoLines, GeomError> {
+    if delta < 2 {
+        return Err(GeomError::InvalidParameter {
+            name: "delta",
+            requirement: "must be >= 2",
+        });
+    }
+    let sep = separation.unwrap_or(10.0 * delta as f64);
+    if !(sep.is_finite() && sep >= delta as f64) {
+        return Err(GeomError::InvalidParameter {
+            name: "separation",
+            requirement: "must be finite and >= delta",
+        });
+    }
+    let mut points = Vec::with_capacity(2 * delta);
+    for i in 0..delta {
+        points.push(Point::new(i as f64, 0.0));
+    }
+    for i in 0..delta {
+        points.push(Point::new(i as f64, sep));
+    }
+    Ok(TwoLines {
+        points,
+        line_v: (0..delta).collect(),
+        line_u: (delta..2 * delta).collect(),
+        strong_radius: sep,
+    })
+}
+
+/// The Theorem 8.1 Decay lower-bound gadget: two balls.
+///
+/// Ball `B₁` holds 2 nodes, ball `B₂` holds `Δ` nodes; both balls have
+/// radius `R/4` and their centers are `2R` apart (the paper's `R₂`), so in
+/// `G₁₋ε` the balls are disconnected but `B₂`'s aggregate interference at
+/// `B₁` is what defeats Decay. The two `B₁` nodes sit at opposite poles
+/// of their ball (distance exactly `R/2`): the link must be as weak as
+/// the construction allows, otherwise near-field placements would make it
+/// unjammable and the lower bound would not bind.
+#[derive(Debug, Clone)]
+pub struct TwoBalls {
+    /// All node positions.
+    pub points: Vec<Point>,
+    /// Indices of the two nodes in the small ball `B₁`.
+    pub b1: Vec<usize>,
+    /// Indices of the `Δ` nodes in the crowded ball `B₂`.
+    pub b2: Vec<usize>,
+    /// The weak transmission range `R` the gadget was built for.
+    pub range: f64,
+}
+
+/// Builds the [`TwoBalls`] gadget for a given `delta` and weak range `R`.
+///
+/// # Errors
+///
+/// * [`GeomError::InvalidParameter`] if `delta < 1` or `range` is not
+///   positive and finite.
+/// * [`GeomError::InfeasibleDensity`] if `Δ` unit-separated nodes cannot
+///   fit in a ball of radius `R/4`.
+/// * [`GeomError::PlacementExhausted`] if sampling runs out of retries.
+pub fn two_balls(delta: usize, range: f64, seed: u64) -> Result<TwoBalls, GeomError> {
+    if delta < 1 {
+        return Err(GeomError::InvalidParameter {
+            name: "delta",
+            requirement: "must be >= 1",
+        });
+    }
+    if !(range.is_finite() && range > 0.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "range",
+            requirement: "must be positive and finite",
+        });
+    }
+    let ball_r = range / 4.0;
+    let ball_area = std::f64::consts::PI * ball_r * ball_r;
+    if ball_area < delta as f64 / 2.0 {
+        return Err(GeomError::InfeasibleDensity {
+            n: delta,
+            extent: ball_r as u64,
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let c1 = Point::new(0.0, 0.0);
+    let c2 = Point::new(2.0 * range, 0.0);
+    let sample_in = |rng: &mut StdRng, c: Point| {
+        let r = ball_r * rng.random_range(0.0f64..1.0).sqrt();
+        let theta = rng.random_range(0.0..std::f64::consts::TAU);
+        Point::new(c.x + r * theta.cos(), c.y + r * theta.sin())
+    };
+    // B1: two nodes at opposite poles of the ball (distance R/2), the
+    // weakest link the construction allows.
+    let mut points = vec![
+        Point::new(c1.x - ball_r, c1.y),
+        Point::new(c1.x + ball_r, c1.y),
+    ];
+    if 2.0 * ball_r < MIN_NODE_DISTANCE {
+        return Err(GeomError::InfeasibleDensity {
+            n: 2,
+            extent: ball_r as u64,
+        });
+    }
+    let b2_pts = place_with_rejection(&mut rng, delta, |rng| sample_in(rng, c2))?;
+    // Cross-ball distances are >= 2R - R/2 = 1.5R >> 1, so appending keeps
+    // the global minimum distance intact.
+    let b1: Vec<usize> = vec![0, 1];
+    let b2: Vec<usize> = (2..2 + delta).collect();
+    points.extend(b2_pts);
+    Ok(TwoBalls {
+        points,
+        b1,
+        b2,
+        range,
+    })
+}
+
+/// Validates a deployment against the near-field assumption using a grid
+/// (O(n) expected), returning the offending pair if any.
+pub fn near_field_violation(points: &[Point]) -> Option<(usize, usize)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let grid = HashGrid::build(points, MIN_NODE_DISTANCE);
+    for (i, &p) in points.iter().enumerate() {
+        for j in grid.neighbors_within(points, p, MIN_NODE_DISTANCE * (1.0 - 1e-12)) {
+            if j != i {
+                return Some((i.min(j), i.max(j)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_near_field() {
+        let pts = uniform(128, 64.0, 1).unwrap();
+        assert_eq!(pts.len(), 128);
+        assert!(min_pairwise_distance(&pts) >= MIN_NODE_DISTANCE);
+        assert!(near_field_violation(&pts).is_none());
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a = uniform(32, 30.0, 9).unwrap();
+        let b = uniform(32, 30.0, 9).unwrap();
+        let c = uniform(32, 30.0, 10).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_rejects_infeasible_density() {
+        match uniform(1000, 3.0, 0) {
+            Err(GeomError::InfeasibleDensity { .. }) => {}
+            other => panic!("expected InfeasibleDensity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uniform_rejects_bad_side() {
+        assert!(matches!(
+            uniform(4, -1.0, 0),
+            Err(GeomError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            uniform(4, f64::NAN, 0),
+            Err(GeomError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn clusters_respects_near_field_and_count() {
+        let pts = clusters(4, 8, 100.0, 6.0, 3).unwrap();
+        assert_eq!(pts.len(), 32);
+        assert!(min_pairwise_distance(&pts) >= MIN_NODE_DISTANCE);
+    }
+
+    #[test]
+    fn clusters_rejects_tiny_radius() {
+        assert!(matches!(
+            clusters(2, 4, 50.0, 0.5, 0),
+            Err(GeomError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn line_spacing_validated() {
+        assert!(line(5, 0.5).is_err());
+        let pts = line(5, 2.0).unwrap();
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[4], Point::new(8.0, 0.0));
+    }
+
+    #[test]
+    fn lattice_has_exact_geometry() {
+        let pts = lattice(3, 4, 1.5).unwrap();
+        assert_eq!(pts.len(), 12);
+        assert!(min_pairwise_distance(&pts) >= 1.5 - 1e-12);
+    }
+
+    #[test]
+    fn two_lines_matches_figure_one() {
+        let g = two_lines(5, None).unwrap();
+        assert_eq!(g.points.len(), 10);
+        assert_eq!(g.strong_radius, 50.0);
+        // Cross partners are exactly at the strong radius.
+        for &v in &g.line_v {
+            let u = g.partner(v);
+            assert!((g.points[v].dist(g.points[u]) - g.strong_radius).abs() < 1e-9);
+            assert_eq!(g.partner(u), v);
+        }
+        // Non-partner cross pairs are strictly farther than the radius.
+        for &v in &g.line_v {
+            for &u in &g.line_u {
+                if u != g.partner(v) {
+                    assert!(g.points[v].dist(g.points[u]) > g.strong_radius + 1e-9);
+                }
+            }
+        }
+        // Same-line pairs are all within the radius (a clique in G₁₋ε).
+        for &a in &g.line_v {
+            for &b in &g.line_v {
+                if a != b {
+                    assert!(g.points[a].dist(g.points[b]) <= g.strong_radius);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_lines_rejects_small_delta() {
+        assert!(two_lines(1, None).is_err());
+    }
+
+    #[test]
+    fn two_lines_rejects_small_separation() {
+        assert!(two_lines(8, Some(4.0)).is_err());
+    }
+
+    #[test]
+    fn two_balls_layout() {
+        let g = two_balls(20, 64.0, 5).unwrap();
+        assert_eq!(g.points.len(), 22);
+        assert_eq!(g.b1.len(), 2);
+        assert_eq!(g.b2.len(), 20);
+        assert!(min_pairwise_distance(&g.points) >= MIN_NODE_DISTANCE);
+        // Balls are far apart: no cross pair within the weak range.
+        for &i in &g.b1 {
+            for &j in &g.b2 {
+                assert!(g.points[i].dist(g.points[j]) > g.range);
+            }
+        }
+        // The two B1 nodes are at exactly half the weak range.
+        assert!((g.points[0].dist(g.points[1]) - g.range / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_balls_rejects_overcrowding() {
+        assert!(matches!(
+            two_balls(10_000, 16.0, 0),
+            Err(GeomError::InfeasibleDensity { .. })
+        ));
+    }
+
+    #[test]
+    fn near_field_violation_detects_close_pair() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.2, 0.0)];
+        assert_eq!(near_field_violation(&pts), Some((0, 1)));
+    }
+
+    #[test]
+    fn min_pairwise_distance_of_singleton_is_infinite() {
+        assert_eq!(min_pairwise_distance(&[Point::ORIGIN]), f64::INFINITY);
+    }
+}

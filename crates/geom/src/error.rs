@@ -1,0 +1,85 @@
+//! Error type for geometry and deployment operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while generating or validating deployments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// The requested deployment cannot satisfy the minimum pairwise
+    /// distance of `1` in the given area (near-field assumption, §4.2).
+    InfeasibleDensity {
+        /// Number of nodes requested.
+        n: usize,
+        /// Side length (or radius, for ball deployments) of the region.
+        extent: u64,
+    },
+    /// Rejection sampling failed to place all nodes within the retry
+    /// budget; the region is likely too dense.
+    PlacementExhausted {
+        /// Nodes successfully placed before giving up.
+        placed: usize,
+        /// Nodes requested.
+        requested: usize,
+    },
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::InfeasibleDensity { n, extent } => write!(
+                f,
+                "cannot place {n} nodes with pairwise distance >= 1 in a region of extent {extent}"
+            ),
+            GeomError::PlacementExhausted { placed, requested } => write!(
+                f,
+                "placement exhausted retries after {placed} of {requested} nodes"
+            ),
+            GeomError::InvalidParameter { name, requirement } => {
+                write!(f, "invalid parameter `{name}`: {requirement}")
+            }
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            GeomError::InfeasibleDensity { n: 10, extent: 1 },
+            GeomError::PlacementExhausted {
+                placed: 3,
+                requested: 10,
+            },
+            GeomError::InvalidParameter {
+                name: "side",
+                requirement: "must be positive",
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(GeomError::InfeasibleDensity { n: 1, extent: 0 });
+        assert!(e.source().is_none());
+    }
+}

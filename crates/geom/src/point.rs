@@ -1,0 +1,200 @@
+//! Plane points and distance helpers.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point in the Euclidean plane.
+///
+/// Node positions in the SINR model are points; all distances are Euclidean
+/// (`d(u, v)` in the paper). The type is a plain value type: cheap to copy,
+/// comparable and hashable via its bit pattern helpers where needed.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geom::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.dist(b), 5.0);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this over [`Point::dist`] in hot loops and comparisons: it
+    /// avoids the square root and is exact for comparison purposes.
+    #[inline]
+    pub fn dist_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Chebyshev (L∞) distance to `other`.
+    ///
+    /// The paper's interference-ring argument (proof of Lemma 10.3) counts
+    /// grid cells by L∞ ring index; this helper backs the same bookkeeping
+    /// in the simulator's far-field accounting.
+    #[inline]
+    pub fn dist_linf(self, other: Point) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Midpoint of the segment from `self` to `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Returns `self` translated by `(dx, dy)`.
+    #[inline]
+    pub fn translated(self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Euclidean norm of the point viewed as a vector from the origin.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Whether every coordinate is finite (not NaN and not infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_matches_pythagoras() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = Point::new(-3.5, 0.25);
+        let b = Point::new(10.0, -2.0);
+        assert_eq!(a.dist(b), b.dist(a));
+    }
+
+    #[test]
+    fn dist_to_self_is_zero() {
+        let p = Point::new(3.3, -7.7);
+        assert_eq!(p.dist(p), 0.0);
+    }
+
+    #[test]
+    fn linf_bounds_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        let linf = a.dist_linf(b);
+        let l2 = a.dist(b);
+        assert!(linf <= l2 && l2 <= linf * std::f64::consts::SQRT_2);
+    }
+
+    #[test]
+    fn midpoint_is_equidistant() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 8.0);
+        let m = a.midpoint(b);
+        assert!((m.dist(a) - m.dist(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = Point::new(1.5, -2.5);
+        let b = Point::new(0.5, 4.0);
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let p = Point::from((1.0, 2.0));
+        let (x, y): (f64, f64) = p.into();
+        assert_eq!((x, y), (1.0, 2.0));
+    }
+
+    #[test]
+    fn translated_moves_by_offset() {
+        let p = Point::new(1.0, 1.0).translated(2.0, -3.0);
+        assert_eq!(p, Point::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1, 2.5)");
+    }
+
+    #[test]
+    fn is_finite_rejects_nan() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,311 @@
+//! Immutable adjacency-list graphs with the queries the paper's analysis
+//! needs: degrees, BFS hop distances, diameter, connectivity.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Sentinel hop distance for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// An undirected graph over nodes `0..n` with sorted adjacency lists.
+///
+/// Construction deduplicates edges and ignores self-loops; the structure
+/// is immutable afterwards. All algorithms are deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_graphs::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.hop_distance(0, 3), Some(3));
+/// assert_eq!(g.diameter(), Some(3));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes from an edge iterator.
+    ///
+    /// Self-loops are ignored; duplicate edges (in either orientation) are
+    /// deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (a, b) in edges {
+            assert!(a < n && b < n, "edge ({a}, {b}) out of range for n={n}");
+            if a == b {
+                continue;
+            }
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        }
+        let mut edge_count = 0;
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            edge_count += list.len();
+        }
+        Graph {
+            adj,
+            edge_count: edge_count / 2,
+        }
+    }
+
+    /// An empty graph on `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has zero nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Sorted neighbors of `v` (excluding `v` itself).
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[v]
+    }
+
+    /// Degree `δ(v)`: number of neighbors, excluding `v` (§4.1).
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree `Δ_G`, or 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether `{a, b}` is an edge.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].binary_search(&(b as u32)).is_ok()
+    }
+
+    /// Iterates over all undirected edges as `(min, max)` pairs, sorted.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(a, list)| {
+            list.iter()
+                .filter(move |&&b| a < b as usize)
+                .map(move |&b| (a, b as usize))
+        })
+    }
+
+    /// BFS hop distances from `src`; unreachable nodes get [`UNREACHABLE`].
+    pub fn bfs(&self, src: usize) -> Vec<u32> {
+        let mut dist = vec![UNREACHABLE; self.adj.len()];
+        let mut queue = VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v];
+            for &w in &self.adj[v] {
+                let w = w as usize;
+                if dist[w] == UNREACHABLE {
+                    dist[w] = dv + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Hop distance `d_G(a, b)`, or `None` if disconnected.
+    pub fn hop_distance(&self, a: usize, b: usize) -> Option<u32> {
+        let d = self.bfs(a)[b];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    /// The `r`-neighborhood `N_{G,r}(v)` (§4.1), including `v`, sorted.
+    pub fn neighborhood(&self, v: usize, r: u32) -> Vec<usize> {
+        let dist = self.bfs(v);
+        (0..self.adj.len())
+            .filter(|&u| dist[u] != UNREACHABLE && dist[u] <= r)
+            .collect()
+    }
+
+    /// Whether the graph is connected (vacuously true for `n <= 1`).
+    pub fn is_connected(&self) -> bool {
+        if self.adj.len() <= 1 {
+            return true;
+        }
+        self.bfs(0).iter().all(|&d| d != UNREACHABLE)
+    }
+
+    /// Eccentricity of `v` (max hop distance to any node), or `None` if
+    /// some node is unreachable from `v`.
+    pub fn eccentricity(&self, v: usize) -> Option<u32> {
+        let dist = self.bfs(v);
+        let mut max = 0;
+        for &d in &dist {
+            if d == UNREACHABLE {
+                return None;
+            }
+            max = max.max(d);
+        }
+        Some(max)
+    }
+
+    /// Diameter `D_G` (max hop distance over all pairs), or `None` if the
+    /// graph is disconnected or empty.
+    ///
+    /// Runs BFS from every node: O(n·(n+m)).
+    pub fn diameter(&self) -> Option<u32> {
+        if self.adj.is_empty() {
+            return None;
+        }
+        let mut diam = 0;
+        for v in 0..self.adj.len() {
+            diam = diam.max(self.eccentricity(v)?);
+        }
+        Some(diam)
+    }
+
+    /// The subgraph induced by `nodes` (§4.1's `G|S`), with nodes
+    /// renumbered `0..nodes.len()` in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` contains duplicates or out-of-range indices.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> Graph {
+        let mut map = vec![usize::MAX; self.adj.len()];
+        for (new, &old) in nodes.iter().enumerate() {
+            assert!(old < self.adj.len(), "node {old} out of range");
+            assert!(map[old] == usize::MAX, "duplicate node {old}");
+            map[old] = new;
+        }
+        let mut edges = Vec::new();
+        for (new_a, &old_a) in nodes.iter().enumerate() {
+            for &old_b in &self.adj[old_a] {
+                let new_b = map[old_b as usize];
+                if new_b != usize::MAX && new_a < new_b {
+                    edges.push((new_a, new_b));
+                }
+            }
+        }
+        Graph::from_edges(nodes.len(), edges)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.adj.len())
+            .field("edges", &self.edge_count)
+            .field("max_degree", &self.max_degree())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn from_edges_dedups_and_ignores_loops() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (1, 1), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn path_distances_and_diameter() {
+        let g = path(5);
+        assert_eq!(g.hop_distance(0, 4), Some(4));
+        assert_eq!(g.diameter(), Some(4));
+        assert_eq!(g.eccentricity(2), Some(2));
+    }
+
+    #[test]
+    fn disconnected_graph_reports_none() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        assert_eq!(g.hop_distance(0, 3), None);
+        assert_eq!(g.diameter(), None);
+    }
+
+    #[test]
+    fn neighborhood_includes_self() {
+        let g = path(5);
+        assert_eq!(g.neighborhood(2, 0), vec![2]);
+        assert_eq!(g.neighborhood(2, 1), vec![1, 2, 3]);
+        assert_eq!(g.neighborhood(0, 10), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g0 = Graph::empty(0);
+        assert!(g0.is_connected());
+        assert_eq!(g0.diameter(), None);
+        let g1 = Graph::empty(1);
+        assert!(g1.is_connected());
+        assert_eq!(g1.diameter(), Some(0));
+    }
+
+    #[test]
+    fn edges_iterator_is_sorted_and_complete() {
+        let g = Graph::from_edges(4, [(3, 0), (1, 2), (0, 1)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let sub = g.induced_subgraph(&[0, 1, 2]);
+        assert_eq!(sub.len(), 3);
+        let edges: Vec<_> = sub.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = path(3);
+        let _ = g.induced_subgraph(&[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_out_of_range() {
+        let _ = Graph::from_edges(2, [(0, 2)]);
+    }
+
+    #[test]
+    fn max_degree_of_star() {
+        let g = Graph::from_edges(5, (1..5).map(|i| (0, i)));
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(1), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Growth-bounded graphs (Definition 4.1 of the paper).
+//!
+//! A graph is polynomially growth-bounded by `f` if every independent set
+//! restricted to an `r`-neighborhood has at most `f(r)` members. For
+//! *every* SINR-induced graph `G_a` a disc-packing argument yields the
+//! universal bound `f(r) = (2r + 1)²`: independent nodes are pairwise more
+//! than `R_a` apart, all members of `N_{G,r}(v)` lie within Euclidean
+//! distance `r·R_a` of `v`, and discs of radius `R_a/2` around independent
+//! nodes are disjoint inside a disc of radius `(r + 1/2)·R_a`.
+//!
+//! Lemma 4.2 then gives `|N_{G,r}(v)| ≤ Δ·f(r)`, which the MAC layer's
+//! locality arguments (Lemmas 10.1, 10.10) rely on.
+
+use crate::mis::{greedy_mis, is_independent};
+use crate::Graph;
+
+/// The universal growth bound `f(r) = (2r + 1)²` for SINR-induced graphs.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sinr_graphs::growth::disc_growth_bound(0), 1);
+/// assert_eq!(sinr_graphs::growth::disc_growth_bound(1), 9);
+/// ```
+#[inline]
+pub fn disc_growth_bound(r: u32) -> u64 {
+    let side = 2 * r as u64 + 1;
+    side * side
+}
+
+/// Checks Definition 4.1 empirically for one `(v, r)` pair: verifies that
+/// the provided independent `set`, restricted to `N_{G,r}(v)`, has at most
+/// `f(r)` members.
+///
+/// Returns the restricted member count so callers can report slack.
+///
+/// # Panics
+///
+/// Panics if `set` is not independent in `graph` — the check is only
+/// meaningful for independent sets.
+pub fn independent_count_in_neighborhood(graph: &Graph, set: &[usize], v: usize, r: u32) -> usize {
+    assert!(
+        is_independent(graph, set),
+        "set must be independent in graph"
+    );
+    let hood = graph.neighborhood(v, r);
+    set.iter().filter(|m| hood.binary_search(m).is_ok()).count()
+}
+
+/// Verifies the universal disc growth bound for every node of an
+/// SINR-induced graph at radius `r`, using a greedily grown independent
+/// set *inside each neighborhood* (the worst packing greedy finds).
+///
+/// Returns the maximum count observed over all nodes; callers assert it
+/// against [`disc_growth_bound`].
+pub fn max_greedy_independent_in_neighborhoods(graph: &Graph, r: u32) -> u64 {
+    let mut worst = 0u64;
+    for v in 0..graph.len() {
+        let hood = graph.neighborhood(v, r);
+        let local = greedy_mis(graph, hood.iter().copied());
+        worst = worst.max(local.len() as u64);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::induce_graph;
+
+    #[test]
+    fn bound_values() {
+        assert_eq!(disc_growth_bound(0), 1);
+        assert_eq!(disc_growth_bound(2), 25);
+        assert_eq!(disc_growth_bound(10), 441);
+    }
+
+    #[test]
+    fn sinr_induced_graphs_respect_disc_bound() {
+        let positions = sinr_geom::deploy::uniform(150, 45.0, 9).unwrap();
+        let g = induce_graph(&positions, 6.0);
+        for r in 0..4 {
+            let worst = max_greedy_independent_in_neighborhoods(&g, r);
+            assert!(
+                worst <= disc_growth_bound(r),
+                "r={r}: {worst} > {}",
+                disc_growth_bound(r)
+            );
+        }
+    }
+
+    #[test]
+    fn restricted_count_matches_manual() {
+        let positions = sinr_geom::deploy::line(7, 2.0).unwrap();
+        let g = induce_graph(&positions, 2.0); // a path
+        let set = vec![0, 2, 4, 6];
+        // N_{G,1}(2) = {1,2,3} contains exactly one member of the set.
+        assert_eq!(independent_count_in_neighborhood(&g, &set, 2, 1), 1);
+        // N_{G,2}(2) = {0..4} contains three members.
+        assert_eq!(independent_count_in_neighborhood(&g, &set, 2, 2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "independent")]
+    fn restricted_count_rejects_dependent_set() {
+        let positions = sinr_geom::deploy::line(3, 2.0).unwrap();
+        let g = induce_graph(&positions, 2.0);
+        let _ = independent_count_in_neighborhood(&g, &[0, 1], 0, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Maximal independent sets: greedy construction and validators.
+//!
+//! The MAC layer's sparsification (Algorithm 9.1, phase step) computes
+//! independent sets *distributedly*; this module provides the centralized
+//! ground truth used to validate it, plus the `(φ, i)`-local maximality
+//! checks of Definition 10.6 in graph form.
+
+use crate::Graph;
+
+/// Greedy MIS: scans nodes in the order given by `order` and adds a node
+/// whenever none of its neighbors was added before.
+///
+/// The result is always a maximal independent set of the subgraph induced
+/// by the scanned nodes.
+///
+/// # Panics
+///
+/// Panics if `order` contains an out-of-range index.
+pub fn greedy_mis(graph: &Graph, order: impl IntoIterator<Item = usize>) -> Vec<usize> {
+    let mut in_set = vec![false; graph.len()];
+    let mut blocked = vec![false; graph.len()];
+    let mut result = Vec::new();
+    for v in order {
+        assert!(v < graph.len(), "node {v} out of range");
+        if blocked[v] || in_set[v] {
+            continue;
+        }
+        in_set[v] = true;
+        result.push(v);
+        for &w in graph.neighbors(v) {
+            blocked[w as usize] = true;
+        }
+    }
+    result
+}
+
+/// Greedy MIS scanning all nodes in index order.
+pub fn greedy_mis_all(graph: &Graph) -> Vec<usize> {
+    greedy_mis(graph, 0..graph.len())
+}
+
+/// Whether `set` is independent in `graph` (no two members adjacent).
+pub fn is_independent(graph: &Graph, set: &[usize]) -> bool {
+    for (k, &a) in set.iter().enumerate() {
+        for &b in &set[k + 1..] {
+            if graph.has_edge(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether `set` is an independent set of `graph` that is *maximal with
+/// respect to* `candidates`: every candidate is in the set or adjacent to
+/// a member (§4.1's MIS of `S'` in `G`).
+pub fn is_maximal_wrt(graph: &Graph, set: &[usize], candidates: &[usize]) -> bool {
+    if !is_independent(graph, set) {
+        return false;
+    }
+    let mut covered = vec![false; graph.len()];
+    for &v in set {
+        covered[v] = true;
+        for &w in graph.neighbors(v) {
+            covered[w as usize] = true;
+        }
+    }
+    candidates.iter().all(|&c| covered[c])
+}
+
+/// Whether `set` is a maximal independent set of the whole graph.
+pub fn is_mis(graph: &Graph, set: &[usize]) -> bool {
+    let all: Vec<usize> = (0..graph.len()).collect();
+    is_maximal_wrt(graph, set, &all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn greedy_on_path_takes_alternating_nodes() {
+        let g = path(5);
+        let mis = greedy_mis_all(&g);
+        assert_eq!(mis, vec![0, 2, 4]);
+        assert!(is_mis(&g, &mis));
+    }
+
+    #[test]
+    fn greedy_respects_order() {
+        let g = path(3);
+        let mis = greedy_mis(&g, [1, 0, 2]);
+        assert_eq!(mis, vec![1]);
+        assert!(is_mis(&g, &mis));
+    }
+
+    #[test]
+    fn independence_checks() {
+        let g = path(4);
+        assert!(is_independent(&g, &[0, 2]));
+        assert!(!is_independent(&g, &[0, 1]));
+        assert!(is_independent(&g, &[]));
+    }
+
+    #[test]
+    fn maximality_wrt_subset() {
+        let g = path(5);
+        // {0} is maximal w.r.t. {0, 1} but not w.r.t. {0, 1, 3}.
+        assert!(is_maximal_wrt(&g, &[0], &[0, 1]));
+        assert!(!is_maximal_wrt(&g, &[0], &[0, 1, 3]));
+    }
+
+    #[test]
+    fn non_independent_set_is_never_maximal() {
+        let g = path(3);
+        assert!(!is_maximal_wrt(&g, &[0, 1], &[0]));
+    }
+
+    #[test]
+    fn greedy_on_empty_graph() {
+        let g = Graph::empty(4);
+        let mis = greedy_mis_all(&g);
+        assert_eq!(mis, vec![0, 1, 2, 3]); // all isolated nodes join
+        assert!(is_mis(&g, &mis));
+    }
+
+    #[test]
+    fn greedy_on_complete_graph_picks_one() {
+        let n = 5;
+        let edges = (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j)));
+        let g = Graph::from_edges(n, edges);
+        let mis = greedy_mis_all(&g);
+        assert_eq!(mis.len(), 1);
+        assert!(is_mis(&g, &mis));
+    }
+
+    #[test]
+    fn greedy_over_subset_is_maximal_wrt_subset() {
+        let g = path(6);
+        let candidates = vec![1, 3, 5];
+        let mis = greedy_mis(&g, candidates.iter().copied());
+        assert!(is_maximal_wrt(&g, &mis, &candidates));
+    }
+}

@@ -1,0 +1,518 @@
+//! The slotted simulation engine driving [`Protocol`] automata.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sinr_geom::{deploy, Point};
+
+use crate::reception::{decide_receptions_threaded, InterferenceModel};
+use crate::{PhysError, SinrParams};
+
+/// Identifier of a node in a simulation (its index in the position list).
+///
+/// A dedicated type keeps node indices from being confused with the
+/// paper's *temporary labels* (which are protocol-visible and non-unique)
+/// or with message identifiers.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index into position/protocol vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+/// What a node does in a slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<M> {
+    /// Transmit the message; the node cannot receive this slot.
+    Transmit(M),
+    /// Stay silent and listen.
+    Listen,
+}
+
+/// Per-slot context handed to protocol callbacks.
+///
+/// Protocols receive their own deterministic RNG stream: two runs with the
+/// same master seed and the same protocol logic produce identical
+/// executions.
+pub struct SlotCtx<'a> {
+    /// The current slot number (0-based).
+    pub slot: u64,
+    /// The node this callback belongs to.
+    pub node: NodeId,
+    /// This node's private random source (paper §4.6: every node has
+    /// private access to a perfect random source).
+    pub rng: &'a mut StdRng,
+}
+
+/// A node automaton running above the physical layer.
+///
+/// The engine calls [`Protocol::on_slot`] for every node (in index order),
+/// resolves the SINR reception outcome, delivers at most one
+/// [`Protocol::on_receive`] per listening node, and finally calls
+/// [`Protocol::on_slot_end`] for every node.
+pub trait Protocol {
+    /// The frame type this protocol puts on the air.
+    type Msg: Clone;
+
+    /// Decide this node's action for the slot.
+    fn on_slot(&mut self, ctx: &mut SlotCtx<'_>) -> Action<Self::Msg>;
+
+    /// Called when this node decodes `msg` (at most once per slot, never
+    /// on a slot in which the node transmitted).
+    fn on_receive(&mut self, ctx: &mut SlotCtx<'_>, msg: &Self::Msg);
+
+    /// Called after reception resolution, for every node, every slot.
+    fn on_slot_end(&mut self, _ctx: &mut SlotCtx<'_>) {}
+}
+
+/// Outcome of a single slot, for instrumentation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SlotOutcome {
+    /// The slot that was executed.
+    pub slot: u64,
+    /// Nodes that transmitted.
+    pub senders: Vec<NodeId>,
+    /// Successful receptions as `(receiver, sender)` pairs, in receiver
+    /// order.
+    pub receptions: Vec<(NodeId, NodeId)>,
+}
+
+/// Cumulative counters maintained by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Slots executed so far.
+    pub slots: u64,
+    /// Total transmissions across all nodes and slots.
+    pub transmissions: u64,
+    /// Total successful receptions.
+    pub receptions: u64,
+}
+
+/// The slotted SINR simulation engine.
+///
+/// Owns the node positions, the protocol automata and per-node RNG
+/// streams; see the crate-level example for usage.
+pub struct Engine<P: Protocol> {
+    params: SinrParams,
+    positions: Vec<Point>,
+    protocols: Vec<P>,
+    rngs: Vec<StdRng>,
+    model: InterferenceModel,
+    threads: usize,
+    slot: u64,
+    stats: EngineStats,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Creates an engine over `positions` with one protocol automaton per
+    /// node, using the exact interference model.
+    ///
+    /// # Errors
+    ///
+    /// * [`PhysError::MismatchedInputs`] if lengths differ.
+    /// * [`PhysError::NearFieldViolation`] if two nodes are closer than the
+    ///   minimum distance 1 (§4.2).
+    pub fn new(
+        params: SinrParams,
+        positions: Vec<Point>,
+        protocols: Vec<P>,
+        seed: u64,
+    ) -> Result<Self, PhysError> {
+        Self::with_model(params, positions, protocols, seed, InterferenceModel::Exact)
+    }
+
+    /// Like [`Engine::new`] with an explicit interference model.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::new`].
+    pub fn with_model(
+        params: SinrParams,
+        positions: Vec<Point>,
+        protocols: Vec<P>,
+        seed: u64,
+        model: InterferenceModel,
+    ) -> Result<Self, PhysError> {
+        if positions.len() != protocols.len() {
+            return Err(PhysError::MismatchedInputs {
+                positions: positions.len(),
+                protocols: protocols.len(),
+            });
+        }
+        if let Some(pair) = deploy::near_field_violation(&positions) {
+            return Err(PhysError::NearFieldViolation { pair });
+        }
+        // Distinct, deterministic stream per node: hash the node index into
+        // the master seed with an odd multiplier (splitmix-style).
+        let rngs = (0..positions.len())
+            .map(|i| StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        Ok(Engine {
+            params,
+            positions,
+            protocols,
+            rngs,
+            model,
+            threads: 1,
+            slot: 0,
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the simulation has zero nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The SINR parameters this engine runs with.
+    #[inline]
+    pub fn params(&self) -> &SinrParams {
+        &self.params
+    }
+
+    /// Node positions (index ↔ [`NodeId`]).
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The next slot to be executed.
+    #[inline]
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Sets the number of OS threads used for reception decisions (the
+    /// simulation stays deterministic — listeners are independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads > 0, "threads must be nonzero");
+        self.threads = threads;
+    }
+
+    /// Cumulative counters.
+    #[inline]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Shared access to a node's protocol automaton.
+    pub fn protocol(&self, node: NodeId) -> &P {
+        &self.protocols[node.index()]
+    }
+
+    /// Exclusive access to a node's protocol automaton (used by MAC layers
+    /// to inject environment inputs such as `bcast` between slots).
+    pub fn protocol_mut(&mut self, node: NodeId) -> &mut P {
+        &mut self.protocols[node.index()]
+    }
+
+    /// Iterates over all protocol automata in node order.
+    pub fn protocols(&self) -> impl Iterator<Item = &P> {
+        self.protocols.iter()
+    }
+
+    /// Executes one slot and returns its outcome.
+    pub fn step(&mut self) -> SlotOutcome {
+        let slot = self.slot;
+        let n = self.positions.len();
+        let mut senders: Vec<usize> = Vec::new();
+        let mut frames: Vec<Option<P::Msg>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut ctx = SlotCtx {
+                slot,
+                node: NodeId::from(i),
+                rng: &mut self.rngs[i],
+            };
+            match self.protocols[i].on_slot(&mut ctx) {
+                Action::Transmit(m) => {
+                    senders.push(i);
+                    frames.push(Some(m));
+                }
+                Action::Listen => frames.push(None),
+            }
+        }
+        let decisions = decide_receptions_threaded(
+            &self.params,
+            &self.positions,
+            &senders,
+            self.model,
+            self.threads,
+        );
+        let mut receptions = Vec::new();
+        for (u, decision) in decisions.iter().enumerate() {
+            if let Some(s) = decision {
+                let msg = frames[*s]
+                    .as_ref()
+                    .expect("decoded sender must have a frame")
+                    .clone();
+                let mut ctx = SlotCtx {
+                    slot,
+                    node: NodeId::from(u),
+                    rng: &mut self.rngs[u],
+                };
+                self.protocols[u].on_receive(&mut ctx, &msg);
+                receptions.push((NodeId::from(u), NodeId::from(*s)));
+            }
+        }
+        for i in 0..n {
+            let mut ctx = SlotCtx {
+                slot,
+                node: NodeId::from(i),
+                rng: &mut self.rngs[i],
+            };
+            self.protocols[i].on_slot_end(&mut ctx);
+        }
+        self.slot += 1;
+        self.stats.slots += 1;
+        self.stats.transmissions += senders.len() as u64;
+        self.stats.receptions += receptions.len() as u64;
+        SlotOutcome {
+            slot,
+            senders: senders.into_iter().map(NodeId::from).collect(),
+            receptions,
+        }
+    }
+
+    /// Runs `slots` consecutive slots, discarding per-slot outcomes.
+    pub fn run(&mut self, slots: u64) {
+        for _ in 0..slots {
+            self.step();
+        }
+    }
+
+    /// Runs until `pred` returns true for a slot outcome or `max_slots` is
+    /// reached; returns the number of slots executed by this call.
+    pub fn run_until(&mut self, max_slots: u64, mut pred: impl FnMut(&SlotOutcome) -> bool) -> u64 {
+        for executed in 0..max_slots {
+            let outcome = self.step();
+            if pred(&outcome) {
+                return executed + 1;
+            }
+        }
+        max_slots
+    }
+}
+
+impl<P: Protocol> fmt::Debug for Engine<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("n", &self.positions.len())
+            .field("slot", &self.slot)
+            .field("params", &self.params)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Transmits `msg` on every slot in `active`, listens otherwise, and
+    /// records everything it hears.
+    struct Scripted {
+        active: Vec<u64>,
+        msg: u32,
+        heard: Vec<(u64, u32)>,
+    }
+
+    impl Scripted {
+        fn talker(active: Vec<u64>, msg: u32) -> Self {
+            Scripted {
+                active,
+                msg,
+                heard: Vec::new(),
+            }
+        }
+        fn listener() -> Self {
+            Scripted {
+                active: Vec::new(),
+                msg: 0,
+                heard: Vec::new(),
+            }
+        }
+    }
+
+    impl Protocol for Scripted {
+        type Msg = u32;
+        fn on_slot(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u32> {
+            if self.active.contains(&ctx.slot) {
+                Action::Transmit(self.msg)
+            } else {
+                Action::Listen
+            }
+        }
+        fn on_receive(&mut self, ctx: &mut SlotCtx<'_>, msg: &u32) {
+            self.heard.push((ctx.slot, *msg));
+        }
+    }
+
+    fn params() -> SinrParams {
+        SinrParams::builder().range(16.0).build().unwrap()
+    }
+
+    #[test]
+    fn lone_transmission_is_heard_by_neighbors() {
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(10.0, 0.0),
+        ];
+        let protos = vec![
+            Scripted::talker(vec![0], 7),
+            Scripted::listener(),
+            Scripted::listener(),
+        ];
+        let mut e = Engine::new(params(), pos, protos, 1).unwrap();
+        let out = e.step();
+        assert_eq!(out.senders, vec![NodeId(0)]);
+        assert_eq!(out.receptions.len(), 2);
+        assert_eq!(e.protocol(NodeId(1)).heard, vec![(0, 7)]);
+        assert_eq!(e.protocol(NodeId(2)).heard, vec![(0, 7)]);
+    }
+
+    #[test]
+    fn simultaneous_equal_transmitters_collide() {
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(10.0, 0.0),
+        ];
+        let protos = vec![
+            Scripted::talker(vec![0], 1),
+            Scripted::listener(),
+            Scripted::talker(vec![0], 2),
+        ];
+        let mut e = Engine::new(params(), pos, protos, 1).unwrap();
+        let out = e.step();
+        assert!(out.receptions.is_empty());
+        assert!(e.protocol(NodeId(1)).heard.is_empty());
+    }
+
+    #[test]
+    fn staggered_transmitters_round_robin() {
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(10.0, 0.0),
+        ];
+        let protos = vec![
+            Scripted::talker(vec![0], 1),
+            Scripted::listener(),
+            Scripted::talker(vec![1], 2),
+        ];
+        let mut e = Engine::new(params(), pos, protos, 1).unwrap();
+        e.run(2);
+        assert_eq!(e.protocol(NodeId(1)).heard, vec![(0, 1), (1, 2)]);
+        assert_eq!(e.stats().transmissions, 2);
+        assert_eq!(e.stats().receptions, 4); // each talk heard by 2 others
+    }
+
+    #[test]
+    fn constructor_validates_lengths() {
+        let pos = vec![Point::new(0.0, 0.0)];
+        let protos: Vec<Scripted> = vec![];
+        assert!(matches!(
+            Engine::new(params(), pos, protos, 0),
+            Err(PhysError::MismatchedInputs { .. })
+        ));
+    }
+
+    #[test]
+    fn constructor_validates_near_field() {
+        let pos = vec![Point::new(0.0, 0.0), Point::new(0.3, 0.0)];
+        let protos = vec![Scripted::listener(), Scripted::listener()];
+        assert!(matches!(
+            Engine::new(params(), pos, protos, 0),
+            Err(PhysError::NearFieldViolation { pair: (0, 1) })
+        ));
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate() {
+        let pos = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)];
+        let protos = vec![Scripted::talker(vec![3], 9), Scripted::listener()];
+        let mut e = Engine::new(params(), pos, protos, 0).unwrap();
+        let steps = e.run_until(100, |o| !o.receptions.is_empty());
+        assert_eq!(steps, 4); // slots 0..=3, reception on slot 3
+        assert_eq!(e.slot(), 4);
+    }
+
+    /// A protocol that transmits with probability 1/2 each slot.
+    struct CoinFlip;
+    impl Protocol for CoinFlip {
+        type Msg = ();
+        fn on_slot(&mut self, ctx: &mut SlotCtx<'_>) -> Action<()> {
+            if rand::Rng::random_bool(ctx.rng, 0.5) {
+                Action::Transmit(())
+            } else {
+                Action::Listen
+            }
+        }
+        fn on_receive(&mut self, _: &mut SlotCtx<'_>, _: &()) {}
+    }
+
+    #[test]
+    fn executions_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let pos = sinr_geom::deploy::uniform(20, 30.0, 5).unwrap();
+            let protos: Vec<CoinFlip> = (0..20).map(|_| CoinFlip).collect();
+            let mut e = Engine::new(params(), pos, protos, seed).unwrap();
+            let mut log = Vec::new();
+            for _ in 0..50 {
+                log.push(e.step());
+            }
+            log
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn threaded_reception_is_identical_to_serial() {
+        let run = |threads: usize| {
+            let pos = sinr_geom::deploy::uniform(30, 40.0, 5).unwrap();
+            let protos: Vec<CoinFlip> = (0..30).map(|_| CoinFlip).collect();
+            let mut e = Engine::new(params(), pos, protos, 3).unwrap();
+            e.set_threads(threads);
+            (0..40).map(|_| e.step()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(2));
+    }
+
+    #[test]
+    fn node_id_display_and_conversion() {
+        let id = NodeId::from(3usize);
+        assert_eq!(id.to_string(), "n3");
+        assert_eq!(id.index(), 3);
+    }
+}

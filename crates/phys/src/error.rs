@@ -1,0 +1,72 @@
+//! Error type for the physical-layer simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PhysError {
+    /// A model parameter violated its documented constraint.
+    InvalidParams {
+        /// Field name and the constraint that failed.
+        field: &'static str,
+    },
+    /// The engine was constructed with mismatched input lengths.
+    MismatchedInputs {
+        /// Number of node positions supplied.
+        positions: usize,
+        /// Number of protocol automata supplied.
+        protocols: usize,
+    },
+    /// A deployment violates the near-field assumption (min distance 1).
+    NearFieldViolation {
+        /// The offending pair of node indices.
+        pair: (usize, usize),
+    },
+}
+
+impl fmt::Display for PhysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysError::InvalidParams { field } => {
+                write!(f, "invalid SINR parameter ({field})")
+            }
+            PhysError::MismatchedInputs {
+                positions,
+                protocols,
+            } => write!(
+                f,
+                "engine inputs mismatched: {positions} positions vs {protocols} protocols"
+            ),
+            PhysError::NearFieldViolation { pair } => write!(
+                f,
+                "nodes {} and {} are closer than the minimum distance 1",
+                pair.0, pair.1
+            ),
+        }
+    }
+}
+
+impl Error for PhysError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PhysError::MismatchedInputs {
+            positions: 3,
+            protocols: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('4'));
+    }
+
+    #[test]
+    fn implements_error() {
+        let e: Box<dyn Error> = Box::new(PhysError::InvalidParams { field: "alpha" });
+        assert!(e.to_string().contains("alpha"));
+    }
+}

@@ -1,0 +1,363 @@
+//! SINR model parameters and derived quantities.
+
+use std::fmt;
+
+use crate::PhysError;
+
+/// Parameters of the SINR physical model (§4.2 of the paper).
+///
+/// Constructed through [`SinrParams::builder`]; construction validates the
+/// paper's assumptions (`α > 2`, `β > 1`, `N > 0`, `P > 0`,
+/// `0 < ε < 1/2`) and precomputes the derived radii.
+///
+/// Derived quantities:
+///
+/// * `R = (P / (β·N))^(1/α)` — the *weak* transmission range: the maximum
+///   distance a message can bridge when nobody else transmits.
+/// * `R_a = a · R` — scaled ranges; the paper's *strong* radius is
+///   `R₁₋ε` and the approximate-progress radius is `R₁₋₂ε`.
+/// * `Λ` — ratio of `R₁₋ε` to the minimum node distance; with the
+///   near-field assumption (min distance ≥ 1) we use `Λ = R₁₋ε`.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_phys::SinrParams;
+///
+/// let p = SinrParams::builder()
+///     .alpha(3.0)
+///     .beta(1.5)
+///     .noise(1.0)
+///     .epsilon(0.1)
+///     .range(32.0) // choose P so that R = 32
+///     .build()
+///     .unwrap();
+/// assert!((p.range() - 32.0).abs() < 1e-9);
+/// assert!((p.strong_radius() - 0.9 * 32.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinrParams {
+    power: f64,
+    alpha: f64,
+    beta: f64,
+    noise: f64,
+    epsilon: f64,
+    range: f64,
+}
+
+impl SinrParams {
+    /// Starts building a parameter set. Defaults: `α = 3`, `β = 1.5`,
+    /// `N = 1`, `ε = 0.1`, and a weak range `R = 16` (power derived).
+    pub fn builder() -> SinrParamsBuilder {
+        SinrParamsBuilder::default()
+    }
+
+    /// Uniform transmission power `P`.
+    #[inline]
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// Path-loss exponent `α`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Decoding threshold `β`.
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Ambient noise `N`.
+    #[inline]
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// The strong-connectivity slack `ε` chosen by the user.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Weak transmission range `R = (P/(βN))^(1/α)`.
+    #[inline]
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Scaled range `R_a = a·R`.
+    #[inline]
+    pub fn range_scaled(&self, a: f64) -> f64 {
+        a * self.range
+    }
+
+    /// Strong-connectivity radius `R₁₋ε`.
+    #[inline]
+    pub fn strong_radius(&self) -> f64 {
+        self.range_scaled(1.0 - self.epsilon)
+    }
+
+    /// Approximate-progress radius `R₁₋₂ε` (the radius of `G̃ = G₁₋₂ε`).
+    #[inline]
+    pub fn approx_radius(&self) -> f64 {
+        self.range_scaled(1.0 - 2.0 * self.epsilon)
+    }
+
+    /// `Λ`: the ratio of `R₁₋ε` to the minimum distance between nodes.
+    ///
+    /// Under the near-field assumption the minimum distance is at least 1,
+    /// so `Λ = R₁₋ε` is the bound the algorithms are given (the paper
+    /// assumes only that *a polynomial bound on Λ* is known).
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.strong_radius().max(1.0)
+    }
+
+    /// `log₂ Λ`, clamped below at 1 — the phase-count driver `Θ(log Λ)`.
+    #[inline]
+    pub fn log_lambda(&self) -> f64 {
+        self.lambda().log2().max(1.0)
+    }
+
+    /// Received power `P / d^α` at distance `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `d < 1`, which would violate the
+    /// near-field assumption and make the formula meaningless.
+    #[inline]
+    pub fn received_power(&self, d: f64) -> f64 {
+        debug_assert!(d >= 1.0 - 1e-9, "near-field violation: d = {d}");
+        self.power / d.powf(self.alpha)
+    }
+
+    /// Evaluates the SINR decoding predicate: can a listener decode a
+    /// signal of strength `signal` under `interference` (excluding the
+    /// signal itself) plus ambient noise?
+    #[inline]
+    pub fn decodes(&self, signal: f64, interference: f64) -> bool {
+        signal >= self.beta * (interference + self.noise)
+    }
+}
+
+impl fmt::Display for SinrParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SINR(P={}, α={}, β={}, N={}, ε={}, R={:.3})",
+            self.power, self.alpha, self.beta, self.noise, self.epsilon, self.range
+        )
+    }
+}
+
+/// Builder for [`SinrParams`].
+///
+/// Either `power` or `range` may be specified (the other is derived); if
+/// both are given they must be consistent.
+#[derive(Debug, Clone)]
+pub struct SinrParamsBuilder {
+    power: Option<f64>,
+    alpha: f64,
+    beta: f64,
+    noise: f64,
+    epsilon: f64,
+    range: Option<f64>,
+}
+
+impl Default for SinrParamsBuilder {
+    fn default() -> Self {
+        SinrParamsBuilder {
+            power: None,
+            alpha: 3.0,
+            beta: 1.5,
+            noise: 1.0,
+            epsilon: 0.1,
+            range: None,
+        }
+    }
+}
+
+impl SinrParamsBuilder {
+    /// Sets the uniform transmission power `P`.
+    pub fn power(&mut self, p: f64) -> &mut Self {
+        self.power = Some(p);
+        self
+    }
+
+    /// Sets the path-loss exponent `α` (must satisfy `α > 2`).
+    pub fn alpha(&mut self, a: f64) -> &mut Self {
+        self.alpha = a;
+        self
+    }
+
+    /// Sets the decoding threshold `β` (must satisfy `β > 1`).
+    pub fn beta(&mut self, b: f64) -> &mut Self {
+        self.beta = b;
+        self
+    }
+
+    /// Sets the ambient noise `N` (must be positive).
+    pub fn noise(&mut self, n: f64) -> &mut Self {
+        self.noise = n;
+        self
+    }
+
+    /// Sets the strong-connectivity slack `ε` (must satisfy `0 < ε < 1/2`
+    /// so that both `R₁₋ε` and `R₁₋₂ε` are positive).
+    pub fn epsilon(&mut self, e: f64) -> &mut Self {
+        self.epsilon = e;
+        self
+    }
+
+    /// Sets the weak range `R` directly; power is derived as `R^α·β·N`.
+    pub fn range(&mut self, r: f64) -> &mut Self {
+        self.range = Some(r);
+        self
+    }
+
+    /// Validates and builds the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// [`PhysError::InvalidParams`] if any constraint fails (the message
+    /// names the offending field).
+    pub fn build(&self) -> Result<SinrParams, PhysError> {
+        let fail = |what: &'static str| Err(PhysError::InvalidParams { field: what });
+        if !(self.alpha > 2.0 && self.alpha.is_finite()) {
+            return fail("alpha: must satisfy 2 < alpha < inf (paper assumes alpha > 2)");
+        }
+        if !(self.beta > 1.0 && self.beta.is_finite()) {
+            return fail("beta: must satisfy beta > 1");
+        }
+        if !(self.noise > 0.0 && self.noise.is_finite()) {
+            return fail("noise: must be positive");
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 0.5) {
+            return fail("epsilon: must satisfy 0 < epsilon < 1/2");
+        }
+        let (power, range) = match (self.power, self.range) {
+            (Some(p), None) => {
+                if !(p > 0.0 && p.is_finite()) {
+                    return fail("power: must be positive");
+                }
+                (p, (p / (self.beta * self.noise)).powf(1.0 / self.alpha))
+            }
+            (None, Some(r)) => {
+                if !(r >= 2.0 && r.is_finite()) {
+                    return fail("range: must be >= 2 (so strong links exist at min distance)");
+                }
+                (r.powf(self.alpha) * self.beta * self.noise, r)
+            }
+            (None, None) => {
+                let r = 16.0_f64;
+                (r.powf(self.alpha) * self.beta * self.noise, r)
+            }
+            (Some(p), Some(r)) => {
+                let derived = (p / (self.beta * self.noise)).powf(1.0 / self.alpha);
+                if (derived - r).abs() > 1e-6 * r {
+                    return fail("power/range: both set but inconsistent");
+                }
+                (p, r)
+            }
+        };
+        Ok(SinrParams {
+            power,
+            alpha: self.alpha,
+            beta: self.beta,
+            noise: self.noise,
+            epsilon: self.epsilon,
+            range,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_is_consistent() {
+        let p = SinrParams::builder().build().unwrap();
+        assert_eq!(p.range(), 16.0);
+        // R = (P/(βN))^(1/α) must invert the derived power.
+        let r = (p.power() / (p.beta() * p.noise())).powf(1.0 / p.alpha());
+        assert!((r - p.range()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radii_are_ordered() {
+        let p = SinrParams::builder().epsilon(0.2).build().unwrap();
+        assert!(p.approx_radius() < p.strong_radius());
+        assert!(p.strong_radius() < p.range());
+    }
+
+    #[test]
+    fn range_at_exact_r_decodes_without_interference() {
+        let p = SinrParams::builder().range(10.0).build().unwrap();
+        let signal = p.received_power(10.0);
+        assert!(p.decodes(signal, 0.0));
+        let signal_far = p.received_power(10.5);
+        assert!(!p.decodes(signal_far, 0.0));
+    }
+
+    #[test]
+    fn interference_blocks_decoding() {
+        let p = SinrParams::builder().range(10.0).build().unwrap();
+        let signal = p.received_power(5.0);
+        // Equal-strength interferer defeats beta > 1.
+        assert!(!p.decodes(signal, signal));
+    }
+
+    #[test]
+    fn builder_rejects_bad_alpha() {
+        assert!(SinrParams::builder().alpha(2.0).build().is_err());
+        assert!(SinrParams::builder().alpha(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_beta_noise_epsilon() {
+        assert!(SinrParams::builder().beta(1.0).build().is_err());
+        assert!(SinrParams::builder().noise(0.0).build().is_err());
+        assert!(SinrParams::builder().epsilon(0.5).build().is_err());
+        assert!(SinrParams::builder().epsilon(0.0).build().is_err());
+    }
+
+    #[test]
+    fn builder_power_and_range_round_trip() {
+        let a = SinrParams::builder().range(20.0).build().unwrap();
+        let b = SinrParams::builder().power(a.power()).build().unwrap();
+        assert!((b.range() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_power_range() {
+        assert!(SinrParams::builder()
+            .power(1000.0)
+            .range(2.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn lambda_tracks_strong_radius() {
+        let p = SinrParams::builder()
+            .range(64.0)
+            .epsilon(0.25)
+            .build()
+            .unwrap();
+        assert!((p.lambda() - 48.0).abs() < 1e-9);
+        assert!(p.log_lambda() > 5.0);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let p = SinrParams::builder().build().unwrap();
+        let s = p.to_string();
+        for needle in ["P=", "α=", "β=", "N=", "ε=", "R="] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+}

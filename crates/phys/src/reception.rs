@@ -1,0 +1,378 @@
+//! Reception decisions: who decodes whom in a slot.
+//!
+//! Because the decoding threshold satisfies `β > 1`, at most one
+//! transmitter can be decoded by a given listener in a given slot, and it
+//! can only be the transmitter with the strongest received signal (any
+//! weaker candidate has both less signal and more interference). The
+//! functions here exploit that: per listener they find the nearest
+//! transmitter and evaluate the SINR inequality once.
+//!
+//! Two interference models are provided:
+//!
+//! * [`InterferenceModel::Exact`] sums `P/d^α` over every transmitter —
+//!   the ground truth, O(listeners × senders).
+//! * [`InterferenceModel::GridFarField`] handles transmitters near the
+//!   listener exactly and aggregates each far grid cell as
+//!   `|cell| · P / dist(cell)^α` using the cell's nearest point. Far
+//!   distances are under-estimated, so interference is over-estimated:
+//!   the approximation is **conservative** — it never grants a reception
+//!   the exact model would deny (verified by tests and the `interference`
+//!   bench). This mirrors the ring-decomposition bound used in the proof
+//!   of Lemma 10.3 of the paper.
+
+use sinr_geom::{HashGrid, Point};
+
+use crate::SinrParams;
+
+/// How interference sums are computed by [`decide_receptions`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum InterferenceModel {
+    /// Exact summation over all transmitters.
+    Exact,
+    /// Exact within the weak range (plus one cell diagonal); per-cell
+    /// aggregation beyond. Conservative (see module docs).
+    GridFarField {
+        /// Grid cell side; a good default is half the weak range.
+        cell_size: f64,
+    },
+}
+
+impl Default for InterferenceModel {
+    fn default() -> Self {
+        InterferenceModel::Exact
+    }
+}
+
+/// The raw SINR of transmitter `sender` at `listener` given the
+/// transmitter set `senders` (exact model). Intended for diagnostics and
+/// tests; the engine uses [`decide_receptions`].
+///
+/// # Panics
+///
+/// Panics if `sender` is not an element of `senders` or equals `listener`.
+pub fn sinr_at(
+    params: &SinrParams,
+    positions: &[Point],
+    senders: &[usize],
+    listener: usize,
+    sender: usize,
+) -> f64 {
+    assert!(senders.contains(&sender), "sender must be transmitting");
+    assert_ne!(sender, listener, "a node does not receive from itself");
+    let signal = params.received_power(positions[sender].dist(positions[listener]));
+    let mut interference = 0.0;
+    for &w in senders {
+        if w != sender && w != listener {
+            interference += params.received_power(positions[w].dist(positions[listener]));
+        }
+    }
+    signal / (interference + params.noise())
+}
+
+/// Decides receptions for every node given the set of transmitters.
+///
+/// Returns one entry per node: `Some(sender)` if that node decodes a
+/// transmission this slot, `None` otherwise. Transmitters themselves are
+/// always `None` (half-duplex).
+///
+/// `senders` must be sorted, deduplicated node indices into `positions`.
+///
+/// # Panics
+///
+/// Panics if `senders` is not sorted/deduplicated or contains an index out
+/// of range — both are engine invariants, not user input.
+pub fn decide_receptions(
+    params: &SinrParams,
+    positions: &[Point],
+    senders: &[usize],
+    model: InterferenceModel,
+) -> Vec<Option<usize>> {
+    assert!(
+        senders.windows(2).all(|w| w[0] < w[1]),
+        "senders must be sorted and deduplicated"
+    );
+    if let Some(&last) = senders.last() {
+        assert!(last < positions.len(), "sender index out of range");
+    }
+    decide_receptions_threaded(params, positions, senders, model, 1)
+}
+
+/// Like [`decide_receptions`] but splitting the per-listener work across
+/// `threads` OS threads (crossbeam scoped threads). The result is
+/// bit-identical to the serial computation — listeners are independent —
+/// so parallelism is purely a wall-clock lever for large simulations.
+///
+/// # Panics
+///
+/// Same input invariants as [`decide_receptions`]; additionally `threads`
+/// must be nonzero.
+pub fn decide_receptions_threaded(
+    params: &SinrParams,
+    positions: &[Point],
+    senders: &[usize],
+    model: InterferenceModel,
+    threads: usize,
+) -> Vec<Option<usize>> {
+    assert!(threads > 0, "threads must be nonzero");
+    let mut out = vec![None; positions.len()];
+    if senders.is_empty() {
+        return out;
+    }
+    let ctx = DecideCtx::prepare(params, positions, senders, model);
+    if threads == 1 || positions.len() < 2 * threads {
+        for (u, slot) in out.iter_mut().enumerate() {
+            *slot = ctx.decide(u);
+        }
+        return out;
+    }
+    let chunk = positions.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (k, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            let ctx = &ctx;
+            scope.spawn(move |_| {
+                let base = k * chunk;
+                for (i, slot) in out_chunk.iter_mut().enumerate() {
+                    *slot = ctx.decide(base + i);
+                }
+            });
+        }
+    })
+    .expect("reception worker panicked");
+    out
+}
+
+/// Precomputed state shared by all per-listener decisions of one slot.
+struct DecideCtx<'a> {
+    params: &'a SinrParams,
+    positions: &'a [Point],
+    senders: &'a [usize],
+    sender_pts: Vec<Point>,
+    /// For the grid model: the sender grid, its non-empty cells (owned so
+    /// worker threads can share them), and the near cutoff distance.
+    grid: Option<(HashGrid, Vec<((i64, i64), Vec<usize>)>, f64)>,
+}
+
+impl<'a> DecideCtx<'a> {
+    fn prepare(
+        params: &'a SinrParams,
+        positions: &'a [Point],
+        senders: &'a [usize],
+        model: InterferenceModel,
+    ) -> Self {
+        let sender_pts: Vec<Point> = senders.iter().map(|&s| positions[s]).collect();
+        let grid = match model {
+            InterferenceModel::Exact => None,
+            InterferenceModel::GridFarField { cell_size } => {
+                assert!(
+                    cell_size.is_finite() && cell_size > 0.0,
+                    "cell_size must be positive"
+                );
+                let grid = HashGrid::build(&sender_pts, cell_size);
+                let cells: Vec<((i64, i64), Vec<usize>)> = grid
+                    .cells()
+                    .map(|(c, members)| (c, members.to_vec()))
+                    .collect();
+                // Any transmitter within the weak range R of a listener is
+                // handled exactly (it could be the decode candidate or a
+                // dominant interferer); one cell diagonal of slack means
+                // such a cell is never aggregated.
+                let near_cutoff = params.range() + cell_size * std::f64::consts::SQRT_2;
+                Some((grid, cells, near_cutoff))
+            }
+        };
+        DecideCtx {
+            params,
+            positions,
+            senders,
+            sender_pts,
+            grid,
+        }
+    }
+
+    fn decide(&self, u: usize) -> Option<usize> {
+        if is_sender(self.senders, u) {
+            return None;
+        }
+        let pu = self.positions[u];
+        match &self.grid {
+            None => {
+                let mut total = 0.0;
+                let mut best_idx = 0usize;
+                let mut best_d_sq = f64::INFINITY;
+                for (k, &ps) in self.sender_pts.iter().enumerate() {
+                    let d_sq = ps.dist_sq(pu);
+                    total += self.params.received_power(d_sq.sqrt());
+                    if d_sq < best_d_sq {
+                        best_d_sq = d_sq;
+                        best_idx = k;
+                    }
+                }
+                let signal = self.params.received_power(best_d_sq.sqrt());
+                self.params
+                    .decodes(signal, total - signal)
+                    .then(|| self.senders[best_idx])
+            }
+            Some((grid, cells, near_cutoff)) => {
+                let mut total = 0.0;
+                let mut best_idx: Option<usize> = None;
+                let mut best_d_sq = f64::INFINITY;
+                for (cell, members) in cells {
+                    let lb = grid.cell_min_dist(*cell, pu);
+                    if lb <= *near_cutoff {
+                        for &k in members {
+                            let d_sq = self.sender_pts[k].dist_sq(pu);
+                            total += self.params.received_power(d_sq.sqrt());
+                            if d_sq < best_d_sq {
+                                best_d_sq = d_sq;
+                                best_idx = Some(k);
+                            }
+                        }
+                    } else {
+                        // Conservative: every member treated as sitting at
+                        // the cell's nearest point to the listener.
+                        total += members.len() as f64 * self.params.received_power(lb);
+                    }
+                }
+                let best = best_idx?;
+                let signal = self.params.received_power(best_d_sq.sqrt());
+                self.params
+                    .decodes(signal, total - signal)
+                    .then(|| self.senders[best])
+            }
+        }
+    }
+}
+
+fn is_sender(senders: &[usize], i: usize) -> bool {
+    senders.binary_search(&i).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SinrParams {
+        SinrParams::builder().range(16.0).build().unwrap()
+    }
+
+    #[test]
+    fn single_sender_in_range_is_decoded() {
+        let p = params();
+        let pos = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let got = decide_receptions(&p, &pos, &[0], InterferenceModel::Exact);
+        assert_eq!(got, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn single_sender_out_of_range_is_not_decoded() {
+        let p = params();
+        let pos = vec![Point::new(0.0, 0.0), Point::new(17.0, 0.0)];
+        let got = decide_receptions(&p, &pos, &[0], InterferenceModel::Exact);
+        assert_eq!(got, vec![None, None]);
+    }
+
+    #[test]
+    fn symmetric_senders_jam_each_other() {
+        let p = params();
+        // Listener exactly between two transmitters: equal signal, beta > 1
+        // makes decoding impossible.
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(8.0, 0.0),
+        ];
+        let got = decide_receptions(&p, &pos, &[0, 2], InterferenceModel::Exact);
+        assert_eq!(got[1], None);
+    }
+
+    #[test]
+    fn transmitters_never_receive() {
+        let p = params();
+        let pos = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        let got = decide_receptions(&p, &pos, &[0, 1], InterferenceModel::Exact);
+        assert_eq!(got, vec![None, None]);
+    }
+
+    #[test]
+    fn nearest_sender_wins_when_dominant() {
+        let p = params();
+        let pos = vec![
+            Point::new(0.0, 0.0),  // listener
+            Point::new(1.5, 0.0),  // close sender
+            Point::new(14.0, 0.0), // far sender
+        ];
+        let got = decide_receptions(&p, &pos, &[1, 2], InterferenceModel::Exact);
+        assert_eq!(got[0], Some(1));
+    }
+
+    #[test]
+    fn no_senders_means_silence() {
+        let p = params();
+        let pos = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        let got = decide_receptions(&p, &pos, &[], InterferenceModel::Exact);
+        assert_eq!(got, vec![None, None]);
+    }
+
+    #[test]
+    fn sinr_at_matches_decode_boundary() {
+        let p = params();
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(8.0, 0.0),
+            Point::new(30.0, 0.0),
+        ];
+        let s = sinr_at(&p, &pos, &[1, 2], 0, 1);
+        let decoded = decide_receptions(&p, &pos, &[1, 2], InterferenceModel::Exact)[0];
+        assert_eq!(decoded.is_some(), s >= p.beta());
+    }
+
+    #[test]
+    fn grid_model_is_conservative() {
+        // Receptions under the grid model must be a subset of exact ones.
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(60, 80.0, 11).unwrap();
+        let senders: Vec<usize> = (0..60).step_by(3).collect();
+        let exact = decide_receptions(&p, &pos, &senders, InterferenceModel::Exact);
+        let grid = decide_receptions(
+            &p,
+            &pos,
+            &senders,
+            InterferenceModel::GridFarField { cell_size: 8.0 },
+        );
+        for (e, g) in exact.iter().zip(grid.iter()) {
+            if let Some(gs) = g {
+                assert_eq!(
+                    e.as_ref(),
+                    Some(gs),
+                    "grid granted a reception exact denies"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_model_agrees_when_cells_are_large_enough() {
+        // With a generous near cutoff (huge cell size forces everything
+        // into the exact branch) grid and exact coincide.
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(40, 60.0, 3).unwrap();
+        let senders: Vec<usize> = (0..40).step_by(4).collect();
+        let exact = decide_receptions(&p, &pos, &senders, InterferenceModel::Exact);
+        let grid = decide_receptions(
+            &p,
+            &pos,
+            &senders,
+            InterferenceModel::GridFarField { cell_size: 100.0 },
+        );
+        assert_eq!(exact, grid);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_senders_panic() {
+        let p = params();
+        let pos = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        let _ = decide_receptions(&p, &pos, &[1, 0], InterferenceModel::Exact);
+    }
+}

@@ -1,0 +1,268 @@
+//! Basic Multi-Message Broadcast (BMMB) and its single-message special
+//! case (BSMB), after Khabbazian, Kowalski, Kuhn and Lynch \[37\], as
+//! restated in the proof of Theorem 12.6 of the paper.
+//!
+//! Every process maintains a FIFO queue `bcastq` and a set `rcvd`. When
+//! idle with a nonempty queue, it broadcasts the head. An arriving
+//! message (environment input or `rcv`) not yet in `rcvd` is *delivered*
+//! and appended to both structures. Messages are black boxes that cannot
+//! be combined (§4.5).
+//!
+//! The proof of Theorem 12.6 observes that correctness is independent of
+//! whether a reception came over a `G`-edge or a `G̃`-edge — each message
+//! enters `bcastq` at most once — which is exactly why approximate
+//! progress may replace progress in the runtime analysis.
+
+use std::collections::{HashSet, VecDeque};
+use std::hash::Hash;
+
+use absmac::{CmdSink, MacClient, MacEvent};
+
+/// One node's BMMB instance.
+///
+/// The payload type is the black-box message; it must be `Eq + Hash` so
+/// duplicates can be discarded, and `Clone` to travel through the layer.
+#[derive(Debug, Clone)]
+pub struct Bmmb<M> {
+    initial: Vec<M>,
+    bcastq: VecDeque<M>,
+    rcvd: HashSet<M>,
+    delivered: Vec<(M, u64)>,
+    sending: bool,
+    expected: Option<usize>,
+}
+
+impl<M: Clone + Eq + Hash> Bmmb<M> {
+    /// A node that holds `initial` messages at the start of the execution
+    /// (the environment's `arrive` inputs of \[37\]) and considers itself
+    /// done once `expected` distinct messages have been delivered
+    /// (`None` = never done; run by horizon instead).
+    pub fn new(initial: Vec<M>, expected: Option<usize>) -> Self {
+        Bmmb {
+            initial,
+            bcastq: VecDeque::new(),
+            rcvd: HashSet::new(),
+            delivered: Vec::new(),
+            sending: false,
+            expected,
+        }
+    }
+
+    /// Builds a whole network: `k_at(i)` lists the messages arriving at
+    /// node `i`; `expected` as in [`Bmmb::new`].
+    pub fn network(
+        n: usize,
+        mut k_at: impl FnMut(usize) -> Vec<M>,
+        expected: Option<usize>,
+    ) -> Vec<Self> {
+        (0..n).map(|i| Bmmb::new(k_at(i), expected)).collect()
+    }
+
+    /// Messages delivered at this node so far, with delivery times
+    /// (`u64::MAX` time is never used; initial deliveries are time 0).
+    pub fn deliveries(&self) -> &[(M, u64)] {
+        &self.delivered
+    }
+
+    /// Whether `m` has been delivered at this node.
+    pub fn delivered(&self, m: &M) -> bool {
+        self.rcvd.contains(m)
+    }
+
+    /// Delivery time of `m` at this node, if delivered.
+    pub fn delivery_time(&self, m: &M) -> Option<u64> {
+        self.delivered.iter().find(|(x, _)| x == m).map(|(_, t)| *t)
+    }
+
+    fn accept(&mut self, m: M, now: u64) {
+        if self.rcvd.insert(m.clone()) {
+            self.delivered.push((m.clone(), now));
+            self.bcastq.push_back(m);
+        }
+    }
+
+    fn pump(&mut self, sink: &mut CmdSink<M>) {
+        if !self.sending {
+            if let Some(m) = self.bcastq.pop_front() {
+                sink.bcast(m);
+                self.sending = true;
+            }
+        }
+    }
+}
+
+impl<M: Clone + Eq + Hash> MacClient<M> for Bmmb<M> {
+    fn on_start(&mut self, _node: usize, sink: &mut CmdSink<M>) {
+        let initial = std::mem::take(&mut self.initial);
+        for m in initial {
+            self.accept(m, 0);
+        }
+        self.pump(sink);
+    }
+
+    fn on_event(&mut self, _node: usize, now: u64, ev: &MacEvent<M>, sink: &mut CmdSink<M>) {
+        match ev {
+            MacEvent::Rcv(msg) => {
+                self.accept(msg.payload.clone(), now);
+            }
+            MacEvent::Ack(_) => {
+                self.sending = false;
+            }
+        }
+        self.pump(sink);
+    }
+
+    fn on_step(&mut self, _node: usize, _now: u64, sink: &mut CmdSink<M>) {
+        self.pump(sink);
+    }
+
+    fn is_done(&self) -> bool {
+        match self.expected {
+            Some(k) => self.delivered.len() >= k && self.bcastq.is_empty() && !self.sending,
+            None => false,
+        }
+    }
+}
+
+/// Basic Single-Message Broadcast: BMMB specialized to one message that
+/// starts at a designated node `i₀` (§4.5, Theorem 12.1).
+#[derive(Debug, Clone)]
+pub struct Bsmb<M>(Bmmb<M>);
+
+impl<M: Clone + Eq + Hash> Bsmb<M> {
+    /// The source node holding the message.
+    pub fn source(m: M) -> Self {
+        Bsmb(Bmmb::new(vec![m], Some(1)))
+    }
+
+    /// A non-source node.
+    pub fn idle() -> Self {
+        Bsmb(Bmmb::new(Vec::new(), Some(1)))
+    }
+
+    /// Builds the whole network with source `i0` holding `m`.
+    pub fn network(n: usize, i0: usize, m: M) -> Vec<Self> {
+        (0..n)
+            .map(|i| {
+                if i == i0 {
+                    Bsmb::source(m.clone())
+                } else {
+                    Bsmb::idle()
+                }
+            })
+            .collect()
+    }
+
+    /// Whether `m` has been delivered at this node.
+    pub fn delivered(&self, m: &M) -> bool {
+        self.0.delivered(m)
+    }
+
+    /// Delivery time of `m` at this node, if delivered.
+    pub fn delivery_time(&self, m: &M) -> Option<u64> {
+        self.0.delivery_time(m)
+    }
+}
+
+impl<M: Clone + Eq + Hash> MacClient<M> for Bsmb<M> {
+    fn on_start(&mut self, node: usize, sink: &mut CmdSink<M>) {
+        self.0.on_start(node, sink);
+    }
+    fn on_event(&mut self, node: usize, now: u64, ev: &MacEvent<M>, sink: &mut CmdSink<M>) {
+        self.0.on_event(node, now, ev, sink);
+    }
+    fn on_step(&mut self, node: usize, now: u64, sink: &mut CmdSink<M>) {
+        self.0.on_step(node, now, sink);
+    }
+    fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absmac::{IdealMac, Runner, SchedulerPolicy};
+    use sinr_graphs::Graph;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn bsmb_floods_a_path() {
+        let n = 6;
+        let mac: IdealMac<u32> = IdealMac::new(path(n), SchedulerPolicy::Eager, 0);
+        let mut runner = Runner::new(mac, Bsmb::network(n, 0, 7u32)).unwrap();
+        let done = runner.run_until_done(1000).unwrap().expect("must finish");
+        assert!(runner.clients().all(|c| c.delivered(&7)));
+        // Eager MAC: fack = 2, so completion ≈ 2 per hop.
+        assert!(done <= 2 * n as u64 + 2, "took {done}");
+    }
+
+    #[test]
+    fn bsmb_delivery_times_increase_with_distance() {
+        let n = 5;
+        let mac: IdealMac<u32> = IdealMac::new(path(n), SchedulerPolicy::Eager, 0);
+        let mut runner = Runner::new(mac, Bsmb::network(n, 0, 7u32)).unwrap();
+        runner.run_until_done(1000).unwrap();
+        let times: Vec<u64> = (0..n)
+            .map(|i| runner.client(i).delivery_time(&7).unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        assert_eq!(times[0], 0); // the source delivers at start
+    }
+
+    #[test]
+    fn bmmb_delivers_k_messages_everywhere() {
+        let n = 5;
+        let k = 3;
+        let mac: IdealMac<u32> =
+            IdealMac::new(path(n), SchedulerPolicy::Random { fack: 6, fprog: 2 }, 11);
+        // Messages 100, 101, 102 start at nodes 0, 2, 4.
+        let clients = Bmmb::network(
+            n,
+            |i| match i {
+                0 => vec![100],
+                2 => vec![101],
+                4 => vec![102],
+                _ => vec![],
+            },
+            Some(k),
+        );
+        let mut runner = Runner::new(mac, clients).unwrap();
+        let done = runner.run_until_done(10_000).unwrap();
+        assert!(done.is_some());
+        for i in 0..n {
+            for m in [100, 101, 102] {
+                assert!(runner.client(i).delivered(&m), "node {i} missing {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn bmmb_does_not_rebroadcast_duplicates() {
+        // On a 2-node graph, each message should be broadcast at most once
+        // per node: trace has at most 2 bcasts per message id origin.
+        let mac: IdealMac<u32> = IdealMac::new(path(2), SchedulerPolicy::Eager, 0);
+        let clients = Bmmb::network(2, |i| if i == 0 { vec![9] } else { vec![] }, Some(1));
+        let mut runner = Runner::new(mac, clients).unwrap();
+        runner.run_until_done(100).unwrap();
+        let bcasts = runner
+            .trace()
+            .iter()
+            .filter(|e| matches!(e.kind, absmac::TraceKind::Bcast(_)))
+            .count();
+        assert_eq!(bcasts, 2); // origin once, relay once
+    }
+
+    #[test]
+    fn same_message_at_two_nodes_is_one_message() {
+        let mac: IdealMac<u32> = IdealMac::new(path(3), SchedulerPolicy::Eager, 0);
+        let clients = Bmmb::network(3, |i| if i != 1 { vec![5] } else { vec![] }, Some(1));
+        let mut runner = Runner::new(mac, clients).unwrap();
+        let done = runner.run_until_done(100).unwrap();
+        assert!(done.is_some());
+        assert!(runner.clients().all(|c| c.delivered(&5)));
+    }
+}

@@ -1,0 +1,193 @@
+//! Network-wide consensus over an abstract MAC layer (Corollary 5.5).
+//!
+//! The paper obtains consensus by plugging its `f_ack` bound into
+//! Newport's absMAC consensus result \[44\], whose runtime is
+//! `O(D_G · f_ack)` and whose analysis uses only `f_ack` (never
+//! `f_prog`). In the failure-free, reliable-`G₁₋ε` setting the paper
+//! studies, the same guarantees — agreement, validity, termination — are
+//! provided by *flood-max*: every node floods the `(id, value)` pair with
+//! the largest id it has seen, re-broadcasting on improvement, and
+//! decides at a configured deadline `≥ D·f_ack` MAC steps. The deadline
+//! plays the role of the paper's `1 − ε_CONS` probability: consensus is
+//! correct whenever flooding completed in time, which the absMAC bounds
+//! guarantee with the desired probability.
+
+use absmac::{CmdSink, MacClient, MacEvent};
+
+/// The value flooded by [`FloodMaxConsensus`]: the proposer's unique id
+/// (§4.6: nodes have unique ids for consensus, as assumed by \[44\])
+/// and its initial binary value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Proposal {
+    /// Unique node id of the proposer whose value this is.
+    pub id: usize,
+    /// The proposed binary value (§4.5's `{0, 1}`).
+    pub value: bool,
+}
+
+/// One node's flood-max consensus instance.
+#[derive(Debug, Clone)]
+pub struct FloodMaxConsensus {
+    my: Proposal,
+    best: Proposal,
+    decide_at: u64,
+    decision: Option<bool>,
+    sending: bool,
+    need_rebcast: bool,
+}
+
+impl FloodMaxConsensus {
+    /// Creates a node with unique id `id`, initial value `value`, and a
+    /// decision deadline `decide_at` in MAC steps. Choose
+    /// `decide_at ≥ c·D·f_ack` for the target success probability; with
+    /// unknown `D`, `n·f_ack` is safe (`D ≤ n`).
+    pub fn new(id: usize, value: bool, decide_at: u64) -> Self {
+        let my = Proposal { id, value };
+        FloodMaxConsensus {
+            my,
+            best: my,
+            decide_at,
+            decision: None,
+            sending: false,
+            need_rebcast: true,
+        }
+    }
+
+    /// Builds a whole network from initial values.
+    pub fn network(values: &[bool], decide_at: u64) -> Vec<Self> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| FloodMaxConsensus::new(i, v, decide_at))
+            .collect()
+    }
+
+    /// This node's decision, once made.
+    pub fn decision(&self) -> Option<bool> {
+        self.decision
+    }
+
+    /// This node's initial value (validity checks in tests).
+    pub fn initial_value(&self) -> bool {
+        self.my.value
+    }
+
+    /// The best proposal currently known.
+    pub fn best(&self) -> Proposal {
+        self.best
+    }
+
+    fn pump(&mut self, sink: &mut CmdSink<Proposal>) {
+        if self.decision.is_none() && !self.sending && self.need_rebcast {
+            sink.bcast(self.best);
+            self.sending = true;
+            self.need_rebcast = false;
+        }
+    }
+}
+
+impl MacClient<Proposal> for FloodMaxConsensus {
+    fn on_start(&mut self, _node: usize, sink: &mut CmdSink<Proposal>) {
+        self.pump(sink);
+    }
+
+    fn on_event(
+        &mut self,
+        _node: usize,
+        _now: u64,
+        ev: &MacEvent<Proposal>,
+        sink: &mut CmdSink<Proposal>,
+    ) {
+        match ev {
+            MacEvent::Rcv(msg) => {
+                if msg.payload.id > self.best.id {
+                    self.best = msg.payload;
+                    self.need_rebcast = true;
+                }
+            }
+            MacEvent::Ack(_) => {
+                self.sending = false;
+            }
+        }
+        self.pump(sink);
+    }
+
+    fn on_step(&mut self, _node: usize, now: u64, sink: &mut CmdSink<Proposal>) {
+        if self.decision.is_none() && now >= self.decide_at {
+            // The irrevocable decide action (§4.5).
+            self.decision = Some(self.best.value);
+        }
+        self.pump(sink);
+    }
+
+    fn is_done(&self) -> bool {
+        self.decision.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absmac::{IdealMac, Runner, SchedulerPolicy};
+    use sinr_graphs::Graph;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    fn run(values: &[bool], fack: u64, deadline: u64, seed: u64) -> Vec<Option<bool>> {
+        let n = values.len();
+        let mac: IdealMac<Proposal> = IdealMac::new(
+            path(n),
+            SchedulerPolicy::Random {
+                fack,
+                fprog: fack.min(2),
+            },
+            seed,
+        );
+        let clients = FloodMaxConsensus::network(values, deadline);
+        let mut runner = Runner::new(mac, clients).unwrap();
+        runner.run_until_done(deadline + 10).unwrap();
+        runner.clients().map(|c| c.decision()).collect()
+    }
+
+    #[test]
+    fn agreement_and_validity_hold() {
+        let values = [false, true, false, false, true];
+        let n = values.len() as u64;
+        let decisions = run(&values, 4, n * 4 + 8, 3);
+        let first = decisions[0].expect("all must decide");
+        assert!(decisions.iter().all(|d| *d == Some(first)), "{decisions:?}");
+        // Validity: max id is node 4 with value true.
+        assert_eq!(first, true);
+    }
+
+    #[test]
+    fn all_same_value_decides_that_value() {
+        let values = [false; 6];
+        let decisions = run(&values, 4, 6 * 4 + 8, 5);
+        assert!(decisions.iter().all(|d| *d == Some(false)));
+    }
+
+    #[test]
+    fn termination_even_with_tight_deadline() {
+        // Deadline too small for full flooding: nodes still terminate
+        // (decide something), which is the probabilistic trade-off.
+        let values = [true, false, false, false];
+        let decisions = run(&values, 8, 3, 7);
+        assert!(decisions.iter().all(|d| d.is_some()));
+    }
+
+    #[test]
+    fn runtime_scales_with_diameter_times_fack() {
+        // With fack doubled, a safe deadline doubles too — flooding still
+        // completes by n·fack on a path.
+        for &fack in &[2u64, 8] {
+            let values = [false, false, true, false, false, false];
+            let n = values.len() as u64;
+            let decisions = run(&values, fack, n * fack + 4, 9);
+            // Max id is node 5 (value false): agreement on false.
+            assert!(decisions.iter().all(|d| *d == Some(false)));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Global broadcast: the paper's stack versus the baselines.
+//!
+//! Runs single-message broadcast (BSMB of [37] over Algorithm 11.1) and
+//! multi-message broadcast (BMMB) on one random city-scale deployment,
+//! then runs the two Table 2 baselines — DGKN [14] and the Decay/[32]
+//! proxy — on the same deployment and prints a comparison.
+//!
+//! Run with: `cargo run --release --example global_broadcast`
+
+use sinr_local_broadcast::prelude::*;
+
+fn connected_deployment(sinr: &SinrParams, n: usize, side: f64) -> (Vec<Point>, SinrGraphs) {
+    for seed in 0.. {
+        let positions = deploy::uniform(n, side, seed).unwrap();
+        let graphs = SinrGraphs::induce(sinr, &positions);
+        if graphs.strong.is_connected() {
+            return (positions, graphs);
+        }
+    }
+    unreachable!("some seed yields a connected deployment at this density");
+}
+
+fn main() {
+    let sinr = SinrParams::builder().range(16.0).build().unwrap();
+    let n = 60;
+    let (positions, graphs) = connected_deployment(&sinr, n, 55.0);
+    println!(
+        "n={n}, strong diameter {:?}, max degree {}, lambda {:.1}\n",
+        graphs.strong.diameter(),
+        graphs.strong.max_degree(),
+        graphs.lambda
+    );
+
+    // ---- BSMB over the paper's MAC ----
+    let params = MacParams::builder().build(&sinr);
+    let mac = SinrAbsMac::new(sinr, &positions, params, 11).unwrap();
+    let mut runner = Runner::new(mac, Bsmb::network(n, 0, 7u64)).unwrap();
+    let ours = runner
+        .run_until_done(5_000_000)
+        .unwrap()
+        .expect("BSMB over the absMAC completes");
+    println!("BSMB over SinrAbsMac (this paper): {ours:>8} slots");
+
+    // ---- DGKN [14] baseline ----
+    let mut dgkn: DgknSmb<u64> =
+        DgknSmb::new(sinr, &positions, &DgknSmbConfig::default(), 0, 7, 11).unwrap();
+    let dgkn_report = dgkn.run(5_000_000);
+    match dgkn_report.completion {
+        Some(t) => println!("DGKN [14] w.h.p. machinery:        {t:>8} slots"),
+        None => println!(
+            "DGKN [14] w.h.p. machinery:        timed out ({} of {n} informed)",
+            dgkn_report.informed_count()
+        ),
+    }
+
+    // ---- Decay / [32]-shape proxy ----
+    let mut decay: DecaySmb<u64> = DecaySmb::new(
+        sinr,
+        &positions,
+        DecaySmbConfig::for_network_size(n),
+        0,
+        7,
+        11,
+    )
+    .unwrap();
+    let decay_report = decay.run(5_000_000);
+    match decay_report.completion {
+        Some(t) => println!("Decay ([32]-shape proxy):          {t:>8} slots"),
+        None => println!(
+            "Decay ([32]-shape proxy):          timed out ({} of {n} informed)",
+            decay_report.informed_count()
+        ),
+    }
+
+    // ---- BMMB: k messages at scattered origins ----
+    let k = 4usize;
+    let params = MacParams::builder().build(&sinr);
+    let mac = SinrAbsMac::new(sinr, &positions, params, 13).unwrap();
+    let spacing = n / k;
+    let clients = Bmmb::network(
+        n,
+        |i| {
+            if i % spacing == 0 && i / spacing < k {
+                vec![1000 + (i / spacing) as u64]
+            } else {
+                vec![]
+            }
+        },
+        Some(k),
+    );
+    let mut runner = Runner::new(mac, clients).unwrap();
+    match runner.run_until_done(20_000_000).unwrap() {
+        Some(t) => println!("\nBMMB over SinrAbsMac, k={k}:        {t:>8} slots"),
+        None => println!("\nBMMB over SinrAbsMac, k={k}: timed out"),
+    }
+    let all_have_all =
+        (0..n).all(|i| (0..k).all(|m| runner.client(i).delivered(&(1000 + m as u64))));
+    println!("every node holds every message: {all_have_all}");
+}

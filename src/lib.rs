@@ -1,0 +1,60 @@
+//! # sinr-local-broadcast
+//!
+//! A from-scratch Rust reproduction of *“A Local Broadcast Layer for the
+//! SINR Network Model”* (Halldórsson, Holzer, Lynch — PODC 2015,
+//! arXiv:1505.04514): an abstract MAC layer with fast acknowledgments and
+//! **approximate progress** implemented in the SINR physical model, plus
+//! the global broadcast and consensus algorithms the paper derives on top
+//! of it, the baselines it compares against, and an experiment harness
+//! regenerating every table and figure of the paper.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! namespace. See the README for the architecture map and the
+//! `examples/` directory for runnable entry points.
+//!
+//! ```text
+//! geom   — plane geometry, deployments, spatial hashing
+//! phys   — the slotted SINR simulator (Protocol/Engine)
+//! graphs — SINR-induced graphs G₁, G₁₋ε, G₁₋₂ε and graph algorithms
+//! absmac — the abstract MAC layer spec, ideal reference MAC, measurement
+//! mac    — the paper's implementation (Algorithms B.1, 9.1, 11.1), Decay
+//! protocols — BSMB, BMMB, consensus over any absMAC
+//! baselines — DGKN [14], Decay-SMB ([32]-shape proxy), TDMA schedule
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use sinr_local_broadcast::prelude::*;
+//!
+//! let sinr = SinrParams::builder().range(8.0).build().unwrap();
+//! let positions = sinr_local_broadcast::geom::deploy::line(3, 2.0).unwrap();
+//! let params = MacParams::builder().build(&sinr);
+//! let mut mac = SinrAbsMac::new(sinr, &positions, params, 1).unwrap();
+//! let _id = mac.bcast(0, "hello").unwrap();
+//! mac.step();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use absmac;
+pub use sinr_baselines as baselines;
+pub use sinr_geom as geom;
+pub use sinr_graphs as graphs;
+pub use sinr_mac as mac;
+pub use sinr_phys as phys;
+pub use sinr_protocols as protocols;
+
+/// The items most programs need, in one import.
+pub mod prelude {
+    pub use absmac::{
+        IdealMac, MacClient, MacError, MacEvent, MacLayer, MsgId, Runner, SchedulerPolicy,
+    };
+    pub use sinr_baselines::{DecaySmb, DecaySmbConfig, DgknSmb, DgknSmbConfig, SmbReport};
+    pub use sinr_geom::{deploy, Point};
+    pub use sinr_graphs::{induce_graph, Graph, SinrGraphs};
+    pub use sinr_mac::{DecayMac, DecayParams, MacParams, SinrAbsMac};
+    pub use sinr_phys::{InterferenceModel, SinrParams};
+    pub use sinr_protocols::{Bmmb, Bsmb, FloodMaxConsensus, Proposal};
+}

@@ -1,0 +1,150 @@
+//! Contract tests: the SINR MAC implementation honours the absMAC
+//! specification observably — same checks the ideal reference layer
+//! passes, run against the real implementation.
+
+use sinr_local_broadcast::prelude::*;
+
+fn sinr() -> SinrParams {
+    SinrParams::builder().range(10.0).build().unwrap()
+}
+
+fn mac_over(positions: &[Point], seed: u64) -> SinrAbsMac<u64> {
+    let params = MacParams::builder().build(&sinr());
+    SinrAbsMac::new(sinr(), positions, params, seed).unwrap()
+}
+
+#[test]
+fn every_ack_is_preceded_by_neighbor_receptions_whp() {
+    // Nice-execution property (Definition 12.2): ack implies all strong
+    // neighbors received. Probabilistic: check the realized rate over
+    // several broadcasts clears 1 − ε_ack on this easy topology.
+    let positions = deploy::line(4, 3.0).unwrap();
+    let graphs = SinrGraphs::induce(&sinr(), &positions);
+    let mut total = 0u32;
+    let mut delivered_before_ack = 0u32;
+    for seed in 0..6u64 {
+        let mut mac = mac_over(&positions, seed);
+        let src = (seed as usize) % positions.len();
+        let id = mac.bcast(src, 99).unwrap();
+        let mut rcv_nodes = Vec::new();
+        let mut acked = false;
+        for _ in 0..300_000 {
+            let step = mac.step();
+            for (node, ev) in &step.events {
+                match ev {
+                    MacEvent::Rcv(m) if m.id == id => rcv_nodes.push(*node),
+                    MacEvent::Ack(i) if *i == id => {
+                        acked = true;
+                    }
+                    _ => {}
+                }
+            }
+            if acked {
+                break;
+            }
+        }
+        assert!(acked, "ack must fire (seed {seed})");
+        for &v in graphs.strong.neighbors(src) {
+            total += 1;
+            if rcv_nodes.contains(&(v as usize)) {
+                delivered_before_ack += 1;
+            }
+        }
+    }
+    let rate = delivered_before_ack as f64 / total as f64;
+    assert!(
+        rate >= 1.0 - 2.0 * 0.125,
+        "delivery-before-ack rate {rate} too low"
+    );
+}
+
+#[test]
+fn no_rcv_without_a_bcast() {
+    let positions = deploy::uniform(12, 18.0, 3).unwrap();
+    let mut mac = mac_over(&positions, 4);
+    for _ in 0..2_000 {
+        let step = mac.step();
+        assert!(step.events.is_empty(), "spurious event: {:?}", step.events);
+    }
+}
+
+#[test]
+fn rcv_carries_the_broadcast_payload() {
+    let positions = deploy::line(2, 3.0).unwrap();
+    let mut mac = mac_over(&positions, 5);
+    let id = mac.bcast(0, 0xDEAD_BEEF).unwrap();
+    for _ in 0..300_000 {
+        let step = mac.step();
+        if let Some((_, MacEvent::Rcv(m))) = step
+            .events
+            .iter()
+            .find(|(n, e)| *n == 1 && matches!(e, MacEvent::Rcv(_)))
+            .map(|(n, e)| (*n, e.clone()))
+        {
+            assert_eq!(m.id, id);
+            assert_eq!(m.payload, 0xDEAD_BEEF);
+            return;
+        }
+    }
+    panic!("neighbor never received");
+}
+
+#[test]
+fn sequential_broadcasts_get_distinct_ids() {
+    let positions = deploy::line(2, 3.0).unwrap();
+    let mut mac = mac_over(&positions, 6);
+    let a = mac.bcast(0, 1).unwrap();
+    mac.abort(0, a).unwrap();
+    let b = mac.bcast(0, 2).unwrap();
+    assert_ne!(a, b);
+    assert_eq!(a.origin, b.origin);
+    assert!(b.seq > a.seq);
+}
+
+#[test]
+fn abort_then_rebroadcast_works_end_to_end() {
+    let positions = deploy::line(2, 3.0).unwrap();
+    let mut mac = mac_over(&positions, 7);
+    let a = mac.bcast(0, 1).unwrap();
+    mac.abort(0, a).unwrap();
+    let b = mac.bcast(0, 2).unwrap();
+    let mut got_b = false;
+    for _ in 0..300_000 {
+        let step = mac.step();
+        for (n, ev) in &step.events {
+            if let MacEvent::Rcv(m) = ev {
+                assert_ne!(m.id, a, "aborted message leaked to node {n}");
+                if m.id == b {
+                    got_b = true;
+                }
+            }
+        }
+        if got_b {
+            break;
+        }
+    }
+    assert!(got_b);
+}
+
+#[test]
+fn ideal_and_sinr_macs_are_interchangeable_for_clients() {
+    // The paper's plug-and-play claim: identical client code, two layers.
+    let n = 5;
+    let positions = deploy::line(n, 3.0).unwrap();
+    let graphs = SinrGraphs::induce(&sinr(), &positions);
+
+    // Ideal layer.
+    let ideal: IdealMac<u64> = IdealMac::new(graphs.strong.clone(), SchedulerPolicy::Eager, 1);
+    let mut runner = Runner::new(ideal, Bsmb::network(n, 0, 7u64)).unwrap();
+    assert!(runner.run_until_done(10_000).unwrap().is_some());
+    let ideal_delivered: Vec<bool> = runner.clients().map(|c| c.delivered(&7)).collect();
+
+    // SINR layer, same clients.
+    let mac = mac_over(&positions, 2);
+    let mut runner = Runner::new(mac, Bsmb::network(n, 0, 7u64)).unwrap();
+    assert!(runner.run_until_done(3_000_000).unwrap().is_some());
+    let sinr_delivered: Vec<bool> = runner.clients().map(|c| c.delivered(&7)).collect();
+
+    assert_eq!(ideal_delivered, sinr_delivered);
+    assert!(sinr_delivered.iter().all(|&d| d));
+}

@@ -1,0 +1,129 @@
+//! End-to-end integration: the full stack (deploy → SINR engine →
+//! Algorithm 11.1 → protocols) on the deployment families of the
+//! evaluation.
+
+use sinr_local_broadcast::prelude::*;
+
+fn sinr() -> SinrParams {
+    SinrParams::builder().range(12.0).build().unwrap()
+}
+
+fn run_bsmb(positions: &[Point], seed: u64, horizon: u64) -> Option<u64> {
+    let n = positions.len();
+    let params = MacParams::builder().build(&sinr());
+    let mac = SinrAbsMac::new(sinr(), positions, params, seed).unwrap();
+    let mut runner = Runner::new(mac, Bsmb::network(n, 0, 7u64)).unwrap();
+    let done = runner.run_until_done(horizon).unwrap();
+    if done.is_some() {
+        assert!(runner.clients().all(|c| c.delivered(&7)));
+    }
+    done
+}
+
+#[test]
+fn bsmb_on_a_line() {
+    let positions = deploy::line(8, 3.0).unwrap();
+    assert!(run_bsmb(&positions, 1, 5_000_000).is_some());
+}
+
+#[test]
+fn bsmb_on_a_lattice() {
+    let positions = deploy::lattice(4, 4, 3.0).unwrap();
+    assert!(run_bsmb(&positions, 2, 5_000_000).is_some());
+}
+
+#[test]
+fn bsmb_on_clusters() {
+    let positions = deploy::clusters(3, 6, 20.0, 4.0, 7).unwrap();
+    let graphs = SinrGraphs::induce(&sinr(), &positions);
+    if !graphs.strong.is_connected() {
+        // Cluster layouts may disconnect; broadcast then cannot complete
+        // and the run must time out rather than lie.
+        assert!(run_bsmb(&positions, 3, 200_000).is_none());
+    } else {
+        assert!(run_bsmb(&positions, 3, 8_000_000).is_some());
+    }
+}
+
+#[test]
+fn bmmb_delivers_every_message_on_uniform() {
+    let sinr = sinr();
+    let n = 24;
+    let positions = deploy::uniform(n, 26.0, 11).unwrap();
+    let graphs = SinrGraphs::induce(&sinr, &positions);
+    if !graphs.strong.is_connected() {
+        return; // density-dependent; covered by the bench harness
+    }
+    let k = 3;
+    let params = MacParams::builder().build(&sinr);
+    let mac = SinrAbsMac::new(sinr, &positions, params, 13).unwrap();
+    let clients = Bmmb::network(
+        n,
+        |i| match i {
+            0 => vec![100u64],
+            8 => vec![101],
+            16 => vec![102],
+            _ => vec![],
+        },
+        Some(k),
+    );
+    let mut runner = Runner::new(mac, clients).unwrap();
+    let done = runner.run_until_done(20_000_000).unwrap();
+    assert!(done.is_some(), "BMMB timed out");
+    for i in 0..n {
+        for m in [100u64, 101, 102] {
+            assert!(runner.client(i).delivered(&m), "node {i} missing {m}");
+        }
+    }
+}
+
+#[test]
+fn consensus_on_uniform_network() {
+    let sinr = sinr();
+    let positions = deploy::uniform(16, 20.0, 21).unwrap();
+    let graphs = SinrGraphs::induce(&sinr, &positions);
+    if !graphs.strong.is_connected() {
+        return;
+    }
+    let d = graphs.strong.diameter().unwrap() as u64;
+    let params = MacParams::builder().build(&sinr);
+    let deadline = 2 * (d + 1) * 2 * params.ack_slot_cap as u64;
+    let values: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+    let mac = SinrAbsMac::new(sinr, &positions, params, 23).unwrap();
+    let clients = FloodMaxConsensus::network(&values, deadline);
+    let mut runner = Runner::new(mac, clients).unwrap();
+    runner.run_until_done(deadline + 100).unwrap().unwrap();
+    let decisions: Vec<bool> = runner.clients().map(|c| c.decision().unwrap()).collect();
+    assert!(decisions.windows(2).all(|w| w[0] == w[1]), "disagreement");
+    assert!(values.contains(&decisions[0]), "invalid decision");
+}
+
+#[test]
+fn full_stack_is_deterministic_per_seed() {
+    let positions = deploy::uniform(16, 20.0, 30).unwrap();
+    let run = |seed: u64| -> Vec<absmac::TraceEvent> {
+        let params = MacParams::builder().build(&sinr());
+        let mac = SinrAbsMac::new(sinr(), &positions, params, seed).unwrap();
+        let mut runner = Runner::new(mac, Bsmb::network(positions.len(), 0, 7u64)).unwrap();
+        for _ in 0..20_000 {
+            runner.step().unwrap();
+        }
+        runner.trace().to_vec()
+    };
+    assert_eq!(run(42), run(42), "same seed must replay identically");
+    assert_ne!(run(42), run(43), "different seeds must differ");
+}
+
+#[test]
+fn decay_mac_also_carries_bsmb() {
+    // The MacLayer abstraction holds for the baseline too: BSMB over
+    // DecayMac completes on an easy topology.
+    let positions = deploy::line(5, 3.0).unwrap();
+    let n = positions.len();
+    let params = DecayParams::from_contention(32.0, 0.125, 2.0);
+    let mac: DecayMac<u64> = DecayMac::new(sinr(), &positions, params, 9).unwrap();
+    let mut runner = Runner::new(mac, Bsmb::network(n, 0, 7u64)).unwrap();
+    let done = runner.run_until_done(500_000).unwrap();
+    assert!(done.is_some());
+    assert!(runner.clients().all(|c| c.delivered(&7)));
+}
