@@ -12,7 +12,8 @@ use absmac::MsgId;
 use sinr_geom::Point;
 use sinr_mac::Frame;
 use sinr_phys::{
-    Action, Engine, InterferenceModel, NodeId, PhysError, Protocol, SinrParams, SlotCtx,
+    Action, BackendSpec, Engine, InterferenceModel, NodeId, PhysError, Protocol, SinrParams,
+    SlotCtx,
 };
 
 use crate::SmbReport;
@@ -110,6 +111,33 @@ impl<P: Clone> DecaySmb<P> {
         seed: u64,
         model: InterferenceModel,
     ) -> Result<Self, PhysError> {
+        Self::with_backend(
+            sinr,
+            positions,
+            config,
+            source,
+            payload,
+            seed,
+            BackendSpec::from(model),
+        )
+    }
+
+    /// Like [`DecaySmb::new`] with an explicit reception backend
+    /// (interference model + thread count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhysError`] from engine construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_backend(
+        sinr: SinrParams,
+        positions: &[Point],
+        config: DecaySmbConfig,
+        source: usize,
+        payload: P,
+        seed: u64,
+        spec: BackendSpec,
+    ) -> Result<Self, PhysError> {
         let nodes = (0..positions.len())
             .map(|i| DecaySmbNode {
                 informed: (i == source).then(|| {
@@ -125,7 +153,7 @@ impl<P: Clone> DecaySmb<P> {
                 cycle_len: config.cycle_len,
             })
             .collect();
-        let engine = Engine::with_model(sinr, positions.to_vec(), nodes, seed, model)?;
+        let engine = Engine::with_backend(sinr, positions.to_vec(), nodes, seed, spec)?;
         Ok(DecaySmb { engine })
     }
 

@@ -14,7 +14,8 @@ use absmac::MsgId;
 use sinr_geom::Point;
 use sinr_mac::{ApprogLayer, Frame, MacParams};
 use sinr_phys::{
-    Action, Engine, InterferenceModel, NodeId, PhysError, Protocol, SinrParams, SlotCtx,
+    Action, BackendSpec, Engine, InterferenceModel, NodeId, PhysError, Protocol, SinrParams,
+    SlotCtx,
 };
 
 use crate::SmbReport;
@@ -114,6 +115,33 @@ impl<P: Clone> DgknSmb<P> {
         seed: u64,
         model: InterferenceModel,
     ) -> Result<Self, PhysError> {
+        Self::with_backend(
+            sinr,
+            positions,
+            config,
+            source,
+            payload,
+            seed,
+            BackendSpec::from(model),
+        )
+    }
+
+    /// Like [`DgknSmb::new`] with an explicit reception backend
+    /// (interference model + thread count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhysError`] from engine construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_backend(
+        sinr: SinrParams,
+        positions: &[Point],
+        config: &DgknSmbConfig,
+        source: usize,
+        payload: P,
+        seed: u64,
+        spec: BackendSpec,
+    ) -> Result<Self, PhysError> {
         let n = positions.len().max(2) as f64;
         // The defining parameter choice of [14]: w.h.p. everywhere.
         let eps = n.powf(-config.whp_exponent).clamp(1e-12, 0.49);
@@ -137,7 +165,7 @@ impl<P: Clone> DgknSmb<P> {
                 node
             })
             .collect();
-        let engine = Engine::with_model(sinr, positions.to_vec(), nodes, seed, model)?;
+        let engine = Engine::with_backend(sinr, positions.to_vec(), nodes, seed, spec)?;
         Ok(DgknSmb { engine })
     }
 

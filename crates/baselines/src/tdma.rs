@@ -11,7 +11,8 @@ use absmac::MsgId;
 use sinr_geom::Point;
 use sinr_mac::Frame;
 use sinr_phys::{
-    Action, Engine, InterferenceModel, NodeId, PhysError, Protocol, SinrParams, SlotCtx,
+    Action, BackendSpec, Engine, InterferenceModel, NodeId, PhysError, Protocol, SinrParams,
+    SlotCtx,
 };
 
 use crate::SmbReport;
@@ -85,8 +86,37 @@ impl<P: Clone> RoundRobinSmb<P> {
         sinr: SinrParams,
         positions: &[Point],
         config: &RoundRobinConfig,
+        payload_of: impl FnMut(usize) -> P,
+        seed: u64,
+    ) -> Result<Self, PhysError> {
+        Self::with_backend(
+            sinr,
+            positions,
+            config,
+            payload_of,
+            seed,
+            BackendSpec::from(InterferenceModel::Exact),
+        )
+    }
+
+    /// Like [`RoundRobinSmb::new`] with an explicit reception backend
+    /// (interference model + thread count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhysError`] from engine construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.broadcasters` is empty or contains an
+    /// out-of-range or duplicate index.
+    pub fn with_backend(
+        sinr: SinrParams,
+        positions: &[Point],
+        config: &RoundRobinConfig,
         mut payload_of: impl FnMut(usize) -> P,
         seed: u64,
+        spec: BackendSpec,
     ) -> Result<Self, PhysError> {
         assert!(!config.broadcasters.is_empty(), "need broadcasters");
         let rotation = config.broadcasters.len();
@@ -106,13 +136,7 @@ impl<P: Clone> RoundRobinSmb<P> {
                 strong_neighbors: strong.neighbors(i).iter().map(|&x| x as usize).collect(),
             })
             .collect();
-        let engine = Engine::with_model(
-            sinr,
-            positions.to_vec(),
-            nodes,
-            seed,
-            InterferenceModel::Exact,
-        )?;
+        let engine = Engine::with_backend(sinr, positions.to_vec(), nodes, seed, spec)?;
         Ok(RoundRobinSmb { engine })
     }
 

@@ -4,7 +4,23 @@
 use absmac::{CmdSink, MacClient, MacEvent, MacLayer, Runner, TraceEvent};
 use sinr_geom::{deploy, Point};
 use sinr_graphs::SinrGraphs;
-use sinr_phys::SinrParams;
+use sinr_phys::{BackendSpec, SinrParams};
+
+/// Reception backend for all experiment binaries, parsed from the
+/// `SINR_BACKEND` environment variable (`exact`, `grid:CELL`,
+/// `par:THREADS`, `grid:CELL:par:THREADS`); defaults to `exact` so every
+/// published number is ground truth unless explicitly overridden.
+///
+/// # Panics
+///
+/// Panics with the parse error if `SINR_BACKEND` is set but malformed —
+/// a misconfigured benchmark run must not silently fall back.
+pub fn backend_spec() -> BackendSpec {
+    match std::env::var("SINR_BACKEND") {
+        Ok(s) => BackendSpec::parse(&s).unwrap_or_else(|e| panic!("SINR_BACKEND: {e}")),
+        Err(_) => BackendSpec::exact(),
+    }
+}
 
 /// Finds a seed (starting at `seed0`) whose uniform deployment has a
 /// connected strong graph; the paper assumes `G₁₋ε` connected (§4.6).

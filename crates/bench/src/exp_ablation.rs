@@ -45,7 +45,14 @@ fn measure_with_params(
     let n = positions.len();
     let epoch_len = 2 * params.layout().epoch_len();
     let horizon = epochs * epoch_len;
-    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let mac = SinrAbsMac::with_backend(
+        *sinr,
+        positions,
+        params,
+        seed,
+        crate::common::backend_spec(),
+    )
+    .expect("valid deployment");
     let clients = Repeater::network(n, |i| (i % 2 == 0).then_some(i as u64));
     let mut runner = Runner::new(mac, clients).expect("runner");
     let mut max_dropped = 0;

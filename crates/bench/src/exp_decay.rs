@@ -70,7 +70,14 @@ pub fn run_decay_comparison(delta: usize, range: f64, horizon: u64, seed: u64) -
 
     // Decay MAC: contention bound matching the gadget population.
     let decay_params = DecayParams::from_contention((2 * delta).max(4) as f64, 0.125, 4.0);
-    let mac = DecayMac::new(sinr, &gadget.points, decay_params, seed).expect("decay mac");
+    let mac = DecayMac::with_backend(
+        sinr,
+        &gadget.points,
+        decay_params,
+        seed,
+        crate::common::backend_spec(),
+    )
+    .expect("decay mac");
     let trace = {
         let mut runner = Runner::new(mac, Repeater::network(n, everyone)).expect("runner");
         for _ in 0..horizon {
@@ -82,7 +89,14 @@ pub fn run_decay_comparison(delta: usize, range: f64, horizon: u64, seed: u64) -
 
     // The paper's MAC.
     let params = MacParams::builder().build(&sinr);
-    let mac = SinrAbsMac::new(sinr, &gadget.points, params, seed).expect("sinr mac");
+    let mac = SinrAbsMac::with_backend(
+        sinr,
+        &gadget.points,
+        params,
+        seed,
+        crate::common::backend_spec(),
+    )
+    .expect("sinr mac");
     let trace = {
         let mut runner = Runner::new(mac, Repeater::network(n, everyone)).expect("runner");
         for _ in 0..horizon {

@@ -58,8 +58,15 @@ pub fn run_fig1(delta: usize, epochs: u64, seed: u64) -> Fig1Point {
     let config = RoundRobinConfig {
         broadcasters: gadget.line_v.clone(),
     };
-    let mut tdma: RoundRobinSmb<u64> =
-        RoundRobinSmb::new(sinr, &gadget.points, &config, |i| i as u64, seed).expect("tdma");
+    let mut tdma: RoundRobinSmb<u64> = RoundRobinSmb::with_backend(
+        sinr,
+        &gadget.points,
+        &config,
+        |i| i as u64,
+        seed,
+        crate::common::backend_spec(),
+    )
+    .expect("tdma");
     let report = tdma.run(2 * delta as u64);
     let tdma_worst = gadget
         .line_u
@@ -71,7 +78,14 @@ pub fn run_fig1(delta: usize, epochs: u64, seed: u64) -> Fig1Point {
     // (b) The paper's MAC with line V broadcasting continuously.
     let params = MacParams::builder().build(&sinr);
     let horizon = epochs * 2 * params.layout().epoch_len();
-    let mac = SinrAbsMac::new(sinr, &gadget.points, params, seed).expect("valid deployment");
+    let mac = SinrAbsMac::with_backend(
+        sinr,
+        &gadget.points,
+        params,
+        seed,
+        crate::common::backend_spec(),
+    )
+    .expect("valid deployment");
     let in_v = |i: usize| gadget.line_v.contains(&i);
     let clients = Repeater::network(gadget.points.len(), |i| in_v(i).then_some(i as u64));
     let trace = {

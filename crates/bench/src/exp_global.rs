@@ -20,7 +20,14 @@ pub fn smb_over_mac(
 ) -> (Option<u64>, f64) {
     let n = positions.len();
     let eps = params.eps_approg;
-    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let mac = SinrAbsMac::with_backend(
+        *sinr,
+        positions,
+        params,
+        seed,
+        crate::common::backend_spec(),
+    )
+    .expect("valid deployment");
     let mut runner = Runner::new(mac, Bsmb::network(n, 0, 7u64)).expect("runner");
     let done = runner.run_until_done(horizon).expect("contract");
     let d = graphs.approx.diameter().unwrap_or(n as u32) as f64;
@@ -43,7 +50,14 @@ pub fn mmb_over_mac(
 ) -> (Option<u64>, f64) {
     let n = positions.len();
     let eps = params.eps_approg;
-    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let mac = SinrAbsMac::with_backend(
+        *sinr,
+        positions,
+        params,
+        seed,
+        crate::common::backend_spec(),
+    )
+    .expect("valid deployment");
     let stride = (n / k.max(1)).max(1);
     let clients = Bmmb::network(
         n,
@@ -94,7 +108,14 @@ pub fn consensus_over_mac(
     let d = graphs.strong.diameter().unwrap_or(n as u32) as u64;
     let fack_bound = 2 * params.ack_slot_cap as u64;
     let deadline = 2 * (d + 1) * fack_bound;
-    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let mac = SinrAbsMac::with_backend(
+        *sinr,
+        positions,
+        params,
+        seed,
+        crate::common::backend_spec(),
+    )
+    .expect("valid deployment");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
     let values: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
     let clients = FloodMaxConsensus::network(&values, deadline);

@@ -75,9 +75,16 @@ pub fn measure_fack(
 ) -> FackResult {
     let n = positions.len();
     let stride = (n / broadcasters.max(1)).max(1);
-    let is_source = |i: usize| i % stride == 0 && i / stride < broadcasters;
+    let is_source = |i: usize| i.is_multiple_of(stride) && i / stride < broadcasters;
     let eps_ack = params.eps_ack;
-    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let mac = SinrAbsMac::with_backend(
+        *sinr,
+        positions,
+        params,
+        seed,
+        crate::common::backend_spec(),
+    )
+    .expect("valid deployment");
     let horizon = 16 * mac.params().ack_slot_cap as u64 + 1024;
     let clients = OneShot::network(n, |i| is_source(i).then_some(i as u64));
     let mut runner = Runner::new(mac, clients).expect("runner");
@@ -147,7 +154,14 @@ pub fn measure_progress(
 ) -> ProgressResult {
     let n = positions.len();
     let eps = params.eps_approg;
-    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let mac = SinrAbsMac::with_backend(
+        *sinr,
+        positions,
+        params,
+        seed,
+        crate::common::backend_spec(),
+    )
+    .expect("valid deployment");
     let clients = Repeater::network(n, |i| (i % stride == 0).then_some(i as u64));
     let trace = {
         let mut runner = Runner::new(mac, clients).expect("runner");

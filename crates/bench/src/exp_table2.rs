@@ -68,25 +68,40 @@ pub fn compare_smb(
 
     // Ours: BSMB over Algorithm 11.1.
     let params = MacParams::builder().build(sinr);
-    let mac = SinrAbsMac::new(*sinr, positions, params, seed).expect("valid deployment");
+    let mac = SinrAbsMac::with_backend(
+        *sinr,
+        positions,
+        params,
+        seed,
+        crate::common::backend_spec(),
+    )
+    .expect("valid deployment");
     let mut runner = Runner::new(mac, Bsmb::network(n, 0, 7u64)).expect("runner");
     runner.disable_tracing();
     let ours = runner.run_until_done(horizon).expect("contract");
 
     // DGKN [14].
-    let mut dgkn: DgknSmb<u64> =
-        DgknSmb::new(*sinr, positions, &DgknSmbConfig::default(), 0, 7, seed)
-            .expect("valid deployment");
+    let mut dgkn: DgknSmb<u64> = DgknSmb::with_backend(
+        *sinr,
+        positions,
+        &DgknSmbConfig::default(),
+        0,
+        7,
+        seed,
+        crate::common::backend_spec(),
+    )
+    .expect("valid deployment");
     let dgkn_t = dgkn.run(horizon).completion;
 
     // Decay / [32] proxy.
-    let mut decay: DecaySmb<u64> = DecaySmb::new(
+    let mut decay: DecaySmb<u64> = DecaySmb::with_backend(
         *sinr,
         positions,
         DecaySmbConfig::for_network_size(n),
         0,
         7,
         seed,
+        crate::common::backend_spec(),
     )
     .expect("valid deployment");
     let decay_t = decay.run(horizon).completion;

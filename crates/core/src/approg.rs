@@ -189,7 +189,7 @@ impl<P: Clone> ApprogLayer<P> {
     }
 
     fn end_round(&mut self) {
-        if !(self.member && !self.dropped) {
+        if !self.member || self.dropped {
             return;
         }
         let complete = self
@@ -231,7 +231,7 @@ impl<P: Clone> ApprogLayer<P> {
             }
             _ => {}
         }
-        if !(self.member && !self.dropped) {
+        if !self.member || self.dropped {
             return Action::Listen;
         }
         match pos {
@@ -294,7 +294,7 @@ impl<P: Clone> ApprogLayer<P> {
     /// handled by the MAC node (rcv events); everything else is
     /// coordination below the layer.
     pub fn on_receive(&mut self, layer_slot: u64, frame: &Frame<P>) {
-        if !(self.member && !self.dropped) {
+        if !self.member || self.dropped {
             return;
         }
         let pos = self.layout.locate(layer_slot);
@@ -302,10 +302,10 @@ impl<P: Clone> ApprogLayer<P> {
             (PhasePos::EstimateLabels { .. }, Frame::Label { label }) => {
                 *self.label_counts.entry(*label).or_insert(0) += 1;
             }
-            (PhasePos::ExchangePotentials { .. }, Frame::Potentials { label, potentials }) => {
-                if potentials.contains(&self.label) {
-                    self.mutual.insert(*label);
-                }
+            (PhasePos::ExchangePotentials { .. }, Frame::Potentials { label, potentials })
+                if potentials.contains(&self.label) =>
+            {
+                self.mutual.insert(*label);
             }
             (
                 PhasePos::MisData { round, .. },
@@ -328,10 +328,11 @@ impl<P: Clone> ApprogLayer<P> {
                     acked,
                     round: r,
                 },
-            ) if *r == round && *acked == self.label => {
-                if self.neighbors.binary_search(from).is_ok() {
-                    self.round_acked_me.insert(*from);
-                }
+            ) if *r == round
+                && *acked == self.label
+                && self.neighbors.binary_search(from).is_ok() =>
+            {
+                self.round_acked_me.insert(*from);
             }
             _ => {}
         }
@@ -510,11 +511,8 @@ mod tests {
         }
         layer.finish();
         for _ in 0..200 {
-            match layer.on_slot(s, &mut rng) {
-                Action::Transmit(Frame::Data { .. }) => {
-                    panic!("finished broadcast must not transmit data")
-                }
-                _ => {}
+            if let Action::Transmit(Frame::Data { .. }) = layer.on_slot(s, &mut rng) {
+                panic!("finished broadcast must not transmit data")
             }
             layer.on_slot_end(s);
             s += 1;

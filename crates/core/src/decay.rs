@@ -13,8 +13,8 @@ use std::collections::HashSet;
 use absmac::{MacError, MacEvent, MacLayer, MacMessage, MsgId, StepEvents};
 use sinr_geom::Point;
 use sinr_phys::{
-    Action, Engine, EngineStats, InterferenceModel, NodeId, PhysError, Protocol, SinrParams,
-    SlotCtx,
+    Action, BackendSpec, Engine, EngineStats, InterferenceModel, NodeId, PhysError, Protocol,
+    SinrParams, SlotCtx,
 };
 
 use crate::Frame;
@@ -122,6 +122,22 @@ impl<P: Clone> DecayMac<P> {
         seed: u64,
         model: InterferenceModel,
     ) -> Result<Self, PhysError> {
+        Self::with_backend(sinr, positions, params, seed, BackendSpec::from(model))
+    }
+
+    /// Like [`DecayMac::new`] with an explicit reception backend
+    /// (interference model + thread count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhysError`] from engine construction.
+    pub fn with_backend(
+        sinr: SinrParams,
+        positions: &[Point],
+        params: DecayParams,
+        seed: u64,
+        spec: BackendSpec,
+    ) -> Result<Self, PhysError> {
         let budget_slots = params.cycle_len as u64 * params.cycles_budget as u64;
         let nodes = (0..positions.len())
             .map(|i| DecayNode {
@@ -134,7 +150,7 @@ impl<P: Clone> DecayMac<P> {
                 outbox: Vec::new(),
             })
             .collect();
-        let engine = Engine::with_model(sinr, positions.to_vec(), nodes, seed, model)?;
+        let engine = Engine::with_backend(sinr, positions.to_vec(), nodes, seed, spec)?;
         let n = positions.len();
         Ok(DecayMac {
             engine,

@@ -134,7 +134,7 @@ impl EpochLayout {
 
     /// Whether `slot` is the first slot of an epoch.
     pub fn is_epoch_start(&self, slot: u64) -> bool {
-        slot % self.epoch_len() == 0
+        slot.is_multiple_of(self.epoch_len())
     }
 
     /// Decodes a layer slot into its position within the epoch.
@@ -162,7 +162,7 @@ impl EpochLayout {
             let round = (off / (2 * t_w)) as u32;
             let within = off % (2 * t_w);
             let t = (within / 2) as u32;
-            return if within % 2 == 0 {
+            return if within.is_multiple_of(2) {
                 PhasePos::MisData { phase, round, t }
             } else {
                 PhasePos::MisAck { phase, round, t }

@@ -39,9 +39,12 @@
 //! let params = MacParams::builder().build(&sinr);
 //! let mut mac = SinrAbsMac::new(sinr, &positions, params, 1).unwrap();
 //! let id = mac.bcast(0, 7u32).unwrap();
-//! // Step until the broadcast is acknowledged.
+//! // Step until the broadcast is acknowledged. The bound is a safety
+//! // net: on this 3-node line the ack fires within a few hundred slots,
+//! // so the doctest stays sub-second (audited; don't raise it into the
+//! // millions — doctests run serially).
 //! let mut acked = false;
-//! for _ in 0..50_000 {
+//! for _ in 0..20_000 {
 //!     let step = mac.step();
 //!     if step.events.iter().any(|(n, e)| *n == 0 && matches!(e, MacEvent::Ack(i) if *i == id)) {
 //!         acked = true;

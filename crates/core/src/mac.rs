@@ -15,8 +15,8 @@ use std::collections::HashSet;
 use absmac::{MacError, MacEvent, MacLayer, MacMessage, MsgId, StepEvents};
 use sinr_geom::Point;
 use sinr_phys::{
-    Action, Engine, EngineStats, InterferenceModel, NodeId, PhysError, Protocol, SinrParams,
-    SlotCtx,
+    Action, BackendSpec, Engine, EngineStats, InterferenceModel, NodeId, PhysError, Protocol,
+    SinrParams, SlotCtx,
 };
 
 use crate::{AckLayer, ApprogLayer, Frame, MacParams};
@@ -79,7 +79,7 @@ impl<P: Clone> Protocol for MacNode<P> {
                 Action::Listen
             };
         }
-        if ctx.slot % 2 == 0 {
+        if ctx.slot.is_multiple_of(2) {
             self.ack.on_slot(ctx.rng)
         } else {
             self.approg.on_slot(ctx.slot / 2, ctx.rng)
@@ -95,7 +95,7 @@ impl<P: Clone> Protocol for MacNode<P> {
                 }));
             }
         }
-        if ctx.slot % 2 == 0 {
+        if ctx.slot.is_multiple_of(2) {
             self.ack.on_receive(frame);
         } else {
             self.approg.on_receive(ctx.slot / 2, frame);
@@ -153,10 +153,26 @@ impl<P: Clone> SinrAbsMac<P> {
         seed: u64,
         model: InterferenceModel,
     ) -> Result<Self, PhysError> {
+        Self::with_backend(sinr, positions, params, seed, BackendSpec::from(model))
+    }
+
+    /// Like [`SinrAbsMac::new`] with an explicit reception backend
+    /// (interference model + thread count).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SinrAbsMac::new`].
+    pub fn with_backend(
+        sinr: SinrParams,
+        positions: &[Point],
+        params: MacParams,
+        seed: u64,
+        spec: BackendSpec,
+    ) -> Result<Self, PhysError> {
         let nodes = (0..positions.len())
             .map(|i| MacNode::new(&params, i))
             .collect();
-        let engine = Engine::with_model(sinr, positions.to_vec(), nodes, seed, model)?;
+        let engine = Engine::with_backend(sinr, positions.to_vec(), nodes, seed, spec)?;
         let n = positions.len();
         Ok(SinrAbsMac {
             engine,
@@ -168,6 +184,21 @@ impl<P: Clone> SinrAbsMac<P> {
     /// The resolved MAC parameters.
     pub fn params(&self) -> &MacParams {
         &self.params
+    }
+
+    /// Sets the number of OS threads reception decisions run on; the
+    /// execution stays bit-identical (listeners are independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.engine.set_threads(threads);
+    }
+
+    /// The reception backend specification this MAC runs with.
+    pub fn backend_spec(&self) -> BackendSpec {
+        self.engine.backend_spec()
     }
 
     /// Physical-layer counters (slots, transmissions, receptions).

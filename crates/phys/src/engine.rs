@@ -7,7 +7,7 @@ use rand::SeedableRng;
 
 use sinr_geom::{deploy, Point};
 
-use crate::reception::{decide_receptions_threaded, InterferenceModel};
+use crate::reception::{BackendSpec, InterferenceBackend, InterferenceModel};
 use crate::{PhysError, SinrParams};
 
 /// Identifier of a node in a simulation (its index in the position list).
@@ -115,8 +115,10 @@ pub struct Engine<P: Protocol> {
     positions: Vec<Point>,
     protocols: Vec<P>,
     rngs: Vec<StdRng>,
-    model: InterferenceModel,
-    threads: usize,
+    spec: BackendSpec,
+    backend: Box<dyn InterferenceBackend>,
+    /// Per-slot reception decisions, reused across slots.
+    decisions: Vec<Option<usize>>,
     slot: u64,
     stats: EngineStats,
 }
@@ -139,7 +141,8 @@ impl<P: Protocol> Engine<P> {
         Self::with_model(params, positions, protocols, seed, InterferenceModel::Exact)
     }
 
-    /// Like [`Engine::new`] with an explicit interference model.
+    /// Like [`Engine::new`] with an explicit interference model (serial
+    /// execution; see [`Engine::with_backend`] for parallel backends).
     ///
     /// # Errors
     ///
@@ -150,6 +153,22 @@ impl<P: Protocol> Engine<P> {
         protocols: Vec<P>,
         seed: u64,
         model: InterferenceModel,
+    ) -> Result<Self, PhysError> {
+        Self::with_backend(params, positions, protocols, seed, BackendSpec::from(model))
+    }
+
+    /// Like [`Engine::new`] with an explicit reception backend
+    /// specification (interference model + thread count).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::new`].
+    pub fn with_backend(
+        params: SinrParams,
+        positions: Vec<Point>,
+        protocols: Vec<P>,
+        seed: u64,
+        spec: BackendSpec,
     ) -> Result<Self, PhysError> {
         if positions.len() != protocols.len() {
             return Err(PhysError::MismatchedInputs {
@@ -165,13 +184,15 @@ impl<P: Protocol> Engine<P> {
         let rngs = (0..positions.len())
             .map(|i| StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
             .collect();
+        let n = positions.len();
         Ok(Engine {
             params,
             positions,
             protocols,
             rngs,
-            model,
-            threads: 1,
+            spec,
+            backend: spec.build(),
+            decisions: vec![None; n],
             slot: 0,
             stats: EngineStats::default(),
         })
@@ -214,8 +235,28 @@ impl<P: Protocol> Engine<P> {
     ///
     /// Panics if `threads` is zero.
     pub fn set_threads(&mut self, threads: usize) {
-        assert!(threads > 0, "threads must be nonzero");
-        self.threads = threads;
+        self.set_backend(self.spec.with_threads(threads));
+    }
+
+    /// Swaps the reception backend mid-simulation. Determinism note: the
+    /// protocol RNG streams are untouched, but if the new spec uses a
+    /// different interference *model* the reception outcomes (and hence
+    /// the execution) may diverge from that point on; changing only the
+    /// thread count never does.
+    pub fn set_backend(&mut self, spec: BackendSpec) {
+        self.spec = spec;
+        self.backend = spec.build();
+    }
+
+    /// The backend specification reception decisions currently run with.
+    #[inline]
+    pub fn backend_spec(&self) -> BackendSpec {
+        self.spec
+    }
+
+    /// Short identifier of the active backend (`"exact"`, `"grid"`, …).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 
     /// Cumulative counters.
@@ -260,13 +301,9 @@ impl<P: Protocol> Engine<P> {
                 Action::Listen => frames.push(None),
             }
         }
-        let decisions = decide_receptions_threaded(
-            &self.params,
-            &self.positions,
-            &senders,
-            self.model,
-            self.threads,
-        );
+        let mut decisions = std::mem::take(&mut self.decisions);
+        self.backend
+            .decide_slot(&self.params, &self.positions, &senders, &mut decisions);
         let mut receptions = Vec::new();
         for (u, decision) in decisions.iter().enumerate() {
             if let Some(s) = decision {
@@ -283,6 +320,7 @@ impl<P: Protocol> Engine<P> {
                 receptions.push((NodeId::from(u), NodeId::from(*s)));
             }
         }
+        self.decisions = decisions;
         for i in 0..n {
             let mut ctx = SlotCtx {
                 slot,
@@ -328,6 +366,7 @@ impl<P: Protocol> fmt::Debug for Engine<P> {
             .field("n", &self.positions.len())
             .field("slot", &self.slot)
             .field("params", &self.params)
+            .field("backend", &self.spec)
             .field("stats", &self.stats)
             .finish()
     }

@@ -62,4 +62,4 @@ pub mod reception;
 pub use engine::{Action, Engine, EngineStats, NodeId, Protocol, SlotCtx, SlotOutcome};
 pub use error::PhysError;
 pub use params::{SinrParams, SinrParamsBuilder};
-pub use reception::InterferenceModel;
+pub use reception::{BackendSpec, InterferenceBackend, InterferenceModel};

@@ -4,31 +4,68 @@
 //! transmitter can be decoded by a given listener in a given slot, and it
 //! can only be the transmitter with the strongest received signal (any
 //! weaker candidate has both less signal and more interference). The
-//! functions here exploit that: per listener they find the nearest
+//! backends here exploit that: per listener they find the nearest
 //! transmitter and evaluate the SINR inequality once.
 //!
-//! Two interference models are provided:
+//! # The [`InterferenceBackend`] trait
 //!
-//! * [`InterferenceModel::Exact`] sums `P/d^α` over every transmitter —
-//!   the ground truth, O(listeners × senders).
-//! * [`InterferenceModel::GridFarField`] handles transmitters near the
-//!   listener exactly and aggregates each far grid cell as
-//!   `|cell| · P / dist(cell)^α` using the cell's nearest point. Far
-//!   distances are under-estimated, so interference is over-estimated:
-//!   the approximation is **conservative** — it never grants a reception
-//!   the exact model would deny (verified by tests and the `interference`
-//!   bench). This mirrors the ring-decomposition bound used in the proof
-//!   of Lemma 10.3 of the paper.
+//! Every slot of every simulation funnels through one reception decision
+//! per listener, so this is the hot path of the whole workspace. The
+//! computation is pluggable through [`InterferenceBackend`], with three
+//! implementations offering different accuracy/throughput trade-offs:
+//!
+//! * [`ExactBackend`] sums `P/d^α` over every transmitter — the ground
+//!   truth, O(listeners × senders) per slot. Use it for small networks and
+//!   as the reference the other backends are validated against.
+//!
+//! * [`GridFarFieldBackend`] handles transmitters near the listener
+//!   exactly and aggregates each far grid cell as
+//!   `|cell| · P / dist(cell)^α` using the cell's nearest point to the
+//!   listener. Far distances are under-estimated, so interference is
+//!   over-estimated: the approximation is **conservative** — it never
+//!   grants a reception the exact model would deny (verified by unit
+//!   tests, the `tests/backend_equivalence.rs` proptests and the
+//!   `interference` bench). This mirrors the ring decomposition used in
+//!   the proof of Lemma 10.3 of the paper: there, interference from
+//!   transmitters in concentric distance ring `i` is bounded by
+//!   `|ring_i| · P / r_i^α` with `r_i` the ring's inner radius; here each
+//!   grid cell plays the role of one ring segment, with
+//!   [`HashGrid::cell_min_dist`] as its inner radius. Cost per listener is
+//!   O(near transmitters + occupied cells) instead of O(senders).
+//!
+//! * [`ParallelBackend`] wraps either of the above and splits the
+//!   per-listener loop across OS threads (`std::thread::scope`).
+//!   Listeners are independent, so the result is **bit-identical** to the
+//!   serial computation at any thread count (verified by proptest) —
+//!   parallelism is purely a wall-clock lever for large deployments.
+//!
+//! Backends are stateful so scratch allocations (sender position buffers,
+//! flattened cell lists) are reused across slots; constructing one per
+//! call via the [`decide_receptions`] convenience wrapper is supported
+//! but re-allocates every time. Long-lived simulations should hold a
+//! backend (the `Engine` does this) and feed it every slot.
+//!
+//! Selection is data-driven through [`BackendSpec`], a small `Copy` value
+//! that travels through constructor APIs (`Engine`, `SinrAbsMac`,
+//! `DecayMac`, the baselines, the bench binaries) and builds the backend
+//! at the edge.
 
 use sinr_geom::{HashGrid, Point};
 
 use crate::SinrParams;
 
 /// How interference sums are computed by [`decide_receptions`].
+///
+/// This is the legacy serial-model selector, kept because it appears in
+/// many constructor signatures; [`BackendSpec`] supersedes it and adds
+/// parallel execution. Every `InterferenceModel` converts losslessly into
+/// a `BackendSpec`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum InterferenceModel {
     /// Exact summation over all transmitters.
+    #[default]
     Exact,
     /// Exact within the weak range (plus one cell diagonal); per-cell
     /// aggregation beyond. Conservative (see module docs).
@@ -38,15 +75,543 @@ pub enum InterferenceModel {
     },
 }
 
-impl Default for InterferenceModel {
+/// Complete, serializable description of a reception backend: which
+/// interference model to run and across how many threads.
+///
+/// `BackendSpec` is the value that travels through constructor APIs; the
+/// actual worker state is built once at the edge with
+/// [`BackendSpec::build`].
+///
+/// # Examples
+///
+/// ```
+/// use sinr_phys::reception::BackendSpec;
+///
+/// let spec = BackendSpec::grid_far_field(8.0).with_threads(4);
+/// let backend = spec.build();
+/// assert_eq!(backend.name(), "grid+par");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendSpec {
+    /// The serial interference model each listener decision uses.
+    pub model: InterferenceModel,
+    /// OS threads the per-listener loop is split across (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for BackendSpec {
     fn default() -> Self {
-        InterferenceModel::Exact
+        BackendSpec {
+            model: InterferenceModel::Exact,
+            threads: 1,
+        }
     }
+}
+
+impl From<InterferenceModel> for BackendSpec {
+    fn from(model: InterferenceModel) -> Self {
+        BackendSpec { model, threads: 1 }
+    }
+}
+
+impl BackendSpec {
+    /// Serial exact summation.
+    pub fn exact() -> Self {
+        BackendSpec::default()
+    }
+
+    /// Serial grid-aggregated far field with the given cell side.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cell_size` is positive and finite.
+    pub fn grid_far_field(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive"
+        );
+        BackendSpec {
+            model: InterferenceModel::GridFarField { cell_size },
+            threads: 1,
+        }
+    }
+
+    /// The same model split across `threads` OS threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(self, threads: usize) -> Self {
+        assert!(threads > 0, "threads must be nonzero");
+        BackendSpec { threads, ..self }
+    }
+
+    /// Builds the worker for this spec.
+    pub fn build(self) -> Box<dyn InterferenceBackend> {
+        let serial: Box<dyn InterferenceBackend> = match self.model {
+            InterferenceModel::Exact => Box::new(ExactBackend::new()),
+            InterferenceModel::GridFarField { cell_size } => {
+                Box::new(GridFarFieldBackend::new(cell_size))
+            }
+        };
+        if self.threads == 1 {
+            serial
+        } else {
+            Box::new(ParallelBackend::new(self.model, self.threads))
+        }
+    }
+
+    /// Parses a spec from a compact string, for CLI/bench selection:
+    /// `exact`, `grid:CELL`, `par:THREADS`, `grid:CELL:par:THREADS`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem on malformed input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut spec = BackendSpec::exact();
+        let mut parts = s.split(':');
+        loop {
+            match parts.next() {
+                None => return Ok(spec),
+                Some("exact") => spec.model = InterferenceModel::Exact,
+                Some("grid") => {
+                    let cell = parts
+                        .next()
+                        .ok_or_else(|| "grid needs a cell size, e.g. grid:8".to_string())?;
+                    let cell_size: f64 = cell
+                        .parse()
+                        .map_err(|e| format!("bad grid cell size {cell:?}: {e}"))?;
+                    if !(cell_size.is_finite() && cell_size > 0.0) {
+                        return Err(format!("grid cell size must be positive, got {cell_size}"));
+                    }
+                    spec.model = InterferenceModel::GridFarField { cell_size };
+                }
+                Some("par") => {
+                    let t = parts
+                        .next()
+                        .ok_or_else(|| "par needs a thread count, e.g. par:4".to_string())?;
+                    let threads: usize = t
+                        .parse()
+                        .map_err(|e| format!("bad thread count {t:?}: {e}"))?;
+                    if threads == 0 {
+                        return Err("thread count must be nonzero".to_string());
+                    }
+                    spec.threads = threads;
+                }
+                Some(other) => {
+                    return Err(format!(
+                    "unknown backend component {other:?}; expected exact, grid:CELL or par:THREADS"
+                ))
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.model {
+            InterferenceModel::Exact => write!(f, "exact")?,
+            InterferenceModel::GridFarField { cell_size } => write!(f, "grid:{cell_size}")?,
+        }
+        if self.threads > 1 {
+            write!(f, ":par:{}", self.threads)?;
+        }
+        Ok(())
+    }
+}
+
+/// A reusable worker that resolves all reception decisions of one slot.
+///
+/// Implementations own their scratch buffers, so calling
+/// [`decide_slot`](InterferenceBackend::decide_slot) every slot performs
+/// no per-slot allocations beyond what the slot's sender count forces.
+/// See the module docs for the trade-offs between the implementations.
+pub trait InterferenceBackend: Send {
+    /// Short stable identifier (`"exact"`, `"grid"`, `"exact+par"`,
+    /// `"grid+par"`), used by benches and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Decides receptions for every node given the set of transmitters.
+    ///
+    /// Writes one entry per node into `out` (which must have
+    /// `positions.len()` entries): `Some(sender)` if that node decodes a
+    /// transmission this slot, `None` otherwise. Transmitters themselves
+    /// are always `None` (half-duplex).
+    ///
+    /// `senders` must be sorted, deduplicated node indices into
+    /// `positions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != positions.len()`, or if `senders` is not
+    /// sorted/deduplicated or contains an index out of range — all are
+    /// engine invariants, not user input.
+    fn decide_slot(
+        &mut self,
+        params: &SinrParams,
+        positions: &[Point],
+        senders: &[usize],
+        out: &mut [Option<usize>],
+    );
+}
+
+/// Validates the shared `decide_slot` preconditions.
+fn check_invariants(positions: &[Point], senders: &[usize], out: &[Option<usize>]) {
+    assert_eq!(
+        out.len(),
+        positions.len(),
+        "output slice must have one entry per node"
+    );
+    assert!(
+        senders.windows(2).all(|w| w[0] < w[1]),
+        "senders must be sorted and deduplicated"
+    );
+    if let Some(&last) = senders.last() {
+        assert!(last < positions.len(), "sender index out of range");
+    }
+}
+
+/// Exact interference summation (see module docs).
+#[derive(Debug, Default)]
+pub struct ExactBackend {
+    sender_pts: Vec<Point>,
+}
+
+impl ExactBackend {
+    /// A fresh backend with empty scratch buffers.
+    pub fn new() -> Self {
+        ExactBackend::default()
+    }
+}
+
+impl InterferenceBackend for ExactBackend {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn decide_slot(
+        &mut self,
+        params: &SinrParams,
+        positions: &[Point],
+        senders: &[usize],
+        out: &mut [Option<usize>],
+    ) {
+        check_invariants(positions, senders, out);
+        out.fill(None);
+        if senders.is_empty() {
+            return;
+        }
+        self.sender_pts.clear();
+        self.sender_pts
+            .extend(senders.iter().map(|&s| positions[s]));
+        for (u, slot) in out.iter_mut().enumerate() {
+            *slot = decide_exact(params, positions, senders, &self.sender_pts, u);
+        }
+    }
+}
+
+/// Grid-aggregated far-field interference (see module docs).
+#[derive(Debug)]
+pub struct GridFarFieldBackend {
+    cell_size: f64,
+    sender_pts: Vec<Point>,
+    /// Flattened `(cell, members)` list rebuilt each slot; the outer `Vec`
+    /// and the per-cell member `Vec`s are recycled across slots.
+    cells: Vec<((i64, i64), Vec<usize>)>,
+}
+
+impl GridFarFieldBackend {
+    /// A fresh backend with square cells of side `cell_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cell_size` is positive and finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive"
+        );
+        GridFarFieldBackend {
+            cell_size,
+            sender_pts: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// The grid cell side this backend aggregates with.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+}
+
+impl InterferenceBackend for GridFarFieldBackend {
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn decide_slot(
+        &mut self,
+        params: &SinrParams,
+        positions: &[Point],
+        senders: &[usize],
+        out: &mut [Option<usize>],
+    ) {
+        check_invariants(positions, senders, out);
+        out.fill(None);
+        if senders.is_empty() {
+            return;
+        }
+        self.sender_pts.clear();
+        self.sender_pts
+            .extend(senders.iter().map(|&s| positions[s]));
+        // The grid is built once per slot over this slot's transmitter
+        // set; the flattened cell list reuses last slot's allocations.
+        let grid = HashGrid::build(&self.sender_pts, self.cell_size);
+        rebuild_cells(&grid, &mut self.cells);
+        let ctx = GridSlot {
+            grid: &grid,
+            cells: &self.cells,
+            near_cutoff: near_cutoff(params, self.cell_size),
+        };
+        for (u, slot) in out.iter_mut().enumerate() {
+            *slot = decide_grid(params, positions, senders, &self.sender_pts, &ctx, u);
+        }
+    }
+}
+
+/// Any transmitter within the weak range R of a listener is handled
+/// exactly (it could be the decode candidate or a dominant interferer);
+/// one cell diagonal of slack means such a cell is never aggregated.
+fn near_cutoff(params: &SinrParams, cell_size: f64) -> f64 {
+    params.range() + cell_size * std::f64::consts::SQRT_2
+}
+
+/// Refills the reusable flattened cell list from a freshly built grid,
+/// recycling last slot's member allocations. Sorted by cell key: the
+/// grid's hash map iterates in a per-instance random order, and float
+/// interference sums are order-sensitive, so without the sort the same
+/// seeded simulation could differ by ulps across process runs — breaking
+/// the workspace's determinism contract at near-threshold decodes.
+fn rebuild_cells(grid: &HashGrid, cells: &mut Vec<((i64, i64), Vec<usize>)>) {
+    let mut pool: Vec<Vec<usize>> = cells
+        .drain(..)
+        .map(|(_, mut members)| {
+            members.clear();
+            members
+        })
+        .collect();
+    for (cell, members) in grid.cells() {
+        let mut owned = pool.pop().unwrap_or_default();
+        owned.extend_from_slice(members);
+        cells.push((cell, owned));
+    }
+    cells.sort_unstable_by_key(|(cell, _)| *cell);
+}
+
+/// Chunked parallel execution of either serial model across OS threads.
+///
+/// Listener decisions are independent, so splitting `out` into contiguous
+/// chunks and deciding each chunk on its own thread produces bit-identical
+/// results at any thread count. Slot preparation (sender gather, grid
+/// build) stays serial — it is linear in the sender count and not worth
+/// distributing.
+#[derive(Debug)]
+pub struct ParallelBackend {
+    model: InterferenceModel,
+    threads: usize,
+    sender_pts: Vec<Point>,
+    cells: Vec<((i64, i64), Vec<usize>)>,
+}
+
+impl ParallelBackend {
+    /// A backend running `model` across `threads` OS threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(model: InterferenceModel, threads: usize) -> Self {
+        assert!(threads > 0, "threads must be nonzero");
+        if let InterferenceModel::GridFarField { cell_size } = model {
+            assert!(
+                cell_size.is_finite() && cell_size > 0.0,
+                "cell_size must be positive"
+            );
+        }
+        ParallelBackend {
+            model,
+            threads,
+            sender_pts: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl InterferenceBackend for ParallelBackend {
+    fn name(&self) -> &'static str {
+        match self.model {
+            InterferenceModel::Exact => "exact+par",
+            InterferenceModel::GridFarField { .. } => "grid+par",
+        }
+    }
+
+    fn decide_slot(
+        &mut self,
+        params: &SinrParams,
+        positions: &[Point],
+        senders: &[usize],
+        out: &mut [Option<usize>],
+    ) {
+        check_invariants(positions, senders, out);
+        out.fill(None);
+        if senders.is_empty() {
+            return;
+        }
+        self.sender_pts.clear();
+        self.sender_pts
+            .extend(senders.iter().map(|&s| positions[s]));
+        let grid_ctx: Option<(HashGrid, f64)> = match self.model {
+            InterferenceModel::Exact => None,
+            InterferenceModel::GridFarField { cell_size } => {
+                let grid = HashGrid::build(&self.sender_pts, cell_size);
+                rebuild_cells(&grid, &mut self.cells);
+                Some((grid, near_cutoff(params, cell_size)))
+            }
+        };
+        let threads = self.threads;
+        if threads == 1 || positions.len() < 2 * threads {
+            // Not enough listeners to amortize thread spawns.
+            for (u, slot) in out.iter_mut().enumerate() {
+                *slot = match &grid_ctx {
+                    None => decide_exact(params, positions, senders, &self.sender_pts, u),
+                    Some((grid, cutoff)) => {
+                        let ctx = GridSlot {
+                            grid,
+                            cells: &self.cells,
+                            near_cutoff: *cutoff,
+                        };
+                        decide_grid(params, positions, senders, &self.sender_pts, &ctx, u)
+                    }
+                };
+            }
+            return;
+        }
+        let chunk = positions.len().div_ceil(threads);
+        let sender_pts = &self.sender_pts;
+        let cells = &self.cells;
+        std::thread::scope(|scope| {
+            for (k, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                let grid_ctx = &grid_ctx;
+                scope.spawn(move || {
+                    let base = k * chunk;
+                    for (i, slot) in out_chunk.iter_mut().enumerate() {
+                        let u = base + i;
+                        *slot = match grid_ctx {
+                            None => decide_exact(params, positions, senders, sender_pts, u),
+                            Some((grid, cutoff)) => {
+                                let ctx = GridSlot {
+                                    grid,
+                                    cells,
+                                    near_cutoff: *cutoff,
+                                };
+                                decide_grid(params, positions, senders, sender_pts, &ctx, u)
+                            }
+                        };
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Per-slot grid state shared (immutably) by all listener decisions.
+struct GridSlot<'a> {
+    grid: &'a HashGrid,
+    cells: &'a [((i64, i64), Vec<usize>)],
+    near_cutoff: f64,
+}
+
+/// One listener decision under the exact model.
+fn decide_exact(
+    params: &SinrParams,
+    positions: &[Point],
+    senders: &[usize],
+    sender_pts: &[Point],
+    u: usize,
+) -> Option<usize> {
+    if is_sender(senders, u) {
+        return None;
+    }
+    let pu = positions[u];
+    let mut total = 0.0;
+    let mut best_idx = 0usize;
+    let mut best_d_sq = f64::INFINITY;
+    for (k, &ps) in sender_pts.iter().enumerate() {
+        let d_sq = ps.dist_sq(pu);
+        total += params.received_power(d_sq.sqrt());
+        if d_sq < best_d_sq {
+            best_d_sq = d_sq;
+            best_idx = k;
+        }
+    }
+    let signal = params.received_power(best_d_sq.sqrt());
+    params
+        .decodes(signal, total - signal)
+        .then(|| senders[best_idx])
+}
+
+/// One listener decision under the grid far-field model.
+fn decide_grid(
+    params: &SinrParams,
+    positions: &[Point],
+    senders: &[usize],
+    sender_pts: &[Point],
+    ctx: &GridSlot<'_>,
+    u: usize,
+) -> Option<usize> {
+    if is_sender(senders, u) {
+        return None;
+    }
+    let pu = positions[u];
+    let mut total = 0.0;
+    let mut best_idx: Option<usize> = None;
+    let mut best_d_sq = f64::INFINITY;
+    for (cell, members) in ctx.cells {
+        let lb = ctx.grid.cell_min_dist(*cell, pu);
+        if lb <= ctx.near_cutoff {
+            for &k in members {
+                let d_sq = sender_pts[k].dist_sq(pu);
+                total += params.received_power(d_sq.sqrt());
+                if d_sq < best_d_sq {
+                    best_d_sq = d_sq;
+                    best_idx = Some(k);
+                }
+            }
+        } else {
+            // Conservative: every member treated as sitting at the cell's
+            // nearest point to the listener.
+            total += members.len() as f64 * params.received_power(lb);
+        }
+    }
+    let best = best_idx?;
+    let signal = params.received_power(best_d_sq.sqrt());
+    params
+        .decodes(signal, total - signal)
+        .then(|| senders[best])
+}
+
+fn is_sender(senders: &[usize], i: usize) -> bool {
+    senders.binary_search(&i).is_ok()
 }
 
 /// The raw SINR of transmitter `sender` at `listener` given the
 /// transmitter set `senders` (exact model). Intended for diagnostics and
-/// tests; the engine uses [`decide_receptions`].
+/// tests; the engine uses an [`InterferenceBackend`].
 ///
 /// # Panics
 ///
@@ -76,6 +641,10 @@ pub fn sinr_at(
 /// transmission this slot, `None` otherwise. Transmitters themselves are
 /// always `None` (half-duplex).
 ///
+/// This is a convenience wrapper building a fresh backend per call; hot
+/// loops should hold an [`InterferenceBackend`] instead so scratch
+/// buffers carry over between slots.
+///
 /// `senders` must be sorted, deduplicated node indices into `positions`.
 ///
 /// # Panics
@@ -88,20 +657,17 @@ pub fn decide_receptions(
     senders: &[usize],
     model: InterferenceModel,
 ) -> Vec<Option<usize>> {
-    assert!(
-        senders.windows(2).all(|w| w[0] < w[1]),
-        "senders must be sorted and deduplicated"
-    );
-    if let Some(&last) = senders.last() {
-        assert!(last < positions.len(), "sender index out of range");
-    }
-    decide_receptions_threaded(params, positions, senders, model, 1)
+    let mut out = vec![None; positions.len()];
+    BackendSpec::from(model)
+        .build()
+        .decide_slot(params, positions, senders, &mut out);
+    out
 }
 
 /// Like [`decide_receptions`] but splitting the per-listener work across
-/// `threads` OS threads (crossbeam scoped threads). The result is
-/// bit-identical to the serial computation — listeners are independent —
-/// so parallelism is purely a wall-clock lever for large simulations.
+/// `threads` OS threads. The result is bit-identical to the serial
+/// computation — listeners are independent — so parallelism is purely a
+/// wall-clock lever for large simulations.
 ///
 /// # Panics
 ///
@@ -114,138 +680,12 @@ pub fn decide_receptions_threaded(
     model: InterferenceModel,
     threads: usize,
 ) -> Vec<Option<usize>> {
-    assert!(threads > 0, "threads must be nonzero");
     let mut out = vec![None; positions.len()];
-    if senders.is_empty() {
-        return out;
-    }
-    let ctx = DecideCtx::prepare(params, positions, senders, model);
-    if threads == 1 || positions.len() < 2 * threads {
-        for (u, slot) in out.iter_mut().enumerate() {
-            *slot = ctx.decide(u);
-        }
-        return out;
-    }
-    let chunk = positions.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (k, out_chunk) in out.chunks_mut(chunk).enumerate() {
-            let ctx = &ctx;
-            scope.spawn(move |_| {
-                let base = k * chunk;
-                for (i, slot) in out_chunk.iter_mut().enumerate() {
-                    *slot = ctx.decide(base + i);
-                }
-            });
-        }
-    })
-    .expect("reception worker panicked");
+    BackendSpec::from(model)
+        .with_threads(threads)
+        .build()
+        .decide_slot(params, positions, senders, &mut out);
     out
-}
-
-/// Precomputed state shared by all per-listener decisions of one slot.
-struct DecideCtx<'a> {
-    params: &'a SinrParams,
-    positions: &'a [Point],
-    senders: &'a [usize],
-    sender_pts: Vec<Point>,
-    /// For the grid model: the sender grid, its non-empty cells (owned so
-    /// worker threads can share them), and the near cutoff distance.
-    grid: Option<(HashGrid, Vec<((i64, i64), Vec<usize>)>, f64)>,
-}
-
-impl<'a> DecideCtx<'a> {
-    fn prepare(
-        params: &'a SinrParams,
-        positions: &'a [Point],
-        senders: &'a [usize],
-        model: InterferenceModel,
-    ) -> Self {
-        let sender_pts: Vec<Point> = senders.iter().map(|&s| positions[s]).collect();
-        let grid = match model {
-            InterferenceModel::Exact => None,
-            InterferenceModel::GridFarField { cell_size } => {
-                assert!(
-                    cell_size.is_finite() && cell_size > 0.0,
-                    "cell_size must be positive"
-                );
-                let grid = HashGrid::build(&sender_pts, cell_size);
-                let cells: Vec<((i64, i64), Vec<usize>)> = grid
-                    .cells()
-                    .map(|(c, members)| (c, members.to_vec()))
-                    .collect();
-                // Any transmitter within the weak range R of a listener is
-                // handled exactly (it could be the decode candidate or a
-                // dominant interferer); one cell diagonal of slack means
-                // such a cell is never aggregated.
-                let near_cutoff = params.range() + cell_size * std::f64::consts::SQRT_2;
-                Some((grid, cells, near_cutoff))
-            }
-        };
-        DecideCtx {
-            params,
-            positions,
-            senders,
-            sender_pts,
-            grid,
-        }
-    }
-
-    fn decide(&self, u: usize) -> Option<usize> {
-        if is_sender(self.senders, u) {
-            return None;
-        }
-        let pu = self.positions[u];
-        match &self.grid {
-            None => {
-                let mut total = 0.0;
-                let mut best_idx = 0usize;
-                let mut best_d_sq = f64::INFINITY;
-                for (k, &ps) in self.sender_pts.iter().enumerate() {
-                    let d_sq = ps.dist_sq(pu);
-                    total += self.params.received_power(d_sq.sqrt());
-                    if d_sq < best_d_sq {
-                        best_d_sq = d_sq;
-                        best_idx = k;
-                    }
-                }
-                let signal = self.params.received_power(best_d_sq.sqrt());
-                self.params
-                    .decodes(signal, total - signal)
-                    .then(|| self.senders[best_idx])
-            }
-            Some((grid, cells, near_cutoff)) => {
-                let mut total = 0.0;
-                let mut best_idx: Option<usize> = None;
-                let mut best_d_sq = f64::INFINITY;
-                for (cell, members) in cells {
-                    let lb = grid.cell_min_dist(*cell, pu);
-                    if lb <= *near_cutoff {
-                        for &k in members {
-                            let d_sq = self.sender_pts[k].dist_sq(pu);
-                            total += self.params.received_power(d_sq.sqrt());
-                            if d_sq < best_d_sq {
-                                best_d_sq = d_sq;
-                                best_idx = Some(k);
-                            }
-                        }
-                    } else {
-                        // Conservative: every member treated as sitting at
-                        // the cell's nearest point to the listener.
-                        total += members.len() as f64 * self.params.received_power(lb);
-                    }
-                }
-                let best = best_idx?;
-                let signal = self.params.received_power(best_d_sq.sqrt());
-                self.params
-                    .decodes(signal, total - signal)
-                    .then(|| self.senders[best])
-            }
-        }
-    }
-}
-
-fn is_sender(senders: &[usize], i: usize) -> bool {
-    senders.binary_search(&i).is_ok()
 }
 
 #[cfg(test)]
@@ -374,5 +814,89 @@ mod tests {
         let p = params();
         let pos = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
         let _ = decide_receptions(&p, &pos, &[1, 0], InterferenceModel::Exact);
+    }
+
+    #[test]
+    fn parallel_backend_matches_serial_at_every_thread_count() {
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(50, 60.0, 21).unwrap();
+        let senders: Vec<usize> = (0..50).step_by(2).collect();
+        for model in [
+            InterferenceModel::Exact,
+            InterferenceModel::GridFarField { cell_size: 8.0 },
+        ] {
+            let serial = decide_receptions(&p, &pos, &senders, model);
+            for threads in [2, 3, 7, 64] {
+                let par = decide_receptions_threaded(&p, &pos, &senders, model, threads);
+                assert_eq!(serial, par, "model {model:?}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn backends_reuse_cleanly_across_slots() {
+        // Feeding different sender sets through the same backend must
+        // match fresh-backend results (scratch reuse is invisible).
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(40, 50.0, 5).unwrap();
+        let mut backend = BackendSpec::grid_far_field(8.0).build();
+        let mut out = vec![None; pos.len()];
+        for step in 0..5usize {
+            let senders: Vec<usize> = (0..40).skip(step).step_by(3).collect();
+            backend.decide_slot(&p, &pos, &senders, &mut out);
+            let fresh = decide_receptions(
+                &p,
+                &pos,
+                &senders,
+                InterferenceModel::GridFarField { cell_size: 8.0 },
+            );
+            assert_eq!(out, fresh, "slot {step}");
+        }
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        for s in ["exact", "grid:8", "exact:par:4", "grid:2.5:par:8"] {
+            let spec = BackendSpec::parse(s).unwrap();
+            let rendered = spec.to_string();
+            assert_eq!(BackendSpec::parse(&rendered).unwrap(), spec, "{s}");
+        }
+        assert_eq!(
+            BackendSpec::parse("grid:8").unwrap(),
+            BackendSpec::grid_far_field(8.0)
+        );
+        assert_eq!(
+            BackendSpec::parse("par:4").unwrap(),
+            BackendSpec::exact().with_threads(4)
+        );
+        assert!(BackendSpec::parse("grid").is_err());
+        assert!(BackendSpec::parse("par:0").is_err());
+        assert!(BackendSpec::parse("warp").is_err());
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(BackendSpec::exact().build().name(), "exact");
+        assert_eq!(BackendSpec::grid_far_field(4.0).build().name(), "grid");
+        assert_eq!(
+            BackendSpec::exact().with_threads(2).build().name(),
+            "exact+par"
+        );
+        assert_eq!(
+            BackendSpec::grid_far_field(4.0)
+                .with_threads(2)
+                .build()
+                .name(),
+            "grid+par"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per node")]
+    fn mismatched_output_slice_panics() {
+        let p = params();
+        let pos = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        let mut out = vec![None; 1];
+        ExactBackend::new().decide_slot(&p, &pos, &[0], &mut out);
     }
 }

@@ -159,7 +159,7 @@ mod tests {
         let first = decisions[0].expect("all must decide");
         assert!(decisions.iter().all(|d| *d == Some(first)), "{decisions:?}");
         // Validity: max id is node 4 with value true.
-        assert_eq!(first, true);
+        assert!(first);
     }
 
     #[test]

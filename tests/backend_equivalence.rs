@@ -1,0 +1,125 @@
+//! Property-based equivalence guarantees across reception backends.
+//!
+//! Two claims the module docs of `sinr_phys::reception` make, checked on
+//! randomized deployments:
+//!
+//! 1. **Thread-count invariance** — the parallel backend is bit-identical
+//!    to the serial computation at every thread count, for both
+//!    interference models (listeners are independent, so chunking cannot
+//!    change any decision).
+//! 2. **Grid conservativeness** — `GridFarField` over-estimates far-field
+//!    interference (each aggregated cell contributes
+//!    `|cell| · P / cell_min_dist^α`, a lower bound on distances hence an
+//!    upper bound on interference, mirroring Lemma 10.3's ring
+//!    decomposition), so it never grants a reception `Exact` denies, and
+//!    any reception it does grant names the same sender.
+
+use proptest::prelude::*;
+
+use sinr_local_broadcast::phys::reception::{
+    decide_receptions, decide_receptions_threaded, BackendSpec,
+};
+use sinr_local_broadcast::prelude::*;
+
+/// Random point sets with the near-field property, by snapping to a unit
+/// sub-lattice (guarantees pairwise distance ≥ 1 without rejection).
+fn near_field_points(max_n: usize, extent: i32) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::btree_set((0..extent, 0..extent), 2..max_n).prop_map(|cells| {
+        cells
+            .into_iter()
+            .map(|(x, y)| Point::new(x as f64 * 1.5, y as f64 * 1.5))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Claim 1, exact model: every thread count produces the serial
+    /// result, bit for bit.
+    #[test]
+    fn parallel_exact_is_bit_identical_across_thread_counts(
+        pts in near_field_points(48, 28),
+        range in 4.0f64..30.0,
+        stride in 1usize..4,
+        threads in 2usize..9,
+    ) {
+        let sinr = SinrParams::builder().range(range).build().unwrap();
+        let senders: Vec<usize> = (0..pts.len()).step_by(stride).collect();
+        let serial = decide_receptions(&sinr, &pts, &senders, InterferenceModel::Exact);
+        let par = decide_receptions_threaded(
+            &sinr, &pts, &senders, InterferenceModel::Exact, threads,
+        );
+        prop_assert_eq!(serial, par, "threads = {}", threads);
+    }
+
+    /// Claim 1, grid model: thread-count invariance also holds for the
+    /// approximate backend (the grid is built serially, so chunked
+    /// listeners see identical cell aggregates).
+    #[test]
+    fn parallel_grid_is_bit_identical_across_thread_counts(
+        pts in near_field_points(48, 28),
+        range in 4.0f64..24.0,
+        cell in 2.0f64..16.0,
+        threads in 2usize..9,
+    ) {
+        let sinr = SinrParams::builder().range(range).build().unwrap();
+        let senders: Vec<usize> = (0..pts.len()).step_by(2).collect();
+        let model = InterferenceModel::GridFarField { cell_size: cell };
+        let serial = decide_receptions(&sinr, &pts, &senders, model);
+        let par = decide_receptions_threaded(&sinr, &pts, &senders, model, threads);
+        prop_assert_eq!(serial, par, "threads = {}, cell = {}", threads, cell);
+    }
+
+    /// Claim 2: `GridFarField` never grants a reception `Exact` denies,
+    /// at any cell size, and agreements name the same sender.
+    #[test]
+    fn grid_never_grants_what_exact_denies(
+        pts in near_field_points(48, 32),
+        range in 6.0f64..24.0,
+        cell in 1.0f64..24.0,
+        stride in 1usize..5,
+    ) {
+        let sinr = SinrParams::builder().range(range).build().unwrap();
+        let senders: Vec<usize> = (0..pts.len()).step_by(stride).collect();
+        let exact = decide_receptions(&sinr, &pts, &senders, InterferenceModel::Exact);
+        let grid = decide_receptions(
+            &sinr, &pts, &senders,
+            InterferenceModel::GridFarField { cell_size: cell },
+        );
+        for (u, (e, g)) in exact.iter().zip(grid.iter()).enumerate() {
+            if let Some(gs) = g {
+                prop_assert_eq!(
+                    e.as_ref(), Some(gs),
+                    "listener {}: grid granted {:?}, exact {:?}", u, g, e
+                );
+            }
+        }
+    }
+
+    /// A long-lived backend fed varying sender sets (the Engine's usage
+    /// pattern) matches fresh per-call computation: scratch-buffer reuse
+    /// across slots is observationally invisible.
+    #[test]
+    fn stateful_backend_reuse_matches_fresh_calls(
+        pts in near_field_points(40, 24),
+        range in 4.0f64..24.0,
+        cell in 2.0f64..12.0,
+        threads in 1usize..5,
+    ) {
+        let sinr = SinrParams::builder().range(range).build().unwrap();
+        let spec = BackendSpec::grid_far_field(cell).with_threads(threads);
+        let mut backend = spec.build();
+        let mut out = vec![None; pts.len()];
+        for step in 0..4usize {
+            let senders: Vec<usize> = (0..pts.len()).skip(step % 2).step_by(2 + step).collect();
+            backend.decide_slot(&sinr, &pts, &senders, &mut out);
+            let fresh = decide_receptions_threaded(
+                &sinr, &pts, &senders,
+                InterferenceModel::GridFarField { cell_size: cell },
+                threads,
+            );
+            prop_assert_eq!(&out, &fresh, "slot {}", step);
+        }
+    }
+}

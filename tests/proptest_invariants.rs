@@ -167,9 +167,9 @@ proptest! {
         prop_assert!(states.iter().all(|s| *s != sinr_local_broadcast::mac::MisState::Competitor));
         let dom = swmis::dominators(&states);
         // Maximality on the path: every node is a dominator or adjacent to one.
-        for i in 0..n {
+        for (i, neighbors) in adj.iter().enumerate() {
             let covered = dom.contains(&i)
-                || adj[i].iter().any(|j| dom.contains(j));
+                || neighbors.iter().any(|j| dom.contains(j));
             prop_assert!(covered, "node {i} uncovered");
         }
     }
