@@ -38,6 +38,11 @@ pub struct Runner<M: MacLayer, C> {
     clients: Vec<C>,
     trace: Vec<TraceEvent>,
     tracing: bool,
+    /// Hard cap on recorded trace events; recording stops (and
+    /// `trace_truncated` is set) once reached, so long sweep runs cannot
+    /// grow memory without bound.
+    trace_cap: usize,
+    trace_truncated: bool,
 }
 
 impl<M, C> Runner<M, C>
@@ -53,6 +58,19 @@ where
     /// [`MacError::NodeOutOfRange`] if the client count differs from the
     /// layer size, or any error from commands issued in `on_start`.
     pub fn new(mac: M, clients: Vec<C>) -> Result<Self, MacError> {
+        Self::with_trace_capacity(mac, clients, usize::MAX)
+    }
+
+    /// Like [`Runner::new`] but caps the recorded trace at `capacity`
+    /// events. Once the cap is hit, further events still drive the clients
+    /// but are no longer recorded and [`Runner::trace_truncated`] reports
+    /// `true` — long sweep runs stay bounded in memory instead of growing
+    /// a trace they will never read.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Runner::new`].
+    pub fn with_trace_capacity(mac: M, clients: Vec<C>, capacity: usize) -> Result<Self, MacError> {
         if mac.len() != clients.len() {
             return Err(MacError::NodeOutOfRange {
                 node: clients.len(),
@@ -63,7 +81,9 @@ where
             mac,
             clients,
             trace: Vec::new(),
-            tracing: true,
+            tracing: capacity > 0,
+            trace_cap: capacity,
+            trace_truncated: false,
         };
         let mut sink = CmdSink::new();
         for node in 0..runner.clients.len() {
@@ -78,14 +98,38 @@ where
         self.tracing = false;
     }
 
+    /// Enables or disables trace recording.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
     /// The recorded execution trace, in time order.
     pub fn trace(&self) -> &[TraceEvent] {
         &self.trace
     }
 
+    /// Drains the recorded trace out of the runner without cloning it,
+    /// leaving an empty trace behind. Prefer this over
+    /// `trace().to_vec()` when the runner is done stepping.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Whether events were dropped because the trace capacity given to
+    /// [`Runner::with_trace_capacity`] was reached.
+    pub fn trace_truncated(&self) -> bool {
+        self.trace_truncated
+    }
+
     /// The underlying MAC layer.
     pub fn mac(&self) -> &M {
         &self.mac
+    }
+
+    /// Mutable access to the underlying MAC layer, for mid-run control
+    /// knobs (e.g. failure injection between steps).
+    pub fn mac_mut(&mut self) -> &mut M {
+        &mut self.mac
     }
 
     /// The client at `node`.
@@ -98,13 +142,21 @@ where
         self.clients.iter()
     }
 
+    fn record(&mut self, ev: TraceEvent) {
+        if self.trace.len() < self.trace_cap {
+            self.trace.push(ev);
+        } else {
+            self.trace_truncated = true;
+        }
+    }
+
     fn apply(&mut self, node: usize, sink: &mut CmdSink<M::Payload>) -> Result<(), MacError> {
         for cmd in sink.drain() {
             match cmd {
                 MacCmd::Bcast(payload) => {
                     let id = self.mac.bcast(node, payload)?;
                     if self.tracing {
-                        self.trace.push(TraceEvent {
+                        self.record(TraceEvent {
                             t: self.mac.now(),
                             node,
                             kind: TraceKind::Bcast(id),
@@ -114,7 +166,7 @@ where
                 MacCmd::Abort(id) => {
                     self.mac.abort(node, id)?;
                     if self.tracing {
-                        self.trace.push(TraceEvent {
+                        self.record(TraceEvent {
                             t: self.mac.now(),
                             node,
                             kind: TraceKind::Abort(id),
@@ -143,7 +195,7 @@ where
                     MacEvent::Rcv(m) => TraceKind::Rcv(m.id),
                     MacEvent::Ack(id) => TraceKind::Ack(*id),
                 };
-                self.trace.push(TraceEvent { t, node, kind });
+                self.record(TraceEvent { t, node, kind });
             }
             self.clients[node].on_event(node, t, &ev, &mut sink);
             self.apply(node, &mut sink)?;
@@ -247,6 +299,32 @@ mod tests {
         // Traces are time-ordered.
         let times: Vec<u64> = runner.trace().iter().map(|e| e.t).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn trace_capacity_caps_and_reports_truncation() {
+        let g = Graph::from_edges(5, (0..4).map(|i| (i, i + 1)));
+        let mac: IdealMac<u32> = IdealMac::new(g, SchedulerPolicy::Eager, 0);
+        let mut runner = Runner::with_trace_capacity(mac, gossip(5, 0), 2).unwrap();
+        runner.run_until_done(100).unwrap();
+        assert_eq!(runner.trace().len(), 2);
+        assert!(runner.trace_truncated());
+        // Clients still ran to completion despite the cap.
+        assert!(runner.clients().all(|c| c.heard));
+        // take_trace drains rather than clones.
+        let taken = runner.take_trace();
+        assert_eq!(taken.len(), 2);
+        assert!(runner.trace().is_empty());
+    }
+
+    #[test]
+    fn boxed_mac_layer_is_a_mac_layer() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let mac: Box<dyn MacLayer<Payload = u32>> =
+            Box::new(IdealMac::new(g, SchedulerPolicy::Eager, 0));
+        let mut runner = Runner::new(mac, gossip(3, 0)).unwrap();
+        assert!(runner.run_until_done(100).unwrap().is_some());
+        assert!(runner.clients().all(|c| c.heard));
     }
 
     #[test]

@@ -72,6 +72,41 @@ pub trait MacLayer {
     fn step(&mut self) -> StepEvents<Self::Payload>;
 }
 
+/// [`MacLayer`] is object safe, and a boxed layer is itself a layer, so
+/// generic drivers like [`crate::Runner`] can be type-erased over the MAC
+/// implementation: `Runner<Box<dyn MacLayer<Payload = u64>>, C>` runs
+/// unchanged over the SINR MAC, the ideal MAC, or Decay — the
+/// plug-and-play claim (§2.2, §12) expressed at the type level. The
+/// `?Sized` bound also covers boxed *sub*-traits of `MacLayer` (e.g. a
+/// trait adding control hooks) without a second delegation impl.
+impl<M: MacLayer + ?Sized> MacLayer for Box<M> {
+    type Payload = M::Payload;
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+
+    fn now(&self) -> u64 {
+        (**self).now()
+    }
+
+    fn bcast(&mut self, node: usize, payload: Self::Payload) -> Result<MsgId, MacError> {
+        (**self).bcast(node, payload)
+    }
+
+    fn abort(&mut self, node: usize, id: MsgId) -> Result<(), MacError> {
+        (**self).abort(node, id)
+    }
+
+    fn step(&mut self) -> StepEvents<Self::Payload> {
+        (**self).step()
+    }
+}
+
 /// A command a client issues in response to events.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MacCmd<P> {

@@ -1,38 +1,33 @@
 //! Criterion benches touching every experiment of the paper at reduced
 //! scale, so `cargo bench --workspace` regenerates (small versions of)
-//! every table and figure. The full-range regenerators are the binaries
-//! in `src/bin/` (see DESIGN.md §2).
+//! every table and figure. The full-range regenerators live behind the
+//! `sinr-lab` driver (see DESIGN.md §2); each bench here constructs the
+//! same `ScenarioSpec`s at smaller parameters.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use sinr_bench::common::connected_uniform;
 use sinr_bench::{exp_decay, exp_fig1, exp_global, exp_local, exp_table2};
-use sinr_mac::MacParams;
 use sinr_phys::reception::decide_receptions;
 use sinr_phys::{InterferenceModel, SinrParams};
+use sinr_scenario::{DeploymentSpec, ScenarioSet, SeedSpec, SinrSpec};
 
 /// E1 — Table 1 local rows at reduced scale.
 fn bench_table1_local(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_local");
     group.sample_size(10);
-    let sinr = SinrParams::builder().range(8.0).build().unwrap();
-    let (positions, graphs, seed) = connected_uniform(&sinr, 24, 20.0, 1);
+    let deploy = DeploymentSpec::uniform_connected(24, 20.0, 1);
+    let sinr = SinrSpec::with_range(8.0);
     group.bench_function("fack_n24", |b| {
         b.iter(|| {
-            let params = MacParams::builder().build(&sinr);
-            black_box(exp_local::measure_fack(
-                &sinr, &positions, &graphs, params, 6, seed,
-            ))
+            let spec = exp_local::fack_spec(deploy, sinr, 6, SeedSpec::FromDeploy);
+            black_box(exp_local::measure_fack(&spec))
         })
     });
     group.bench_function("approg_n24", |b| {
         b.iter(|| {
-            let params = MacParams::builder().build(&sinr);
-            let horizon = 3 * 2 * params.layout().epoch_len();
-            black_box(exp_local::measure_progress(
-                &sinr, &positions, &graphs, params, 2, horizon, seed,
-            ))
+            let spec = exp_local::progress_spec(deploy, sinr, vec![], 2, 3, SeedSpec::FromDeploy);
+            black_box(exp_local::measure_progress(&spec))
         })
     });
     group.finish();
@@ -42,30 +37,24 @@ fn bench_table1_local(c: &mut Criterion) {
 fn bench_table1_global(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_global");
     group.sample_size(10);
-    let sinr = SinrParams::builder().range(8.0).build().unwrap();
-    let (positions, graphs, seed) = connected_uniform(&sinr, 20, 18.0, 2);
+    let deploy = DeploymentSpec::uniform_connected(20, 18.0, 2);
+    let sinr = SinrSpec::with_range(8.0);
     group.bench_function("smb_n20", |b| {
         b.iter(|| {
-            let params = MacParams::builder().build(&sinr);
-            black_box(exp_global::smb_over_mac(
-                &sinr, &positions, &graphs, params, 3_000_000, seed,
-            ))
+            let spec = exp_global::smb_spec(deploy, sinr, 3_000_000, SeedSpec::FromDeploy);
+            black_box(exp_global::run_smb(&spec))
         })
     });
     group.bench_function("mmb_n20_k2", |b| {
         b.iter(|| {
-            let params = MacParams::builder().build(&sinr);
-            black_box(exp_global::mmb_over_mac(
-                &sinr, &positions, &graphs, params, 2, 6_000_000, seed,
-            ))
+            let spec = exp_global::mmb_spec(deploy, sinr, 2, 6_000_000, SeedSpec::FromDeploy);
+            black_box(exp_global::run_mmb(&spec))
         })
     });
     group.bench_function("consensus_n20", |b| {
         b.iter(|| {
-            let params = MacParams::builder().build(&sinr);
-            black_box(exp_global::consensus_over_mac(
-                &sinr, &positions, &graphs, params, seed,
-            ))
+            let spec = exp_global::consensus_spec(deploy, sinr, SeedSpec::FromDeploy);
+            black_box(exp_global::run_consensus(&spec))
         })
     });
     group.finish();
@@ -75,12 +64,15 @@ fn bench_table1_global(c: &mut Criterion) {
 fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
-    let sinr = SinrParams::builder().range(8.0).build().unwrap();
-    let (positions, graphs, seed) = connected_uniform(&sinr, 20, 18.0, 3);
+    let deploy = DeploymentSpec::uniform_connected(20, 18.0, 3);
+    let sinr = SinrSpec::with_range(8.0);
     group.bench_function("three_way_smb_n20", |b| {
         b.iter(|| {
             black_box(exp_table2::compare_smb(
-                &sinr, &positions, &graphs, 5_000_000, seed,
+                deploy,
+                sinr,
+                5_000_000,
+                SeedSpec::FromDeploy,
             ))
         })
     });
@@ -105,6 +97,28 @@ fn bench_decay(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("two_balls_d8", |b| {
         b.iter(|| black_box(exp_decay::run_decay_comparison(8, 48.0, 40_000, 13)))
+    });
+    group.finish();
+}
+
+/// Scenario layer — spec build + batch sweep overhead at reduced scale.
+fn bench_scenario_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_sweep");
+    group.sample_size(10);
+    let base = exp_local::progress_spec(
+        DeploymentSpec::uniform_connected(16, 16.0, 1),
+        SinrSpec::with_range(8.0),
+        vec![],
+        2,
+        1,
+        SeedSpec::FromDeploy,
+    );
+    group.bench_function("batch4_n16", |b| {
+        b.iter(|| {
+            let set = ScenarioSet::new(base.clone())
+                .axis("seed", vec!["1".into(), "2".into(), "3".into(), "4".into()]);
+            black_box(set.run(2).expect("sweep"))
+        })
     });
     group.finish();
 }
@@ -149,6 +163,7 @@ criterion_group!(
     bench_table2,
     bench_fig1,
     bench_decay,
+    bench_scenario_sweep,
     bench_interference
 );
 criterion_main!(benches);

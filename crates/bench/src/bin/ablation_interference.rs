@@ -1,77 +1,10 @@
 //! A3 — exact vs grid-aggregated interference: reception agreement and
 //! wall-clock speedup of the kernel, plus the threading lever.
 //!
+//! Thin wrapper over `sinr-lab legacy ablation_interference`.
+//!
 //! Run with: `cargo run --release -p sinr-bench --bin ablation_interference`
 
-use std::time::Instant;
-
-use sinr_bench::common::Table;
-use sinr_phys::reception::{decide_receptions, decide_receptions_threaded};
-use sinr_phys::{InterferenceModel, SinrParams};
-
 fn main() {
-    let sinr = SinrParams::builder().range(16.0).build().unwrap();
-    let mut t = Table::new(
-        "A3: interference model agreement and speed (half the nodes transmit)",
-        &[
-            "n",
-            "exact_us",
-            "grid_us",
-            "grid_speedup",
-            "agree_rate",
-            "grid_missed",
-            "threaded2_us",
-        ],
-    );
-    for &n in &[128usize, 256, 512, 1024] {
-        let side = (n as f64).sqrt() * 2.2;
-        let positions = sinr_geom::deploy::uniform(n, side, 5).unwrap();
-        let senders: Vec<usize> = (0..n).step_by(2).collect();
-        let reps = 20;
-
-        let t0 = Instant::now();
-        let mut exact = Vec::new();
-        for _ in 0..reps {
-            exact = decide_receptions(&sinr, &positions, &senders, InterferenceModel::Exact);
-        }
-        let exact_us = t0.elapsed().as_micros() / reps;
-
-        let model = InterferenceModel::GridFarField { cell_size: 8.0 };
-        let t0 = Instant::now();
-        let mut grid = Vec::new();
-        for _ in 0..reps {
-            grid = decide_receptions(&sinr, &positions, &senders, model);
-        }
-        let grid_us = t0.elapsed().as_micros() / reps;
-
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            let _ = decide_receptions_threaded(
-                &sinr,
-                &positions,
-                &senders,
-                InterferenceModel::Exact,
-                2,
-            );
-        }
-        let thr_us = t0.elapsed().as_micros() / reps;
-
-        let agree = exact.iter().zip(&grid).filter(|(e, g)| e == g).count();
-        let missed = exact
-            .iter()
-            .zip(&grid)
-            .filter(|(e, g)| e.is_some() && g.is_none())
-            .count();
-        t.row(vec![
-            n.to_string(),
-            exact_us.to_string(),
-            grid_us.to_string(),
-            format!("{:.2}x", exact_us as f64 / grid_us.max(1) as f64),
-            format!("{:.4}", agree as f64 / n as f64),
-            missed.to_string(),
-            thr_us.to_string(),
-        ]);
-    }
-    t.print();
-    println!("grid receptions are a subset of exact ones (conservative; property-tested).");
+    sinr_bench::lab::legacy("ablation_interference", &[]).expect("known legacy name");
 }

@@ -2,40 +2,11 @@
 //! ranges cause collisions, which block the MIS (ties keep competing)
 //! and slow approximate progress.
 //!
+//! Thin wrapper over `sinr-lab legacy ablation_labels` (the sweep is a
+//! `ScenarioSet` over `mac.label_exp`; see `sinr_bench::exp_ablation`).
+//!
 //! Run with: `cargo run --release -p sinr-bench --bin ablation_labels`
 
-use sinr_bench::common::{connected_uniform, Table};
-use sinr_bench::exp_ablation::sweep_label_exp;
-use sinr_mac::MacParams;
-use sinr_phys::SinrParams;
-
 fn main() {
-    let sinr = SinrParams::builder().range(16.0).build().unwrap();
-    let (positions, graphs, seed) = connected_uniform(&sinr, 64, 40.0, 19);
-    let mut t = Table::new(
-        "A2: sweep label-range exponent",
-        &[
-            "label_exp",
-            "label_range",
-            "approg_p50",
-            "approg_pend",
-            "max_dropped",
-        ],
-    );
-    for p in sweep_label_exp(&sinr, &positions, &graphs, &[0.25, 0.5, 1.0, 2.0], 8, seed) {
-        let range = MacParams::builder()
-            .label_exp(p.value)
-            .build(&sinr)
-            .label_range;
-        t.row(vec![
-            format!("{}", p.value),
-            range.to_string(),
-            p.approg
-                .percentile(50.0)
-                .map_or("-".into(), |v| v.to_string()),
-            p.pending.to_string(),
-            p.max_dropped.to_string(),
-        ]);
-    }
-    t.print();
+    sinr_bench::lab::legacy("ablation_labels", &[]).expect("known legacy name");
 }

@@ -1,35 +1,11 @@
 //! A1 — ablation of the repetition count `T` (§10.1.2): short estimation
 //! windows mis-estimate H̃̃ and inflate the drop-out set `W`.
 //!
+//! Thin wrapper over `sinr-lab legacy ablation_t` (the sweep is a
+//! `ScenarioSet` over `mac.t_mult`; see `sinr_bench::exp_ablation`).
+//!
 //! Run with: `cargo run --release -p sinr-bench --bin ablation_t`
 
-use sinr_bench::common::{connected_uniform, Table};
-use sinr_bench::exp_ablation::sweep_t_mult;
-use sinr_phys::SinrParams;
-
 fn main() {
-    let sinr = SinrParams::builder().range(16.0).build().unwrap();
-    let (positions, graphs, seed) = connected_uniform(&sinr, 64, 40.0, 17);
-    let mut t = Table::new(
-        "A1: sweep T multiplier (dense deployment, half the nodes broadcasting)",
-        &[
-            "t_mult",
-            "epoch_slots",
-            "approg_p50",
-            "approg_pend",
-            "max_dropped(W)",
-        ],
-    );
-    for p in sweep_t_mult(&sinr, &positions, &graphs, &[0.5, 1.0, 2.0, 4.0], 8, seed) {
-        t.row(vec![
-            format!("{}", p.value),
-            p.epoch_len.to_string(),
-            p.approg
-                .percentile(50.0)
-                .map_or("-".into(), |v| v.to_string()),
-            p.pending.to_string(),
-            p.max_dropped.to_string(),
-        ]);
-    }
-    t.print();
+    sinr_bench::lab::legacy("ablation_t", &[]).expect("known legacy name");
 }

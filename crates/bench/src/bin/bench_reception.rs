@@ -1,151 +1,12 @@
-//! Reception-kernel throughput: slots/sec per backend, emitted as
-//! machine-readable `BENCH_reception.json` so successive PRs have a perf
-//! trajectory to compare against.
+//! Reception-kernel throughput benchmark, emitting
+//! `BENCH_reception.json` (see `sinr_bench::reception_bench`).
 //!
-//! For every deployment shape (lattice, uniform) and size
-//! `n ∈ {64, 256, 1024}`, each backend (`exact`, `grid`, `exact+par`,
-//! `grid+par`) repeatedly resolves a full slot (half the nodes
-//! transmitting, persistent backend so scratch buffers are reused — the
-//! exact hot path the `Engine` drives) and reports decided slots per
-//! second of wall clock.
+//! Thin wrapper over `sinr-lab legacy bench_reception`.
 //!
 //! Run with:
 //! `cargo run --release -p sinr-bench --bin bench_reception [OUT.json]`
-//!
-//! The output path defaults to `BENCH_reception.json` in the current
-//! directory.
-
-use std::fmt::Write as _;
-use std::time::Instant;
-
-use sinr_bench::common::Table;
-use sinr_geom::{deploy, Point};
-use sinr_phys::{BackendSpec, SinrParams};
-
-/// One measured configuration.
-struct Sample {
-    deployment: &'static str,
-    n: usize,
-    backend: String,
-    slots_per_sec: f64,
-    /// Receptions in the measured slot, as a sanity anchor: backends on
-    /// the same deployment must broadly agree (grid is conservative).
-    receptions: usize,
-}
-
-fn measure(
-    sinr: &SinrParams,
-    positions: &[Point],
-    senders: &[usize],
-    spec: BackendSpec,
-) -> (f64, usize) {
-    let mut backend = spec.build();
-    let mut out = vec![None; positions.len()];
-    // Warm up (first slot pays scratch allocation and thread start-up).
-    backend.decide_slot(sinr, positions, senders, &mut out);
-    // Calibrate the repeat count so each measurement runs ~0.2 s.
-    let t0 = Instant::now();
-    backend.decide_slot(sinr, positions, senders, &mut out);
-    let once = t0.elapsed().as_secs_f64().max(1e-7);
-    let reps = ((0.2 / once) as usize).clamp(3, 20_000);
-    let t0 = Instant::now();
-    for _ in 0..reps {
-        backend.decide_slot(sinr, positions, senders, &mut out);
-    }
-    let per_slot = t0.elapsed().as_secs_f64() / reps as f64;
-    (1.0 / per_slot, out.iter().flatten().count())
-}
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_reception.json".to_string());
-    let sinr = SinrParams::builder().range(16.0).build().unwrap();
-    // At least 2 so the parallel rows exist even on single-core runners
-    // (there they measure pure threading overhead, which is itself worth
-    // tracking); capped to keep thread start-up noise bounded.
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .clamp(2, 8);
-    let cell = sinr.range() / 2.0;
-    let backends = [
-        BackendSpec::exact(),
-        BackendSpec::grid_far_field(cell),
-        BackendSpec::exact().with_threads(threads),
-        BackendSpec::grid_far_field(cell).with_threads(threads),
-    ];
-
-    let mut samples: Vec<Sample> = Vec::new();
-    let mut table = Table::new(
-        "reception kernel throughput (half the nodes transmit)",
-        &["deployment", "n", "backend", "slots_per_sec", "receptions"],
-    );
-    for &n in &[64usize, 256, 1024] {
-        let side = (n as f64).sqrt() * 2.2;
-        let rows = (n as f64).sqrt().ceil() as usize;
-        let cols = n.div_ceil(rows);
-        let deployments: [(&'static str, Vec<Point>); 2] = [
-            (
-                "lattice",
-                deploy::lattice(rows, cols, 2.0).expect("lattice")[..n].to_vec(),
-            ),
-            ("uniform", deploy::uniform(n, side, 5).expect("uniform")),
-        ];
-        for (name, positions) in deployments {
-            let senders: Vec<usize> = (0..n).step_by(2).collect();
-            for spec in backends {
-                let (slots_per_sec, receptions) = measure(&sinr, &positions, &senders, spec);
-                table.row(vec![
-                    name.to_string(),
-                    n.to_string(),
-                    spec.build().name().to_string(),
-                    format!("{slots_per_sec:.0}"),
-                    receptions.to_string(),
-                ]);
-                samples.push(Sample {
-                    deployment: name,
-                    n,
-                    backend: spec.build().name().to_string(),
-                    slots_per_sec,
-                    receptions,
-                });
-            }
-        }
-    }
-    table.print();
-
-    // Hand-rolled JSON: the workspace has no serde and the schema is flat.
-    let mut json = String::from("{\n  \"bench\": \"reception\",\n  \"unit\": \"slots_per_sec\",\n");
-    let _ = writeln!(json, "  \"threads\": {threads},");
-    json.push_str("  \"samples\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"deployment\": \"{}\", \"n\": {}, \"backend\": \"{}\", \"slots_per_sec\": {:.1}, \"receptions\": {}}}",
-            s.deployment, s.n, s.backend, s.slots_per_sec, s.receptions
-        );
-        json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("write BENCH_reception.json");
-    println!("wrote {out_path}");
-
-    // The claim later PRs build on: at n = 1024 the accelerated paths
-    // must beat serial exact.
-    for deployment in ["lattice", "uniform"] {
-        let rate = |backend: &str| {
-            samples
-                .iter()
-                .find(|s| s.deployment == deployment && s.n == 1024 && s.backend == backend)
-                .map(|s| s.slots_per_sec)
-                .unwrap_or(0.0)
-        };
-        let exact = rate("exact");
-        let best_accel = rate("grid").max(rate("exact+par")).max(rate("grid+par"));
-        println!(
-            "n=1024 {deployment}: exact {exact:.0}/s, best accelerated {best_accel:.0}/s ({:.2}x)",
-            best_accel / exact.max(1e-9)
-        );
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    sinr_bench::lab::legacy("bench_reception", &args).expect("known legacy name");
 }

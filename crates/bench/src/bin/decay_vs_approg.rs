@@ -1,43 +1,11 @@
 //! E5 — regenerates the Theorem 8.1 comparison: Decay vs Algorithm 9.1
 //! approximate progress on the two-ball gadget.
 //!
+//! Thin wrapper over `sinr-lab legacy decay_vs_approg` (the experiment
+//! is spec-driven; see `sinr_bench::exp_decay::decay_pair`).
+//!
 //! Run with: `cargo run --release -p sinr-bench --bin decay_vs_approg`
 
-use sinr_bench::common::Table;
-use sinr_bench::exp_decay::run_decay_comparison;
-
 fn main() {
-    let mut t = Table::new(
-        "Thm 8.1: two-ball gadget, B1-side approximate progress, sweep delta",
-        &[
-            "delta",
-            "decay_p50",
-            "decay_max",
-            "decay_pend",
-            "approg_p50",
-            "approg_max",
-            "approg_pend",
-            "horizon",
-        ],
-    );
-    for delta in [8usize, 16, 32, 64] {
-        let p = run_decay_comparison(delta, 64.0, 400_000, 13);
-        t.row(vec![
-            p.delta.to_string(),
-            p.decay
-                .percentile(50.0)
-                .map_or("-".into(), |v| v.to_string()),
-            p.decay.max().map_or("-".into(), |v| v.to_string()),
-            p.decay_pending.to_string(),
-            p.approg
-                .percentile(50.0)
-                .map_or("-".into(), |v| v.to_string()),
-            p.approg.max().map_or("-".into(), |v| v.to_string()),
-            p.approg_pending.to_string(),
-            p.horizon.to_string(),
-        ]);
-    }
-    t.print();
-    println!("reading: Decay's B1 latency grows with delta (Thm 8.1's Omega(Delta log 1/eps));");
-    println!("Algorithm 9.1 sparsifies B2 and stays roughly flat.");
+    sinr_bench::lab::legacy("decay_vs_approg", &[]).expect("known legacy name");
 }

@@ -1,43 +1,11 @@
 //! E4 — regenerates Figure 1 / Theorem 6.1: progress is Ω(Δ) even for an
 //! optimal schedule; approximate progress is not.
 //!
+//! Thin wrapper over `sinr-lab legacy fig1_progress` (the experiment is
+//! spec-driven; see `sinr_bench::exp_fig1::mac_spec`).
+//!
 //! Run with: `cargo run --release -p sinr-bench --bin fig1_progress`
 
-use sinr_bench::common::Table;
-use sinr_bench::exp_fig1::run_fig1;
-
 fn main() {
-    let mut t = Table::new(
-        "Figure 1 / Thm 6.1: two-parallel-lines gadget, sweep delta",
-        &[
-            "delta",
-            "tdma_worst(=D-1?)",
-            "mac_prog_u_p50",
-            "u_pending",
-            "mac_approg_v_p50",
-            "mac_approg_v_max",
-            "v_pending",
-            "horizon",
-        ],
-    );
-    for delta in [4usize, 8, 16, 32] {
-        let p = run_fig1(delta, 6, 11);
-        t.row(vec![
-            p.delta.to_string(),
-            p.tdma_worst.to_string(),
-            p.mac_prog_u
-                .percentile(50.0)
-                .map_or("-".into(), |v| v.to_string()),
-            p.mac_prog_u_pending.to_string(),
-            p.mac_approg_v
-                .percentile(50.0)
-                .map_or("-".into(), |v| v.to_string()),
-            p.mac_approg_v.max().map_or("-".into(), |v| v.to_string()),
-            p.mac_approg_v_pending.to_string(),
-            p.horizon.to_string(),
-        ]);
-    }
-    t.print();
-    println!("reading: tdma_worst grows linearly in delta (the f_prog >= Delta bound);");
-    println!("V-side approximate progress stays flat/polylog — Definition 7.1's payoff.");
+    sinr_bench::lab::legacy("fig1_progress", &[]).expect("known legacy name");
 }

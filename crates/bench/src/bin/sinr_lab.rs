@@ -1,0 +1,13 @@
+//! `sinr-lab` — the single spec-driven experiment driver: list, show,
+//! run and sweep declarative scenarios, benchmark the sweep runner, and
+//! reprint any legacy regenerator's tables.
+//!
+//! Run with: `cargo run --release -p sinr-bench --bin sinr_lab -- help`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) = sinr_bench::lab::cli_main(&args) {
+        eprintln!("sinr-lab: {msg}");
+        std::process::exit(2);
+    }
+}

@@ -1,82 +1,11 @@
 //! E2 — regenerates the global rows of Table 1: SMB, MMB, CONS over the
 //! SINR absMAC.
 //!
+//! Thin wrapper over `sinr-lab legacy table1_global` (the experiment is
+//! spec-driven; see `sinr_bench::exp_global`).
+//!
 //! Run with: `cargo run --release -p sinr-bench --bin table1_global`
 
-use sinr_bench::common::{connected_uniform, Table};
-use sinr_bench::exp_global::{consensus_over_mac, mmb_over_mac, smb_over_mac};
-use sinr_mac::MacParams;
-use sinr_phys::SinrParams;
-
 fn main() {
-    let sinr = SinrParams::builder().range(16.0).build().unwrap();
-
-    // ---- SMB vs n ----
-    let mut t = Table::new(
-        "Table 1 / global SMB: sweep n",
-        &["n", "D_approx", "lambda", "slots", "theory_shape"],
-    );
-    for (n, side) in [(32usize, 40.0), (64, 55.0), (128, 78.0), (256, 110.0)] {
-        let (positions, graphs, seed) = connected_uniform(&sinr, n, side, 4);
-        let params = MacParams::builder().build(&sinr);
-        let (done, theory) = smb_over_mac(&sinr, &positions, &graphs, params, 40_000_000, seed);
-        t.row(vec![
-            n.to_string(),
-            graphs
-                .approx
-                .diameter()
-                .map_or("-".into(), |d| d.to_string()),
-            format!("{:.1}", graphs.lambda),
-            done.map_or("timeout".into(), |d| d.to_string()),
-            format!("{:.0}", theory),
-        ]);
-    }
-    t.print();
-
-    // ---- MMB vs k ----
-    let mut t = Table::new(
-        "Table 1 / global MMB: sweep k on one deployment (n=64)",
-        &["k", "slots", "theory_shape"],
-    );
-    let (positions, graphs, seed) = connected_uniform(&sinr, 64, 55.0, 5);
-    for k in [1usize, 2, 4, 8, 16] {
-        let params = MacParams::builder().build(&sinr);
-        let (done, theory) = mmb_over_mac(&sinr, &positions, &graphs, params, k, 80_000_000, seed);
-        t.row(vec![
-            k.to_string(),
-            done.map_or("timeout".into(), |d| d.to_string()),
-            format!("{:.0}", theory),
-        ]);
-    }
-    t.print();
-
-    // ---- CONS vs n ----
-    let mut t = Table::new(
-        "Table 1 / global consensus: sweep n",
-        &[
-            "n",
-            "D_strong",
-            "decided_at",
-            "agreement",
-            "validity",
-            "theory_shape",
-        ],
-    );
-    for (n, side) in [(16usize, 28.0), (32, 40.0), (64, 55.0)] {
-        let (positions, graphs, seed) = connected_uniform(&sinr, n, side, 6);
-        let params = MacParams::builder().build(&sinr);
-        let r = consensus_over_mac(&sinr, &positions, &graphs, params, seed);
-        t.row(vec![
-            n.to_string(),
-            graphs
-                .strong
-                .diameter()
-                .map_or("-".into(), |d| d.to_string()),
-            r.decided_at.map_or("timeout".into(), |d| d.to_string()),
-            r.agreement.to_string(),
-            r.validity.to_string(),
-            format!("{:.0}", r.theory),
-        ]);
-    }
-    t.print();
+    sinr_bench::lab::legacy("table1_global", &[]).expect("known legacy name");
 }

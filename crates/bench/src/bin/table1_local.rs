@@ -1,146 +1,11 @@
 //! E1 — regenerates the local rows of Table 1: empirical `f_ack`,
 //! `f_prog`, `f_approg` across density and Λ sweeps.
 //!
+//! Thin wrapper over `sinr-lab legacy table1_local` (the experiment is
+//! spec-driven; see `sinr_bench::exp_local`).
+//!
 //! Run with: `cargo run --release -p sinr-bench --bin table1_local`
 
-use sinr_bench::common::{connected_uniform, Table};
-use sinr_bench::exp_local::{measure_fack, measure_progress};
-use sinr_mac::MacParams;
-use sinr_phys::SinrParams;
-
 fn main() {
-    // ---- f_ack vs contention (degree) ----
-    let mut t = Table::new(
-        "Table 1 / f_ack: sweep broadcasters (contention) on one deployment",
-        &[
-            "n",
-            "max_deg",
-            "lambda",
-            "bcasters",
-            "fack_mean",
-            "fack_max",
-            "deliv_rate",
-            "theory_shape",
-        ],
-    );
-    let sinr = SinrParams::builder().range(16.0).build().unwrap();
-    let (positions, graphs, seed) = connected_uniform(&sinr, 96, 60.0, 1);
-    for bcasters in [1usize, 4, 16, 48, 96] {
-        let params = MacParams::builder().build(&sinr);
-        let r = measure_fack(&sinr, &positions, &graphs, params, bcasters, seed);
-        t.row(vec![
-            positions.len().to_string(),
-            graphs.strong.max_degree().to_string(),
-            format!("{:.1}", graphs.lambda),
-            bcasters.to_string(),
-            format!("{:.0}", r.latencies.mean().unwrap_or(0.0)),
-            r.latencies.max().unwrap_or(0).to_string(),
-            format!("{:.3}", r.delivery_rate),
-            format!("{:.0}", r.theory),
-        ]);
-    }
-    t.print();
-
-    // ---- f_prog / f_approg vs Λ (range sweep, fixed arena) ----
-    // The arena is fixed so the measured minimum distance stays put and
-    // Λ genuinely grows with the range.
-    let mut t = Table::new(
-        "Table 1 / f_prog & f_approg: sweep lambda (transmission range)",
-        &[
-            "n",
-            "lambda",
-            "deg",
-            "prog_p50",
-            "prog_pend",
-            "approg_p50",
-            "approg_max",
-            "approg_pend",
-            "theory_approg",
-        ],
-    );
-    for range in [8.0f64, 16.0, 32.0, 64.0] {
-        let sinr = SinrParams::builder().range(range).build().unwrap();
-        let side = 40.0;
-        let (positions, graphs, seed) = connected_uniform(&sinr, 64, side, 2);
-        let params = MacParams::builder().build(&sinr);
-        let horizon = 8 * 2 * params.layout().epoch_len();
-        let r = measure_progress(&sinr, &positions, &graphs, params, 2, horizon, seed);
-        t.row(vec![
-            positions.len().to_string(),
-            format!("{:.1}", graphs.lambda),
-            graphs.strong.max_degree().to_string(),
-            r.prog
-                .percentile(50.0)
-                .map_or("-".into(), |v| v.to_string()),
-            r.prog_pending.to_string(),
-            r.approg
-                .percentile(50.0)
-                .map_or("-".into(), |v| v.to_string()),
-            r.approg.max().map_or("-".into(), |v| v.to_string()),
-            r.approg_pending.to_string(),
-            format!("{:.0}", r.theory_approg),
-        ]);
-    }
-    t.print();
-
-    // ---- f_ack under extreme contention (one dense cluster) ----
-    // Remark 5.3: Δ is a lower bound on f_ack — a listener decodes one
-    // message per slot. The fall-back mechanism must stretch the halting
-    // time as the cluster grows.
-    let mut t = Table::new(
-        "Table 1 / f_ack under clustered contention (all nodes broadcast)",
-        &[
-            "cluster_n",
-            "max_deg",
-            "fack_mean",
-            "fack_max",
-            "deliv_rate",
-        ],
-    );
-    for cluster_n in [16usize, 32, 64] {
-        let sinr = SinrParams::builder().range(16.0).build().unwrap();
-        let positions =
-            sinr_geom::deploy::clusters(1, cluster_n, 10.0, 7.0, 23).expect("cluster fits");
-        let graphs = sinr_graphs::SinrGraphs::induce(&sinr, &positions);
-        let params = MacParams::builder().build(&sinr);
-        let r = measure_fack(&sinr, &positions, &graphs, params, cluster_n, 23);
-        t.row(vec![
-            cluster_n.to_string(),
-            graphs.strong.max_degree().to_string(),
-            format!("{:.0}", r.latencies.mean().unwrap_or(0.0)),
-            r.latencies.max().unwrap_or(0).to_string(),
-            format!("{:.3}", r.delivery_rate),
-        ]);
-    }
-    t.print();
-
-    // ---- f_approg vs eps_approg ----
-    let mut t = Table::new(
-        "Table 1 / f_approg: sweep eps_approg (the localized-analysis payoff)",
-        &[
-            "eps",
-            "epoch_slots",
-            "approg_p50",
-            "approg_max",
-            "approg_pend",
-        ],
-    );
-    let sinr = SinrParams::builder().range(16.0).build().unwrap();
-    let (positions, graphs, seed) = connected_uniform(&sinr, 64, 55.0, 3);
-    for eps in [0.5f64, 0.25, 0.125, 0.03125] {
-        let params = MacParams::builder().eps_approg(eps).build(&sinr);
-        let horizon = 8 * 2 * params.layout().epoch_len();
-        let epoch = 2 * params.layout().epoch_len();
-        let r = measure_progress(&sinr, &positions, &graphs, params, 2, horizon, seed);
-        t.row(vec![
-            format!("{eps}"),
-            epoch.to_string(),
-            r.approg
-                .percentile(50.0)
-                .map_or("-".into(), |v| v.to_string()),
-            r.approg.max().map_or("-".into(), |v| v.to_string()),
-            r.approg_pending.to_string(),
-        ]);
-    }
-    t.print();
+    sinr_bench::lab::legacy("table1_local", &[]).expect("known legacy name");
 }

@@ -1,78 +1,11 @@
 //! E3 — regenerates Table 2: global SMB, ours vs DGKN [14] vs the
 //! Decay/[32] proxy, with the paper's crossover quantities.
 //!
+//! Thin wrapper over `sinr-lab legacy table2_smb` (the experiment is
+//! spec-driven; see `sinr_bench::exp_table2::table2_specs`).
+//!
 //! Run with: `cargo run --release -p sinr-bench --bin table2_smb`
 
-use sinr_bench::common::{connected_uniform, Table};
-use sinr_bench::exp_table2::compare_smb;
-use sinr_phys::SinrParams;
-
-fn headers() -> [&'static str; 10] {
-    [
-        "n",
-        "D",
-        "lambda",
-        "ours",
-        "dgkn[14]",
-        "decay[32]",
-        "winner",
-        "log^{a+1}L",
-        "min(Dlogn,log2n)",
-        "paper_predicts",
-    ]
-}
-
-fn prediction(lhs: f64, rhs: f64) -> &'static str {
-    // Paper: we beat [32] iff log^{α+1}Λ ≤ min(D·log n, log² n); we beat
-    // [14] always.
-    if lhs <= rhs {
-        "ours"
-    } else {
-        "decay[32]"
-    }
-}
-
 fn main() {
-    // ---- sweep n at fixed Λ ----
-    let mut t = Table::new("Table 2: sweep n (range=8, lambda fixed)", &headers());
-    let sinr = SinrParams::builder().range(8.0).build().unwrap();
-    for (n, side) in [(32usize, 25.0), (64, 36.0), (128, 51.0), (256, 72.0)] {
-        let (positions, graphs, seed) = connected_uniform(&sinr, n, side, 7);
-        let p = compare_smb(&sinr, &positions, &graphs, 40_000_000, seed);
-        t.row(vec![
-            p.n.to_string(),
-            p.diameter.to_string(),
-            format!("{:.1}", p.lambda),
-            p.ours.map_or("timeout".into(), |v| v.to_string()),
-            p.dgkn.map_or("timeout".into(), |v| v.to_string()),
-            p.decay_proxy.map_or("timeout".into(), |v| v.to_string()),
-            p.winner().to_string(),
-            format!("{:.0}", p.crossover_lhs),
-            format!("{:.0}", p.crossover_rhs),
-            prediction(p.crossover_lhs, p.crossover_rhs).to_string(),
-        ]);
-    }
-    t.print();
-
-    // ---- sweep Λ at fixed n ----
-    let mut t = Table::new("Table 2: sweep lambda (n=64)", &headers());
-    for range in [4.0f64, 8.0, 16.0, 32.0] {
-        let sinr = SinrParams::builder().range(range).build().unwrap();
-        let side = (range * 3.0).max(12.0);
-        let (positions, graphs, seed) = connected_uniform(&sinr, 64, side, 8);
-        let p = compare_smb(&sinr, &positions, &graphs, 40_000_000, seed);
-        t.row(vec![
-            p.n.to_string(),
-            p.diameter.to_string(),
-            format!("{:.1}", p.lambda),
-            p.ours.map_or("timeout".into(), |v| v.to_string()),
-            p.dgkn.map_or("timeout".into(), |v| v.to_string()),
-            p.decay_proxy.map_or("timeout".into(), |v| v.to_string()),
-            p.winner().to_string(),
-            format!("{:.0}", p.crossover_lhs),
-            format!("{:.0}", p.crossover_rhs),
-            prediction(p.crossover_lhs, p.crossover_rhs).to_string(),
-        ]);
-    }
-    t.print();
+    sinr_bench::lab::legacy("table2_smb", &[]).expect("known legacy name");
 }

@@ -1,15 +1,30 @@
-//! Shared plumbing for all experiments: deployments, trace capture,
-//! a repeating-broadcast client, and table printing.
+//! Shared plumbing for all experiments: deployment search, trace
+//! capture, workload clients and table printing.
+//!
+//! Most of the heavy lifting moved into the `sinr-scenario` crate when
+//! the harness became spec-driven; this module keeps the legacy entry
+//! points alive (delegating to the scenario layer) plus the [`Table`]
+//! renderer the regenerator binaries print with.
 
-use absmac::{CmdSink, MacClient, MacEvent, MacLayer, Runner, TraceEvent};
-use sinr_geom::{deploy, Point};
+use absmac::{MacClient, MacLayer, Runner, TraceEvent};
+use sinr_geom::Point;
 use sinr_graphs::SinrGraphs;
 use sinr_phys::{BackendSpec, SinrParams};
 
-/// Reception backend for all experiment binaries, parsed from the
-/// `SINR_BACKEND` environment variable (`exact`, `grid:CELL`,
-/// `par:THREADS`, `grid:CELL:par:THREADS`); defaults to `exact` so every
-/// published number is ground truth unless explicitly overridden.
+pub use sinr_scenario::clients::Repeater;
+
+/// Reception backend for code paths that predate spec-carried backends,
+/// parsed from the `SINR_BACKEND` environment variable (`exact`,
+/// `grid:CELL`, `par:THREADS`, `grid:CELL:par:THREADS`).
+///
+/// **This is a legacy override layer.** Scenario-driven runs carry their
+/// backend in the spec's `backend=` field, which is what published
+/// results should rely on; `SINR_BACKEND` remains a deliberate operator
+/// override *on top of* the spec (it wins, and
+/// [`sinr_scenario::env_backend_override`] prints a stderr warning when
+/// it changes the spec's choice). With no spec in play — this function —
+/// the override applies over the `exact` default, silently, exactly as
+/// the pre-scenario harness behaved.
 ///
 /// # Panics
 ///
@@ -24,6 +39,8 @@ pub fn backend_spec() -> BackendSpec {
 
 /// Finds a seed (starting at `seed0`) whose uniform deployment has a
 /// connected strong graph; the paper assumes `G₁₋ε` connected (§4.6).
+/// Delegates to [`sinr_scenario::connected_uniform`] — the spec form is
+/// `deploy=connected:uniform:N:SIDE:SEED0`.
 ///
 /// # Panics
 ///
@@ -35,65 +52,11 @@ pub fn connected_uniform(
     side: f64,
     seed0: u64,
 ) -> (Vec<Point>, SinrGraphs, u64) {
-    for seed in seed0..seed0 + 64 {
-        if let Ok(positions) = deploy::uniform(n, side, seed) {
-            let graphs = SinrGraphs::induce(sinr, &positions);
-            if graphs.strong.is_connected() {
-                return (positions, graphs, seed);
-            }
-        }
-    }
-    panic!("no connected uniform deployment found for n={n}, side={side}");
+    sinr_scenario::connected_uniform(sinr, n, side, seed0).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// A client that broadcasts its payload at start and re-broadcasts on
-/// every ack, keeping the node permanently in the broadcasting set —
-/// the workload of the progress measurements (Def. 7.1 fixes an interval
-/// *throughout which* the neighbor is broadcasting).
-#[derive(Debug, Clone)]
-pub struct Repeater<P> {
-    payload: Option<P>,
-}
-
-impl<P: Clone> Repeater<P> {
-    /// A node that broadcasts `payload` forever.
-    pub fn source(payload: P) -> Self {
-        Repeater {
-            payload: Some(payload),
-        }
-    }
-
-    /// A node that only listens.
-    pub fn idle() -> Self {
-        Repeater { payload: None }
-    }
-
-    /// A network where `is_source(i)` selects the broadcasters.
-    pub fn network(n: usize, payload_of: impl Fn(usize) -> Option<P>) -> Vec<Self> {
-        (0..n)
-            .map(|i| match payload_of(i) {
-                Some(p) => Repeater::source(p),
-                None => Repeater::idle(),
-            })
-            .collect()
-    }
-}
-
-impl<P: Clone> MacClient<P> for Repeater<P> {
-    fn on_start(&mut self, _node: usize, sink: &mut CmdSink<P>) {
-        if let Some(p) = &self.payload {
-            sink.bcast(p.clone());
-        }
-    }
-
-    fn on_event(&mut self, _node: usize, _now: u64, ev: &MacEvent<P>, sink: &mut CmdSink<P>) {
-        if let (MacEvent::Ack(_), Some(p)) = (ev, &self.payload) {
-            sink.bcast(p.clone());
-        }
-    }
-}
-
-/// Runs `clients` over `mac` for `horizon` steps and returns the trace.
+/// Runs `clients` over `mac` for `horizon` steps and returns the trace
+/// (drained out of the runner, not cloned).
 ///
 /// # Panics
 ///
@@ -108,7 +71,7 @@ where
     for _ in 0..horizon {
         runner.step().expect("client respected MAC contract");
     }
-    runner.trace().to_vec()
+    runner.take_trace()
 }
 
 /// A printed experiment table: aligned text for humans plus a `# csv`

@@ -1,4 +1,5 @@
-//! A1/A2 — ablations over the paper's Θ(·) constants.
+//! A1/A2 — ablations over the paper's Θ(·) constants, expressed as
+//! [`ScenarioSet`] sweeps over one MAC knob.
 //!
 //! * **A1 (repetitions `T`, §10.1.2):** the paper's key trick is using
 //!   `T = Θ(log(f(h₁)/ε_approg))` repetitions instead of \[14\]'s
@@ -9,14 +10,11 @@
 //!   `(Λ/ε)^label_exp` controls collision probability; collisions block
 //!   MIS progress (ties keep competing), hurting sparsification.
 
-use absmac::measure::{self, LatencyStats};
-use absmac::Runner;
-use sinr_geom::Point;
-use sinr_graphs::SinrGraphs;
-use sinr_mac::{MacParams, SinrAbsMac};
-use sinr_phys::SinrParams;
-
-use crate::common::Repeater;
+use absmac::measure::{self, LatencyStats, ProgressOutcome};
+use sinr_scenario::{
+    DeploymentSpec, MacKnob, MeasureSpec, ScenarioSet, ScenarioSpec, SeedSpec, SinrSpec, SourceSet,
+    StopSpec, WorkloadSpec,
+};
 
 /// One ablation measurement.
 #[derive(Debug, Clone)]
@@ -33,94 +31,123 @@ pub struct AblationPoint {
     pub max_dropped: usize,
 }
 
-fn measure_with_params(
-    sinr: &SinrParams,
-    positions: &[Point],
-    graphs: &SinrGraphs,
-    params: MacParams,
-    value: f64,
+/// The base scenario every ablation cell starts from: half the nodes
+/// broadcasting continuously, trace + drop-out recording on.
+pub fn ablation_base(
+    deploy: DeploymentSpec,
+    sinr: SinrSpec,
     epochs: u64,
-    seed: u64,
-) -> AblationPoint {
-    let n = positions.len();
-    let epoch_len = 2 * params.layout().epoch_len();
-    let horizon = epochs * epoch_len;
-    let mac = SinrAbsMac::with_backend(
-        *sinr,
-        positions,
-        params,
-        seed,
-        crate::common::backend_spec(),
+    seed: SeedSpec,
+) -> ScenarioSpec {
+    ScenarioSpec::new(
+        "ablation",
+        deploy,
+        WorkloadSpec::Repeat(SourceSet::Stride(2)),
+        StopSpec::Epochs(epochs),
     )
-    .expect("valid deployment");
-    let clients = Repeater::network(n, |i| (i % 2 == 0).then_some(i as u64));
-    let mut runner = Runner::new(mac, clients).expect("runner");
-    let mut max_dropped = 0;
-    for _ in 0..horizon {
-        runner.step().expect("contract");
-        max_dropped = max_dropped.max(runner.mac().dropped_count());
-    }
-    let outcomes = measure::first_progress(runner.trace(), &graphs.approx, &graphs.strong, horizon);
-    let satisfied: Vec<u64> = outcomes.iter().filter_map(|o| o.latency()).collect();
-    let pending = outcomes
-        .iter()
-        .filter(|o| matches!(o, measure::ProgressOutcome::Pending { .. }))
-        .count();
-    AblationPoint {
-        value,
-        epoch_len,
-        approg: LatencyStats::from_samples(satisfied),
-        pending,
-        max_dropped,
-    }
+    .with_sinr(sinr)
+    .with_seed(seed)
+    .with_measure(MeasureSpec {
+        trace: true,
+        dropped: true,
+    })
+}
+
+/// Sweeps one MAC knob over `values` and measures each cell.
+///
+/// # Panics
+///
+/// Panics if a cell fails to build or run — a configuration bug.
+pub fn sweep_knob(base: ScenarioSpec, knob: MacKnob, values: &[f64]) -> Vec<AblationPoint> {
+    let set = ScenarioSet::new(base)
+        .axis(
+            format!("mac.{}", knob.name()),
+            values.iter().map(|v| v.to_string()).collect(),
+        )
+        .with_traces();
+    let runs = set.run(1).expect("ablation sweep");
+    runs.iter()
+        .zip(values)
+        .map(|(run, &value)| {
+            let horizon = run.outcome.horizon;
+            let outcomes = measure::first_progress(
+                &run.outcome.trace,
+                &run.ctx.graphs.approx,
+                &run.ctx.graphs.strong,
+                horizon,
+            );
+            let satisfied: Vec<u64> = outcomes.iter().filter_map(|o| o.latency()).collect();
+            let pending = outcomes
+                .iter()
+                .filter(|o| matches!(o, ProgressOutcome::Pending { .. }))
+                .count();
+            let params = run.ctx.mac_params.as_ref().expect("sinr mac");
+            AblationPoint {
+                value,
+                epoch_len: 2 * params.layout().epoch_len(),
+                approg: LatencyStats::from_samples(satisfied),
+                pending,
+                max_dropped: run.outcome.max_dropped.unwrap_or(0),
+            }
+        })
+        .collect()
 }
 
 /// A1: sweep the estimation-window multiplier `t_mult`.
+///
+/// # Panics
+///
+/// Panics if a cell fails to build or run.
 pub fn sweep_t_mult(
-    sinr: &SinrParams,
-    positions: &[Point],
-    graphs: &SinrGraphs,
+    deploy: DeploymentSpec,
+    sinr: SinrSpec,
     values: &[f64],
     epochs: u64,
-    seed: u64,
+    seed: SeedSpec,
 ) -> Vec<AblationPoint> {
-    values
-        .iter()
-        .map(|&t| {
-            let params = MacParams::builder().t_mult(t).build(sinr);
-            measure_with_params(sinr, positions, graphs, params, t, epochs, seed)
-        })
-        .collect()
+    sweep_knob(
+        ablation_base(deploy, sinr, epochs, seed),
+        MacKnob::TMult,
+        values,
+    )
 }
 
 /// A2: sweep the label-range exponent.
+///
+/// # Panics
+///
+/// Panics if a cell fails to build or run.
 pub fn sweep_label_exp(
-    sinr: &SinrParams,
-    positions: &[Point],
-    graphs: &SinrGraphs,
+    deploy: DeploymentSpec,
+    sinr: SinrSpec,
     values: &[f64],
     epochs: u64,
-    seed: u64,
+    seed: SeedSpec,
 ) -> Vec<AblationPoint> {
-    values
-        .iter()
-        .map(|&e| {
-            let params = MacParams::builder().label_exp(e).build(sinr);
-            measure_with_params(sinr, positions, graphs, params, e, epochs, seed)
-        })
-        .collect()
+    sweep_knob(
+        ablation_base(deploy, sinr, epochs, seed),
+        MacKnob::LabelExp,
+        values,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::common::connected_uniform;
+
+    fn deploy() -> DeploymentSpec {
+        DeploymentSpec::uniform_connected(12, 14.0, 7)
+    }
 
     #[test]
     fn t_mult_sweep_runs() {
-        let sinr = SinrParams::builder().range(8.0).build().unwrap();
-        let (positions, graphs, seed) = connected_uniform(&sinr, 12, 14.0, 7);
-        let points = sweep_t_mult(&sinr, &positions, &graphs, &[1.0, 2.0], 3, seed);
+        let points = sweep_t_mult(
+            deploy(),
+            SinrSpec::with_range(8.0),
+            &[1.0, 2.0],
+            3,
+            SeedSpec::FromDeploy,
+        );
         assert_eq!(points.len(), 2);
         // Longer windows → longer epochs.
         assert!(points[1].epoch_len > points[0].epoch_len);
@@ -128,9 +155,13 @@ mod tests {
 
     #[test]
     fn label_exp_sweep_runs() {
-        let sinr = SinrParams::builder().range(8.0).build().unwrap();
-        let (positions, graphs, seed) = connected_uniform(&sinr, 12, 14.0, 7);
-        let points = sweep_label_exp(&sinr, &positions, &graphs, &[0.5, 2.0], 3, seed);
+        let points = sweep_label_exp(
+            deploy(),
+            SinrSpec::with_range(8.0),
+            &[0.5, 2.0],
+            3,
+            SeedSpec::FromDeploy,
+        );
         assert_eq!(points.len(), 2);
     }
 }

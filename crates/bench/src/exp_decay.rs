@@ -7,15 +7,57 @@
 //! whenever a `B₁` node is likely to transmit, `B₂` drowns it
 //! (`f_approg = Ω(Δ·log 1/ε)`). Algorithm 9.1 instead *sparsifies* `B₂`
 //! through its MIS phases, so the same obligation is met in polylog time.
+//!
+//! The two MACs run the *same* scenario with a different `mac=` line.
 
 use absmac::measure::{self, LatencyStats, ProgressOutcome};
-use absmac::Runner;
-use sinr_geom::deploy;
-use sinr_graphs::SinrGraphs;
-use sinr_mac::{DecayMac, DecayParams, MacParams, SinrAbsMac};
-use sinr_phys::SinrParams;
+use sinr_geom::DeploySpec;
+use sinr_scenario::{
+    DeploymentSpec, MacSpec, ScenarioSpec, SeedSpec, SinrSpec, SourceSet, StopSpec, WorkloadSpec,
+};
 
-use crate::common::Repeater;
+/// The Theorem 8.1 operating point: β = 6, α = 2.5 — at this point the
+/// `B₁` pole-to-pole link tolerates only ~2 concurrent `B₂` interferers,
+/// which is the regime the lower-bound argument needs (with a generous
+/// margin the link is unjammable and Decay looks artificially good).
+pub fn decay_sinr(range: f64) -> SinrSpec {
+    SinrSpec {
+        alpha: 2.5,
+        beta: 6.0,
+        epsilon: 0.1,
+        range,
+        ..SinrSpec::default()
+    }
+}
+
+/// The pair of scenarios for one E5 point: Decay and Algorithm 9.1 on
+/// the identical two-ball gadget.
+pub fn decay_pair(delta: usize, range: f64, horizon: u64, seed: u64) -> [ScenarioSpec; 2] {
+    let deploy = DeploymentSpec::plain(DeploySpec::TwoBalls { delta, range, seed });
+    let base = |name: &str, mac: MacSpec| {
+        ScenarioSpec::new(
+            format!("thm81-{name}-d{delta}"),
+            deploy,
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Slots(horizon),
+        )
+        .with_sinr(decay_sinr(range))
+        .with_mac(mac)
+        .with_seed(SeedSpec::Fixed(seed))
+    };
+    [
+        // Decay contention bound matching the gadget population.
+        base(
+            "decay",
+            MacSpec::Decay {
+                n_tilde: (2 * delta).max(4) as f64,
+                eps: 0.125,
+                budget_mult: 4.0,
+            },
+        ),
+        base("approg", MacSpec::sinr()),
+    ]
+}
 
 /// One E5 measurement point.
 #[derive(Debug, Clone)]
@@ -35,76 +77,35 @@ pub struct DecayPoint {
 }
 
 /// Runs both MACs on the same gadget and measures `B₁`-side approximate
-/// progress.
+/// progress (`two_balls` places the two `B₁` nodes first).
+///
+/// # Panics
+///
+/// Panics if either scenario fails to build or run.
 pub fn run_decay_comparison(delta: usize, range: f64, horizon: u64, seed: u64) -> DecayPoint {
-    let gadget = deploy::two_balls(delta, range, seed).expect("gadget");
-    // β = 6, α = 2.5: at this operating point the B₁ pole-to-pole link
-    // tolerates only ~2 concurrent B₂ interferers, which is the regime
-    // Theorem 8.1's argument needs (with a generous margin the link is
-    // unjammable and Decay looks artificially good).
-    let sinr = SinrParams::builder()
-        .range(range)
-        .epsilon(0.1)
-        .alpha(2.5)
-        .beta(6.0)
-        .build()
-        .expect("params");
-    let graphs = SinrGraphs::induce(&sinr, &gadget.points);
-    let n = gadget.points.len();
-    let everyone = |i: usize| Some(i as u64);
-
-    let b1_outcomes = |trace: &[absmac::TraceEvent]| {
-        let outcomes = measure::first_progress(trace, &graphs.approx, &graphs.strong, horizon);
-        let satisfied: Vec<u64> = gadget
-            .b1
-            .iter()
-            .filter_map(|&i| outcomes[i].latency())
-            .collect();
-        let pending = gadget
-            .b1
+    let [decay_spec, approg_spec] = decay_pair(delta, range, horizon, seed);
+    let b1 = [0usize, 1];
+    let b1_outcomes = |run: &sinr_scenario::ScenarioRun| {
+        let outcomes = measure::first_progress(
+            &run.outcome.trace,
+            &run.ctx.graphs.approx,
+            &run.ctx.graphs.strong,
+            horizon,
+        );
+        let satisfied: Vec<u64> = b1.iter().filter_map(|&i| outcomes[i].latency()).collect();
+        let pending = b1
             .iter()
             .filter(|&&i| matches!(outcomes[i], ProgressOutcome::Pending { .. }))
             .count();
         (LatencyStats::from_samples(satisfied), pending)
     };
 
-    // Decay MAC: contention bound matching the gadget population.
-    let decay_params = DecayParams::from_contention((2 * delta).max(4) as f64, 0.125, 4.0);
-    let mac = DecayMac::with_backend(
-        sinr,
-        &gadget.points,
-        decay_params,
-        seed,
-        crate::common::backend_spec(),
-    )
-    .expect("decay mac");
-    let trace = {
-        let mut runner = Runner::new(mac, Repeater::network(n, everyone)).expect("runner");
-        for _ in 0..horizon {
-            runner.step().expect("contract");
-        }
-        runner.trace().to_vec()
-    };
-    let (decay, decay_pending) = b1_outcomes(&trace);
+    let decay_run = decay_spec.run().expect("decay leg");
+    let (decay, decay_pending) = b1_outcomes(&decay_run);
+    drop(decay_run);
 
-    // The paper's MAC.
-    let params = MacParams::builder().build(&sinr);
-    let mac = SinrAbsMac::with_backend(
-        sinr,
-        &gadget.points,
-        params,
-        seed,
-        crate::common::backend_spec(),
-    )
-    .expect("sinr mac");
-    let trace = {
-        let mut runner = Runner::new(mac, Repeater::network(n, everyone)).expect("runner");
-        for _ in 0..horizon {
-            runner.step().expect("contract");
-        }
-        runner.trace().to_vec()
-    };
-    let (approg, approg_pending) = b1_outcomes(&trace);
+    let approg_run = approg_spec.run().expect("approg leg");
+    let (approg, approg_pending) = b1_outcomes(&approg_run);
 
     DecayPoint {
         delta,
@@ -127,5 +128,24 @@ mod tests {
         // pending under each MAC.
         assert_eq!(p.decay.count() + p.decay_pending, 2);
         assert_eq!(p.approg.count() + p.approg_pending, 2);
+    }
+
+    #[test]
+    fn b1_indices_match_the_generator() {
+        // The measurement hardcodes B1 = {0, 1}; pin it to the
+        // generator's role field so a node-order change in two_balls
+        // cannot silently move the measured obligation.
+        let gadget = sinr_geom::deploy::two_balls(8, 48.0, 2).unwrap();
+        assert_eq!(gadget.b1, vec![0, 1]);
+    }
+
+    #[test]
+    fn pair_differs_only_in_mac_and_name() {
+        let [a, b] = decay_pair(8, 48.0, 1000, 2);
+        assert_ne!(a.mac, b.mac);
+        assert_eq!(a.deploy, b.deploy);
+        assert_eq!(a.sinr, b.sinr);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.stop, b.stop);
     }
 }

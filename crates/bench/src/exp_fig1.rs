@@ -11,16 +11,73 @@
 //! * measured with **approximate progress** (trigger graph `G₁₋₂ε`), the
 //!   cross obligations vanish and the broadcaster side `V` satisfies its
 //!   obligations in polylog time — Definition 7.1 in action.
+//!
+//! Both measurement legs are plain [`ScenarioSpec`]s ([`tdma_spec`] /
+//! [`mac_spec`]); `sinr-lab run fig1` executes the MAC leg directly.
 
 use absmac::measure::{self, LatencyStats, ProgressOutcome};
-use absmac::Runner;
-use sinr_baselines::{RoundRobinConfig, RoundRobinSmb};
-use sinr_geom::deploy;
-use sinr_graphs::SinrGraphs;
-use sinr_mac::{MacParams, SinrAbsMac};
-use sinr_phys::SinrParams;
+use sinr_geom::DeploySpec;
+use sinr_scenario::{
+    DeploymentSpec, MacSpec, ScenarioSpec, SeedSpec, SinrSpec, SourceSet, StopSpec, WorkloadSpec,
+};
 
-use crate::common::Repeater;
+/// The Figure 1 SINR parameters for a given `Δ`: the paper's `ε = 0.1`
+/// slack with the weak range chosen so `R₁₋ε` equals the gadget's line
+/// separation `10·Δ`.
+pub fn fig1_sinr(delta: usize) -> SinrSpec {
+    let eps = 0.1;
+    let strong_radius = 10.0 * delta as f64;
+    SinrSpec {
+        epsilon: eps,
+        range: strong_radius / (1.0 - eps),
+        ..SinrSpec::default()
+    }
+}
+
+fn gadget(delta: usize) -> DeploymentSpec {
+    DeploymentSpec::plain(DeploySpec::TwoLines {
+        delta,
+        separation: None,
+    })
+}
+
+/// The line-`V` node indices of the gadget (`two_lines` places `V`
+/// first).
+pub fn line_v(delta: usize) -> std::ops::Range<usize> {
+    0..delta
+}
+
+/// The line-`U` node indices of the gadget.
+pub fn line_u(delta: usize) -> std::ops::Range<usize> {
+    delta..2 * delta
+}
+
+/// Scenario: the optimal centralized round-robin schedule over line `V`,
+/// run for one full rotation plus slack (`2Δ` slots).
+pub fn tdma_spec(delta: usize, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::new(
+        format!("fig1-tdma-d{delta}"),
+        gadget(delta),
+        WorkloadSpec::Repeat(SourceSet::Range(0, delta)),
+        StopSpec::Slots(2 * delta as u64),
+    )
+    .with_sinr(fig1_sinr(delta))
+    .with_mac(MacSpec::Tdma)
+    .with_seed(SeedSpec::Fixed(seed))
+}
+
+/// Scenario: the paper's MAC with line `V` broadcasting continuously for
+/// `epochs` approximate-progress epochs.
+pub fn mac_spec(delta: usize, epochs: u64, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::new(
+        format!("fig1-mac-d{delta}"),
+        gadget(delta),
+        WorkloadSpec::Repeat(SourceSet::Range(0, delta)),
+        StopSpec::Epochs(epochs),
+    )
+    .with_sinr(fig1_sinr(delta))
+    .with_seed(SeedSpec::Fixed(seed))
+}
 
 /// One Figure 1 measurement point.
 #[derive(Debug, Clone)]
@@ -43,70 +100,37 @@ pub struct Fig1Point {
     pub horizon: u64,
 }
 
-/// Runs the Figure 1 experiment for one `Δ`.
+/// Runs the Figure 1 experiment for one `Δ` (both scenario legs).
+///
+/// # Panics
+///
+/// Panics if either scenario fails to build or run — a configuration bug
+/// in this experiment, not a measurement outcome.
 pub fn run_fig1(delta: usize, epochs: u64, seed: u64) -> Fig1Point {
-    let gadget = deploy::two_lines(delta, None).expect("gadget");
-    let eps = 0.1;
-    let sinr = SinrParams::builder()
-        .epsilon(eps)
-        .range(gadget.strong_radius / (1.0 - eps))
-        .build()
-        .expect("params");
-    let graphs = SinrGraphs::induce(&sinr, &gadget.points);
-
     // (a) Optimal centralized schedule.
-    let config = RoundRobinConfig {
-        broadcasters: gadget.line_v.clone(),
-    };
-    let mut tdma: RoundRobinSmb<u64> = RoundRobinSmb::with_backend(
-        sinr,
-        &gadget.points,
-        &config,
-        |i| i as u64,
-        seed,
-        crate::common::backend_spec(),
-    )
-    .expect("tdma");
-    let report = tdma.run(2 * delta as u64);
-    let tdma_worst = gadget
-        .line_u
-        .iter()
-        .filter_map(|&u| report.informed_at[u])
+    let tdma = tdma_spec(delta, seed).run().expect("tdma leg");
+    let report = tdma.outcome.smb.expect("tdma produces an SmbReport");
+    let tdma_worst = line_u(delta)
+        .filter_map(|u| report.informed_at[u])
         .max()
         .unwrap_or(0);
 
     // (b) The paper's MAC with line V broadcasting continuously.
-    let params = MacParams::builder().build(&sinr);
-    let horizon = epochs * 2 * params.layout().epoch_len();
-    let mac = SinrAbsMac::with_backend(
-        sinr,
-        &gadget.points,
-        params,
-        seed,
-        crate::common::backend_spec(),
-    )
-    .expect("valid deployment");
-    let in_v = |i: usize| gadget.line_v.contains(&i);
-    let clients = Repeater::network(gadget.points.len(), |i| in_v(i).then_some(i as u64));
-    let trace = {
-        let mut runner = Runner::new(mac, clients).expect("runner");
-        for _ in 0..horizon {
-            runner.step().expect("contract");
-        }
-        runner.trace().to_vec()
-    };
-    let pick = |outcomes: &[ProgressOutcome], side: &[usize]| {
-        let satisfied: Vec<u64> = side.iter().filter_map(|&i| outcomes[i].latency()).collect();
+    let run = mac_spec(delta, epochs, seed).run().expect("mac leg");
+    let graphs = &run.ctx.graphs;
+    let horizon = run.outcome.horizon;
+    let trace = &run.outcome.trace;
+    let pick = |outcomes: &[ProgressOutcome], side: std::ops::Range<usize>| {
+        let satisfied: Vec<u64> = side.clone().filter_map(|i| outcomes[i].latency()).collect();
         let pending = side
-            .iter()
-            .filter(|&&i| matches!(outcomes[i], ProgressOutcome::Pending { .. }))
+            .filter(|&i| matches!(outcomes[i], ProgressOutcome::Pending { .. }))
             .count();
         (LatencyStats::from_samples(satisfied), pending)
     };
-    let prog = measure::first_progress(&trace, &graphs.strong, &graphs.strong, horizon);
-    let (mac_prog_u, mac_prog_u_pending) = pick(&prog, &gadget.line_u);
-    let approg = measure::first_progress(&trace, &graphs.approx, &graphs.strong, horizon);
-    let (mac_approg_v, mac_approg_v_pending) = pick(&approg, &gadget.line_v);
+    let prog = measure::first_progress(trace, &graphs.strong, &graphs.strong, horizon);
+    let (mac_prog_u, mac_prog_u_pending) = pick(&prog, line_u(delta));
+    let approg = measure::first_progress(trace, &graphs.approx, &graphs.strong, horizon);
+    let (mac_approg_v, mac_approg_v_pending) = pick(&approg, line_v(delta));
 
     Fig1Point {
         delta,
@@ -137,5 +161,25 @@ mod tests {
             "V side must make approximate progress (pending {})",
             p.mac_approg_v_pending
         );
+    }
+
+    #[test]
+    fn side_index_ranges_match_the_generator() {
+        // The measurement code derives the V/U sides from index ranges;
+        // pin them to the generator's own role fields so a node-order
+        // change in two_lines cannot silently flip the measured side.
+        for delta in [2usize, 4, 9] {
+            let gadget = sinr_geom::deploy::two_lines(delta, None).unwrap();
+            assert_eq!(line_v(delta).collect::<Vec<_>>(), gadget.line_v);
+            assert_eq!(line_u(delta).collect::<Vec<_>>(), gadget.line_u);
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_through_text() {
+        for spec in [tdma_spec(4, 11), mac_spec(4, 6, 11)] {
+            let parsed = ScenarioSpec::parse(&spec.to_string()).unwrap();
+            assert_eq!(parsed, spec);
+        }
     }
 }

@@ -1,83 +1,152 @@
 //! E2 — Table 1, global rows: SMB, MMB and consensus over the SINR
-//! absMAC (Theorems 12.7 and Corollary 5.5).
+//! absMAC (Theorems 12.7 and Corollary 5.5), each expressed as a
+//! [`ScenarioSpec`] plus a theory-shape post-processor.
 
-use absmac::Runner;
-use sinr_geom::Point;
-use sinr_graphs::SinrGraphs;
-use sinr_mac::{MacParams, SinrAbsMac};
-use sinr_phys::SinrParams;
-use sinr_protocols::{Bmmb, Bsmb, FloodMaxConsensus};
+use sinr_scenario::{
+    DeploymentSpec, MeasureSpec, ScenarioRun, ScenarioSpec, SeedSpec, SinrSpec, StopSpec,
+    WorkloadSpec,
+};
 
-/// Completion slots of BSMB over the paper's MAC from node 0, plus the
-/// theory shape `(D_{G₁₋₂ε} + log n/ε)·log₂^{α+1} Λ`.
-pub fn smb_over_mac(
-    sinr: &SinrParams,
-    positions: &[Point],
-    graphs: &SinrGraphs,
-    params: MacParams,
+/// Scenario: BSMB from node 0 over the paper's MAC.
+pub fn smb_spec(
+    deploy: DeploymentSpec,
+    sinr: SinrSpec,
     horizon: u64,
-    seed: u64,
-) -> (Option<u64>, f64) {
-    let n = positions.len();
-    let eps = params.eps_approg;
-    let mac = SinrAbsMac::with_backend(
-        *sinr,
-        positions,
-        params,
-        seed,
-        crate::common::backend_spec(),
+    seed: SeedSpec,
+) -> ScenarioSpec {
+    ScenarioSpec::new(
+        "global-smb",
+        deploy,
+        WorkloadSpec::Smb { source: 0 },
+        StopSpec::Done(horizon),
     )
-    .expect("valid deployment");
-    let mut runner = Runner::new(mac, Bsmb::network(n, 0, 7u64)).expect("runner");
-    let done = runner.run_until_done(horizon).expect("contract");
-    let d = graphs.approx.diameter().unwrap_or(n as u32) as f64;
-    let log_l = graphs.lambda.log2().max(1.0);
-    let theory = (d + (n as f64 / eps).log2()) * log_l.powf(sinr.alpha() + 1.0);
-    (done, theory)
+    .with_sinr(sinr)
+    .with_seed(seed)
+    .with_measure(MeasureSpec::none())
 }
 
-/// Completion slots of BMMB with `k` messages spread over the network,
-/// plus the theory shape
-/// `D·log^{α+1}Λ + k·(Δ + polylog)·log(nk/ε)`.
-pub fn mmb_over_mac(
-    sinr: &SinrParams,
-    positions: &[Point],
-    graphs: &SinrGraphs,
-    params: MacParams,
+/// Scenario: BMMB with `k` messages spread evenly over the network.
+pub fn mmb_spec(
+    deploy: DeploymentSpec,
+    sinr: SinrSpec,
     k: usize,
     horizon: u64,
-    seed: u64,
-) -> (Option<u64>, f64) {
-    let n = positions.len();
-    let eps = params.eps_approg;
-    let mac = SinrAbsMac::with_backend(
-        *sinr,
-        positions,
-        params,
-        seed,
-        crate::common::backend_spec(),
+    seed: SeedSpec,
+) -> ScenarioSpec {
+    ScenarioSpec::new(
+        format!("global-mmb-k{k}"),
+        deploy,
+        WorkloadSpec::Mmb { k },
+        StopSpec::Done(horizon),
     )
-    .expect("valid deployment");
-    let stride = (n / k.max(1)).max(1);
-    let clients = Bmmb::network(
-        n,
-        |i| {
-            if i % stride == 0 && i / stride < k {
-                vec![1000 + (i / stride) as u64]
-            } else {
-                vec![]
-            }
-        },
-        Some(k),
-    );
-    let mut runner = Runner::new(mac, clients).expect("runner");
-    let done = runner.run_until_done(horizon).expect("contract");
-    let d = graphs.approx.diameter().unwrap_or(n as u32) as f64;
-    let delta = graphs.strong.max_degree() as f64;
-    let log_l = graphs.lambda.log2().max(1.0);
+    .with_sinr(sinr)
+    .with_seed(seed)
+    .with_measure(MeasureSpec::none())
+}
+
+/// Scenario: flood-max consensus with random inputs and the
+/// deadline-derived stop condition `2·(D+1)·f_ack-bound` (+1000 slack).
+///
+/// Resolving the deadline needs the realized deployment's strong-graph
+/// diameter, so this constructor materializes the deployment once (just
+/// positions + graphs, not a full runnable scenario); the resulting
+/// spec carries the concrete deadline and reproduces without
+/// re-deriving it.
+///
+/// # Panics
+///
+/// Panics if the physics are invalid or the deployment cannot be built
+/// — a configuration bug.
+pub fn consensus_spec(deploy: DeploymentSpec, sinr: SinrSpec, seed: SeedSpec) -> ScenarioSpec {
+    let sinr_params = sinr.to_params().expect("valid sinr params");
+    let (_, graphs, _) = deploy.realize(&sinr_params).expect("consensus deployment");
+    let n = graphs.strong.len();
+    let d = graphs.strong.diameter().unwrap_or(n as u32) as u64;
+    let params = sinr_mac::MacParams::builder().build(&sinr_params);
+    let fack_bound = 2 * params.ack_slot_cap as u64;
+    let deadline = 2 * (d + 1) * fack_bound;
+    ScenarioSpec::new(
+        "global-consensus",
+        deploy,
+        WorkloadSpec::Consensus { deadline },
+        StopSpec::Done(deadline + 1000),
+    )
+    .with_sinr(sinr)
+    .with_seed(seed)
+    .with_measure(MeasureSpec::none())
+}
+
+/// Completion and theory shape of one global-broadcast run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalPoint {
+    /// Completion slot, `None` on horizon overrun.
+    pub done: Option<u64>,
+    /// The paper's runtime shape evaluated on the realized deployment.
+    pub theory: f64,
+    /// Realized size.
+    pub n: usize,
+    /// Realized approximate-graph diameter.
+    pub diameter_approx: Option<u32>,
+    /// Realized strong-graph diameter.
+    pub diameter_strong: Option<u32>,
+    /// Realized `Λ`.
+    pub lambda: f64,
+}
+
+fn theory_smb(run: &ScenarioRun) -> f64 {
+    let n = run.ctx.positions.len();
+    let eps = run.ctx.mac_params.as_ref().expect("sinr mac").eps_approg;
+    let d = run.ctx.graphs.approx.diameter().unwrap_or(n as u32) as f64;
+    let log_l = run.ctx.graphs.lambda.log2().max(1.0);
+    (d + (n as f64 / eps).log2()) * log_l.powf(run.ctx.sinr.alpha() + 1.0)
+}
+
+/// Runs a [`smb_spec`] scenario: completion slots of BSMB plus the
+/// theory shape `(D_{G₁₋₂ε} + log n/ε)·log₂^{α+1} Λ`.
+///
+/// # Panics
+///
+/// Panics if the scenario fails to build or run.
+pub fn run_smb(spec: &ScenarioSpec) -> GlobalPoint {
+    let run = spec.run().expect("smb scenario");
+    GlobalPoint {
+        done: run.outcome.completed_at,
+        theory: theory_smb(&run),
+        n: run.ctx.positions.len(),
+        diameter_approx: run.ctx.graphs.approx.diameter(),
+        diameter_strong: run.ctx.graphs.strong.diameter(),
+        lambda: run.ctx.graphs.lambda,
+    }
+}
+
+/// Runs a [`mmb_spec`] scenario: completion slots of BMMB plus the
+/// theory shape `D·log^{α+1}Λ + k·(Δ + polylog)·log(nk/ε)`.
+///
+/// # Panics
+///
+/// Panics if the scenario fails to build or run, or is not an MMB
+/// workload.
+pub fn run_mmb(spec: &ScenarioSpec) -> GlobalPoint {
+    let WorkloadSpec::Mmb { k } = spec.workload else {
+        panic!("run_mmb needs workload=mmb");
+    };
+    let run = spec.run().expect("mmb scenario");
+    let n = run.ctx.positions.len();
+    let eps = run.ctx.mac_params.as_ref().expect("sinr mac").eps_approg;
+    let d = run.ctx.graphs.approx.diameter().unwrap_or(n as u32) as f64;
+    let delta = run.ctx.graphs.strong.max_degree() as f64;
+    let log_l = run.ctx.graphs.lambda.log2().max(1.0);
     let nk = (n * k) as f64;
-    let theory = d * log_l.powf(sinr.alpha() + 1.0) + k as f64 * delta * (nk / eps).log2().max(1.0);
-    (done, theory)
+    let theory =
+        d * log_l.powf(run.ctx.sinr.alpha() + 1.0) + k as f64 * delta * (nk / eps).log2().max(1.0);
+    GlobalPoint {
+        done: run.outcome.completed_at,
+        theory,
+        n,
+        diameter_approx: run.ctx.graphs.approx.diameter(),
+        diameter_strong: run.ctx.graphs.strong.diameter(),
+        lambda: run.ctx.graphs.lambda,
+    }
 }
 
 /// Outcome of a consensus run.
@@ -92,85 +161,78 @@ pub struct ConsensusResult {
     pub validity: bool,
     /// Theory shape: `D·(Δ + log Λ)·log(nΛ/ε)`.
     pub theory: f64,
+    /// Realized strong-graph diameter.
+    pub diameter_strong: Option<u32>,
 }
 
-/// Runs flood-max consensus over the paper's MAC with random inputs.
-pub fn consensus_over_mac(
-    sinr: &SinrParams,
-    positions: &[Point],
-    graphs: &SinrGraphs,
-    params: MacParams,
-    seed: u64,
-) -> ConsensusResult {
-    use rand::{Rng, SeedableRng};
-    let n = positions.len();
-    let eps = params.eps_ack;
-    let d = graphs.strong.diameter().unwrap_or(n as u32) as u64;
-    let fack_bound = 2 * params.ack_slot_cap as u64;
-    let deadline = 2 * (d + 1) * fack_bound;
-    let mac = SinrAbsMac::with_backend(
-        *sinr,
-        positions,
-        params,
-        seed,
-        crate::common::backend_spec(),
-    )
-    .expect("valid deployment");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
-    let values: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
-    let clients = FloodMaxConsensus::network(&values, deadline);
-    let mut runner = Runner::new(mac, clients).expect("runner");
-    runner.disable_tracing();
-    let decided_at = runner.run_until_done(deadline + 1000).expect("contract");
-    let decisions: Vec<Option<bool>> = runner.clients().map(|c| c.decision()).collect();
+/// Runs a [`consensus_spec`] scenario and checks agreement + validity.
+///
+/// # Panics
+///
+/// Panics if the scenario fails to build or run, or is not a consensus
+/// workload.
+pub fn run_consensus(spec: &ScenarioSpec) -> ConsensusResult {
+    let run = spec.run().expect("consensus scenario");
+    let decisions = run.outcome.decisions.expect("consensus decisions");
+    let values = run.outcome.consensus_inputs.expect("consensus inputs");
     let agreement = decisions.windows(2).all(|w| w[0] == w[1]) && decisions[0].is_some();
     let validity = decisions[0].map(|v| values.contains(&v)).unwrap_or(false);
-    let delta = graphs.strong.max_degree() as f64;
-    let lambda = graphs.lambda;
+    let n = run.ctx.positions.len();
+    let eps = run.ctx.mac_params.as_ref().expect("sinr mac").eps_ack;
+    let d = run.ctx.graphs.strong.diameter().unwrap_or(n as u32) as u64;
+    let delta = run.ctx.graphs.strong.max_degree() as f64;
+    let lambda = run.ctx.graphs.lambda;
     let theory = d as f64 * (delta + lambda.log2()) * ((n as f64 * lambda) / eps).log2().max(1.0);
     ConsensusResult {
-        decided_at,
+        decided_at: run.outcome.completed_at,
         agreement,
         validity,
         theory,
+        diameter_strong: run.ctx.graphs.strong.diameter(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::common::connected_uniform;
 
-    fn setup() -> (SinrParams, Vec<Point>, SinrGraphs, u64) {
-        let sinr = SinrParams::builder().range(8.0).build().unwrap();
-        let (p, g, s) = connected_uniform(&sinr, 14, 15.0, 3);
-        (sinr, p, g, s)
+    fn deploy() -> DeploymentSpec {
+        DeploymentSpec::uniform_connected(14, 15.0, 3)
+    }
+
+    fn sinr() -> SinrSpec {
+        SinrSpec::with_range(8.0)
     }
 
     #[test]
     fn smb_completes() {
-        let (sinr, positions, graphs, seed) = setup();
-        let params = MacParams::builder().build(&sinr);
-        let (done, theory) = smb_over_mac(&sinr, &positions, &graphs, params, 2_000_000, seed);
-        assert!(done.is_some());
-        assert!(theory > 0.0);
+        let p = run_smb(&smb_spec(deploy(), sinr(), 2_000_000, SeedSpec::FromDeploy));
+        assert!(p.done.is_some());
+        assert!(p.theory > 0.0);
     }
 
     #[test]
     fn mmb_completes_with_two_messages() {
-        let (sinr, positions, graphs, seed) = setup();
-        let params = MacParams::builder().build(&sinr);
-        let (done, _) = mmb_over_mac(&sinr, &positions, &graphs, params, 2, 4_000_000, seed);
-        assert!(done.is_some());
+        let p = run_mmb(&mmb_spec(
+            deploy(),
+            sinr(),
+            2,
+            4_000_000,
+            SeedSpec::FromDeploy,
+        ));
+        assert!(p.done.is_some());
     }
 
     #[test]
     fn consensus_agrees_and_is_valid() {
-        let (sinr, positions, graphs, seed) = setup();
-        let params = MacParams::builder().build(&sinr);
-        let r = consensus_over_mac(&sinr, &positions, &graphs, params, seed);
+        let spec = consensus_spec(deploy(), sinr(), SeedSpec::FromDeploy);
+        let r = run_consensus(&spec);
         assert!(r.decided_at.is_some());
         assert!(r.agreement);
         assert!(r.validity);
+        // The derived deadline is recorded in the spec text, so the run
+        // reproduces from the spec alone.
+        let reparsed = ScenarioSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(reparsed, spec);
     }
 }

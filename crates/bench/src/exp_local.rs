@@ -6,49 +6,66 @@
 //! [`absmac::measure::first_progress`] with
 //! `trigger = rcv = G₁₋ε` (standard progress) and
 //! `trigger = G₁₋₂ε, rcv = G₁₋ε` (the paper's approximate progress).
+//!
+//! Each measurement is one [`ScenarioSpec`] ([`fack_spec`] /
+//! [`progress_spec`]); the measurement functions run the spec and
+//! post-process its trace.
 
 use absmac::measure::{self, LatencyStats, ProgressOutcome};
-use absmac::{CmdSink, MacClient, MacEvent, Runner, TraceKind};
-use sinr_geom::Point;
-use sinr_graphs::SinrGraphs;
-use sinr_mac::{MacParams, SinrAbsMac};
-use sinr_phys::SinrParams;
+use absmac::TraceKind;
+use sinr_scenario::{
+    DeploymentSpec, MacKnob, MacSpec, ScenarioSpec, SeedSpec, SinrSpec, SourceSet, StopSpec,
+    WorkloadSpec,
+};
 
-use crate::common::Repeater;
+pub use sinr_scenario::clients::OneShot;
 
-/// A client that broadcasts once and reports done on its ack.
-#[derive(Debug, Clone)]
-pub struct OneShot<P> {
-    payload: Option<P>,
-    acked: bool,
+/// Scenario: `broadcasters` one-shot senders (evenly spread) contending
+/// on `deploy`; runs until every ack fires, with the legacy horizon
+/// `16·ack_slot_cap + 1024`.
+pub fn fack_spec(
+    deploy: DeploymentSpec,
+    sinr: SinrSpec,
+    broadcasters: usize,
+    seed: SeedSpec,
+) -> ScenarioSpec {
+    // The horizon depends on the resolved ack cap, which only needs the
+    // SINR parameters (the f_ack experiments always run paper-default
+    // MacParams).
+    let horizon = match sinr.to_params() {
+        Ok(params) => 16 * sinr_mac::MacParams::builder().build(&params).ack_slot_cap as u64 + 1024,
+        Err(_) => 1024, // invalid physics: let build() surface the error
+    };
+    ScenarioSpec::new(
+        format!("fack-b{broadcasters}"),
+        deploy,
+        WorkloadSpec::OneShot(SourceSet::Count(broadcasters)),
+        StopSpec::Done(horizon),
+    )
+    .with_sinr(sinr)
+    .with_seed(seed)
 }
 
-impl<P: Clone> OneShot<P> {
-    /// Builds a network where `payload_of(i)` selects broadcasters.
-    pub fn network(n: usize, payload_of: impl Fn(usize) -> Option<P>) -> Vec<Self> {
-        (0..n)
-            .map(|i| OneShot {
-                payload: payload_of(i),
-                acked: false,
-            })
-            .collect()
-    }
-}
-
-impl<P: Clone> MacClient<P> for OneShot<P> {
-    fn on_start(&mut self, _node: usize, sink: &mut CmdSink<P>) {
-        if let Some(p) = &self.payload {
-            sink.bcast(p.clone());
-        }
-    }
-    fn on_event(&mut self, _node: usize, _now: u64, ev: &MacEvent<P>, _sink: &mut CmdSink<P>) {
-        if matches!(ev, MacEvent::Ack(_)) {
-            self.acked = true;
-        }
-    }
-    fn is_done(&self) -> bool {
-        self.payload.is_none() || self.acked
-    }
+/// Scenario: every `stride`-th node broadcasting continuously for
+/// `epochs` approximate-progress epochs, with optional MAC knob
+/// overrides (the `eps_approg` sweep of Table 1).
+pub fn progress_spec(
+    deploy: DeploymentSpec,
+    sinr: SinrSpec,
+    overrides: Vec<(MacKnob, f64)>,
+    stride: usize,
+    epochs: u64,
+    seed: SeedSpec,
+) -> ScenarioSpec {
+    ScenarioSpec::new(
+        format!("progress-s{stride}"),
+        deploy,
+        WorkloadSpec::Repeat(SourceSet::Stride(stride)),
+        StopSpec::Epochs(epochs),
+    )
+    .with_sinr(sinr)
+    .with_mac(MacSpec::Sinr { overrides })
+    .with_seed(seed)
 }
 
 /// Result of one acknowledgment measurement.
@@ -62,34 +79,29 @@ pub struct FackResult {
     pub delivery_rate: f64,
     /// Theory shape: `Δ·log₂(Λ/ε) + log₂Λ·log₂(Λ/ε)`.
     pub theory: f64,
+    /// Realized deployment size.
+    pub n: usize,
+    /// Realized strong-graph maximum degree.
+    pub max_degree: usize,
+    /// Realized `Λ`.
+    pub lambda: f64,
 }
 
-/// Measures `f_ack` with `broadcasters` nodes (evenly spread) contending.
-pub fn measure_fack(
-    sinr: &SinrParams,
-    positions: &[Point],
-    graphs: &SinrGraphs,
-    params: MacParams,
-    broadcasters: usize,
-    seed: u64,
-) -> FackResult {
-    let n = positions.len();
-    let stride = (n / broadcasters.max(1)).max(1);
-    let is_source = |i: usize| i.is_multiple_of(stride) && i / stride < broadcasters;
+/// Runs a [`fack_spec`]-shaped scenario and measures `f_ack`.
+///
+/// # Panics
+///
+/// Panics if the scenario fails to build or run (an
+/// experiment-configuration bug), or if its measurement flags are
+/// incompatible (no trace).
+pub fn measure_fack(spec: &ScenarioSpec) -> FackResult {
+    assert!(spec.measure.trace, "f_ack measurement needs measure=trace");
+    let run = spec.run().expect("fack scenario");
+    let graphs = &run.ctx.graphs;
+    let trace = &run.outcome.trace;
+    let params = run.ctx.mac_params.as_ref().expect("sinr mac");
     let eps_ack = params.eps_ack;
-    let mac = SinrAbsMac::with_backend(
-        *sinr,
-        positions,
-        params,
-        seed,
-        crate::common::backend_spec(),
-    )
-    .expect("valid deployment");
-    let horizon = 16 * mac.params().ack_slot_cap as u64 + 1024;
-    let clients = OneShot::network(n, |i| is_source(i).then_some(i as u64));
-    let mut runner = Runner::new(mac, clients).expect("runner");
-    let _ = runner.run_until_done(horizon).expect("contract");
-    let trace = runner.trace();
+    let n = run.ctx.positions.len();
     let acks = measure::ack_latencies(trace);
     // Ground truth deliveries before the ack.
     let mut pairs = 0usize;
@@ -121,6 +133,9 @@ pub fn measure_fack(
             ok as f64 / pairs as f64
         },
         theory,
+        n,
+        max_degree: graphs.strong.max_degree(),
+        lambda,
     }
 }
 
@@ -139,39 +154,32 @@ pub struct ProgressResult {
     /// Theory shape for `f_approg`:
     /// `(log₂^α Λ + log* 1/ε)·log₂ Λ·log₂(1/ε)`.
     pub theory_approg: f64,
+    /// Realized deployment size.
+    pub n: usize,
+    /// Realized strong-graph maximum degree.
+    pub max_degree: usize,
+    /// Realized `Λ`.
+    pub lambda: f64,
+    /// Resolved epoch length in slots (both layers interleaved).
+    pub epoch_len: u64,
 }
 
-/// Measures progress and approximate progress with every `stride`-th node
-/// broadcasting continuously for `horizon` slots.
-pub fn measure_progress(
-    sinr: &SinrParams,
-    positions: &[Point],
-    graphs: &SinrGraphs,
-    params: MacParams,
-    stride: usize,
-    horizon: u64,
-    seed: u64,
-) -> ProgressResult {
-    let n = positions.len();
+/// Runs a [`progress_spec`]-shaped scenario and measures progress and
+/// approximate progress.
+///
+/// # Panics
+///
+/// Panics if the scenario fails to build or run, or records no trace.
+pub fn measure_progress(spec: &ScenarioSpec) -> ProgressResult {
+    assert!(spec.measure.trace, "progress measurement needs a trace");
+    let run = spec.run().expect("progress scenario");
+    let graphs = &run.ctx.graphs;
+    let params = run.ctx.mac_params.as_ref().expect("sinr mac");
+    let sinr = &run.ctx.sinr;
+    let horizon = run.outcome.horizon;
     let eps = params.eps_approg;
-    let mac = SinrAbsMac::with_backend(
-        *sinr,
-        positions,
-        params,
-        seed,
-        crate::common::backend_spec(),
-    )
-    .expect("valid deployment");
-    let clients = Repeater::network(n, |i| (i % stride == 0).then_some(i as u64));
-    let trace = {
-        let mut runner = Runner::new(mac, clients).expect("runner");
-        for _ in 0..horizon {
-            runner.step().expect("contract");
-        }
-        runner.trace().to_vec()
-    };
     let collect = |trigger, rcv| {
-        let outcomes = measure::first_progress(&trace, trigger, rcv, horizon);
+        let outcomes = measure::first_progress(&run.outcome.trace, trigger, rcv, horizon);
         let satisfied: Vec<u64> = outcomes.iter().filter_map(|o| o.latency()).collect();
         let pending = outcomes
             .iter()
@@ -192,37 +200,72 @@ pub fn measure_progress(
         approg,
         approg_pending,
         theory_approg,
+        n: run.ctx.positions.len(),
+        max_degree: graphs.strong.max_degree(),
+        lambda,
+        epoch_len: 2 * params.layout().epoch_len(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::common::connected_uniform;
 
     #[test]
     fn fack_measurement_on_small_network() {
-        let sinr = SinrParams::builder().range(8.0).build().unwrap();
-        let (positions, graphs, seed) = connected_uniform(&sinr, 12, 14.0, 1);
-        let params = MacParams::builder().build(&sinr);
-        let r = measure_fack(&sinr, &positions, &graphs, params, 3, seed);
+        let spec = fack_spec(
+            DeploymentSpec::uniform_connected(12, 14.0, 1),
+            SinrSpec::with_range(8.0),
+            3,
+            SeedSpec::FromDeploy,
+        );
+        let r = measure_fack(&spec);
         assert_eq!(r.latencies.count(), 3, "every broadcast must ack");
         assert!(r.delivery_rate > 0.5, "rate {}", r.delivery_rate);
         assert!(r.theory > 0.0);
+        assert_eq!(r.n, 12);
     }
 
     #[test]
     fn progress_measurement_on_small_network() {
-        let sinr = SinrParams::builder().range(8.0).build().unwrap();
-        let (positions, graphs, seed) = connected_uniform(&sinr, 12, 14.0, 9);
-        let params = MacParams::builder().build(&sinr);
-        let epoch = 2 * params.layout().epoch_len();
-        let r = measure_progress(&sinr, &positions, &graphs, params, 2, 6 * epoch, seed);
+        let spec = progress_spec(
+            DeploymentSpec::uniform_connected(12, 14.0, 9),
+            SinrSpec::with_range(8.0),
+            vec![],
+            2,
+            6,
+            SeedSpec::FromDeploy,
+        );
+        let r = measure_progress(&spec);
         // Someone must have made approximate progress.
         assert!(
             r.approg.count() > 0,
             "no approximate progress at all (pending {})",
             r.approg_pending
         );
+        assert!(r.epoch_len > 0);
+    }
+
+    #[test]
+    fn measurement_specs_round_trip() {
+        let specs = [
+            fack_spec(
+                DeploymentSpec::uniform_connected(96, 60.0, 1),
+                SinrSpec::with_range(16.0),
+                16,
+                SeedSpec::FromDeploy,
+            ),
+            progress_spec(
+                DeploymentSpec::uniform_connected(64, 55.0, 3),
+                SinrSpec::with_range(16.0),
+                vec![(MacKnob::EpsApprog, 0.03125)],
+                2,
+                8,
+                SeedSpec::FromDeploy,
+            ),
+        ];
+        for spec in specs {
+            assert_eq!(ScenarioSpec::parse(&spec.to_string()).unwrap(), spec);
+        }
     }
 }

@@ -7,14 +7,40 @@
 //! (`D·log²n`) when `log^{α+1}Λ ≤ min(D·log n, log²n)`. The experiment
 //! reports measured slots for all three on the same deployment so the
 //! winner and the crossover regime can be read off directly.
+//!
+//! The three-way comparison is literally one scenario run three times
+//! with a different `mac=` line — the plug-and-play axis doing the work.
 
-use absmac::Runner;
-use sinr_baselines::{DecaySmb, DecaySmbConfig, DgknSmb, DgknSmbConfig};
-use sinr_geom::Point;
-use sinr_graphs::SinrGraphs;
-use sinr_mac::{MacParams, SinrAbsMac};
-use sinr_phys::SinrParams;
-use sinr_protocols::Bsmb;
+use sinr_scenario::{
+    DeploymentSpec, MacSpec, MeasureSpec, ScenarioSpec, SeedSpec, SinrSpec, StopSpec, WorkloadSpec,
+};
+
+/// The three scenarios of one Table 2 cell: identical deployment,
+/// physics, seed and workload; only the MAC differs.
+pub fn table2_specs(
+    deploy: DeploymentSpec,
+    sinr: SinrSpec,
+    horizon: u64,
+    seed: SeedSpec,
+) -> [ScenarioSpec; 3] {
+    let base = |name: &str, mac: MacSpec| {
+        ScenarioSpec::new(
+            format!("table2-{name}"),
+            deploy,
+            WorkloadSpec::Smb { source: 0 },
+            StopSpec::Done(horizon),
+        )
+        .with_sinr(sinr)
+        .with_mac(mac)
+        .with_seed(seed)
+        .with_measure(MeasureSpec::none())
+    };
+    [
+        base("ours", MacSpec::sinr()),
+        base("dgkn", MacSpec::Dgkn),
+        base("decay", MacSpec::DecaySmb),
+    ]
+}
 
 /// One Table 2 comparison point.
 #[derive(Debug, Clone)]
@@ -57,66 +83,34 @@ impl Table2Point {
 }
 
 /// Runs all three algorithms on one deployment.
+///
+/// # Panics
+///
+/// Panics if a scenario fails to build or run — a configuration bug.
 pub fn compare_smb(
-    sinr: &SinrParams,
-    positions: &[Point],
-    graphs: &SinrGraphs,
+    deploy: DeploymentSpec,
+    sinr: SinrSpec,
     horizon: u64,
-    seed: u64,
+    seed: SeedSpec,
 ) -> Table2Point {
-    let n = positions.len();
+    let [ours_spec, dgkn_spec, decay_spec] = table2_specs(deploy, sinr, horizon, seed);
+    let ours_run = ours_spec.run().expect("ours");
+    let dgkn_run = dgkn_spec.run().expect("dgkn");
+    let decay_run = decay_spec.run().expect("decay");
 
-    // Ours: BSMB over Algorithm 11.1.
-    let params = MacParams::builder().build(sinr);
-    let mac = SinrAbsMac::with_backend(
-        *sinr,
-        positions,
-        params,
-        seed,
-        crate::common::backend_spec(),
-    )
-    .expect("valid deployment");
-    let mut runner = Runner::new(mac, Bsmb::network(n, 0, 7u64)).expect("runner");
-    runner.disable_tracing();
-    let ours = runner.run_until_done(horizon).expect("contract");
-
-    // DGKN [14].
-    let mut dgkn: DgknSmb<u64> = DgknSmb::with_backend(
-        *sinr,
-        positions,
-        &DgknSmbConfig::default(),
-        0,
-        7,
-        seed,
-        crate::common::backend_spec(),
-    )
-    .expect("valid deployment");
-    let dgkn_t = dgkn.run(horizon).completion;
-
-    // Decay / [32] proxy.
-    let mut decay: DecaySmb<u64> = DecaySmb::with_backend(
-        *sinr,
-        positions,
-        DecaySmbConfig::for_network_size(n),
-        0,
-        7,
-        seed,
-        crate::common::backend_spec(),
-    )
-    .expect("valid deployment");
-    let decay_t = decay.run(horizon).completion;
-
-    let d = graphs.strong.diameter().unwrap_or(n as u32);
-    let log_l = graphs.lambda.log2().max(1.0);
+    let ctx = &ours_run.ctx;
+    let n = ctx.positions.len();
+    let d = ctx.graphs.strong.diameter().unwrap_or(n as u32);
+    let log_l = ctx.graphs.lambda.log2().max(1.0);
     let log_n = (n as f64).log2().max(1.0);
     Table2Point {
         n,
         diameter: d,
-        lambda: graphs.lambda,
-        ours,
-        dgkn: dgkn_t,
-        decay_proxy: decay_t,
-        crossover_lhs: log_l.powf(sinr.alpha() + 1.0),
+        lambda: ctx.graphs.lambda,
+        ours: ours_run.outcome.completed_at,
+        dgkn: dgkn_run.outcome.completed_at,
+        decay_proxy: decay_run.outcome.completed_at,
+        crossover_lhs: log_l.powf(ctx.sinr.alpha() + 1.0),
         crossover_rhs: (d as f64 * log_n).min(log_n * log_n),
     }
 }
@@ -124,13 +118,15 @@ pub fn compare_smb(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::common::connected_uniform;
 
     #[test]
     fn all_three_complete_on_a_small_network() {
-        let sinr = SinrParams::builder().range(8.0).build().unwrap();
-        let (positions, graphs, seed) = connected_uniform(&sinr, 12, 14.0, 5);
-        let p = compare_smb(&sinr, &positions, &graphs, 3_000_000, seed);
+        let p = compare_smb(
+            DeploymentSpec::uniform_connected(12, 14.0, 5),
+            SinrSpec::with_range(8.0),
+            3_000_000,
+            SeedSpec::FromDeploy,
+        );
         assert!(p.ours.is_some(), "ours timed out");
         assert!(p.dgkn.is_some(), "dgkn timed out");
         assert!(p.decay_proxy.is_some(), "decay timed out");
@@ -141,9 +137,12 @@ mod tests {
     fn ours_beats_dgkn() {
         // The headline claim of Table 2: improvement over [14] in the
         // full range of parameters (the log n epoch factor).
-        let sinr = SinrParams::builder().range(8.0).build().unwrap();
-        let (positions, graphs, seed) = connected_uniform(&sinr, 16, 16.0, 11);
-        let p = compare_smb(&sinr, &positions, &graphs, 5_000_000, seed);
+        let p = compare_smb(
+            DeploymentSpec::uniform_connected(16, 16.0, 11),
+            SinrSpec::with_range(8.0),
+            5_000_000,
+            SeedSpec::FromDeploy,
+        );
         let (ours, dgkn) = (p.ours.unwrap(), p.dgkn.unwrap());
         assert!(ours < dgkn, "expected ours ({ours}) to beat DGKN ({dgkn})");
     }

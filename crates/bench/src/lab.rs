@@ -1,0 +1,961 @@
+//! `sinr-lab` — the single spec-driven experiment driver.
+//!
+//! Everything the nine legacy regenerator binaries did is reachable from
+//! here: `list` the named scenario presets, `show` a spec's text, `run`
+//! one spec (emitting a machine-readable JSON report), `sweep` a spec
+//! grid in a thread batch, `bench` the sweep runner's throughput, and
+//! `legacy NAME` to reprint any legacy binary's full tables (the legacy
+//! binaries themselves are thin wrappers over [`legacy`]).
+
+use std::time::Instant;
+
+use sinr_mac::MacParams;
+use sinr_phys::SinrParams;
+use sinr_scenario::{
+    report_for, DeploymentSpec, Json, MeasureSpec, Report, ScenarioSet, ScenarioSpec, SeedSpec,
+    SinrSpec, SourceSet, StopSpec, WorkloadSpec,
+};
+
+use crate::common::Table;
+use crate::{exp_ablation, exp_decay, exp_fig1, exp_global, exp_local, exp_table2};
+
+/// A named scenario preset: a spec constructor plus provenance notes.
+pub struct Preset {
+    /// The registry name (`sinr-lab run NAME`).
+    pub name: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    /// Constructor.
+    pub spec: fn() -> ScenarioSpec,
+}
+
+fn smoke_deploy() -> DeploymentSpec {
+    DeploymentSpec::plain(sinr_geom::DeploySpec::Lattice {
+        rows: 4,
+        cols: 4,
+        spacing: 2.0,
+    })
+}
+
+fn smoke(name: &str, mac: &str, workload: &str, measure: &str) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        name,
+        smoke_deploy(),
+        WorkloadSpec::Repeat(SourceSet::Stride(2)),
+        StopSpec::Slots(200),
+    )
+    .with_sinr(SinrSpec::with_range(8.0));
+    spec.set("mac", mac).expect("preset mac");
+    spec.set("workload", workload).expect("preset workload");
+    spec.set("measure", measure).expect("preset measure");
+    if workload.starts_with("smb") {
+        spec.stop = StopSpec::Done(200);
+    }
+    spec
+}
+
+/// The named scenario presets `sinr-lab` ships with: the Figure 1 legs,
+/// a Table 1 progress point, and one tiny smoke scenario per MAC choice
+/// (n = 16, 200 slots — what CI runs on every push).
+pub fn presets() -> Vec<Preset> {
+    vec![
+        Preset {
+            name: "fig1",
+            about: "Figure 1 MAC leg at delta=4 (two-lines gadget, V broadcasting)",
+            spec: || exp_fig1::mac_spec(4, 6, 11),
+        },
+        Preset {
+            name: "fig1-tdma",
+            about: "Figure 1 optimal TDMA leg at delta=4",
+            spec: || exp_fig1::tdma_spec(4, 11),
+        },
+        Preset {
+            name: "progress-n64",
+            about: "Table 1 progress point: n=64 uniform, half broadcasting",
+            spec: || {
+                exp_local::progress_spec(
+                    DeploymentSpec::uniform_connected(64, 55.0, 3),
+                    SinrSpec::with_range(16.0),
+                    vec![],
+                    2,
+                    8,
+                    SeedSpec::FromDeploy,
+                )
+            },
+        },
+        Preset {
+            name: "smoke-sinr",
+            about: "CI smoke: paper MAC (Algorithm 11.1)",
+            spec: || smoke("smoke-sinr", "sinr", "repeat:stride:2", "trace"),
+        },
+        Preset {
+            name: "smoke-ideal",
+            about: "CI smoke: ideal reference MAC",
+            spec: || smoke("smoke-ideal", "ideal:eager", "repeat:stride:2", "trace"),
+        },
+        Preset {
+            name: "smoke-decay",
+            about: "CI smoke: Decay MAC (Thm 8.1 baseline)",
+            spec: || {
+                smoke(
+                    "smoke-decay",
+                    "decay:16:0.125:4",
+                    "repeat:stride:2",
+                    "trace",
+                )
+            },
+        },
+        Preset {
+            name: "smoke-tdma",
+            about: "CI smoke: optimal round-robin TDMA baseline",
+            spec: || smoke("smoke-tdma", "tdma", "repeat:count:4", "none"),
+        },
+        Preset {
+            name: "smoke-dgkn",
+            about: "CI smoke: DGKN [14] SMB baseline",
+            spec: || smoke("smoke-dgkn", "dgkn", "smb:0", "none"),
+        },
+        Preset {
+            name: "smoke-decay-smb",
+            about: "CI smoke: Decay/[32] SMB proxy baseline",
+            spec: || smoke("smoke-decay-smb", "decay_smb", "smb:0", "none"),
+        },
+    ]
+}
+
+/// Resolves `NAME` against the preset registry, then the filesystem.
+///
+/// # Errors
+///
+/// A human-readable message when neither resolves.
+pub fn resolve_spec(name: &str) -> Result<ScenarioSpec, String> {
+    if let Some(p) = presets().into_iter().find(|p| p.name == name) {
+        return Ok((p.spec)());
+    }
+    match std::fs::read_to_string(name) {
+        Ok(text) => ScenarioSpec::parse(&text).map_err(|e| format!("{name}: {e}")),
+        Err(io) => Err(format!(
+            "{name:?} is neither a preset (see `sinr-lab list`) nor a readable spec file ({io})"
+        )),
+    }
+}
+
+/// The legacy binaries and the experiment each regenerates.
+pub const LEGACY: [(&str, &str); 9] = [
+    (
+        "fig1_progress",
+        "E4: Figure 1 / Thm 6.1 progress lower bound",
+    ),
+    (
+        "table1_local",
+        "E1: Table 1 local rows (f_ack, f_prog, f_approg)",
+    ),
+    (
+        "table1_global",
+        "E2: Table 1 global rows (SMB, MMB, consensus)",
+    ),
+    ("table2_smb", "E3: Table 2 three-way SMB comparison"),
+    ("decay_vs_approg", "E5: Thm 8.1 Decay vs Algorithm 9.1"),
+    ("ablation_t", "A1: estimation-window multiplier sweep"),
+    ("ablation_labels", "A2: label-range exponent sweep"),
+    (
+        "ablation_interference",
+        "A3: interference-model agreement/speed",
+    ),
+    (
+        "bench_reception",
+        "reception-kernel throughput (BENCH_reception.json)",
+    ),
+];
+
+/// Entry point shared by the `sinr-lab` binary and tests.
+///
+/// # Errors
+///
+/// A human-readable message on bad usage or a failed run; the caller
+/// turns it into a non-zero exit.
+pub fn cli_main(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("named scenario presets:");
+            for p in presets() {
+                println!("  {:16} {}", p.name, p.about);
+            }
+            println!("\nlegacy regenerators (`sinr-lab legacy NAME`):");
+            for (name, about) in LEGACY {
+                println!("  {name:22} {about}");
+            }
+            Ok(())
+        }
+        Some("show") => {
+            let name = args.get(1).ok_or("usage: sinr-lab show NAME|FILE")?;
+            print!("{}", resolve_spec(name)?);
+            Ok(())
+        }
+        Some("run") => {
+            let name = args
+                .get(1)
+                .ok_or("usage: sinr-lab run NAME|FILE [--json PATH]")?;
+            // Validate flags before the (possibly long) run so a typo'd
+            // --json fails in milliseconds, not after the horizon.
+            let mut json_path = None;
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--json" => {
+                        json_path = Some(rest.next().ok_or("--json needs a path (or -)")?.clone());
+                    }
+                    other => return Err(format!("unknown argument {other:?} for run")),
+                }
+            }
+            let spec = resolve_spec(name)?;
+            let run = spec.run().map_err(|e| format!("{name}: {e}"))?;
+            let report = report_for(&run);
+            print_summary(&report);
+            write_json(json_path.as_deref(), &report.to_json())
+        }
+        Some("sweep") => {
+            let name = args
+                .get(1)
+                .ok_or("usage: sinr-lab sweep NAME|FILE KEY=V1,V2,… [--threads N] [--reseed] [--traces] [--json PATH]")?;
+            let mut set = ScenarioSet::new(resolve_spec(name)?);
+            let mut threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+            let mut json_path = None;
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--threads" => {
+                        threads = rest
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--threads needs a number")?;
+                    }
+                    "--reseed" => set = set.with_reseed(),
+                    "--traces" => set = set.with_traces(),
+                    "--json" => {
+                        json_path = Some(rest.next().ok_or("--json needs a path (or -)")?.clone());
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown flag {flag:?} for sweep"))
+                    }
+                    axis => {
+                        let (key, values) = axis
+                            .split_once('=')
+                            .ok_or_else(|| format!("axis {axis:?} is not KEY=V1,V2,…"))?;
+                        set = set.axis(key, values.split(',').map(str::to_string).collect());
+                    }
+                }
+            }
+            if set.axes.is_empty() {
+                return Err("sweep needs at least one KEY=V1,V2,… axis".into());
+            }
+            let cells = set.cells().map_err(|e| e.to_string())?.len();
+            let t0 = Instant::now();
+            let runs = set.run(threads).map_err(|e| e.to_string())?;
+            let secs = t0.elapsed().as_secs_f64();
+            let reports: Vec<Report> = runs.iter().map(report_for).collect();
+            for r in &reports {
+                print_summary(r);
+            }
+            println!(
+                "sweep: {cells} cells on {threads} threads in {secs:.2}s ({:.2} scenarios/sec)",
+                cells as f64 / secs.max(1e-9)
+            );
+            let joined = format!(
+                "[{}]",
+                reports
+                    .iter()
+                    .map(Report::to_json)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            write_json(json_path.as_deref(), &joined)
+        }
+        Some("bench") => {
+            let out = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_scenario.json".to_string());
+            bench_sweep_throughput(&out)
+        }
+        Some("legacy") => {
+            let name = args.get(1).ok_or("usage: sinr-lab legacy NAME")?;
+            legacy(name, &args[2..])
+        }
+        _ => {
+            println!(
+                "sinr-lab — spec-driven experiment driver\n\
+                 \n\
+                 usage:\n\
+                 \x20 sinr-lab list                               named presets + legacy regenerators\n\
+                 \x20 sinr-lab show NAME|FILE                     print a spec's text form\n\
+                 \x20 sinr-lab run NAME|FILE [--json PATH]        run one scenario, emit a JSON report\n\
+                 \x20 sinr-lab sweep NAME|FILE KEY=V1,V2,… \n\
+                 \x20          [--threads N] [--reseed] [--traces] [--json PATH]\n\
+                 \x20                                             batch a spec grid across threads\n\
+                 \x20 sinr-lab bench [OUT.json]                   sweep-runner throughput (BENCH_scenario.json)\n\
+                 \x20 sinr-lab legacy NAME [ARGS…]                reprint a legacy binary's tables\n\
+                 \n\
+                 spec files are key=value text; see `sinr-lab show fig1` for an example\n\
+                 and the README's \"Running experiments\" section for the grammar."
+            );
+            Ok(())
+        }
+    }
+}
+
+fn print_summary(report: &Report) {
+    println!("== {} ==", report.name);
+    for (k, v) in report.realized.iter().chain(&report.metrics) {
+        println!("  {k} = {v}");
+    }
+}
+
+fn write_json(path: Option<&str>, json: &str) -> Result<(), String> {
+    match path {
+        None => Ok(()),
+        Some("-") => {
+            println!("{json}");
+            Ok(())
+        }
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n"))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("report: {path}");
+            Ok(())
+        }
+    }
+}
+
+/// Measures the sweep runner's throughput (satellite metric: a batch of
+/// 8 cells at n = 64) and writes `BENCH_scenario.json`.
+///
+/// # Errors
+///
+/// A message if the sweep fails or the file cannot be written.
+pub fn bench_sweep_throughput(out: &str) -> Result<(), String> {
+    let base = ScenarioSpec::new(
+        "bench-sweep",
+        DeploymentSpec::plain(sinr_geom::DeploySpec::Lattice {
+            rows: 8,
+            cols: 8,
+            spacing: 2.0,
+        }),
+        WorkloadSpec::Repeat(SourceSet::Stride(2)),
+        StopSpec::Slots(500),
+    )
+    .with_sinr(SinrSpec::with_range(8.0))
+    .with_measure(MeasureSpec::none());
+    let batch = 8usize;
+    let seeds: Vec<String> = (1..=batch as u64).map(|s| s.to_string()).collect();
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let set = ScenarioSet::new(base).axis("seed", seeds);
+    // Warm-up pass so thread start-up is off the measured path.
+    set.run(threads).map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    let runs = set.run(threads).map_err(|e| e.to_string())?;
+    let secs = t0.elapsed().as_secs_f64();
+    let per_sec = batch as f64 / secs.max(1e-9);
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::str("scenario_sweep_throughput")),
+        ("n".into(), Json::int(64)),
+        ("slots_per_cell".into(), Json::int(500)),
+        ("batch".into(), Json::int(batch as u64)),
+        ("threads".into(), Json::int(threads as u64)),
+        ("seconds".into(), Json::Num(secs)),
+        ("scenarios_per_sec".into(), Json::Num(per_sec)),
+        ("cells_completed".into(), Json::int(runs.len() as u64)),
+    ]);
+    std::fs::write(out, format!("{json}\n")).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("sweep throughput: {per_sec:.2} scenarios/sec (batch {batch}, {threads} threads)");
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// Reprints the full table output of one legacy regenerator binary.
+///
+/// # Errors
+///
+/// A message for an unknown name.
+pub fn legacy(name: &str, args: &[String]) -> Result<(), String> {
+    match name {
+        "fig1_progress" => legacy_fig1_progress(),
+        "table1_local" => legacy_table1_local(),
+        "table1_global" => legacy_table1_global(),
+        "table2_smb" => legacy_table2_smb(),
+        "decay_vs_approg" => legacy_decay_vs_approg(),
+        "ablation_t" => legacy_ablation_t(),
+        "ablation_labels" => legacy_ablation_labels(),
+        "ablation_interference" => legacy_ablation_interference(),
+        "bench_reception" => legacy_bench_reception(args),
+        other => {
+            return Err(format!(
+                "unknown legacy regenerator {other:?}; one of {:?}",
+                LEGACY.map(|(n, _)| n)
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn legacy_fig1_progress() {
+    let mut t = Table::new(
+        "Figure 1 / Thm 6.1: two-parallel-lines gadget, sweep delta",
+        &[
+            "delta",
+            "tdma_worst(=D-1?)",
+            "mac_prog_u_p50",
+            "u_pending",
+            "mac_approg_v_p50",
+            "mac_approg_v_max",
+            "v_pending",
+            "horizon",
+        ],
+    );
+    for delta in [4usize, 8, 16, 32] {
+        let p = exp_fig1::run_fig1(delta, 6, 11);
+        t.row(vec![
+            p.delta.to_string(),
+            p.tdma_worst.to_string(),
+            p.mac_prog_u
+                .percentile(50.0)
+                .map_or("-".into(), |v| v.to_string()),
+            p.mac_prog_u_pending.to_string(),
+            p.mac_approg_v
+                .percentile(50.0)
+                .map_or("-".into(), |v| v.to_string()),
+            p.mac_approg_v.max().map_or("-".into(), |v| v.to_string()),
+            p.mac_approg_v_pending.to_string(),
+            p.horizon.to_string(),
+        ]);
+    }
+    t.print();
+    println!("reading: tdma_worst grows linearly in delta (the f_prog >= Delta bound);");
+    println!("V-side approximate progress stays flat/polylog — Definition 7.1's payoff.");
+}
+
+fn legacy_table1_local() {
+    // ---- f_ack vs contention (degree) ----
+    let mut t = Table::new(
+        "Table 1 / f_ack: sweep broadcasters (contention) on one deployment",
+        &[
+            "n",
+            "max_deg",
+            "lambda",
+            "bcasters",
+            "fack_mean",
+            "fack_max",
+            "deliv_rate",
+            "theory_shape",
+        ],
+    );
+    let deploy = DeploymentSpec::uniform_connected(96, 60.0, 1);
+    let sinr = SinrSpec::with_range(16.0);
+    for bcasters in [1usize, 4, 16, 48, 96] {
+        let r = exp_local::measure_fack(&exp_local::fack_spec(
+            deploy,
+            sinr,
+            bcasters,
+            SeedSpec::FromDeploy,
+        ));
+        t.row(vec![
+            r.n.to_string(),
+            r.max_degree.to_string(),
+            format!("{:.1}", r.lambda),
+            bcasters.to_string(),
+            format!("{:.0}", r.latencies.mean().unwrap_or(0.0)),
+            r.latencies.max().unwrap_or(0).to_string(),
+            format!("{:.3}", r.delivery_rate),
+            format!("{:.0}", r.theory),
+        ]);
+    }
+    t.print();
+
+    // ---- f_prog / f_approg vs Λ (range sweep, fixed arena) ----
+    // The arena is fixed so the measured minimum distance stays put and
+    // Λ genuinely grows with the range.
+    let mut t = Table::new(
+        "Table 1 / f_prog & f_approg: sweep lambda (transmission range)",
+        &[
+            "n",
+            "lambda",
+            "deg",
+            "prog_p50",
+            "prog_pend",
+            "approg_p50",
+            "approg_max",
+            "approg_pend",
+            "theory_approg",
+        ],
+    );
+    for range in [8.0f64, 16.0, 32.0, 64.0] {
+        let r = exp_local::measure_progress(&exp_local::progress_spec(
+            DeploymentSpec::uniform_connected(64, 40.0, 2),
+            SinrSpec::with_range(range),
+            vec![],
+            2,
+            8,
+            SeedSpec::FromDeploy,
+        ));
+        t.row(vec![
+            r.n.to_string(),
+            format!("{:.1}", r.lambda),
+            r.max_degree.to_string(),
+            r.prog
+                .percentile(50.0)
+                .map_or("-".into(), |v| v.to_string()),
+            r.prog_pending.to_string(),
+            r.approg
+                .percentile(50.0)
+                .map_or("-".into(), |v| v.to_string()),
+            r.approg.max().map_or("-".into(), |v| v.to_string()),
+            r.approg_pending.to_string(),
+            format!("{:.0}", r.theory_approg),
+        ]);
+    }
+    t.print();
+
+    // ---- f_ack under extreme contention (one dense cluster) ----
+    // Remark 5.3: Δ is a lower bound on f_ack — a listener decodes one
+    // message per slot. The fall-back mechanism must stretch the halting
+    // time as the cluster grows.
+    let mut t = Table::new(
+        "Table 1 / f_ack under clustered contention (all nodes broadcast)",
+        &[
+            "cluster_n",
+            "max_deg",
+            "fack_mean",
+            "fack_max",
+            "deliv_rate",
+        ],
+    );
+    for cluster_n in [16usize, 32, 64] {
+        let deploy = DeploymentSpec::plain(sinr_geom::DeploySpec::Clusters {
+            clusters: 1,
+            per_cluster: cluster_n,
+            side: 10.0,
+            radius: 7.0,
+            seed: 23,
+        });
+        let r = exp_local::measure_fack(&exp_local::fack_spec(
+            deploy,
+            SinrSpec::with_range(16.0),
+            cluster_n,
+            SeedSpec::Fixed(23),
+        ));
+        t.row(vec![
+            cluster_n.to_string(),
+            r.max_degree.to_string(),
+            format!("{:.0}", r.latencies.mean().unwrap_or(0.0)),
+            r.latencies.max().unwrap_or(0).to_string(),
+            format!("{:.3}", r.delivery_rate),
+        ]);
+    }
+    t.print();
+
+    // ---- f_approg vs eps_approg ----
+    let mut t = Table::new(
+        "Table 1 / f_approg: sweep eps_approg (the localized-analysis payoff)",
+        &[
+            "eps",
+            "epoch_slots",
+            "approg_p50",
+            "approg_max",
+            "approg_pend",
+        ],
+    );
+    let deploy = DeploymentSpec::uniform_connected(64, 55.0, 3);
+    for eps in [0.5f64, 0.25, 0.125, 0.03125] {
+        let r = exp_local::measure_progress(&exp_local::progress_spec(
+            deploy,
+            SinrSpec::with_range(16.0),
+            vec![(sinr_scenario::MacKnob::EpsApprog, eps)],
+            2,
+            8,
+            SeedSpec::FromDeploy,
+        ));
+        t.row(vec![
+            format!("{eps}"),
+            r.epoch_len.to_string(),
+            r.approg
+                .percentile(50.0)
+                .map_or("-".into(), |v| v.to_string()),
+            r.approg.max().map_or("-".into(), |v| v.to_string()),
+            r.approg_pending.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn legacy_table1_global() {
+    let sinr = SinrSpec::with_range(16.0);
+
+    // ---- SMB vs n ----
+    let mut t = Table::new(
+        "Table 1 / global SMB: sweep n",
+        &["n", "D_approx", "lambda", "slots", "theory_shape"],
+    );
+    for (n, side) in [(32usize, 40.0), (64, 55.0), (128, 78.0), (256, 110.0)] {
+        let p = exp_global::run_smb(&exp_global::smb_spec(
+            DeploymentSpec::uniform_connected(n, side, 4),
+            sinr,
+            40_000_000,
+            SeedSpec::FromDeploy,
+        ));
+        t.row(vec![
+            p.n.to_string(),
+            p.diameter_approx.map_or("-".into(), |d| d.to_string()),
+            format!("{:.1}", p.lambda),
+            p.done.map_or("timeout".into(), |d| d.to_string()),
+            format!("{:.0}", p.theory),
+        ]);
+    }
+    t.print();
+
+    // ---- MMB vs k ----
+    let mut t = Table::new(
+        "Table 1 / global MMB: sweep k on one deployment (n=64)",
+        &["k", "slots", "theory_shape"],
+    );
+    let deploy = DeploymentSpec::uniform_connected(64, 55.0, 5);
+    for k in [1usize, 2, 4, 8, 16] {
+        let p = exp_global::run_mmb(&exp_global::mmb_spec(
+            deploy,
+            sinr,
+            k,
+            80_000_000,
+            SeedSpec::FromDeploy,
+        ));
+        t.row(vec![
+            k.to_string(),
+            p.done.map_or("timeout".into(), |d| d.to_string()),
+            format!("{:.0}", p.theory),
+        ]);
+    }
+    t.print();
+
+    // ---- CONS vs n ----
+    let mut t = Table::new(
+        "Table 1 / global consensus: sweep n",
+        &[
+            "n",
+            "D_strong",
+            "decided_at",
+            "agreement",
+            "validity",
+            "theory_shape",
+        ],
+    );
+    for (n, side) in [(16usize, 28.0), (32, 40.0), (64, 55.0)] {
+        let spec = exp_global::consensus_spec(
+            DeploymentSpec::uniform_connected(n, side, 6),
+            sinr,
+            SeedSpec::FromDeploy,
+        );
+        let r = exp_global::run_consensus(&spec);
+        t.row(vec![
+            n.to_string(),
+            r.diameter_strong.map_or("-".into(), |d| d.to_string()),
+            r.decided_at.map_or("timeout".into(), |d| d.to_string()),
+            r.agreement.to_string(),
+            r.validity.to_string(),
+            format!("{:.0}", r.theory),
+        ]);
+    }
+    t.print();
+}
+
+fn table2_headers() -> [&'static str; 10] {
+    [
+        "n",
+        "D",
+        "lambda",
+        "ours",
+        "dgkn[14]",
+        "decay[32]",
+        "winner",
+        "log^{a+1}L",
+        "min(Dlogn,log2n)",
+        "paper_predicts",
+    ]
+}
+
+fn table2_prediction(lhs: f64, rhs: f64) -> &'static str {
+    // Paper: we beat [32] iff log^{α+1}Λ ≤ min(D·log n, log² n); we beat
+    // [14] always.
+    if lhs <= rhs {
+        "ours"
+    } else {
+        "decay[32]"
+    }
+}
+
+fn table2_row(t: &mut Table, p: &exp_table2::Table2Point) {
+    t.row(vec![
+        p.n.to_string(),
+        p.diameter.to_string(),
+        format!("{:.1}", p.lambda),
+        p.ours.map_or("timeout".into(), |v| v.to_string()),
+        p.dgkn.map_or("timeout".into(), |v| v.to_string()),
+        p.decay_proxy.map_or("timeout".into(), |v| v.to_string()),
+        p.winner().to_string(),
+        format!("{:.0}", p.crossover_lhs),
+        format!("{:.0}", p.crossover_rhs),
+        table2_prediction(p.crossover_lhs, p.crossover_rhs).to_string(),
+    ]);
+}
+
+fn legacy_table2_smb() {
+    // ---- sweep n at fixed Λ ----
+    let mut t = Table::new(
+        "Table 2: sweep n (range=8, lambda fixed)",
+        &table2_headers(),
+    );
+    for (n, side) in [(32usize, 25.0), (64, 36.0), (128, 51.0), (256, 72.0)] {
+        let p = exp_table2::compare_smb(
+            DeploymentSpec::uniform_connected(n, side, 7),
+            SinrSpec::with_range(8.0),
+            40_000_000,
+            SeedSpec::FromDeploy,
+        );
+        table2_row(&mut t, &p);
+    }
+    t.print();
+
+    // ---- sweep Λ at fixed n ----
+    let mut t = Table::new("Table 2: sweep lambda (n=64)", &table2_headers());
+    for range in [4.0f64, 8.0, 16.0, 32.0] {
+        let side = (range * 3.0).max(12.0);
+        let p = exp_table2::compare_smb(
+            DeploymentSpec::uniform_connected(64, side, 8),
+            SinrSpec::with_range(range),
+            40_000_000,
+            SeedSpec::FromDeploy,
+        );
+        table2_row(&mut t, &p);
+    }
+    t.print();
+}
+
+fn legacy_decay_vs_approg() {
+    let mut t = Table::new(
+        "Thm 8.1: two-ball gadget, B1-side approximate progress, sweep delta",
+        &[
+            "delta",
+            "decay_p50",
+            "decay_max",
+            "decay_pend",
+            "approg_p50",
+            "approg_max",
+            "approg_pend",
+            "horizon",
+        ],
+    );
+    for delta in [8usize, 16, 32, 64] {
+        let p = exp_decay::run_decay_comparison(delta, 64.0, 400_000, 13);
+        t.row(vec![
+            p.delta.to_string(),
+            p.decay
+                .percentile(50.0)
+                .map_or("-".into(), |v| v.to_string()),
+            p.decay.max().map_or("-".into(), |v| v.to_string()),
+            p.decay_pending.to_string(),
+            p.approg
+                .percentile(50.0)
+                .map_or("-".into(), |v| v.to_string()),
+            p.approg.max().map_or("-".into(), |v| v.to_string()),
+            p.approg_pending.to_string(),
+            p.horizon.to_string(),
+        ]);
+    }
+    t.print();
+    println!("reading: Decay's B1 latency grows with delta (Thm 8.1's Omega(Delta log 1/eps));");
+    println!("Algorithm 9.1 sparsifies B2 and stays roughly flat.");
+}
+
+fn legacy_ablation_t() {
+    let deploy = DeploymentSpec::uniform_connected(64, 40.0, 17);
+    let mut t = Table::new(
+        "A1: sweep T multiplier (dense deployment, half the nodes broadcasting)",
+        &[
+            "t_mult",
+            "epoch_slots",
+            "approg_p50",
+            "approg_pend",
+            "max_dropped(W)",
+        ],
+    );
+    for p in exp_ablation::sweep_t_mult(
+        deploy,
+        SinrSpec::with_range(16.0),
+        &[0.5, 1.0, 2.0, 4.0],
+        8,
+        SeedSpec::FromDeploy,
+    ) {
+        t.row(vec![
+            format!("{}", p.value),
+            p.epoch_len.to_string(),
+            p.approg
+                .percentile(50.0)
+                .map_or("-".into(), |v| v.to_string()),
+            p.pending.to_string(),
+            p.max_dropped.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn legacy_ablation_labels() {
+    let deploy = DeploymentSpec::uniform_connected(64, 40.0, 19);
+    let sinr_params = SinrSpec::with_range(16.0).to_params().expect("params");
+    let mut t = Table::new(
+        "A2: sweep label-range exponent",
+        &[
+            "label_exp",
+            "label_range",
+            "approg_p50",
+            "approg_pend",
+            "max_dropped",
+        ],
+    );
+    for p in exp_ablation::sweep_label_exp(
+        deploy,
+        SinrSpec::with_range(16.0),
+        &[0.25, 0.5, 1.0, 2.0],
+        8,
+        SeedSpec::FromDeploy,
+    ) {
+        let range = MacParams::builder()
+            .label_exp(p.value)
+            .build(&sinr_params)
+            .label_range;
+        t.row(vec![
+            format!("{}", p.value),
+            range.to_string(),
+            p.approg
+                .percentile(50.0)
+                .map_or("-".into(), |v| v.to_string()),
+            p.pending.to_string(),
+            p.max_dropped.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn legacy_ablation_interference() {
+    use sinr_phys::reception::{decide_receptions, decide_receptions_threaded};
+    use sinr_phys::InterferenceModel;
+
+    let sinr = SinrParams::builder().range(16.0).build().unwrap();
+    let mut t = Table::new(
+        "A3: interference model agreement and speed (half the nodes transmit)",
+        &[
+            "n",
+            "exact_us",
+            "grid_us",
+            "grid_speedup",
+            "agree_rate",
+            "grid_missed",
+            "threaded2_us",
+        ],
+    );
+    for &n in &[128usize, 256, 512, 1024] {
+        let side = (n as f64).sqrt() * 2.2;
+        let positions = sinr_geom::deploy::uniform(n, side, 5).unwrap();
+        let senders: Vec<usize> = (0..n).step_by(2).collect();
+        let reps = 20;
+
+        let t0 = Instant::now();
+        let mut exact = Vec::new();
+        for _ in 0..reps {
+            exact = decide_receptions(&sinr, &positions, &senders, InterferenceModel::Exact);
+        }
+        let exact_us = t0.elapsed().as_micros() / reps;
+
+        let model = InterferenceModel::GridFarField { cell_size: 8.0 };
+        let t0 = Instant::now();
+        let mut grid = Vec::new();
+        for _ in 0..reps {
+            grid = decide_receptions(&sinr, &positions, &senders, model);
+        }
+        let grid_us = t0.elapsed().as_micros() / reps;
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = decide_receptions_threaded(
+                &sinr,
+                &positions,
+                &senders,
+                InterferenceModel::Exact,
+                2,
+            );
+        }
+        let thr_us = t0.elapsed().as_micros() / reps;
+
+        let agree = exact.iter().zip(&grid).filter(|(e, g)| e == g).count();
+        let missed = exact
+            .iter()
+            .zip(&grid)
+            .filter(|(e, g)| e.is_some() && g.is_none())
+            .count();
+        t.row(vec![
+            n.to_string(),
+            exact_us.to_string(),
+            grid_us.to_string(),
+            format!("{:.2}x", exact_us as f64 / grid_us.max(1) as f64),
+            format!("{:.4}", agree as f64 / n as f64),
+            missed.to_string(),
+            thr_us.to_string(),
+        ]);
+    }
+    t.print();
+    println!("grid receptions are a subset of exact ones (conservative; property-tested).");
+}
+
+fn legacy_bench_reception(args: &[String]) {
+    crate::reception_bench::run(args);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_all_build() {
+        for p in presets() {
+            let spec = (p.spec)();
+            spec.build().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            // Every preset round-trips through its text form.
+            assert_eq!(
+                ScenarioSpec::parse(&spec.to_string()).unwrap(),
+                spec,
+                "{}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_presets_cover_every_mac_choice() {
+        let names: Vec<&str> = presets().iter().map(|p| p.name).collect();
+        for mac in ["sinr", "ideal", "decay", "tdma", "dgkn", "decay-smb"] {
+            assert!(
+                names.contains(&format!("smoke-{mac}").as_str()),
+                "missing smoke preset for {mac}"
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_names() {
+        assert!(resolve_spec("no-such-preset-or-file").is_err());
+    }
+
+    #[test]
+    fn run_smoke_end_to_end_produces_json() {
+        let spec = resolve_spec("smoke-sinr").unwrap();
+        let run = spec.run().unwrap();
+        let json = report_for(&run).to_json();
+        assert!(json.contains("\"name\":\"smoke-sinr\""));
+    }
+}

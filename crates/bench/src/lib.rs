@@ -1,10 +1,15 @@
-//! Experiment harness: everything needed to regenerate the paper's
-//! tables and figures (see DESIGN.md §2 for the experiment index).
+//! Experiment harness regenerating the paper's tables and figures (see
+//! DESIGN.md §2 for the experiment index), built on the declarative
+//! scenario API of `sinr-scenario`.
 //!
-//! Each experiment is a function here, called by
+//! Each experiment module exposes **spec constructors** (a
+//! `ScenarioSpec` per measurement leg) plus a post-processor that runs
+//! the spec and extracts the paper's quantities. They are called by
 //!
-//! * the binaries in `src/bin/` (full parameter ranges, CSV + aligned
-//!   text output), and
+//! * the [`lab`] driver (`sinr-lab` binary: `list`/`show`/`run`/`sweep`
+//!   over specs, JSON reports, plus `legacy` reprints of every table),
+//! * the legacy binaries in `src/bin/` — thin wrappers over
+//!   [`lab::legacy`], kept so published invocations stay valid, and
 //! * the Criterion benches in `benches/paper_benches.rs` (reduced
 //!   ranges so `cargo bench --workspace` touches every experiment).
 //!
@@ -21,3 +26,5 @@ pub mod exp_fig1;
 pub mod exp_global;
 pub mod exp_local;
 pub mod exp_table2;
+pub mod lab;
+pub mod reception_bench;

@@ -228,6 +228,17 @@ impl<P: Clone> SinrAbsMac<P> {
         self.engine.protocol_mut(NodeId::from(node)).jam = Some(p);
     }
 
+    /// Restores a node turned into a jammer by [`SinrAbsMac::set_jammer`]
+    /// to normal protocol operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn clear_jammer(&mut self, node: usize) {
+        assert!(node < self.engine.len(), "node {node} out of range");
+        self.engine.protocol_mut(NodeId::from(node)).jam = None;
+    }
+
     /// How many nodes have dropped out of the current approximate-progress
     /// epoch due to unsuccessful communication (the set `W` of Definition
     /// 10.2, observable for the ablation experiments).

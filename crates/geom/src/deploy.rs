@@ -359,6 +359,302 @@ pub fn two_balls(delta: usize, range: f64, seed: u64) -> Result<TwoBalls, GeomEr
     })
 }
 
+/// A declarative, serializable description of one deployment — the
+/// geometry half of a scenario specification.
+///
+/// Every generator in this module has a `DeploySpec` variant, so a full
+/// experiment configuration can name its node placement as data (and the
+/// placement is reproducible bit-for-bit from the spec alone, since every
+/// randomized generator carries its seed). The compact text form
+/// round-trips through [`DeploySpec::parse`] and `Display`:
+///
+/// | text | variant |
+/// |------|---------|
+/// | `lattice:R:C:SPACING` | [`DeploySpec::Lattice`] |
+/// | `line:N:SPACING` | [`DeploySpec::Line`] |
+/// | `uniform:N:SIDE:SEED` | [`DeploySpec::Uniform`] |
+/// | `clusters:C:PER:SIDE:RADIUS:SEED` | [`DeploySpec::Clusters`] |
+/// | `two_lines:DELTA[:SEP]` | [`DeploySpec::TwoLines`] |
+/// | `two_balls:DELTA:RANGE:SEED` | [`DeploySpec::TwoBalls`] |
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geom::deploy::DeploySpec;
+///
+/// let spec = DeploySpec::parse("uniform:64:40:7").unwrap();
+/// assert_eq!(spec.len(), 64);
+/// assert_eq!(DeploySpec::parse(&spec.to_string()).unwrap(), spec);
+/// let pts = spec.build().unwrap();
+/// assert_eq!(pts.len(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeploySpec {
+    /// [`lattice`]: `rows × cols` grid at `spacing`.
+    Lattice {
+        /// Lattice rows.
+        rows: usize,
+        /// Lattice columns.
+        cols: usize,
+        /// Grid spacing (≥ 1).
+        spacing: f64,
+    },
+    /// [`line`]: `n` nodes on a horizontal line.
+    Line {
+        /// Node count.
+        n: usize,
+        /// Node spacing (≥ 1).
+        spacing: f64,
+    },
+    /// [`uniform`]: `n` nodes uniform in `[0, side]²`.
+    Uniform {
+        /// Node count.
+        n: usize,
+        /// Square side length.
+        side: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`clusters`]: clustered pockets of contention.
+    Clusters {
+        /// Number of clusters.
+        clusters: usize,
+        /// Nodes per cluster.
+        per_cluster: usize,
+        /// Side of the square holding the cluster centers.
+        side: f64,
+        /// Cluster disc radius.
+        radius: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`two_lines`]: the Figure 1 / Theorem 6.1 gadget.
+    TwoLines {
+        /// Nodes per line (`Δ`).
+        delta: usize,
+        /// Line separation; `None` = the paper's `10·Δ`.
+        separation: Option<f64>,
+    },
+    /// [`two_balls`]: the Theorem 8.1 Decay gadget.
+    TwoBalls {
+        /// Crowded-ball population (`Δ`).
+        delta: usize,
+        /// Weak transmission range `R` the gadget is built for.
+        range: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl DeploySpec {
+    /// Number of nodes this spec will place.
+    pub fn len(&self) -> usize {
+        match *self {
+            DeploySpec::Lattice { rows, cols, .. } => rows * cols,
+            DeploySpec::Line { n, .. } => n,
+            DeploySpec::Uniform { n, .. } => n,
+            DeploySpec::Clusters {
+                clusters,
+                per_cluster,
+                ..
+            } => clusters * per_cluster,
+            DeploySpec::TwoLines { delta, .. } => 2 * delta,
+            DeploySpec::TwoBalls { delta, .. } => delta + 2,
+        }
+    }
+
+    /// Whether the spec places zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The RNG seed of a randomized generator, `None` for deterministic
+    /// geometry (lattice, line, two-lines).
+    pub fn seed(&self) -> Option<u64> {
+        match *self {
+            DeploySpec::Uniform { seed, .. }
+            | DeploySpec::Clusters { seed, .. }
+            | DeploySpec::TwoBalls { seed, .. } => Some(seed),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy with the generator seed replaced (no-op for
+    /// deterministic geometry).
+    pub fn with_seed(self, seed: u64) -> Self {
+        match self {
+            DeploySpec::Uniform { n, side, .. } => DeploySpec::Uniform { n, side, seed },
+            DeploySpec::Clusters {
+                clusters,
+                per_cluster,
+                side,
+                radius,
+                ..
+            } => DeploySpec::Clusters {
+                clusters,
+                per_cluster,
+                side,
+                radius,
+                seed,
+            },
+            DeploySpec::TwoBalls { delta, range, .. } => {
+                DeploySpec::TwoBalls { delta, range, seed }
+            }
+            other => other,
+        }
+    }
+
+    /// Materializes the node positions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying generator's [`GeomError`].
+    pub fn build(&self) -> Result<Vec<Point>, GeomError> {
+        match *self {
+            DeploySpec::Lattice {
+                rows,
+                cols,
+                spacing,
+            } => lattice(rows, cols, spacing),
+            DeploySpec::Line { n, spacing } => line(n, spacing),
+            DeploySpec::Uniform { n, side, seed } => uniform(n, side, seed),
+            DeploySpec::Clusters {
+                clusters: c,
+                per_cluster,
+                side,
+                radius,
+                seed,
+            } => clusters(c, per_cluster, side, radius, seed),
+            DeploySpec::TwoLines { delta, separation } => {
+                two_lines(delta, separation).map(|g| g.points)
+            }
+            DeploySpec::TwoBalls { delta, range, seed } => {
+                two_balls(delta, range, seed).map(|g| g.points)
+            }
+        }
+    }
+
+    /// Parses the compact text form (see the type-level table).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem on malformed input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        fn num<T: std::str::FromStr>(parts: &[&str], i: usize, what: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            let raw = parts
+                .get(i)
+                .ok_or_else(|| format!("deployment is missing its {what} field"))?;
+            raw.parse().map_err(|e| format!("bad {what} {raw:?}: {e}"))
+        }
+        let parts: Vec<&str> = s.split(':').collect();
+        let arity = |want: usize| -> Result<(), String> {
+            if parts.len() == 1 + want {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} takes {want} field(s), got {}",
+                    parts[0],
+                    parts.len() - 1
+                ))
+            }
+        };
+        match parts[0] {
+            "lattice" => {
+                arity(3)?;
+                Ok(DeploySpec::Lattice {
+                    rows: num(&parts, 1, "rows")?,
+                    cols: num(&parts, 2, "cols")?,
+                    spacing: num(&parts, 3, "spacing")?,
+                })
+            }
+            "line" => {
+                arity(2)?;
+                Ok(DeploySpec::Line {
+                    n: num(&parts, 1, "n")?,
+                    spacing: num(&parts, 2, "spacing")?,
+                })
+            }
+            "uniform" => {
+                arity(3)?;
+                Ok(DeploySpec::Uniform {
+                    n: num(&parts, 1, "n")?,
+                    side: num(&parts, 2, "side")?,
+                    seed: num(&parts, 3, "seed")?,
+                })
+            }
+            "clusters" => {
+                arity(5)?;
+                Ok(DeploySpec::Clusters {
+                    clusters: num(&parts, 1, "clusters")?,
+                    per_cluster: num(&parts, 2, "per_cluster")?,
+                    side: num(&parts, 3, "side")?,
+                    radius: num(&parts, 4, "radius")?,
+                    seed: num(&parts, 5, "seed")?,
+                })
+            }
+            "two_lines" => {
+                if parts.len() == 2 {
+                    Ok(DeploySpec::TwoLines {
+                        delta: num(&parts, 1, "delta")?,
+                        separation: None,
+                    })
+                } else {
+                    arity(2)?;
+                    Ok(DeploySpec::TwoLines {
+                        delta: num(&parts, 1, "delta")?,
+                        separation: Some(num(&parts, 2, "separation")?),
+                    })
+                }
+            }
+            "two_balls" => {
+                arity(3)?;
+                Ok(DeploySpec::TwoBalls {
+                    delta: num(&parts, 1, "delta")?,
+                    range: num(&parts, 2, "range")?,
+                    seed: num(&parts, 3, "seed")?,
+                })
+            }
+            other => Err(format!(
+                "unknown deployment {other:?}; expected lattice, line, uniform, clusters, two_lines or two_balls"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for DeploySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DeploySpec::Lattice {
+                rows,
+                cols,
+                spacing,
+            } => write!(f, "lattice:{rows}:{cols}:{spacing}"),
+            DeploySpec::Line { n, spacing } => write!(f, "line:{n}:{spacing}"),
+            DeploySpec::Uniform { n, side, seed } => write!(f, "uniform:{n}:{side}:{seed}"),
+            DeploySpec::Clusters {
+                clusters,
+                per_cluster,
+                side,
+                radius,
+                seed,
+            } => write!(
+                f,
+                "clusters:{clusters}:{per_cluster}:{side}:{radius}:{seed}"
+            ),
+            DeploySpec::TwoLines { delta, separation } => match separation {
+                None => write!(f, "two_lines:{delta}"),
+                Some(sep) => write!(f, "two_lines:{delta}:{sep}"),
+            },
+            DeploySpec::TwoBalls { delta, range, seed } => {
+                write!(f, "two_balls:{delta}:{range}:{seed}")
+            }
+        }
+    }
+}
+
 /// Validates a deployment against the near-field assumption using a grid
 /// (O(n) expected), returning the offending pair if any.
 pub fn near_field_violation(points: &[Point]) -> Option<(usize, usize)> {
@@ -379,6 +675,81 @@ pub fn near_field_violation(points: &[Point]) -> Option<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deploy_spec_round_trips_and_matches_generators() {
+        let specs = [
+            DeploySpec::Lattice {
+                rows: 3,
+                cols: 4,
+                spacing: 1.5,
+            },
+            DeploySpec::Line { n: 5, spacing: 2.0 },
+            DeploySpec::Uniform {
+                n: 32,
+                side: 30.0,
+                seed: 9,
+            },
+            DeploySpec::Clusters {
+                clusters: 2,
+                per_cluster: 8,
+                side: 60.0,
+                radius: 6.0,
+                seed: 3,
+            },
+            DeploySpec::TwoLines {
+                delta: 4,
+                separation: None,
+            },
+            DeploySpec::TwoLines {
+                delta: 4,
+                separation: Some(40.0),
+            },
+            DeploySpec::TwoBalls {
+                delta: 6,
+                range: 48.0,
+                seed: 5,
+            },
+        ];
+        for spec in specs {
+            let rendered = spec.to_string();
+            assert_eq!(DeploySpec::parse(&rendered).unwrap(), spec, "{rendered}");
+            let pts = spec.build().unwrap();
+            assert_eq!(pts.len(), spec.len(), "{rendered}");
+        }
+        // The spec reproduces the direct generator call bit-for-bit.
+        assert_eq!(
+            DeploySpec::Uniform {
+                n: 32,
+                side: 30.0,
+                seed: 9
+            }
+            .build()
+            .unwrap(),
+            uniform(32, 30.0, 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn deploy_spec_parse_rejects_malformed() {
+        for bad in [
+            "hexgrid:3:3:1",
+            "uniform:64:40",
+            "uniform:64:40:7:9",
+            "lattice:a:3:1",
+            "two_balls:6:48",
+        ] {
+            assert!(DeploySpec::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn deploy_spec_with_seed_replaces_only_randomized() {
+        let u = DeploySpec::parse("uniform:8:10:1").unwrap().with_seed(42);
+        assert_eq!(u.seed(), Some(42));
+        let l = DeploySpec::parse("line:8:2").unwrap().with_seed(42);
+        assert_eq!(l.seed(), None);
+    }
 
     #[test]
     fn uniform_respects_near_field() {

@@ -36,6 +36,7 @@ mod point;
 
 pub mod deploy;
 
+pub use deploy::DeploySpec;
 pub use error::GeomError;
 pub use grid::HashGrid;
 pub use point::Point;

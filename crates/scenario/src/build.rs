@@ -1,0 +1,1134 @@
+//! Building a [`ScenarioSpec`] into a runnable execution and driving it.
+//!
+//! [`ScenarioSpec::build`] resolves the spec against real parameter
+//! structs (deployment search, `MacParams`, stop condition), constructs
+//! the chosen MAC behind a type-erased [`ScenarioMac`] trait object —
+//! the paper's plug-and-play claim (§2.2, §12) made concrete: one
+//! [`absmac::Runner`] drives the SINR MAC, the ideal MAC and Decay
+//! through the same `dyn MacLayer` vtable — and returns a
+//! [`RunnableScenario`]. [`RunnableScenario::run`] steps the execution,
+//! applying the dynamics schedule, and yields a [`ScenarioRun`] holding
+//! the build context and the measured [`ScenarioOutcome`].
+
+use absmac::{IdealMac, MacClient, MacEvent, MacLayer, Runner};
+use rand::{Rng, SeedableRng};
+use sinr_baselines::{
+    DecaySmb, DecaySmbConfig, DgknSmb, DgknSmbConfig, RoundRobinConfig, RoundRobinSmb, SmbReport,
+};
+use sinr_geom::{DeploySpec, Point};
+use sinr_graphs::SinrGraphs;
+use sinr_mac::{DecayMac, DecayParams, MacParams, SinrAbsMac};
+use sinr_phys::{BackendSpec, SinrParams};
+use sinr_protocols::{Bmmb, Bsmb, FloodMaxConsensus, Proposal};
+
+use crate::clients::{Gated, OneShot, Repeater};
+use crate::spec::{
+    DeploymentSpec, DynEvent, DynKind, IdealPolicy, MacSpec, ScenarioSpec, SeedSpec, SourceSet,
+    StopSpec, WorkloadSpec,
+};
+use crate::ScenarioError;
+
+/// How many consecutive seeds the connected-deployment search tries
+/// before giving up.
+pub const CONNECTED_SEED_BUDGET: u64 = 64;
+
+/// Finds a seed (starting at `seed0`) whose uniform deployment has a
+/// connected strong graph; the paper assumes `G₁₋ε` connected (§4.6).
+/// Returns the positions, induced graphs and the realized seed.
+///
+/// # Errors
+///
+/// [`ScenarioError::NoConnectedDeployment`] if
+/// [`CONNECTED_SEED_BUDGET`] consecutive seeds fail — the density is too
+/// low for the requested size.
+pub fn connected_uniform(
+    sinr: &SinrParams,
+    n: usize,
+    side: f64,
+    seed0: u64,
+) -> Result<(Vec<Point>, SinrGraphs, u64), ScenarioError> {
+    for seed in seed0..seed0 + CONNECTED_SEED_BUDGET {
+        if let Ok(positions) = sinr_geom::deploy::uniform(n, side, seed) {
+            let graphs = SinrGraphs::induce(sinr, &positions);
+            if graphs.strong.is_connected() {
+                return Ok((positions, graphs, seed));
+            }
+        }
+    }
+    Err(ScenarioError::NoConnectedDeployment {
+        n,
+        side,
+        seed0,
+        tried: CONNECTED_SEED_BUDGET,
+    })
+}
+
+impl DeploymentSpec {
+    /// Materializes the deployment against validated SINR parameters:
+    /// positions, the induced graphs and the realized generator seed
+    /// (the found seed after any connectivity search, `None` for
+    /// deterministic geometry). Spec constructors that need realized
+    /// facts (e.g. a diameter-derived deadline) use this directly
+    /// instead of building a full runnable scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Geom`] from the generator,
+    /// [`ScenarioError::NoConnectedDeployment`] from the search, or
+    /// [`ScenarioError::Unsupported`] if `connected` is combined with
+    /// non-uniform geometry.
+    pub fn realize(
+        &self,
+        sinr: &SinrParams,
+    ) -> Result<(Vec<Point>, SinrGraphs, Option<u64>), ScenarioError> {
+        if self.connected {
+            let DeploySpec::Uniform { n, side, seed } = self.geom else {
+                return Err(unsupported(
+                    "connected deployment search requires uniform geometry",
+                ));
+            };
+            let (positions, graphs, found) = connected_uniform(sinr, n, side, seed)?;
+            Ok((positions, graphs, Some(found)))
+        } else {
+            let positions = self.geom.build()?;
+            let graphs = SinrGraphs::induce(sinr, &positions);
+            Ok((positions, graphs, self.geom.seed()))
+        }
+    }
+}
+
+/// A MAC layer a scenario can drive: [`MacLayer`] plus the optional
+/// control hooks the dynamics schedule and the ablation measurements
+/// need. Implementations that lack a hook inherit the defaults
+/// (`set_jammer` fails, `dropped_count` reports nothing).
+pub trait ScenarioMac: MacLayer {
+    /// Turns `node` into a jammer with per-slot probability `p`
+    /// (`None` restores normal operation).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Unsupported`] if this MAC has no failure
+    /// injection.
+    fn set_jammer(&mut self, _node: usize, _p: Option<f64>) -> Result<(), ScenarioError> {
+        Err(ScenarioError::Unsupported(
+            "this MAC implementation has no jammer hook".into(),
+        ))
+    }
+
+    /// Current size of the drop-out set `W` (Definition 10.2), if this
+    /// MAC tracks one.
+    fn dropped_count(&self) -> Option<usize> {
+        None
+    }
+}
+
+impl<P: Clone> ScenarioMac for SinrAbsMac<P> {
+    fn set_jammer(&mut self, node: usize, p: Option<f64>) -> Result<(), ScenarioError> {
+        if node >= self.len() {
+            return Err(ScenarioError::Unsupported(format!(
+                "jammer node {node} out of range"
+            )));
+        }
+        match p {
+            Some(p) if (0.0..=1.0).contains(&p) => SinrAbsMac::set_jammer(self, node, p),
+            Some(p) => {
+                return Err(ScenarioError::Unsupported(format!(
+                    "jam probability {p} outside [0,1]"
+                )))
+            }
+            None => self.clear_jammer(node),
+        }
+        Ok(())
+    }
+
+    fn dropped_count(&self) -> Option<usize> {
+        Some(SinrAbsMac::dropped_count(self))
+    }
+}
+
+impl<P: Clone> ScenarioMac for DecayMac<P> {}
+
+impl<P: Clone> ScenarioMac for IdealMac<P> {}
+
+/// The node-indexed `u64` payload workloads, unified so one erased
+/// runner type drives them all.
+#[derive(Debug, Clone)]
+pub enum WorkClient {
+    /// Continuous broadcast ([`WorkloadSpec::Repeat`]).
+    Repeat(Repeater<u64>),
+    /// Single broadcast ([`WorkloadSpec::OneShot`]).
+    OneShot(OneShot<u64>),
+    /// Global single-message broadcast ([`WorkloadSpec::Smb`]).
+    Smb(Bsmb<u64>),
+    /// Global multi-message broadcast ([`WorkloadSpec::Mmb`]).
+    Mmb(Bmmb<u64>),
+}
+
+impl MacClient<u64> for WorkClient {
+    fn on_start(&mut self, node: usize, sink: &mut absmac::CmdSink<u64>) {
+        match self {
+            WorkClient::Repeat(c) => c.on_start(node, sink),
+            WorkClient::OneShot(c) => c.on_start(node, sink),
+            WorkClient::Smb(c) => c.on_start(node, sink),
+            WorkClient::Mmb(c) => c.on_start(node, sink),
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        node: usize,
+        now: u64,
+        ev: &MacEvent<u64>,
+        sink: &mut absmac::CmdSink<u64>,
+    ) {
+        match self {
+            WorkClient::Repeat(c) => c.on_event(node, now, ev, sink),
+            WorkClient::OneShot(c) => c.on_event(node, now, ev, sink),
+            WorkClient::Smb(c) => c.on_event(node, now, ev, sink),
+            WorkClient::Mmb(c) => c.on_event(node, now, ev, sink),
+        }
+    }
+
+    fn on_step(&mut self, node: usize, now: u64, sink: &mut absmac::CmdSink<u64>) {
+        match self {
+            WorkClient::Repeat(c) => c.on_step(node, now, sink),
+            WorkClient::OneShot(c) => c.on_step(node, now, sink),
+            WorkClient::Smb(c) => c.on_step(node, now, sink),
+            WorkClient::Mmb(c) => c.on_step(node, now, sink),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        match self {
+            WorkClient::Repeat(c) => c.is_done(),
+            WorkClient::OneShot(c) => c.is_done(),
+            WorkClient::Smb(c) => c.is_done(),
+            WorkClient::Mmb(c) => c.is_done(),
+        }
+    }
+}
+
+/// Everything resolved while building a scenario: the realized
+/// deployment, induced graphs, parameters and effective backend. Kept
+/// alongside the execution so measurement post-processing (latency
+/// extraction against `G₁₋ε`/`G₁₋₂ε`, theory shapes) needs no second
+/// build.
+#[derive(Debug, Clone)]
+pub struct ScenarioCtx {
+    /// The spec this context was built from.
+    pub spec: ScenarioSpec,
+    /// Validated SINR parameters.
+    pub sinr: SinrParams,
+    /// Realized node positions.
+    pub positions: Vec<Point>,
+    /// Graphs `G₁ ⊇ G₁₋ε ⊇ G₁₋₂ε` induced on the deployment.
+    pub graphs: SinrGraphs,
+    /// The run RNG seed after resolving [`SeedSpec`].
+    pub seed: u64,
+    /// The realized deployment seed (after any connectivity search);
+    /// `None` for deterministic geometry.
+    pub deploy_seed: Option<u64>,
+    /// Resolved MAC parameters when the spec runs the paper's MAC.
+    pub mac_params: Option<MacParams>,
+    /// The reception backend actually in effect (spec field, or the
+    /// `SINR_BACKEND` environment override).
+    pub backend: BackendSpec,
+    /// The resolved slot budget of the stop condition.
+    pub max_slots: u64,
+}
+
+enum Exec {
+    /// `u64`-payload workloads over an erased MAC.
+    Mac(Runner<Box<dyn ScenarioMac<Payload = u64>>, Gated<WorkClient>>),
+    /// Consensus (Proposal payload) over an erased MAC, with the random
+    /// input values it was built with.
+    Consensus(
+        Runner<Box<dyn ScenarioMac<Payload = Proposal>>, FloodMaxConsensus>,
+        Vec<bool>,
+    ),
+    /// Self-contained baseline executions.
+    Tdma(RoundRobinSmb<u64>),
+    Dgkn(DgknSmb<u64>),
+    DecaySmb(DecaySmb<u64>),
+}
+
+/// A built scenario, ready to run once.
+pub struct RunnableScenario {
+    /// The resolved build context.
+    pub ctx: ScenarioCtx,
+    exec: Exec,
+    check_done: bool,
+    poll_dropped: bool,
+}
+
+/// What a finished run measured.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The recorded execution trace (empty when tracing was off or the
+    /// execution was a self-contained baseline).
+    pub trace: Vec<absmac::TraceEvent>,
+    /// Whether trace recording hit its capacity limit.
+    pub trace_truncated: bool,
+    /// The slot at which a `done`-stopped run completed, or the slot the
+    /// last node of a baseline broadcast was informed; `None` on horizon
+    /// overrun or for fixed-slot runs.
+    pub completed_at: Option<u64>,
+    /// The slot budget the run was given.
+    pub horizon: u64,
+    /// Baseline broadcast report, when the execution was one.
+    pub smb: Option<SmbReport>,
+    /// Per-node consensus decisions, for consensus workloads.
+    pub decisions: Option<Vec<Option<bool>>>,
+    /// The random per-node input values a consensus workload was built
+    /// with (validity checks need them).
+    pub consensus_inputs: Option<Vec<bool>>,
+    /// Peak drop-out set size, when `measure=dropped`.
+    pub max_dropped: Option<usize>,
+}
+
+/// A finished run: the build context plus the outcome.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// The resolved build context.
+    pub ctx: ScenarioCtx,
+    /// The measurements.
+    pub outcome: ScenarioOutcome,
+}
+
+fn unsupported(msg: impl Into<String>) -> ScenarioError {
+    ScenarioError::Unsupported(msg.into())
+}
+
+impl ScenarioSpec {
+    /// Resolves the spec and constructs the execution. See the module
+    /// docs for what resolution entails.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScenarioError`]: invalid physics, infeasible deployment,
+    /// failed connectivity search, or an unsupported combination (e.g.
+    /// `stop=epochs` on a MAC without an epoch structure).
+    pub fn build(&self) -> Result<RunnableScenario, ScenarioError> {
+        let sinr = self.sinr.to_params()?;
+        let backend = crate::env_backend_override(self.backend);
+
+        // Deployment (+ optional connectivity search).
+        let (positions, graphs, deploy_seed) = self.deploy.realize(&sinr)?;
+        let n = positions.len();
+
+        let seed = match self.seed {
+            SeedSpec::Fixed(s) => s,
+            SeedSpec::FromDeploy => deploy_seed.ok_or_else(|| {
+                unsupported("seed=deploy requires a seeded (randomized) deployment")
+            })?,
+        };
+
+        let mac_params = match &self.mac {
+            MacSpec::Sinr { overrides } => {
+                let mut b = MacParams::builder();
+                for &(knob, v) in overrides {
+                    knob.apply(&mut b, v);
+                }
+                Some(b.build(&sinr))
+            }
+            _ => None,
+        };
+
+        let (max_slots, check_done) = match self.stop {
+            StopSpec::Slots(s) => (s, false),
+            StopSpec::Done(m) => (m, true),
+            StopSpec::Epochs(e) => {
+                let params = mac_params.as_ref().ok_or_else(|| {
+                    unsupported("stop=epochs requires mac=sinr (only it has an epoch layout)")
+                })?;
+                (e * 2 * params.layout().epoch_len(), false)
+            }
+        };
+
+        // Validate workload addressing against the realized deployment —
+        // a spec typo must fail the build, not burn the horizon and
+        // masquerade as a timeout.
+        match &self.workload {
+            WorkloadSpec::Smb { source } => {
+                if *source >= n {
+                    return Err(unsupported(format!(
+                        "workload=smb:{source} names a source outside the {n}-node deployment"
+                    )));
+                }
+            }
+            WorkloadSpec::Mmb { k } => {
+                if *k == 0 || *k > n {
+                    return Err(unsupported(format!(
+                        "workload=mmb:{k} needs between 1 and n messages for an n={n} deployment"
+                    )));
+                }
+            }
+            WorkloadSpec::Repeat(srcs) | WorkloadSpec::OneShot(srcs) => match srcs {
+                SourceSet::Range(lo, hi) if *lo >= *hi || *hi > n => {
+                    return Err(unsupported(format!(
+                        "source range:{lo}:{hi} is empty or outside the {n}-node deployment"
+                    )));
+                }
+                SourceSet::List(v) => {
+                    if let Some(&bad) = v.iter().find(|&&i| i >= n) {
+                        return Err(unsupported(format!(
+                            "source list names node {bad}, but the deployment has {n} nodes"
+                        )));
+                    }
+                }
+                SourceSet::Count(k) if *k == 0 || *k > n => {
+                    return Err(unsupported(format!(
+                        "source count:{k} needs between 1 and n broadcasters for an n={n} deployment"
+                    )));
+                }
+                SourceSet::Stride(0) => {
+                    return Err(unsupported("source stride must be >= 1"));
+                }
+                _ => {}
+            },
+            WorkloadSpec::Consensus { .. } => {}
+        }
+
+        // Validate dynamics against the chosen MAC and workload.
+        for ev in &self.dynamics {
+            let node = match ev.kind {
+                DynKind::Jam { node, .. }
+                | DynKind::Unjam { node }
+                | DynKind::Arrive { node }
+                | DynKind::Depart { node } => node,
+            };
+            if node >= n {
+                return Err(unsupported(format!(
+                    "dynamics event {ev} names node {node}, but the deployment has {n} nodes"
+                )));
+            }
+            match ev.kind {
+                DynKind::Jam { .. } | DynKind::Unjam { .. } => {
+                    if !matches!(self.mac, MacSpec::Sinr { .. }) {
+                        return Err(unsupported(format!(
+                            "jammer dynamics require mac=sinr, got mac={}",
+                            self.mac
+                        )));
+                    }
+                }
+                DynKind::Arrive { .. } | DynKind::Depart { .. } => {
+                    if matches!(self.workload, WorkloadSpec::Consensus { .. })
+                        || matches!(self.mac, MacSpec::Tdma | MacSpec::Dgkn | MacSpec::DecaySmb)
+                    {
+                        return Err(unsupported(format!(
+                            "arrival/departure dynamics are not supported for workload={} over mac={}",
+                            self.workload, self.mac
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Arrival/departure windows must be single and well-ordered per
+        // node: the gate supports one activity window, so a second event
+        // of the same kind or a re-arrival after departure would be
+        // silently collapsed — reject it instead.
+        let mut windows: std::collections::BTreeMap<usize, (Option<u64>, Option<u64>)> =
+            std::collections::BTreeMap::new();
+        for ev in &self.dynamics {
+            let (is_arrive, node) = match ev.kind {
+                DynKind::Arrive { node } => (true, node),
+                DynKind::Depart { node } => (false, node),
+                _ => continue,
+            };
+            let entry = windows.entry(node).or_default();
+            let slot = if is_arrive {
+                &mut entry.0
+            } else {
+                &mut entry.1
+            };
+            if slot.replace(ev.at).is_some() {
+                let kind = if is_arrive { "arrive" } else { "depart" };
+                return Err(unsupported(format!(
+                    "node {node} has more than one {kind} event"
+                )));
+            }
+        }
+        for (node, (arrive, depart)) in &windows {
+            if let (Some(a), Some(d)) = (arrive, depart) {
+                if d <= a {
+                    return Err(unsupported(format!(
+                        "node {node} departs at {d} but only arrives at {a}; \
+                         re-arrival after departure is not supported"
+                    )));
+                }
+            }
+        }
+
+        let exec = self.build_exec(
+            &sinr,
+            &positions,
+            &graphs,
+            mac_params.as_ref(),
+            seed,
+            backend,
+        )?;
+
+        Ok(RunnableScenario {
+            ctx: ScenarioCtx {
+                spec: self.clone(),
+                sinr,
+                positions,
+                graphs,
+                seed,
+                deploy_seed,
+                mac_params,
+                backend,
+                max_slots,
+            },
+            exec,
+            check_done,
+            poll_dropped: self.measure.dropped,
+        })
+    }
+
+    fn build_exec(
+        &self,
+        sinr: &SinrParams,
+        positions: &[Point],
+        graphs: &SinrGraphs,
+        mac_params: Option<&MacParams>,
+        seed: u64,
+        backend: BackendSpec,
+    ) -> Result<Exec, ScenarioError> {
+        let n = positions.len();
+        let source_set = |w: &WorkloadSpec| match w {
+            WorkloadSpec::Repeat(s) | WorkloadSpec::OneShot(s) => Some(s.clone()),
+            WorkloadSpec::Smb { source } => Some(SourceSet::List(vec![*source])),
+            _ => None,
+        };
+        match &self.mac {
+            MacSpec::Tdma => {
+                let sources = source_set(&self.workload).ok_or_else(|| {
+                    unsupported(format!(
+                        "mac=tdma needs a broadcaster set (repeat/oneshot/smb workload), got {}",
+                        self.workload
+                    ))
+                })?;
+                let broadcasters = sources.members(n);
+                if broadcasters.is_empty() {
+                    return Err(unsupported("mac=tdma needs at least one broadcaster"));
+                }
+                let tdma = RoundRobinSmb::with_backend(
+                    *sinr,
+                    positions,
+                    &RoundRobinConfig { broadcasters },
+                    |i| i as u64,
+                    seed,
+                    backend,
+                )?;
+                Ok(Exec::Tdma(tdma))
+            }
+            MacSpec::Dgkn => {
+                let WorkloadSpec::Smb { source } = self.workload else {
+                    return Err(unsupported(format!(
+                        "mac=dgkn runs only workload=smb, got {}",
+                        self.workload
+                    )));
+                };
+                let dgkn = DgknSmb::with_backend(
+                    *sinr,
+                    positions,
+                    &DgknSmbConfig::default(),
+                    source,
+                    7u64,
+                    seed,
+                    backend,
+                )?;
+                Ok(Exec::Dgkn(dgkn))
+            }
+            MacSpec::DecaySmb => {
+                let WorkloadSpec::Smb { source } = self.workload else {
+                    return Err(unsupported(format!(
+                        "mac=decay_smb runs only workload=smb, got {}",
+                        self.workload
+                    )));
+                };
+                let decay = DecaySmb::with_backend(
+                    *sinr,
+                    positions,
+                    DecaySmbConfig::for_network_size(n),
+                    source,
+                    7u64,
+                    seed,
+                    backend,
+                )?;
+                Ok(Exec::DecaySmb(decay))
+            }
+            mac @ (MacSpec::Sinr { .. } | MacSpec::Ideal(_) | MacSpec::Decay { .. }) => {
+                if let WorkloadSpec::Consensus { deadline } = self.workload {
+                    let mac: Box<dyn ScenarioMac<Payload = Proposal>> =
+                        build_layer(mac, sinr, positions, graphs, mac_params, seed, backend)?;
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+                    let values: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
+                    let clients = FloodMaxConsensus::network(&values, deadline);
+                    let cap = if self.measure.trace { usize::MAX } else { 0 };
+                    Ok(Exec::Consensus(
+                        Runner::with_trace_capacity(mac, clients, cap)?,
+                        values,
+                    ))
+                } else {
+                    let mac: Box<dyn ScenarioMac<Payload = u64>> =
+                        build_layer(mac, sinr, positions, graphs, mac_params, seed, backend)?;
+                    let base: Vec<WorkClient> = match &self.workload {
+                        WorkloadSpec::Repeat(srcs) => {
+                            Repeater::network(n, |i| srcs.is_source(i, n).then_some(i as u64))
+                                .into_iter()
+                                .map(WorkClient::Repeat)
+                                .collect()
+                        }
+                        WorkloadSpec::OneShot(srcs) => {
+                            OneShot::network(n, |i| srcs.is_source(i, n).then_some(i as u64))
+                                .into_iter()
+                                .map(WorkClient::OneShot)
+                                .collect()
+                        }
+                        WorkloadSpec::Smb { source } => Bsmb::network(n, *source, 7u64)
+                            .into_iter()
+                            .map(WorkClient::Smb)
+                            .collect(),
+                        WorkloadSpec::Mmb { k } => {
+                            let k = *k;
+                            let stride = (n / k.max(1)).max(1);
+                            Bmmb::network(
+                                n,
+                                |i| {
+                                    if i % stride == 0 && i / stride < k {
+                                        vec![1000 + (i / stride) as u64]
+                                    } else {
+                                        vec![]
+                                    }
+                                },
+                                Some(k),
+                            )
+                            .into_iter()
+                            .map(WorkClient::Mmb)
+                            .collect()
+                        }
+                        WorkloadSpec::Consensus { .. } => unreachable!("handled above"),
+                    };
+                    let clients = base
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, c)| {
+                            let window = |want: fn(&DynKind, usize) -> bool| {
+                                self.dynamics
+                                    .iter()
+                                    .filter(|ev| want(&ev.kind, i))
+                                    .map(|ev| ev.at)
+                                    .min()
+                            };
+                            let arrive =
+                                window(|k, i| matches!(k, DynKind::Arrive { node } if *node == i));
+                            let depart =
+                                window(|k, i| matches!(k, DynKind::Depart { node } if *node == i));
+                            Gated::windowed(c, arrive, depart)
+                        })
+                        .collect();
+                    let cap = if self.measure.trace { usize::MAX } else { 0 };
+                    Ok(Exec::Mac(Runner::with_trace_capacity(mac, clients, cap)?))
+                }
+            }
+        }
+    }
+
+    /// Builds and runs in one call.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScenarioError`] from [`ScenarioSpec::build`] or
+    /// [`RunnableScenario::run`].
+    pub fn run(&self) -> Result<ScenarioRun, ScenarioError> {
+        self.build()?.run()
+    }
+}
+
+/// Constructs one of the plug-and-play MAC layers behind the erased
+/// [`ScenarioMac`] interface, for any payload type.
+fn build_layer<P: Clone + 'static>(
+    mac: &MacSpec,
+    sinr: &SinrParams,
+    positions: &[Point],
+    graphs: &SinrGraphs,
+    mac_params: Option<&MacParams>,
+    seed: u64,
+    backend: BackendSpec,
+) -> Result<Box<dyn ScenarioMac<Payload = P>>, ScenarioError> {
+    match mac {
+        MacSpec::Sinr { .. } => {
+            let params = mac_params.expect("mac=sinr resolves params").clone();
+            Ok(Box::new(SinrAbsMac::with_backend(
+                *sinr, positions, params, seed, backend,
+            )?))
+        }
+        MacSpec::Ideal(policy) => {
+            let policy = match *policy {
+                IdealPolicy::Eager => absmac::SchedulerPolicy::Eager,
+                IdealPolicy::Random { fack, fprog } => {
+                    absmac::SchedulerPolicy::Random { fack, fprog }
+                }
+                IdealPolicy::Adversarial { fack, fprog } => {
+                    absmac::SchedulerPolicy::Adversarial { fack, fprog }
+                }
+            };
+            Ok(Box::new(IdealMac::new(graphs.strong.clone(), policy, seed)))
+        }
+        MacSpec::Decay {
+            n_tilde,
+            eps,
+            budget_mult,
+        } => {
+            if !(n_tilde.is_finite() && *n_tilde >= 2.0) {
+                return Err(unsupported("decay contention bound must be >= 2"));
+            }
+            if !(*eps > 0.0 && *eps < 1.0) {
+                return Err(unsupported("decay eps must be in (0,1)"));
+            }
+            if !(budget_mult.is_finite() && *budget_mult > 0.0) {
+                return Err(unsupported("decay budget_mult must be positive"));
+            }
+            let params = DecayParams::from_contention(*n_tilde, *eps, *budget_mult);
+            Ok(Box::new(DecayMac::with_backend(
+                *sinr, positions, params, seed, backend,
+            )?))
+        }
+        _ => Err(unsupported(format!("{mac} is not a steppable MAC layer"))),
+    }
+}
+
+/// Steps a runner for up to `max_slots`, applying jammer dynamics and
+/// polling the drop-out set; returns `(completed_at, max_dropped)`.
+fn drive<P: Clone, C: MacClient<P>>(
+    runner: &mut Runner<Box<dyn ScenarioMac<Payload = P>>, C>,
+    max_slots: u64,
+    check_done: bool,
+    dynamics: &[DynEvent],
+    poll_dropped: bool,
+) -> Result<(Option<u64>, Option<usize>), ScenarioError> {
+    let mut jams: Vec<&DynEvent> = dynamics
+        .iter()
+        .filter(|ev| matches!(ev.kind, DynKind::Jam { .. } | DynKind::Unjam { .. }))
+        .collect();
+    jams.sort_by_key(|ev| ev.at);
+    let mut next_jam = 0usize;
+    let mut max_dropped: Option<usize> = None;
+    for _ in 0..max_slots {
+        let now = runner.mac().now();
+        while next_jam < jams.len() && jams[next_jam].at <= now {
+            match jams[next_jam].kind {
+                DynKind::Jam { node, p } => runner.mac_mut().set_jammer(node, Some(p))?,
+                DynKind::Unjam { node } => runner.mac_mut().set_jammer(node, None)?,
+                _ => unreachable!("filtered above"),
+            }
+            next_jam += 1;
+        }
+        let t = runner.step()?;
+        if poll_dropped {
+            if let Some(d) = runner.mac().dropped_count() {
+                max_dropped = Some(max_dropped.unwrap_or(0).max(d));
+            }
+        }
+        if check_done && runner.clients().all(|c| c.is_done()) {
+            return Ok((Some(t), max_dropped));
+        }
+    }
+    Ok((None, max_dropped))
+}
+
+impl RunnableScenario {
+    /// Runs the scenario to its stop condition.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Mac`] if a client violates the MAC contract —
+    /// surfaced rather than masked, exactly as the legacy harness did.
+    pub fn run(mut self) -> Result<ScenarioRun, ScenarioError> {
+        let max_slots = self.ctx.max_slots;
+        let dynamics = self.ctx.spec.dynamics.clone();
+        let outcome = match &mut self.exec {
+            Exec::Mac(runner) => {
+                let (completed_at, max_dropped) = drive(
+                    runner,
+                    max_slots,
+                    self.check_done,
+                    &dynamics,
+                    self.poll_dropped,
+                )?;
+                ScenarioOutcome {
+                    trace: runner.take_trace(),
+                    trace_truncated: runner.trace_truncated(),
+                    completed_at,
+                    horizon: max_slots,
+                    smb: None,
+                    decisions: None,
+                    consensus_inputs: None,
+                    max_dropped,
+                }
+            }
+            Exec::Consensus(runner, values) => {
+                let (completed_at, max_dropped) = drive(
+                    runner,
+                    max_slots,
+                    self.check_done,
+                    &dynamics,
+                    self.poll_dropped,
+                )?;
+                let decisions = runner.clients().map(|c| c.decision()).collect();
+                ScenarioOutcome {
+                    trace: runner.take_trace(),
+                    trace_truncated: runner.trace_truncated(),
+                    completed_at,
+                    horizon: max_slots,
+                    smb: None,
+                    decisions: Some(decisions),
+                    consensus_inputs: Some(std::mem::take(values)),
+                    max_dropped,
+                }
+            }
+            Exec::Tdma(tdma) => {
+                let report = tdma.run(max_slots);
+                baseline_outcome(report, max_slots)
+            }
+            Exec::Dgkn(dgkn) => {
+                let report = dgkn.run(max_slots);
+                baseline_outcome(report, max_slots)
+            }
+            Exec::DecaySmb(decay) => {
+                let report = decay.run(max_slots);
+                baseline_outcome(report, max_slots)
+            }
+        };
+        Ok(ScenarioRun {
+            ctx: self.ctx,
+            outcome,
+        })
+    }
+}
+
+fn baseline_outcome(report: SmbReport, horizon: u64) -> ScenarioOutcome {
+    ScenarioOutcome {
+        trace: Vec::new(),
+        trace_truncated: false,
+        completed_at: report.completion,
+        horizon,
+        smb: Some(report),
+        decisions: None,
+        consensus_inputs: None,
+        max_dropped: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DeploymentSpec, MeasureSpec, SinrSpec, SourceSet};
+
+    fn lattice16() -> DeploymentSpec {
+        DeploymentSpec::plain(DeploySpec::Lattice {
+            rows: 4,
+            cols: 4,
+            spacing: 2.0,
+        })
+    }
+
+    fn base(mac: MacSpec, workload: WorkloadSpec, stop: StopSpec) -> ScenarioSpec {
+        ScenarioSpec::new("test", lattice16(), workload, stop)
+            .with_sinr(SinrSpec::with_range(8.0))
+            .with_mac(mac)
+    }
+
+    #[test]
+    fn sinr_repeat_runs_and_traces() {
+        let spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::Stride(2)),
+            StopSpec::Slots(300),
+        );
+        let run = spec.run().unwrap();
+        assert_eq!(run.ctx.positions.len(), 16);
+        assert!(run.ctx.mac_params.is_some());
+        assert!(!run.outcome.trace.is_empty(), "repeat must trace bcasts");
+        assert_eq!(run.outcome.horizon, 300);
+    }
+
+    #[test]
+    fn every_steppable_mac_runs_the_same_workload() {
+        for mac in [
+            MacSpec::sinr(),
+            MacSpec::Ideal(IdealPolicy::Eager),
+            MacSpec::Decay {
+                n_tilde: 16.0,
+                eps: 0.125,
+                budget_mult: 4.0,
+            },
+        ] {
+            let spec = base(
+                mac.clone(),
+                WorkloadSpec::OneShot(SourceSet::Count(2)),
+                StopSpec::Done(20_000),
+            );
+            let run = spec.run().unwrap_or_else(|e| panic!("{mac}: {e}"));
+            assert!(
+                run.outcome.completed_at.is_some(),
+                "{mac} did not ack within budget"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_macs_produce_smb_reports() {
+        for mac in [MacSpec::Tdma, MacSpec::Dgkn, MacSpec::DecaySmb] {
+            let spec = base(
+                mac.clone(),
+                WorkloadSpec::Smb { source: 0 },
+                StopSpec::Done(200_000),
+            );
+            let run = spec.run().unwrap_or_else(|e| panic!("{mac}: {e}"));
+            let smb = run.outcome.smb.expect("baseline yields an SmbReport");
+            assert!(smb.informed_count() > 1, "{mac} informed nobody");
+        }
+    }
+
+    #[test]
+    fn epochs_stop_resolves_against_mac_params() {
+        let spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Epochs(2),
+        );
+        let built = spec.build().unwrap();
+        let epoch = built.ctx.mac_params.as_ref().unwrap().layout().epoch_len();
+        assert_eq!(built.ctx.max_slots, 2 * 2 * epoch);
+    }
+
+    #[test]
+    fn epochs_stop_rejected_off_sinr_mac() {
+        let spec = base(
+            MacSpec::Ideal(IdealPolicy::Eager),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Epochs(2),
+        );
+        assert!(matches!(spec.build(), Err(ScenarioError::Unsupported(_))));
+    }
+
+    #[test]
+    fn workload_indices_validated_against_deployment() {
+        // All of these would otherwise burn their horizon and read as
+        // timeouts; the 4×4 lattice has 16 nodes.
+        let bad = [
+            base(
+                MacSpec::sinr(),
+                WorkloadSpec::Smb { source: 99 },
+                StopSpec::Done(100),
+            ),
+            base(
+                MacSpec::sinr(),
+                WorkloadSpec::Mmb { k: 99 },
+                StopSpec::Done(100),
+            ),
+            base(
+                MacSpec::sinr(),
+                WorkloadSpec::Repeat(SourceSet::List(vec![2, 20])),
+                StopSpec::Slots(10),
+            ),
+            base(
+                MacSpec::sinr(),
+                WorkloadSpec::OneShot(SourceSet::Range(4, 20)),
+                StopSpec::Slots(10),
+            ),
+        ];
+        for spec in bad {
+            assert!(
+                matches!(spec.build(), Err(ScenarioError::Unsupported(_))),
+                "{} must be rejected at build time",
+                spec.workload
+            );
+        }
+    }
+
+    #[test]
+    fn jammer_dynamics_rejected_off_sinr_mac() {
+        let spec = base(
+            MacSpec::Ideal(IdealPolicy::Eager),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Slots(100),
+        )
+        .with_dynamics(DynEvent {
+            at: 10,
+            kind: DynKind::Jam { node: 0, p: 0.5 },
+        });
+        assert!(matches!(spec.build(), Err(ScenarioError::Unsupported(_))));
+    }
+
+    #[test]
+    fn jam_then_unjam_executes() {
+        let spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::Stride(2)),
+            StopSpec::Slots(400),
+        )
+        .with_dynamics(DynEvent {
+            at: 50,
+            kind: DynKind::Jam { node: 1, p: 1.0 },
+        })
+        .with_dynamics(DynEvent {
+            at: 200,
+            kind: DynKind::Unjam { node: 1 },
+        });
+        let run = spec.run().unwrap();
+        assert_eq!(run.outcome.horizon, 400);
+    }
+
+    #[test]
+    fn departure_stops_a_sources_broadcasts() {
+        let spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::List(vec![0])),
+            StopSpec::Slots(600),
+        )
+        .with_dynamics(DynEvent {
+            at: 100,
+            kind: DynKind::Depart { node: 0 },
+        });
+        let run = spec.run().unwrap();
+        let last_bcast = run
+            .outcome
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, absmac::TraceKind::Bcast(_)))
+            .map(|e| e.t)
+            .max()
+            .expect("node 0 broadcast before departing");
+        assert!(
+            last_bcast < 102,
+            "broadcast after departure at {last_bcast}"
+        );
+    }
+
+    #[test]
+    fn inconsistent_activity_windows_rejected() {
+        // Re-arrival after departure (the gate supports one window).
+        let rearrive = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Slots(100),
+        )
+        .with_dynamics(DynEvent {
+            at: 50,
+            kind: DynKind::Depart { node: 3 },
+        })
+        .with_dynamics(DynEvent {
+            at: 100,
+            kind: DynKind::Arrive { node: 3 },
+        });
+        assert!(matches!(
+            rearrive.build(),
+            Err(ScenarioError::Unsupported(_))
+        ));
+        // Duplicate events of one kind.
+        let twice = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Slots(100),
+        )
+        .with_dynamics(DynEvent {
+            at: 10,
+            kind: DynKind::Arrive { node: 3 },
+        })
+        .with_dynamics(DynEvent {
+            at: 20,
+            kind: DynKind::Arrive { node: 3 },
+        });
+        assert!(matches!(twice.build(), Err(ScenarioError::Unsupported(_))));
+        // A well-ordered window still builds.
+        let ok = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Slots(100),
+        )
+        .with_dynamics(DynEvent {
+            at: 10,
+            kind: DynKind::Arrive { node: 3 },
+        })
+        .with_dynamics(DynEvent {
+            at: 50,
+            kind: DynKind::Depart { node: 3 },
+        });
+        assert!(ok.build().is_ok());
+    }
+
+    #[test]
+    fn consensus_workload_decides() {
+        let mut spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Consensus { deadline: 0 },
+            StopSpec::Done(0),
+        );
+        // Deadline/stop need graph-aware numbers; resolve them the way
+        // the table constructors do.
+        let sinr = spec.sinr.to_params().unwrap();
+        let positions = spec.deploy.geom.build().unwrap();
+        let graphs = SinrGraphs::induce(&sinr, &positions);
+        let params = MacParams::builder().build(&sinr);
+        let d = graphs.strong.diameter().unwrap_or(16) as u64;
+        let deadline = 2 * (d + 1) * 2 * params.ack_slot_cap as u64;
+        spec.workload = WorkloadSpec::Consensus { deadline };
+        spec.stop = StopSpec::Done(deadline + 1000);
+        spec.measure = MeasureSpec::none();
+        let run = spec.run().unwrap();
+        let decisions = run.outcome.decisions.unwrap();
+        assert!(decisions[0].is_some(), "nobody decided");
+        assert!(
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            "disagreement: {decisions:?}"
+        );
+    }
+
+    #[test]
+    fn connected_uniform_search_reports_realized_seed() {
+        let spec = ScenarioSpec::new(
+            "conn",
+            DeploymentSpec::uniform_connected(24, 28.0, 0),
+            WorkloadSpec::OneShot(SourceSet::Count(1)),
+            StopSpec::Done(20_000),
+        )
+        .with_sinr(SinrSpec::with_range(16.0))
+        .with_seed(SeedSpec::FromDeploy);
+        let built = spec.build().unwrap();
+        let realized = built.ctx.deploy_seed.unwrap();
+        assert_eq!(built.ctx.seed, realized);
+        assert!(built.ctx.graphs.strong.is_connected());
+    }
+
+    #[test]
+    fn measure_none_disables_tracing() {
+        let spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Slots(200),
+        )
+        .with_measure(MeasureSpec::none());
+        let run = spec.run().unwrap();
+        assert!(run.outcome.trace.is_empty());
+    }
+
+    #[test]
+    fn dropped_polling_reports_for_sinr_mac() {
+        let spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Slots(300),
+        )
+        .with_measure(MeasureSpec {
+            trace: false,
+            dropped: true,
+        });
+        let run = spec.run().unwrap();
+        assert!(run.outcome.max_dropped.is_some());
+    }
+}

@@ -1,0 +1,252 @@
+//! Workload client automata shared by every scenario, plus the arrival/
+//! departure gate that implements the dynamics schedule.
+
+use absmac::{CmdSink, MacClient, MacEvent};
+
+/// A client that broadcasts its payload at start and re-broadcasts on
+/// every ack, keeping the node permanently in the broadcasting set —
+/// the workload of the progress measurements (Definition 7.1 fixes an
+/// interval *throughout which* the neighbor is broadcasting).
+#[derive(Debug, Clone)]
+pub struct Repeater<P> {
+    payload: Option<P>,
+}
+
+impl<P: Clone> Repeater<P> {
+    /// A node that broadcasts `payload` forever.
+    pub fn source(payload: P) -> Self {
+        Repeater {
+            payload: Some(payload),
+        }
+    }
+
+    /// A node that only listens.
+    pub fn idle() -> Self {
+        Repeater { payload: None }
+    }
+
+    /// A network where `payload_of(i)` selects the broadcasters.
+    pub fn network(n: usize, payload_of: impl Fn(usize) -> Option<P>) -> Vec<Self> {
+        (0..n)
+            .map(|i| match payload_of(i) {
+                Some(p) => Repeater::source(p),
+                None => Repeater::idle(),
+            })
+            .collect()
+    }
+}
+
+impl<P: Clone> MacClient<P> for Repeater<P> {
+    fn on_start(&mut self, _node: usize, sink: &mut CmdSink<P>) {
+        if let Some(p) = &self.payload {
+            sink.bcast(p.clone());
+        }
+    }
+
+    fn on_event(&mut self, _node: usize, _now: u64, ev: &MacEvent<P>, sink: &mut CmdSink<P>) {
+        if let (MacEvent::Ack(_), Some(p)) = (ev, &self.payload) {
+            sink.bcast(p.clone());
+        }
+    }
+}
+
+/// A client that broadcasts once and reports done on its ack — the
+/// workload of the acknowledgment-latency measurements (empirical
+/// `f_ack`, Theorem 5.1).
+#[derive(Debug, Clone)]
+pub struct OneShot<P> {
+    payload: Option<P>,
+    acked: bool,
+}
+
+impl<P: Clone> OneShot<P> {
+    /// Builds a network where `payload_of(i)` selects broadcasters.
+    pub fn network(n: usize, payload_of: impl Fn(usize) -> Option<P>) -> Vec<Self> {
+        (0..n)
+            .map(|i| OneShot {
+                payload: payload_of(i),
+                acked: false,
+            })
+            .collect()
+    }
+}
+
+impl<P: Clone> MacClient<P> for OneShot<P> {
+    fn on_start(&mut self, _node: usize, sink: &mut CmdSink<P>) {
+        if let Some(p) = &self.payload {
+            sink.bcast(p.clone());
+        }
+    }
+    fn on_event(&mut self, _node: usize, _now: u64, ev: &MacEvent<P>, _sink: &mut CmdSink<P>) {
+        if matches!(ev, MacEvent::Ack(_)) {
+            self.acked = true;
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.payload.is_none() || self.acked
+    }
+}
+
+/// Wraps a client with an activity window, implementing the `arrive`/
+/// `depart` entries of a scenario's dynamics schedule at the client
+/// layer: before arrival the node issues no commands, after departure it
+/// goes silent and stops reacting to events.
+///
+/// Departure is *application-level* churn — the node stops offering load
+/// and ignores the layer, but its radio stays in the simulation as a
+/// silent listener (the SINR model has no node removal). With no window
+/// configured the gate is transparent: every callback forwards verbatim,
+/// so gated and ungated runs are bit-identical.
+#[derive(Debug, Clone)]
+pub struct Gated<C> {
+    inner: C,
+    arrive_at: Option<u64>,
+    depart_at: Option<u64>,
+    started: bool,
+    departed: bool,
+}
+
+impl<C> Gated<C> {
+    /// A transparent gate: active from the start, never departs.
+    pub fn transparent(inner: C) -> Self {
+        Gated {
+            inner,
+            arrive_at: None,
+            depart_at: None,
+            started: false,
+            departed: false,
+        }
+    }
+
+    /// A gate with an explicit activity window. `arrive_at = None` means
+    /// active from the start; `depart_at = None` means never departs.
+    pub fn windowed(inner: C, arrive_at: Option<u64>, depart_at: Option<u64>) -> Self {
+        Gated {
+            inner,
+            arrive_at,
+            depart_at,
+            started: false,
+            departed: false,
+        }
+    }
+
+    /// The wrapped client.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    fn note_time(&mut self, now: u64) {
+        if self.depart_at.is_some_and(|d| now >= d) {
+            self.departed = true;
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.started && !self.departed
+    }
+}
+
+impl<P, C: MacClient<P>> MacClient<P> for Gated<C> {
+    fn on_start(&mut self, node: usize, sink: &mut CmdSink<P>) {
+        self.note_time(0);
+        if self.arrive_at.is_none_or(|a| a == 0) {
+            self.started = true;
+            if !self.departed {
+                self.inner.on_start(node, sink);
+            }
+        }
+    }
+
+    fn on_event(&mut self, node: usize, now: u64, ev: &MacEvent<P>, sink: &mut CmdSink<P>) {
+        self.note_time(now);
+        if self.active() {
+            self.inner.on_event(node, now, ev, sink);
+        }
+    }
+
+    fn on_step(&mut self, node: usize, now: u64, sink: &mut CmdSink<P>) {
+        self.note_time(now);
+        if !self.started && self.arrive_at.is_some_and(|a| now >= a) && !self.departed {
+            self.started = true;
+            self.inner.on_start(node, sink);
+        }
+        if self.active() {
+            self.inner.on_step(node, now, sink);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.departed || self.inner.is_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absmac::{IdealMac, Runner, SchedulerPolicy, TraceKind};
+    use sinr_graphs::Graph;
+
+    fn two_node_mac() -> IdealMac<u64> {
+        IdealMac::new(Graph::from_edges(2, [(0, 1)]), SchedulerPolicy::Eager, 0)
+    }
+
+    #[test]
+    fn transparent_gate_is_bit_identical() {
+        let clients = Repeater::network(2, |i| (i == 0).then_some(7u64));
+        let mut plain = Runner::new(two_node_mac(), clients.clone()).unwrap();
+        let gated = clients.into_iter().map(Gated::transparent).collect();
+        let mut wrapped = Runner::new(two_node_mac(), gated).unwrap();
+        for _ in 0..32 {
+            plain.step().unwrap();
+            wrapped.step().unwrap();
+        }
+        assert_eq!(plain.trace(), wrapped.trace());
+    }
+
+    #[test]
+    fn late_arrival_delays_first_broadcast() {
+        let clients: Vec<_> = Repeater::network(2, |i| (i == 0).then_some(7u64))
+            .into_iter()
+            .map(|c| Gated::windowed(c, Some(5), None))
+            .collect();
+        let mut runner = Runner::new(two_node_mac(), clients).unwrap();
+        for _ in 0..20 {
+            runner.step().unwrap();
+        }
+        let first_bcast = runner
+            .trace()
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::Bcast(_)))
+            .expect("arrival must eventually broadcast");
+        assert!(first_bcast.t >= 5, "broadcast at {}", first_bcast.t);
+    }
+
+    #[test]
+    fn departure_silences_the_repeater() {
+        let clients: Vec<_> = Repeater::network(2, |i| (i == 0).then_some(7u64))
+            .into_iter()
+            .map(|c| Gated::windowed(c, None, Some(6)))
+            .collect();
+        let mut runner = Runner::new(two_node_mac(), clients).unwrap();
+        for _ in 0..40 {
+            runner.step().unwrap();
+        }
+        let last_bcast = runner
+            .trace()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Bcast(_)))
+            .map(|e| e.t)
+            .max()
+            .unwrap();
+        assert!(last_bcast < 8, "still broadcasting at {last_bcast}");
+        // A departed node reports done so run_until_done is not blocked.
+        assert!(runner.client(0).is_done());
+    }
+
+    #[test]
+    fn oneshot_moved_here_still_acks() {
+        let clients = OneShot::network(2, |i| (i == 0).then_some(3u64));
+        let mut runner = Runner::new(two_node_mac(), clients).unwrap();
+        assert!(runner.run_until_done(16).unwrap().is_some());
+    }
+}

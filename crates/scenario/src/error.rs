@@ -1,0 +1,109 @@
+//! Error type for scenario parsing, building and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use absmac::MacError;
+use sinr_geom::GeomError;
+use sinr_phys::PhysError;
+
+/// Errors produced while parsing, building or running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// The spec text (or one component value) was malformed.
+    Parse(String),
+    /// The spec is well-formed but names an unsupported combination
+    /// (e.g. a jammer schedule on a MAC without failure injection).
+    Unsupported(String),
+    /// No connected uniform deployment was found within the seed budget.
+    NoConnectedDeployment {
+        /// Requested node count.
+        n: usize,
+        /// Requested square side.
+        side: f64,
+        /// First seed tried.
+        seed0: u64,
+        /// Number of consecutive seeds tried.
+        tried: u64,
+    },
+    /// Deployment generation failed.
+    Geom(GeomError),
+    /// Physical-layer construction failed.
+    Phys(PhysError),
+    /// The MAC layer rejected a command during the run (a client broke
+    /// the one-outstanding-broadcast contract).
+    Mac(MacError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse(msg) => write!(f, "spec parse error: {msg}"),
+            ScenarioError::Unsupported(msg) => write!(f, "unsupported scenario: {msg}"),
+            ScenarioError::NoConnectedDeployment {
+                n,
+                side,
+                seed0,
+                tried,
+            } => write!(
+                f,
+                "no connected uniform deployment for n={n}, side={side} in {tried} seeds from {seed0}"
+            ),
+            ScenarioError::Geom(e) => write!(f, "deployment error: {e}"),
+            ScenarioError::Phys(e) => write!(f, "physical-layer error: {e}"),
+            ScenarioError::Mac(e) => write!(f, "MAC contract error: {e}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScenarioError::Geom(e) => Some(e),
+            ScenarioError::Phys(e) => Some(e),
+            ScenarioError::Mac(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for ScenarioError {
+    fn from(e: GeomError) -> Self {
+        ScenarioError::Geom(e)
+    }
+}
+
+impl From<PhysError> for ScenarioError {
+    fn from(e: PhysError) -> Self {
+        ScenarioError::Phys(e)
+    }
+}
+
+impl From<MacError> for ScenarioError {
+    fn from(e: MacError) -> Self {
+        ScenarioError::Mac(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let errs: [ScenarioError; 3] = [
+            ScenarioError::Parse("bad".into()),
+            ScenarioError::Unsupported("no".into()),
+            ScenarioError::NoConnectedDeployment {
+                n: 4,
+                side: 2.0,
+                seed0: 0,
+                tried: 64,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Declarative scenario API for the SINR local-broadcast workspace.
+//!
+//! The paper's central systems claim (§2.2, §12) is *plug-and-play*:
+//! protocols written against the abstract MAC layer run unchanged over
+//! any implementation. This crate makes that claim real at the tooling
+//! layer: one [`ScenarioSpec`] — a serializable, builder-constructed
+//! value — describes a full experiment, and swapping the MAC (or the
+//! deployment, or the reception backend) is a one-field edit, not a new
+//! binary.
+//!
+//! # The knobs and their paper provenance
+//!
+//! | spec field | paper source |
+//! |------------|--------------|
+//! | `deploy`   | evaluation workloads: uniform/cluster deployments, the two-lines gadget of Fig. 1/Thm 6.1, the two-balls gadget of Thm 8.1 |
+//! | `sinr`     | the SINR model parameters `α, β, N, ε, R` of §4.2 |
+//! | `backend`  | reception computation (exact / grid far-field / threaded) — an implementation choice, not a model choice |
+//! | `mac`      | the plug-and-play axis: Algorithm 11.1 (`sinr`), the ideal reference layer, Decay (Thm 8.1 baseline), or the self-contained SMB baselines (TDMA schedule of Thm 6.1, DGKN \[14\], Decay/\[32\] proxy) |
+//! | `workload` | §4.5 problems: continuous/one-shot local broadcast (Defs. 5.1/7.1 measurement workloads), SMB/MMB (Thms 12.1/12.7), consensus (Cor. 5.5) |
+//! | `dyn`      | beyond-the-paper dynamics: jammers (failure injection), node arrival/departure (churn) |
+//! | `stop`     | slot horizons; `epochs:N` counts Algorithm 9.1 epochs |
+//! | `seed`     | every random choice is seeded — runs reproduce bit-for-bit from the spec text |
+//! | `measure`  | trace recording (latency extraction) and drop-out polling (Def. 10.2's set `W`) |
+//!
+//! # From spec to numbers
+//!
+//! ```
+//! use sinr_scenario::prelude::*;
+//!
+//! let spec = ScenarioSpec::parse(
+//!     "deploy=lattice:4:4:2\n\
+//!      sinr=alpha:3,beta:1.5,noise:1,eps:0.1,range:8\n\
+//!      workload=oneshot:count:2\n\
+//!      stop=done:20000\n",
+//! )
+//! .unwrap();
+//! let run = spec.build().unwrap().run().unwrap();
+//! assert!(run.outcome.completed_at.is_some());
+//! let report = report_for(&run);
+//! assert!(report.to_json().contains("\"ack_count\""));
+//! ```
+//!
+//! Parameter sweeps batch over a spec grid with [`ScenarioSet`]; the
+//! `sinr-lab` binary (in `sinr-bench`) drives all of this from the
+//! command line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod error;
+mod report;
+mod spec;
+mod sweep;
+
+pub mod clients;
+
+pub use build::{
+    connected_uniform, RunnableScenario, ScenarioCtx, ScenarioMac, ScenarioOutcome, ScenarioRun,
+    WorkClient, CONNECTED_SEED_BUDGET,
+};
+pub use error::ScenarioError;
+pub use report::{report_for, Json, Report};
+pub use spec::{
+    DeploymentSpec, DynEvent, DynKind, IdealPolicy, MacKnob, MacSpec, MeasureSpec, ScenarioSpec,
+    SeedSpec, SinrSpec, SourceSet, StopSpec, WorkloadSpec,
+};
+pub use sweep::{splitmix64, Axis, ScenarioSet};
+
+/// The items most scenario programs need, in one import.
+pub mod prelude {
+    pub use crate::clients::{Gated, OneShot, Repeater};
+    pub use crate::{
+        connected_uniform, env_backend_override, report_for, DeploymentSpec, DynEvent, DynKind,
+        IdealPolicy, Json, MacKnob, MacSpec, MeasureSpec, Report, RunnableScenario, ScenarioCtx,
+        ScenarioError, ScenarioRun, ScenarioSet, ScenarioSpec, SeedSpec, SinrSpec, SourceSet,
+        StopSpec, WorkloadSpec,
+    };
+}
+
+/// Applies the `SINR_BACKEND` environment override on top of a spec's
+/// backend field.
+///
+/// The spec's `backend=` field is the source of truth, so published runs
+/// are reproducible from the spec alone; the environment variable is a
+/// deliberate operator override (e.g. forcing `par:8` on a big machine)
+/// and **wins with a warning on stderr** when it differs from the spec.
+///
+/// # Panics
+///
+/// Panics with the parse error if `SINR_BACKEND` is set but malformed —
+/// a misconfigured run must not silently fall back.
+pub fn env_backend_override(spec: sinr_phys::BackendSpec) -> sinr_phys::BackendSpec {
+    match std::env::var("SINR_BACKEND") {
+        Ok(raw) => {
+            let over =
+                sinr_phys::BackendSpec::parse(&raw).unwrap_or_else(|e| panic!("SINR_BACKEND: {e}"));
+            if over != spec {
+                eprintln!(
+                    "warning: SINR_BACKEND={raw} overrides the spec backend `{spec}`; \
+                     results will not match the published spec"
+                );
+            }
+            over
+        }
+        Err(_) => spec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_override_passes_spec_through_when_unset() {
+        // The test environment must not leak a backend override.
+        if std::env::var("SINR_BACKEND").is_ok() {
+            return;
+        }
+        let spec = sinr_phys::BackendSpec::grid_far_field(8.0);
+        assert_eq!(env_backend_override(spec), spec);
+    }
+}

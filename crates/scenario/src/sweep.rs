@@ -1,0 +1,268 @@
+//! Parameter sweeps: a base spec plus override axes, expanded into a
+//! grid of cells and executed in a batch across OS threads.
+//!
+//! This is the spec-driven form of "run the experiment at every point
+//! of Table 1/Table 2": each axis is a spec key (see
+//! [`ScenarioSpec::set`]) with a list of values, cells are the
+//! Cartesian product, and execution uses `std::thread::scope` with a
+//! shared work queue. Per-cell seeds are deterministic: with
+//! [`ScenarioSet::reseed`] enabled, cell `i` runs with seed
+//! `splitmix64(base_seed ⊕ (i+1))`, so a sweep is reproducible without
+//! every cell sharing one RNG stream.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::build::ScenarioRun;
+use crate::spec::{ScenarioSpec, SeedSpec};
+use crate::ScenarioError;
+
+/// SplitMix64 — the standard 64-bit seed scrambler, used to derive
+/// independent per-cell seeds from one base seed.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One sweep axis: a spec key and the values it takes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axis {
+    /// The spec key (any key accepted by [`ScenarioSpec::set`], e.g.
+    /// `mac.t_mult`, `deploy`, `sinr.range`).
+    pub key: String,
+    /// The values, in sweep order.
+    pub values: Vec<String>,
+}
+
+/// A parameter sweep: base spec × override axes.
+#[derive(Debug, Clone)]
+pub struct ScenarioSet {
+    /// The spec every cell starts from.
+    pub base: ScenarioSpec,
+    /// Override axes; cells are their Cartesian product (row-major, the
+    /// last axis varying fastest).
+    pub axes: Vec<Axis>,
+    /// Derive a distinct deterministic seed per cell (off by default:
+    /// paper-table sweeps deliberately reuse one seed across cells so
+    /// only the swept knob changes).
+    pub reseed: bool,
+    /// Keep per-cell trace recording on. Off by default: a batch that
+    /// records every trace holds all of them in memory at once, which is
+    /// exactly the unbounded growth a sweep must avoid. Enable only for
+    /// small sweeps whose post-processing needs the traces.
+    pub keep_traces: bool,
+}
+
+impl ScenarioSet {
+    /// A sweep with no axes (a single cell: the base spec).
+    pub fn new(base: ScenarioSpec) -> Self {
+        ScenarioSet {
+            base,
+            axes: Vec::new(),
+            reseed: false,
+            keep_traces: false,
+        }
+    }
+
+    /// Adds an axis.
+    pub fn axis(mut self, key: impl Into<String>, values: Vec<String>) -> Self {
+        self.axes.push(Axis {
+            key: key.into(),
+            values,
+        });
+        self
+    }
+
+    /// Enables deterministic per-cell reseeding.
+    pub fn with_reseed(mut self) -> Self {
+        self.reseed = true;
+        self
+    }
+
+    /// Keeps trace recording on in every cell.
+    pub fn with_traces(mut self) -> Self {
+        self.keep_traces = true;
+        self
+    }
+
+    /// Expands the grid into concrete specs, applying overrides, cell
+    /// naming, sweep-default measurement (tracing off unless
+    /// `keep_traces`) and per-cell reseeding.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Parse`] if an axis key or value is rejected by
+    /// [`ScenarioSpec::set`].
+    pub fn cells(&self) -> Result<Vec<ScenarioSpec>, ScenarioError> {
+        let mut cells = vec![self.base.clone()];
+        for axis in &self.axes {
+            if axis.values.is_empty() {
+                return Err(ScenarioError::Parse(format!(
+                    "sweep axis {:?} has no values",
+                    axis.key
+                )));
+            }
+            let mut next = Vec::with_capacity(cells.len() * axis.values.len());
+            for cell in &cells {
+                for value in &axis.values {
+                    let mut c = cell.clone();
+                    c.set(&axis.key, value)?;
+                    c.name = format!("{}/{}={}", c.name, axis.key, value);
+                    next.push(c);
+                }
+            }
+            cells = next;
+        }
+        let seed_swept = self.axes.iter().any(|a| a.key == "seed");
+        for (i, cell) in cells.iter_mut().enumerate() {
+            if !self.keep_traces {
+                cell.measure.trace = false;
+            }
+            if self.reseed && !seed_swept {
+                let base = match self.base.seed {
+                    SeedSpec::Fixed(s) => s,
+                    SeedSpec::FromDeploy => 0,
+                };
+                cell.seed = SeedSpec::Fixed(splitmix64(base ^ (i as u64 + 1)));
+            }
+        }
+        Ok(cells)
+    }
+
+    /// Builds and runs every cell across `threads` OS threads
+    /// (`std::thread::scope`; a shared atomic work queue keeps the
+    /// threads busy regardless of per-cell cost). Results come back in
+    /// cell order. The first cell error stops workers from claiming
+    /// further cells (already-running cells finish) and is returned.
+    ///
+    /// # Errors
+    ///
+    /// The first (in cell order) [`ScenarioError`] any cell produced.
+    pub fn run(&self, threads: usize) -> Result<Vec<ScenarioRun>, ScenarioError> {
+        let cells = self.cells()?;
+        let threads = threads.max(1).min(cells.len().max(1));
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let results: Vec<Mutex<Option<Result<ScenarioRun, ScenarioError>>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let outcome = cells[i].run();
+                    if outcome.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    *results[i].lock().expect("no panics while holding lock") = Some(outcome);
+                });
+            }
+        });
+        let mut runs = Vec::with_capacity(cells.len());
+        for slot in results {
+            // Claimed cells form a prefix of the cell order, so an
+            // abort's error is always reached before the unclaimed
+            // (None) suffix.
+            match slot.into_inner().expect("worker threads joined") {
+                Some(Ok(run)) => runs.push(run),
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("unclaimed cell before the aborting error"),
+            }
+        }
+        Ok(runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{
+        DeploymentSpec, MacSpec, MeasureSpec, SinrSpec, SourceSet, StopSpec, WorkloadSpec,
+    };
+    use sinr_geom::DeploySpec;
+
+    fn base() -> ScenarioSpec {
+        ScenarioSpec::new(
+            "sweep-base",
+            DeploymentSpec::plain(DeploySpec::Lattice {
+                rows: 3,
+                cols: 3,
+                spacing: 2.0,
+            }),
+            WorkloadSpec::Repeat(SourceSet::Stride(2)),
+            StopSpec::Slots(150),
+        )
+        .with_sinr(SinrSpec::with_range(8.0))
+        .with_mac(MacSpec::sinr())
+    }
+
+    #[test]
+    fn cells_form_the_cartesian_product_with_tracing_off() {
+        let set = ScenarioSet::new(base())
+            .axis("mac.t_mult", vec!["1".into(), "2".into()])
+            .axis("seed", vec!["1".into(), "2".into(), "3".into()]);
+        let cells = set.cells().unwrap();
+        assert_eq!(cells.len(), 6);
+        assert!(cells.iter().all(|c| !c.measure.trace), "sweeps trace off");
+        assert!(cells[0].name.contains("mac.t_mult=1"));
+        assert!(cells[5].name.contains("seed=3"));
+    }
+
+    #[test]
+    fn keep_traces_preserves_tracing() {
+        let set = ScenarioSet::new(base().with_measure(MeasureSpec::trace_only())).with_traces();
+        assert!(set.cells().unwrap()[0].measure.trace);
+    }
+
+    #[test]
+    fn reseed_is_deterministic_and_distinct() {
+        let set = ScenarioSet::new(base())
+            .axis("mac.t_mult", vec!["1".into(), "2".into()])
+            .with_reseed();
+        let a = set.cells().unwrap();
+        let b = set.cells().unwrap();
+        assert_eq!(a[0].seed, b[0].seed, "deterministic");
+        assert_ne!(a[0].seed, a[1].seed, "distinct per cell");
+    }
+
+    #[test]
+    fn reseed_defers_to_an_explicit_seed_axis() {
+        let set = ScenarioSet::new(base())
+            .axis("seed", vec!["5".into(), "6".into()])
+            .with_reseed();
+        let cells = set.cells().unwrap();
+        assert_eq!(cells[0].seed, crate::spec::SeedSpec::Fixed(5));
+        assert_eq!(cells[1].seed, crate::spec::SeedSpec::Fixed(6));
+    }
+
+    #[test]
+    fn batch_run_returns_results_in_cell_order() {
+        let set = ScenarioSet::new(base()).axis("seed", vec!["1".into(), "2".into()]);
+        let runs = set.run(2).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].ctx.seed, 1);
+        assert_eq!(runs[1].ctx.seed, 2);
+        // Batch default: no traces retained.
+        assert!(runs.iter().all(|r| r.outcome.trace.is_empty()));
+    }
+
+    #[test]
+    fn batch_surfaces_cell_errors() {
+        let set = ScenarioSet::new(base()).axis("sinr.eps", vec!["0.9".into()]);
+        assert!(set.run(2).is_err(), "eps=0.9 violates 0<eps<1/2");
+    }
+
+    #[test]
+    fn splitmix_scrambles() {
+        assert_ne!(splitmix64(1), splitmix64(2));
+        assert_eq!(splitmix64(7), splitmix64(7));
+    }
+}

@@ -20,6 +20,7 @@
 //! mac    — the paper's implementation (Algorithms B.1, 9.1, 11.1), Decay
 //! protocols — BSMB, BMMB, consensus over any absMAC
 //! baselines — DGKN [14], Decay-SMB ([32]-shape proxy), TDMA schedule
+//! scenario  — declarative ScenarioSpec → build → run → report pipeline
 //! ```
 //!
 //! # Examples
@@ -45,6 +46,7 @@ pub use sinr_graphs as graphs;
 pub use sinr_mac as mac;
 pub use sinr_phys as phys;
 pub use sinr_protocols as protocols;
+pub use sinr_scenario as scenario;
 
 /// The items most programs need, in one import.
 pub mod prelude {
@@ -57,4 +59,8 @@ pub mod prelude {
     pub use sinr_mac::{DecayMac, DecayParams, MacParams, SinrAbsMac};
     pub use sinr_phys::{BackendSpec, InterferenceBackend, InterferenceModel, SinrParams};
     pub use sinr_protocols::{Bmmb, Bsmb, FloodMaxConsensus, Proposal};
+    pub use sinr_scenario::{
+        report_for, DeploymentSpec, MacSpec, ScenarioSet, ScenarioSpec, SeedSpec, SinrSpec,
+        SourceSet, StopSpec, WorkloadSpec,
+    };
 }
