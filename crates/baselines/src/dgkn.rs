@@ -127,7 +127,10 @@ impl<P: Clone> DgknSmb<P> {
     }
 
     /// Like [`DgknSmb::new`] with an explicit reception backend
-    /// (interference model + thread count).
+    /// (interference model + thread count): `BackendSpec::cached()` is
+    /// the fast choice for long runs (the underlying `Engine` prepares
+    /// the backend against the deployment at construction, so the
+    /// cached kernel's gain matrix is built here, before slot 0).
     ///
     /// # Errors
     ///

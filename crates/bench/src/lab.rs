@@ -328,7 +328,9 @@ fn write_json(path: Option<&str>, json: &str) -> Result<(), String> {
 }
 
 /// Measures the sweep runner's throughput (satellite metric: a batch of
-/// 8 cells at n = 64) and writes `BENCH_scenario.json`.
+/// 8 cells at n = 64, reception via the cached-gain kernel — the
+/// configuration sweeps should default to) and writes
+/// `BENCH_scenario.json`.
 ///
 /// # Errors
 ///
@@ -345,6 +347,7 @@ pub fn bench_sweep_throughput(out: &str) -> Result<(), String> {
         StopSpec::Slots(500),
     )
     .with_sinr(SinrSpec::with_range(8.0))
+    .with_backend(sinr_phys::BackendSpec::cached())
     .with_measure(MeasureSpec::none());
     let batch = 8usize;
     let seeds: Vec<String> = (1..=batch as u64).map(|s| s.to_string()).collect();

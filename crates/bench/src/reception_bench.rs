@@ -3,11 +3,21 @@
 //! trajectory to compare against.
 //!
 //! For every deployment shape (lattice, uniform) and size
-//! `n ∈ {64, 256, 1024}`, each backend (`exact`, `grid`, `exact+par`,
-//! `grid+par`) repeatedly resolves a full slot (half the nodes
-//! transmitting, persistent backend so scratch buffers are reused — the
-//! exact hot path the `Engine` drives) and reports decided slots per
-//! second of wall clock.
+//! `n ∈ {64, 256, 1024}`, each backend (`exact`, `grid`, `cached`,
+//! `exact+par`, `grid+par`) repeatedly resolves whole slots against a
+//! **churning transmitter schedule**: roughly half the nodes always
+//! transmit and an extra cohort of `n/32` rotates every slot, so
+//! consecutive slots differ in ~n/16 transmitters — the access pattern
+//! a MAC layer actually produces, and the one the cached kernel's
+//! delta-driven hot path is built for. Backends persist across slots
+//! (scratch buffers and gain caches are reused — the exact hot path the
+//! `Engine` drives) and each reports decided slots per second of wall
+//! clock.
+//!
+//! After writing, the emitted JSON is read back and validated (parses
+//! shallowly, one row per backend per configuration) so a refactor
+//! cannot silently rot the BENCH file; CI runs the same binary in
+//! `--smoke` mode (n = 64 only, short measurements) on every push.
 //!
 //! Entry points: the `bench_reception` binary and
 //! `sinr-lab legacy bench_reception`, both of which call [`run`]. The
@@ -21,55 +31,135 @@ use crate::common::Table;
 use sinr_geom::{deploy, Point};
 use sinr_phys::{BackendSpec, SinrParams};
 
+/// Slots in one churn cycle (and distinct transmitter sets).
+const CYCLE: usize = 16;
+
 /// One measured configuration.
 struct Sample {
     deployment: &'static str,
     n: usize,
     backend: String,
     slots_per_sec: f64,
-    /// Receptions in the measured slot, as a sanity anchor: backends on
-    /// the same deployment must broadly agree (grid is conservative).
+    /// Receptions in the cycle's first slot, as a sanity anchor: backends
+    /// on the same deployment must broadly agree (grid is conservative,
+    /// cached and the parallel wrappers are bit-identical to exact).
     receptions: usize,
+}
+
+/// The rotating transmitter schedule: even nodes always send, plus the
+/// odd-node cohort `2·(slot % 16) + 1 (mod 32)` — so each slot churns
+/// about `2 · n/32` transmitters against the previous one.
+fn churn_schedule(n: usize) -> Vec<Vec<usize>> {
+    (0..CYCLE)
+        .map(|v| {
+            (0..n)
+                .filter(|i| i % 2 == 0 || i % 32 == 2 * v + 1)
+                .collect()
+        })
+        .collect()
 }
 
 fn measure(
     sinr: &SinrParams,
     positions: &[Point],
-    senders: &[usize],
+    schedule: &[Vec<usize>],
     spec: BackendSpec,
+    target_secs: f64,
 ) -> (f64, usize) {
     let mut backend = spec.build();
+    backend.prepare(sinr, positions);
     let mut out = vec![None; positions.len()];
-    // Warm up (first slot pays scratch allocation and thread start-up).
-    backend.decide_slot(sinr, positions, senders, &mut out);
-    // Calibrate the repeat count so each measurement runs ~0.2 s.
-    let t0 = Instant::now();
-    backend.decide_slot(sinr, positions, senders, &mut out);
-    let once = t0.elapsed().as_secs_f64().max(1e-7);
-    let reps = ((0.2 / once) as usize).clamp(3, 20_000);
-    let t0 = Instant::now();
-    for _ in 0..reps {
+    // Warm up one full cycle (pays scratch allocation, thread start-up
+    // and the cached kernel's first full refresh).
+    for senders in schedule {
         backend.decide_slot(sinr, positions, senders, &mut out);
     }
-    let per_slot = t0.elapsed().as_secs_f64() / reps as f64;
-    (1.0 / per_slot, out.iter().flatten().count())
+    let receptions = {
+        backend.decide_slot(sinr, positions, &schedule[0], &mut out);
+        out.iter().flatten().count()
+    };
+    // Calibrate the repeat count so each measurement runs ~target_secs.
+    let t0 = Instant::now();
+    for senders in schedule {
+        backend.decide_slot(sinr, positions, senders, &mut out);
+    }
+    let once = t0.elapsed().as_secs_f64().max(1e-7);
+    let cycles = ((target_secs / once) as usize).clamp(1, 20_000);
+    let t0 = Instant::now();
+    for _ in 0..cycles {
+        for senders in schedule {
+            backend.decide_slot(sinr, positions, senders, &mut out);
+        }
+    }
+    let per_slot = t0.elapsed().as_secs_f64() / (cycles * schedule.len()) as f64;
+    (1.0 / per_slot, receptions)
 }
 
-/// Runs the benchmark; `args[0]`, when present, is the output path.
+/// Shallow validation of the emitted JSON: it must parse as the expected
+/// flat shape and carry one row per backend per (deployment, n) pair.
 ///
 /// # Panics
 ///
-/// Panics if a deployment cannot be generated or the output file cannot
-/// be written — both are environment bugs a benchmark must not mask.
+/// Panics with a description when the file does not meet the contract —
+/// the whole point is that CI fails loudly instead of committing a
+/// rotten BENCH file.
+fn validate_json(json: &str, backends: &[String], configurations: usize) {
+    assert!(
+        json.trim_start().starts_with('{') && json.trim_end().ends_with('}'),
+        "BENCH json is not an object"
+    );
+    let rows = json.matches("\"backend\":").count();
+    assert_eq!(
+        rows,
+        backends.len() * configurations,
+        "expected {} rows ({} backends x {} configurations), found {}",
+        backends.len() * configurations,
+        backends.len(),
+        configurations,
+        rows
+    );
+    for b in backends {
+        let needle = format!("\"backend\": \"{b}\"");
+        assert_eq!(
+            json.matches(&needle).count(),
+            configurations,
+            "backend {b} does not appear once per configuration"
+        );
+    }
+    for key in [
+        "\"bench\":",
+        "\"unit\":",
+        "\"samples\":",
+        "\"slots_per_sec\":",
+    ] {
+        assert!(json.contains(key), "BENCH json is missing {key}");
+    }
+}
+
+/// Runs the benchmark. `args` may contain `--smoke` (tiny mode: n = 64
+/// only, short measurements — the CI configuration) and/or an output
+/// path (default `BENCH_reception.json`).
+///
+/// # Panics
+///
+/// Panics if a deployment cannot be generated, the output file cannot be
+/// written, or the emitted JSON fails validation — all are bugs a
+/// benchmark must not mask.
 pub fn run(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args
-        .first()
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "BENCH_reception.json".to_string());
+    let sizes: &[usize] = if smoke { &[64] } else { &[64, 256, 1024] };
+    let target_secs = if smoke { 0.01 } else { 0.2 };
+
     let sinr = SinrParams::builder().range(16.0).build().unwrap();
     // At least 2 so the parallel rows exist even on single-core runners
-    // (there they measure pure threading overhead, which is itself worth
-    // tracking); capped to keep thread start-up noise bounded.
+    // (below the serial/parallel crossover they measure the automatic
+    // fallback, which is itself worth tracking); capped to keep thread
+    // start-up noise bounded.
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
@@ -78,16 +168,21 @@ pub fn run(args: &[String]) {
     let backends = [
         BackendSpec::exact(),
         BackendSpec::grid_far_field(cell),
+        BackendSpec::cached(),
         BackendSpec::exact().with_threads(threads),
         BackendSpec::grid_far_field(cell).with_threads(threads),
     ];
+    let backend_names: Vec<String> = backends
+        .iter()
+        .map(|s| s.build().name().to_string())
+        .collect();
 
     let mut samples: Vec<Sample> = Vec::new();
     let mut table = Table::new(
-        "reception kernel throughput (half the nodes transmit)",
+        "reception kernel throughput (≈ n/2 transmitters, ~n/16 churn per slot)",
         &["deployment", "n", "backend", "slots_per_sec", "receptions"],
     );
-    for &n in &[64usize, 256, 1024] {
+    for &n in sizes {
         let side = (n as f64).sqrt() * 2.2;
         let rows = (n as f64).sqrt().ceil() as usize;
         let cols = n.div_ceil(rows);
@@ -98,21 +193,22 @@ pub fn run(args: &[String]) {
             ),
             ("uniform", deploy::uniform(n, side, 5).expect("uniform")),
         ];
+        let schedule = churn_schedule(n);
         for (name, positions) in deployments {
-            let senders: Vec<usize> = (0..n).step_by(2).collect();
-            for spec in backends {
-                let (slots_per_sec, receptions) = measure(&sinr, &positions, &senders, spec);
+            for (spec, backend_name) in backends.iter().zip(&backend_names) {
+                let (slots_per_sec, receptions) =
+                    measure(&sinr, &positions, &schedule, *spec, target_secs);
                 table.row(vec![
                     name.to_string(),
                     n.to_string(),
-                    spec.build().name().to_string(),
+                    backend_name.clone(),
                     format!("{slots_per_sec:.0}"),
                     receptions.to_string(),
                 ]);
                 samples.push(Sample {
                     deployment: name,
                     n,
-                    backend: spec.build().name().to_string(),
+                    backend: backend_name.clone(),
                     slots_per_sec,
                     receptions,
                 });
@@ -124,6 +220,7 @@ pub fn run(args: &[String]) {
     // Hand-rolled JSON: the workspace has no serde and the schema is flat.
     let mut json = String::from("{\n  \"bench\": \"reception\",\n  \"unit\": \"slots_per_sec\",\n");
     let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"churn_cycle\": {CYCLE},");
     json.push_str("  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let _ = write!(
@@ -135,23 +232,32 @@ pub fn run(args: &[String]) {
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_reception.json");
-    println!("wrote {out_path}");
+    let written = std::fs::read_to_string(&out_path).expect("read back BENCH_reception.json");
+    validate_json(&written, &backend_names, sizes.len() * 2);
+    println!("wrote {out_path} ({} rows, validated)", samples.len());
 
-    // The claim later PRs build on: at n = 1024 the accelerated paths
-    // must beat serial exact.
-    for deployment in ["lattice", "uniform"] {
-        let rate = |backend: &str| {
-            samples
-                .iter()
-                .find(|s| s.deployment == deployment && s.n == 1024 && s.backend == backend)
-                .map(|s| s.slots_per_sec)
-                .unwrap_or(0.0)
-        };
-        let exact = rate("exact");
-        let best_accel = rate("grid").max(rate("exact+par")).max(rate("grid+par"));
-        println!(
-            "n=1024 {deployment}: exact {exact:.0}/s, best accelerated {best_accel:.0}/s ({:.2}x)",
-            best_accel / exact.max(1e-9)
-        );
+    // The claim this PR makes: at n = 1024 the cached kernel must beat
+    // serial exact by a wide margin under realistic churn.
+    if !smoke {
+        for deployment in ["lattice", "uniform"] {
+            let rate = |backend: &str| {
+                samples
+                    .iter()
+                    .find(|s| s.deployment == deployment && s.n == 1024 && s.backend == backend)
+                    .map(|s| s.slots_per_sec)
+                    .unwrap_or(0.0)
+            };
+            let exact = rate("exact");
+            let cached = rate("cached");
+            let best_accel = rate("grid")
+                .max(rate("exact+par"))
+                .max(rate("grid+par"))
+                .max(cached);
+            println!(
+                "n=1024 {deployment}: exact {exact:.0}/s, cached {cached:.0}/s ({:.2}x), best accelerated {best_accel:.0}/s ({:.2}x)",
+                cached / exact.max(1e-9),
+                best_accel / exact.max(1e-9)
+            );
+        }
     }
 }

@@ -185,7 +185,7 @@ impl<P: Protocol> Engine<P> {
             .map(|i| StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
             .collect();
         let n = positions.len();
-        Ok(Engine {
+        let mut engine = Engine {
             params,
             positions,
             protocols,
@@ -195,7 +195,12 @@ impl<P: Protocol> Engine<P> {
             decisions: vec![None; n],
             slot: 0,
             stats: EngineStats::default(),
-        })
+        };
+        // First phase of the backend lifecycle: per-deployment
+        // precomputation (the cached kernel builds its gain matrix here,
+        // outside the first simulated slot).
+        engine.backend.prepare(&engine.params, &engine.positions);
+        Ok(engine)
     }
 
     /// Number of nodes.
@@ -246,6 +251,7 @@ impl<P: Protocol> Engine<P> {
     pub fn set_backend(&mut self, spec: BackendSpec) {
         self.spec = spec;
         self.backend = spec.build();
+        self.backend.prepare(&self.params, &self.positions);
     }
 
     /// The backend specification reception decisions currently run with.
@@ -546,6 +552,20 @@ mod tests {
             (0..40).map(|_| e.step()).collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(2));
+    }
+
+    #[test]
+    fn cached_backend_execution_is_identical_to_exact() {
+        // The cached kernel is bit-identical at the reception level, so a
+        // full protocol execution (decisions feed back into RNG-driven
+        // behavior) must coincide slot for slot.
+        let run = |spec: BackendSpec| {
+            let pos = sinr_geom::deploy::uniform(30, 40.0, 5).unwrap();
+            let protos: Vec<CoinFlip> = (0..30).map(|_| CoinFlip).collect();
+            let mut e = Engine::with_backend(params(), pos, protos, 3, spec).unwrap();
+            (0..60).map(|_| e.step()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(BackendSpec::exact()), run(BackendSpec::cached()));
     }
 
     #[test]

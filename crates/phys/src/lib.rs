@@ -62,4 +62,7 @@ pub mod reception;
 pub use engine::{Action, Engine, EngineStats, NodeId, Protocol, SlotCtx, SlotOutcome};
 pub use error::PhysError;
 pub use params::{SinrParams, SinrParamsBuilder};
-pub use reception::{BackendSpec, InterferenceBackend, InterferenceModel};
+pub use reception::{
+    effective_threads, BackendSpec, CachedBackend, GainCache, InterferenceBackend,
+    InterferenceModel, PAR_CROSSOVER_LISTENERS,
+};

@@ -33,17 +33,41 @@
 //!   [`HashGrid::cell_min_dist`] as its inner radius. Cost per listener is
 //!   O(near transmitters + occupied cells) instead of O(senders).
 //!
-//! * [`ParallelBackend`] wraps either of the above and splits the
+//! * [`CachedBackend`] precomputes every pairwise link gain `P/d^α` once
+//!   per deployment into a [`GainCache`] (flat row-major `n×n`), then
+//!   drives each slot from the *delta* of the transmitter set: the total
+//!   interference at every listener is maintained incrementally as
+//!   senders enter and leave, with a periodic exact refresh bounding
+//!   float drift and a guarded near-threshold fallback that replays the
+//!   exact summation — receptions are **bit-identical** to
+//!   [`ExactBackend`] (verified by proptest, including churn). Per-slot
+//!   cost is O(|Δ senders| × n) instead of O(n × senders), at O(n²)
+//!   memory. The fastest choice for long simulations whose transmitter
+//!   set evolves gradually (every MAC layer in this workspace).
+//!
+//! * [`ParallelBackend`] wraps the exact or grid model and splits the
 //!   per-listener loop across OS threads (`std::thread::scope`).
 //!   Listeners are independent, so the result is **bit-identical** to the
 //!   serial computation at any thread count (verified by proptest) —
 //!   parallelism is purely a wall-clock lever for large deployments.
+//!   Below [`PAR_CROSSOVER_LISTENERS`] listeners the thread fan-out costs
+//!   more than it saves, so the parallel paths automatically fall back to
+//!   serial execution (see [`effective_threads`]).
 //!
-//! Backends are stateful so scratch allocations (sender position buffers,
-//! flattened cell lists) are reused across slots; constructing one per
-//! call via the [`decide_receptions`] convenience wrapper is supported
-//! but re-allocates every time. Long-lived simulations should hold a
-//! backend (the `Engine` does this) and feed it every slot.
+//! # Lifecycle: `prepare` once, `decide_slot` every slot
+//!
+//! Backends are stateful. [`InterferenceBackend::prepare`] is called once
+//! per run with the deployment (the `Engine` does this at construction
+//! and on backend swaps) and front-loads whatever the backend can
+//! precompute — the gain matrix for [`CachedBackend`], nothing for the
+//! stateless models. [`decide_slot`](InterferenceBackend::decide_slot)
+//! then runs every slot against the prepared deployment; scratch
+//! allocations (sender position buffers, flattened cell lists, delta
+//! sets) are reused across slots. Calling `decide_slot` without `prepare`
+//! (or with a different deployment) stays correct — backends detect the
+//! mismatch and re-prepare lazily — so the [`decide_receptions`]
+//! convenience wrapper keeps working, it just pays the preparation cost
+//! on every call.
 //!
 //! Selection is data-driven through [`BackendSpec`], a small `Copy` value
 //! that travels through constructor APIs (`Engine`, `SinrAbsMac`,
@@ -73,6 +97,11 @@ pub enum InterferenceModel {
         /// Grid cell side; a good default is half the weak range.
         cell_size: f64,
     },
+    /// Cached-gain kernel: pairwise gains precomputed once per deployment,
+    /// per-listener interference maintained incrementally from transmitter
+    /// deltas. Receptions are bit-identical to [`Exact`](Self::Exact) at
+    /// O(|Δ senders| × n) per slot and O(n²) memory (see module docs).
+    Cached,
 }
 
 /// Complete, serializable description of a reception backend: which
@@ -136,6 +165,15 @@ impl BackendSpec {
         }
     }
 
+    /// The cached-gain delta kernel (bit-identical to exact, fastest for
+    /// long runs; see module docs).
+    pub fn cached() -> Self {
+        BackendSpec {
+            model: InterferenceModel::Cached,
+            threads: 1,
+        }
+    }
+
     /// The same model split across `threads` OS threads.
     ///
     /// # Panics
@@ -146,12 +184,31 @@ impl BackendSpec {
         BackendSpec { threads, ..self }
     }
 
+    /// Resolves the thread count against a concrete deployment size via
+    /// the serial/parallel crossover ([`effective_threads`]): below
+    /// [`PAR_CROSSOVER_LISTENERS`] listeners the returned spec is serial,
+    /// so small scenarios never pay thread fan-out that costs more than
+    /// it saves. Receptions are thread-count invariant, so tuning never
+    /// changes results — only wall clock.
+    pub fn tuned(self, listeners: usize) -> Self {
+        BackendSpec {
+            threads: effective_threads(self.threads, listeners),
+            ..self
+        }
+    }
+
     /// Builds the worker for this spec.
     pub fn build(self) -> Box<dyn InterferenceBackend> {
         let serial: Box<dyn InterferenceBackend> = match self.model {
             InterferenceModel::Exact => Box::new(ExactBackend::new()),
             InterferenceModel::GridFarField { cell_size } => {
                 Box::new(GridFarFieldBackend::new(cell_size))
+            }
+            // The cached kernel owns its thread handling (its hot loops
+            // are listener-chunked internally), so it never goes through
+            // `ParallelBackend`.
+            InterferenceModel::Cached => {
+                return Box::new(CachedBackend::with_threads(self.threads))
             }
         };
         if self.threads == 1 {
@@ -162,7 +219,8 @@ impl BackendSpec {
     }
 
     /// Parses a spec from a compact string, for CLI/bench selection:
-    /// `exact`, `grid:CELL`, `par:THREADS`, `grid:CELL:par:THREADS`.
+    /// `exact`, `grid:CELL`, `cached`, `par:THREADS`, or combinations
+    /// like `grid:CELL:par:THREADS`.
     ///
     /// # Errors
     ///
@@ -174,6 +232,7 @@ impl BackendSpec {
             match parts.next() {
                 None => return Ok(spec),
                 Some("exact") => spec.model = InterferenceModel::Exact,
+                Some("cached") => spec.model = InterferenceModel::Cached,
                 Some("grid") => {
                     let cell = parts
                         .next()
@@ -200,7 +259,7 @@ impl BackendSpec {
                 }
                 Some(other) => {
                     return Err(format!(
-                    "unknown backend component {other:?}; expected exact, grid:CELL or par:THREADS"
+                    "unknown backend component {other:?}; expected exact, grid:CELL, cached or par:THREADS"
                 ))
                 }
             }
@@ -213,6 +272,7 @@ impl std::fmt::Display for BackendSpec {
         match self.model {
             InterferenceModel::Exact => write!(f, "exact")?,
             InterferenceModel::GridFarField { cell_size } => write!(f, "grid:{cell_size}")?,
+            InterferenceModel::Cached => write!(f, "cached")?,
         }
         if self.threads > 1 {
             write!(f, ":par:{}", self.threads)?;
@@ -228,9 +288,21 @@ impl std::fmt::Display for BackendSpec {
 /// no per-slot allocations beyond what the slot's sender count forces.
 /// See the module docs for the trade-offs between the implementations.
 pub trait InterferenceBackend: Send {
-    /// Short stable identifier (`"exact"`, `"grid"`, `"exact+par"`,
-    /// `"grid+par"`), used by benches and diagnostics.
+    /// Short stable identifier (`"exact"`, `"grid"`, `"cached"`,
+    /// `"exact+par"`, `"grid+par"`, `"cached+par"`), used by benches and
+    /// diagnostics.
     fn name(&self) -> &'static str;
+
+    /// Front-loads per-deployment work (first phase of the lifecycle;
+    /// see module docs).
+    ///
+    /// Called once per run before the first
+    /// [`decide_slot`](InterferenceBackend::decide_slot), and again
+    /// whenever positions or parameters change. The default is a no-op:
+    /// the exact and grid models have nothing to precompute. The cached
+    /// kernel builds its [`GainCache`] here, so the O(n²) gain matrix is
+    /// paid at construction instead of inside the first simulated slot.
+    fn prepare(&mut self, _params: &SinrParams, _positions: &[Point]) {}
 
     /// Decides receptions for every node given the set of transmitters.
     ///
@@ -409,13 +481,42 @@ fn rebuild_cells(grid: &HashGrid, cells: &mut Vec<((i64, i64), Vec<usize>)>) {
     cells.sort_unstable_by_key(|(cell, _)| *cell);
 }
 
+/// Below this many listeners, parallel reception paths run serial.
+///
+/// Thread spawn/join costs a few tens of microseconds per slot, so
+/// requesting threads for a small deployment must not be honored
+/// blindly: BENCH_reception.json measured `exact+par` 2.2x *slower*
+/// than `exact` at n = 64 and still behind at n = 256. The threshold
+/// sits at 512 rather than at that run's break-even (~1024) because the
+/// BENCH numbers come from a core-starved CI container whose parallel
+/// rows mostly price spawn overhead — on machines with real cores the
+/// crossover lands earlier — and because the same gate serves the
+/// one-shot [`GainCache::build`] row fill, an O(n²) job that amortizes
+/// its spawns far sooner than a per-slot loop does.
+pub const PAR_CROSSOVER_LISTENERS: usize = 512;
+
+/// Resolves a requested thread count against a deployment size: serial
+/// below [`PAR_CROSSOVER_LISTENERS`] listeners, and never more threads
+/// than half the listeners (a thread needs a meaningful chunk to pay for
+/// its spawn). Every parallel path in this module routes through this, so
+/// `with_threads(8)` on a 64-node scenario is a no-op rather than a 2.2x
+/// slowdown.
+pub fn effective_threads(requested: usize, listeners: usize) -> usize {
+    if listeners < PAR_CROSSOVER_LISTENERS {
+        1
+    } else {
+        requested.clamp(1, listeners / 2)
+    }
+}
+
 /// Chunked parallel execution of either serial model across OS threads.
 ///
 /// Listener decisions are independent, so splitting `out` into contiguous
 /// chunks and deciding each chunk on its own thread produces bit-identical
 /// results at any thread count. Slot preparation (sender gather, grid
 /// build) stays serial — it is linear in the sender count and not worth
-/// distributing.
+/// distributing. Below [`PAR_CROSSOVER_LISTENERS`] listeners the whole
+/// slot runs serial ([`effective_threads`]).
 #[derive(Debug)]
 pub struct ParallelBackend {
     model: InterferenceModel,
@@ -429,9 +530,15 @@ impl ParallelBackend {
     ///
     /// # Panics
     ///
-    /// Panics if `threads` is zero.
+    /// Panics if `threads` is zero, or if `model` is
+    /// [`InterferenceModel::Cached`] — the cached kernel chunks its own
+    /// hot loops (build via [`BackendSpec::build`] instead).
     pub fn new(model: InterferenceModel, threads: usize) -> Self {
         assert!(threads > 0, "threads must be nonzero");
+        assert!(
+            !matches!(model, InterferenceModel::Cached),
+            "the cached kernel parallelizes internally; build it through BackendSpec"
+        );
         if let InterferenceModel::GridFarField { cell_size } = model {
             assert!(
                 cell_size.is_finite() && cell_size > 0.0,
@@ -457,6 +564,7 @@ impl InterferenceBackend for ParallelBackend {
         match self.model {
             InterferenceModel::Exact => "exact+par",
             InterferenceModel::GridFarField { .. } => "grid+par",
+            InterferenceModel::Cached => unreachable!("rejected by ParallelBackend::new"),
         }
     }
 
@@ -482,10 +590,12 @@ impl InterferenceBackend for ParallelBackend {
                 rebuild_cells(&grid, &mut self.cells);
                 Some((grid, near_cutoff(params, cell_size)))
             }
+            InterferenceModel::Cached => unreachable!("rejected by ParallelBackend::new"),
         };
-        let threads = self.threads;
-        if threads == 1 || positions.len() < 2 * threads {
-            // Not enough listeners to amortize thread spawns.
+        let threads = effective_threads(self.threads, positions.len());
+        if threads == 1 {
+            // Below the crossover (or a single requested thread): the
+            // listener count cannot amortize thread spawns.
             for (u, slot) in out.iter_mut().enumerate() {
                 *slot = match &grid_ctx {
                     None => decide_exact(params, positions, senders, &self.sender_pts, u),
@@ -526,6 +636,532 @@ impl InterferenceBackend for ParallelBackend {
                 });
             }
         });
+    }
+}
+
+/// Sentinel in the per-listener best-sender arrays: no current sender.
+const NO_SENDER: usize = usize::MAX;
+
+/// Incremental updates per listener between mandatory full refreshes of
+/// the cached kernel's interference totals. Each update contributes at
+/// most one rounding error of relative size `f64::EPSILON`, so the
+/// accumulated drift stays orders of magnitude below the near-threshold
+/// guard band that triggers exact recomputation.
+const REFRESH_OPS: u64 = 1024;
+
+/// All pairwise link gains of a deployment, precomputed once.
+///
+/// Flat row-major storage: `gain(s, u) = P / d(s, u)^α` lives at
+/// `s·n + u`, so applying one sender's arrival or departure to every
+/// listener is a single contiguous row sweep. A parallel matrix of
+/// squared distances backs nearest-sender selection with the same
+/// tie-breaking the exact backend uses. Diagonal entries are
+/// gain `0` / distance `+∞`: a node never interferes with itself and
+/// never becomes its own decode candidate.
+///
+/// Gains are computed with exactly the operations [`ExactBackend`]
+/// performs per pair (`dist_sq → sqrt → received_power`), so sums over
+/// cached entries reproduce exact-backend sums bit for bit.
+///
+/// Memory is O(n²) — 16 MiB of `f64` at n = 1024 — the price of turning
+/// per-slot `powf` calls into loads.
+#[derive(Debug, Clone)]
+pub struct GainCache {
+    n: usize,
+    params: SinrParams,
+    positions: Vec<Point>,
+    gains: Vec<f64>,
+    d2: Vec<f64>,
+}
+
+impl GainCache {
+    /// Precomputes the gain and distance matrices for a deployment,
+    /// chunking the row fill across up to `threads` OS threads (rows are
+    /// independent; [`effective_threads`] applies, so small deployments
+    /// build serially).
+    pub fn build(params: &SinrParams, positions: &[Point], threads: usize) -> Self {
+        let n = positions.len();
+        let mut gains = vec![0.0f64; n * n];
+        let mut d2 = vec![f64::INFINITY; n * n];
+        let fill = |first_row: usize, grows: &mut [f64], drows: &mut [f64]| {
+            for (i, (grow, drow)) in grows.chunks_mut(n).zip(drows.chunks_mut(n)).enumerate() {
+                let s = first_row + i;
+                let ps = positions[s];
+                for (u, (gv, dv)) in grow.iter_mut().zip(drow.iter_mut()).enumerate() {
+                    if s != u {
+                        let dd = ps.dist_sq(positions[u]);
+                        *dv = dd;
+                        *gv = params.received_power(dd.sqrt());
+                    }
+                }
+            }
+        };
+        let eff = effective_threads(threads.max(1), n);
+        if eff <= 1 || n == 0 {
+            fill(0, &mut gains, &mut d2);
+        } else {
+            let rows = n.div_ceil(eff);
+            let fill = &fill;
+            std::thread::scope(|scope| {
+                for (k, (grows, drows)) in gains
+                    .chunks_mut(rows * n)
+                    .zip(d2.chunks_mut(rows * n))
+                    .enumerate()
+                {
+                    scope.spawn(move || fill(k * rows, grows, drows));
+                }
+            });
+        }
+        GainCache {
+            n,
+            params: *params,
+            positions: positions.to_vec(),
+            gains,
+            d2,
+        }
+    }
+
+    /// Number of nodes the cache was built for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether this cache was built for exactly these parameters and
+    /// positions (bitwise position equality — the kernel's totals are
+    /// only valid against the deployment the gains were derived from).
+    pub fn matches(&self, params: &SinrParams, positions: &[Point]) -> bool {
+        self.params == *params && self.positions == positions
+    }
+
+    /// Received power of sender `s` at listener `u` (0 on the diagonal).
+    #[inline]
+    pub fn gain(&self, s: usize, u: usize) -> f64 {
+        self.gains[s * self.n + u]
+    }
+
+    /// Squared distance from sender `s` to listener `u` (`+∞` on the
+    /// diagonal).
+    #[inline]
+    pub fn dist_sq(&self, s: usize, u: usize) -> f64 {
+        self.d2[s * self.n + u]
+    }
+
+    /// Sender `s`'s gains at the listener range `[base, base + len)`.
+    #[inline]
+    fn gain_row(&self, s: usize, base: usize, len: usize) -> &[f64] {
+        &self.gains[s * self.n + base..s * self.n + base + len]
+    }
+
+    /// Sender `s`'s squared distances at the listener range
+    /// `[base, base + len)`.
+    #[inline]
+    fn d2_row(&self, s: usize, base: usize, len: usize) -> &[f64] {
+        &self.d2[s * self.n + base..s * self.n + base + len]
+    }
+}
+
+/// A contiguous range of the cached kernel's per-listener state, the
+/// unit of work one thread processes. `base` is the global index of the
+/// first listener in the slices.
+struct ListenerState<'a> {
+    base: usize,
+    total: &'a mut [f64],
+    err: &'a mut [f64],
+    best_d2: &'a mut [f64],
+    best_s: &'a mut [usize],
+}
+
+/// Rebuilds a listener range from scratch: totals summed sender-major in
+/// ascending sender order (per listener, the identical operation sequence
+/// [`ExactBackend`] performs, hence identical bits) and nearest senders
+/// re-selected with the exact backend's first-minimum tie-break. Resets
+/// the drift bound to cover only the inherent ordered-sum rounding.
+fn refresh_range(ls: ListenerState<'_>, cache: &GainCache, senders: &[usize]) {
+    let len = ls.total.len();
+    ls.total.fill(0.0);
+    ls.best_d2.fill(f64::INFINITY);
+    ls.best_s.fill(NO_SENDER);
+    for &s in senders {
+        let grow = cache.gain_row(s, ls.base, len);
+        for (t, &g) in ls.total.iter_mut().zip(grow) {
+            *t += g;
+        }
+        let drow = cache.d2_row(s, ls.base, len);
+        for ((bd, bs), &d) in ls.best_d2.iter_mut().zip(ls.best_s.iter_mut()).zip(drow) {
+            if d < *bd {
+                *bd = d;
+                *bs = s;
+            }
+        }
+    }
+    let kf = senders.len() as f64;
+    for (e, t) in ls.err.iter_mut().zip(ls.total.iter()) {
+        *e = (kf + 1.0) * f64::EPSILON * t.abs();
+    }
+}
+
+/// Applies a transmitter-set delta to a listener range: departed senders'
+/// gains are subtracted and arrivals added (growing the per-listener
+/// drift bound by one rounding unit per update), the nearest-sender
+/// choice is patched incrementally, and listeners whose nearest sender
+/// departed are rescanned over the full new set.
+fn delta_range(
+    ls: ListenerState<'_>,
+    cache: &GainCache,
+    senders: &[usize],
+    enters: &[usize],
+    leaves: &[usize],
+) {
+    let len = ls.total.len();
+    for &s in leaves {
+        let grow = cache.gain_row(s, ls.base, len);
+        for ((t, e), &g) in ls.total.iter_mut().zip(ls.err.iter_mut()).zip(grow) {
+            *t -= g;
+            *e += f64::EPSILON * t.abs();
+        }
+    }
+    // Listeners orphaned by a departure rescan *after* arrivals are
+    // applied, over the complete new sender set — an arriving sender may
+    // or may not be the new nearest.
+    let mut orphaned: Vec<usize> = Vec::new();
+    if !leaves.is_empty() {
+        for (u, (bd, bs)) in ls.best_d2.iter_mut().zip(ls.best_s.iter_mut()).enumerate() {
+            if *bs != NO_SENDER && leaves.binary_search(bs).is_ok() {
+                *bd = f64::INFINITY;
+                *bs = NO_SENDER;
+                orphaned.push(ls.base + u);
+            }
+        }
+    }
+    for &s in enters {
+        let grow = cache.gain_row(s, ls.base, len);
+        for ((t, e), &g) in ls.total.iter_mut().zip(ls.err.iter_mut()).zip(grow) {
+            *t += g;
+            *e += f64::EPSILON * t.abs();
+        }
+        let drow = cache.d2_row(s, ls.base, len);
+        for ((bd, bs), &d) in ls.best_d2.iter_mut().zip(ls.best_s.iter_mut()).zip(drow) {
+            // Lexicographic (distance, sender index): the exact backend's
+            // ascending scan keeps the lowest-index sender among ties.
+            if d < *bd || (d == *bd && s < *bs) {
+                *bd = d;
+                *bs = s;
+            }
+        }
+    }
+    for &gu in &orphaned {
+        let mut bd = f64::INFINITY;
+        let mut bs = NO_SENDER;
+        for &s in senders {
+            let d = cache.dist_sq(s, gu);
+            if d < bd {
+                bd = d;
+                bs = s;
+            }
+        }
+        ls.best_d2[gu - ls.base] = bd;
+        ls.best_s[gu - ls.base] = bs;
+    }
+}
+
+/// Cached-gain reception kernel driven by transmitter deltas (see module
+/// docs).
+///
+/// [`prepare`](InterferenceBackend::prepare) builds the [`GainCache`];
+/// each [`decide_slot`](InterferenceBackend::decide_slot) then diffs the
+/// sender set against the previous slot and updates every listener's
+/// total interference and nearest sender incrementally — O(|Δ| × n)
+/// instead of the exact backend's O(n × senders). Receptions are
+/// **bit-identical** to [`ExactBackend`]: near-threshold decisions (the
+/// only ones float drift could flip) are detected by a conservative
+/// guard band derived from a tracked per-listener drift bound and
+/// resolved by replaying the exact backend's summation from the cache,
+/// and a full refresh every [`REFRESH_OPS`] delta updates keeps the
+/// drift bound (and hence the guard band) tiny.
+#[derive(Debug)]
+pub struct CachedBackend {
+    threads: usize,
+    cache: Option<GainCache>,
+    /// Per-listener total received power over the current sender set.
+    total: Vec<f64>,
+    /// Per-listener conservative bound on |total − exact ordered sum|.
+    err: Vec<f64>,
+    /// Per-listener squared distance to the nearest current sender.
+    best_d2: Vec<f64>,
+    /// Per-listener nearest current sender ([`NO_SENDER`] when none).
+    best_s: Vec<usize>,
+    /// Whether each node transmitted in the previous `decide_slot`.
+    sending: Vec<bool>,
+    prev: Vec<usize>,
+    enters: Vec<usize>,
+    leaves: Vec<usize>,
+    ops_since_refresh: u64,
+}
+
+impl Default for CachedBackend {
+    fn default() -> Self {
+        CachedBackend::new()
+    }
+}
+
+impl CachedBackend {
+    /// A fresh serial cached kernel (no gain cache yet; it is built by
+    /// [`prepare`](InterferenceBackend::prepare) or lazily on first use).
+    pub fn new() -> Self {
+        CachedBackend::with_threads(1)
+    }
+
+    /// Like [`CachedBackend::new`] with the delta/refresh sweeps chunked
+    /// across up to `threads` OS threads (subject to the
+    /// [`effective_threads`] crossover; results are bit-identical at any
+    /// thread count since every listener's update sequence is unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "threads must be nonzero");
+        CachedBackend {
+            threads,
+            cache: None,
+            total: Vec::new(),
+            err: Vec::new(),
+            best_d2: Vec::new(),
+            best_s: Vec::new(),
+            sending: Vec::new(),
+            prev: Vec::new(),
+            enters: Vec::new(),
+            leaves: Vec::new(),
+            ops_since_refresh: 0,
+        }
+    }
+
+    /// The configured thread count (before the crossover is applied).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The prepared gain cache, if any.
+    pub fn gain_cache(&self) -> Option<&GainCache> {
+        self.cache.as_ref()
+    }
+
+    /// (Re)builds the cache and resets all incremental state.
+    fn prepare_impl(&mut self, params: &SinrParams, positions: &[Point]) {
+        if !self
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.matches(params, positions))
+        {
+            self.cache = Some(GainCache::build(params, positions, self.threads));
+        }
+        let n = positions.len();
+        self.total.clear();
+        self.total.resize(n, 0.0);
+        self.err.clear();
+        self.err.resize(n, 0.0);
+        self.best_d2.clear();
+        self.best_d2.resize(n, f64::INFINITY);
+        self.best_s.clear();
+        self.best_s.resize(n, NO_SENDER);
+        self.sending.clear();
+        self.sending.resize(n, false);
+        self.prev.clear();
+        self.ops_since_refresh = 0;
+    }
+
+    /// Runs `op` over the per-listener state, chunked across threads when
+    /// the deployment is past the crossover.
+    fn sweep(&mut self, op: impl Fn(ListenerState<'_>, &GainCache) + Sync) {
+        let CachedBackend {
+            threads,
+            cache,
+            total,
+            err,
+            best_d2,
+            best_s,
+            ..
+        } = self;
+        let cache = cache.as_ref().expect("sweep requires a prepared cache");
+        let n = total.len();
+        let eff = effective_threads(*threads, n);
+        if eff <= 1 {
+            op(
+                ListenerState {
+                    base: 0,
+                    total,
+                    err,
+                    best_d2,
+                    best_s,
+                },
+                cache,
+            );
+            return;
+        }
+        let chunk = n.div_ceil(eff);
+        let op = &op;
+        std::thread::scope(|scope| {
+            for (k, (((total, err), best_d2), best_s)) in total
+                .chunks_mut(chunk)
+                .zip(err.chunks_mut(chunk))
+                .zip(best_d2.chunks_mut(chunk))
+                .zip(best_s.chunks_mut(chunk))
+                .enumerate()
+            {
+                scope.spawn(move || {
+                    op(
+                        ListenerState {
+                            base: k * chunk,
+                            total,
+                            err,
+                            best_d2,
+                            best_s,
+                        },
+                        cache,
+                    )
+                });
+            }
+        });
+    }
+}
+
+impl InterferenceBackend for CachedBackend {
+    fn name(&self) -> &'static str {
+        if self.threads > 1 {
+            "cached+par"
+        } else {
+            "cached"
+        }
+    }
+
+    fn prepare(&mut self, params: &SinrParams, positions: &[Point]) {
+        self.prepare_impl(params, positions);
+    }
+
+    fn decide_slot(
+        &mut self,
+        params: &SinrParams,
+        positions: &[Point],
+        senders: &[usize],
+        out: &mut [Option<usize>],
+    ) {
+        check_invariants(positions, senders, out);
+        out.fill(None);
+        if !self
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.matches(params, positions))
+        {
+            // Lazy (re)preparation: correct for one-shot wrappers and
+            // deployment swaps, at the cost of an O(n²) rebuild.
+            self.prepare_impl(params, positions);
+        }
+
+        // Diff the sorted sender sets into arrivals and departures.
+        self.enters.clear();
+        self.leaves.clear();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.prev.len() || j < senders.len() {
+            match (self.prev.get(i), senders.get(j)) {
+                (Some(&p), Some(&s)) if p == s => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&p), Some(&s)) if p < s => {
+                    self.leaves.push(p);
+                    i += 1;
+                }
+                (Some(_), Some(&s)) => {
+                    self.enters.push(s);
+                    j += 1;
+                }
+                (Some(&p), None) => {
+                    self.leaves.push(p);
+                    i += 1;
+                }
+                (None, Some(&s)) => {
+                    self.enters.push(s);
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+
+        let delta = self.enters.len() + self.leaves.len();
+        self.ops_since_refresh += delta as u64;
+        if delta >= senders.len().max(1) || self.ops_since_refresh >= REFRESH_OPS {
+            // A delta as large as the set itself makes the rebuild the
+            // cheaper path; the periodic refresh bounds float drift.
+            self.ops_since_refresh = 0;
+            self.sweep(|ls, cache| refresh_range(ls, cache, senders));
+        } else if delta > 0 {
+            let (enters, leaves) = (
+                std::mem::take(&mut self.enters),
+                std::mem::take(&mut self.leaves),
+            );
+            self.sweep(|ls, cache| delta_range(ls, cache, senders, &enters, &leaves));
+            self.enters = enters;
+            self.leaves = leaves;
+        }
+        for &s in &self.leaves {
+            self.sending[s] = false;
+        }
+        for &s in &self.enters {
+            self.sending[s] = true;
+        }
+        self.prev.clear();
+        self.prev.extend_from_slice(senders);
+        if senders.is_empty() {
+            return;
+        }
+
+        let CachedBackend {
+            cache,
+            total,
+            err,
+            best_s,
+            sending,
+            ..
+        } = self;
+        let cache = cache.as_ref().expect("prepared above");
+        let kf = senders.len() as f64;
+        let beta = params.beta();
+        let noise = params.noise();
+        for (u, slot) in out.iter_mut().enumerate() {
+            if sending[u] {
+                continue;
+            }
+            let best = best_s[u];
+            if best == NO_SENDER {
+                continue;
+            }
+            let signal = cache.gain(best, u);
+            let t = total[u];
+            let rhs = beta * ((t - signal) + noise);
+            let margin = signal - rhs;
+            // |total − ordered exact sum| is bounded by the tracked
+            // incremental drift plus the ordered sum's own rounding; the
+            // guard doubles both and adds ulp slack for the comparison
+            // arithmetic itself. Outside the band the decision provably
+            // matches the exact backend's; inside, replay it.
+            let slack = 2.0 * err[u] + (kf + 2.0) * f64::EPSILON * t.abs();
+            let guard = 2.0 * beta * slack + 1e-13 * (signal.abs() + rhs.abs());
+            let decodes = if margin.abs() <= guard {
+                let mut exact_total = 0.0;
+                for &s in senders {
+                    exact_total += cache.gain(s, u);
+                }
+                total[u] = exact_total;
+                err[u] = (kf + 1.0) * f64::EPSILON * exact_total.abs();
+                params.decodes(signal, exact_total - signal)
+            } else {
+                margin > 0.0
+            };
+            if decodes {
+                *slot = Some(best);
+            }
+        }
     }
 }
 
@@ -855,8 +1491,117 @@ mod tests {
     }
 
     #[test]
+    fn cached_matches_exact_across_churn() {
+        // A persistent cached backend fed an evolving transmitter set
+        // (arrivals, departures, a full swap, an empty slot) must equal
+        // fresh exact computation bit for bit.
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(60, 70.0, 9).unwrap();
+        let mut cached = BackendSpec::cached().build();
+        let mut exact = BackendSpec::exact().build();
+        cached.prepare(&p, &pos);
+        let mut got = vec![None; pos.len()];
+        let mut want = vec![None; pos.len()];
+        let schedules: Vec<Vec<usize>> = vec![
+            (0..60).step_by(2).collect(),
+            (0..60).step_by(2).skip(3).collect(), // departures only
+            (0..60).step_by(3).collect(),         // mixed churn
+            (1..60).step_by(2).collect(),         // full swap
+            Vec::new(),                           // silence
+            (0..60).step_by(4).collect(),         // restart from empty
+            vec![7],                              // lone sender
+            (0..60).collect(),                    // everyone talks
+        ];
+        for (step, senders) in schedules.iter().enumerate() {
+            cached.decide_slot(&p, &pos, senders, &mut got);
+            exact.decide_slot(&p, &pos, senders, &mut want);
+            assert_eq!(got, want, "slot {step}");
+        }
+    }
+
+    #[test]
+    fn cached_is_exact_on_symmetric_ties() {
+        // Lattice symmetry produces exact SINR ties — the near-threshold
+        // territory where the guarded fallback must engage.
+        let p = params();
+        let pos = sinr_geom::deploy::lattice(6, 6, 2.0).unwrap();
+        let mut cached = BackendSpec::cached().build();
+        cached.prepare(&p, &pos);
+        let mut got = vec![None; pos.len()];
+        for step in 0..6usize {
+            let senders: Vec<usize> = (0..36).skip(step % 3).step_by(2 + step % 2).collect();
+            cached.decide_slot(&p, &pos, &senders, &mut got);
+            let want = decide_receptions(&p, &pos, &senders, InterferenceModel::Exact);
+            assert_eq!(got, want, "slot {step}");
+        }
+    }
+
+    #[test]
+    fn cached_reprepares_on_deployment_change() {
+        // Feeding a different deployment through a live backend must not
+        // reuse stale gains.
+        let p = params();
+        let mut cached = BackendSpec::cached().build();
+        for seed in [3u64, 4, 5] {
+            let pos = sinr_geom::deploy::uniform(30, 40.0, seed).unwrap();
+            let senders: Vec<usize> = (0..30).step_by(3).collect();
+            let mut got = vec![None; pos.len()];
+            cached.decide_slot(&p, &pos, &senders, &mut got);
+            let want = decide_receptions(&p, &pos, &senders, InterferenceModel::Exact);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn gain_cache_entries_match_exact_arithmetic() {
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(12, 20.0, 1).unwrap();
+        let cache = GainCache::build(&p, &pos, 1);
+        assert_eq!(cache.n(), 12);
+        assert!(cache.matches(&p, &pos));
+        for s in 0..12 {
+            for u in 0..12 {
+                if s == u {
+                    assert_eq!(cache.gain(s, u), 0.0);
+                    assert_eq!(cache.dist_sq(s, u), f64::INFINITY);
+                } else {
+                    let d_sq = pos[s].dist_sq(pos[u]);
+                    assert_eq!(cache.dist_sq(s, u), d_sq);
+                    assert_eq!(cache.gain(s, u), p.received_power(d_sq.sqrt()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_keeps_small_deployments_serial() {
+        // The n=64 parallel regression: requested threads are ignored
+        // below the crossover, honored (capped) above it.
+        assert_eq!(effective_threads(8, 64), 1);
+        assert_eq!(effective_threads(8, 256), 1);
+        assert_eq!(effective_threads(8, PAR_CROSSOVER_LISTENERS - 1), 1);
+        assert_eq!(effective_threads(8, PAR_CROSSOVER_LISTENERS), 8);
+        assert_eq!(effective_threads(2, 1024), 2);
+        assert_eq!(effective_threads(1, 4096), 1);
+        // Never more threads than half the listeners.
+        assert_eq!(effective_threads(4096, 1024), 512);
+
+        let spec = BackendSpec::exact().with_threads(8);
+        assert_eq!(spec.tuned(64).threads, 1);
+        assert_eq!(spec.tuned(2048).threads, 8);
+        assert_eq!(spec.tuned(64).model, spec.model);
+    }
+
+    #[test]
     fn spec_parsing_round_trips() {
-        for s in ["exact", "grid:8", "exact:par:4", "grid:2.5:par:8"] {
+        for s in [
+            "exact",
+            "grid:8",
+            "cached",
+            "exact:par:4",
+            "grid:2.5:par:8",
+            "cached:par:4",
+        ] {
             let spec = BackendSpec::parse(s).unwrap();
             let rendered = spec.to_string();
             assert_eq!(BackendSpec::parse(&rendered).unwrap(), spec, "{s}");
@@ -869,6 +1614,7 @@ mod tests {
             BackendSpec::parse("par:4").unwrap(),
             BackendSpec::exact().with_threads(4)
         );
+        assert_eq!(BackendSpec::parse("cached").unwrap(), BackendSpec::cached());
         assert!(BackendSpec::parse("grid").is_err());
         assert!(BackendSpec::parse("par:0").is_err());
         assert!(BackendSpec::parse("warp").is_err());
@@ -878,6 +1624,11 @@ mod tests {
     fn backend_names_are_stable() {
         assert_eq!(BackendSpec::exact().build().name(), "exact");
         assert_eq!(BackendSpec::grid_far_field(4.0).build().name(), "grid");
+        assert_eq!(BackendSpec::cached().build().name(), "cached");
+        assert_eq!(
+            BackendSpec::cached().with_threads(2).build().name(),
+            "cached+par"
+        );
         assert_eq!(
             BackendSpec::exact().with_threads(2).build().name(),
             "exact+par"

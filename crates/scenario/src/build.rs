@@ -315,6 +315,13 @@ impl ScenarioSpec {
         // Deployment (+ optional connectivity search).
         let (positions, graphs, deploy_seed) = self.deploy.realize(&sinr)?;
         let n = positions.len();
+        // Serial/parallel crossover: now that the deployment size is
+        // known, resolve the requested thread count against it so small
+        // scenarios never pay thread fan-out (`backend=par:8` on a
+        // 16-node spec runs serial; receptions are thread-invariant, so
+        // this changes wall clock only). The effective spec is what the
+        // run context reports.
+        let backend = backend.tuned(n);
 
         let seed = match self.seed {
             SeedSpec::Fixed(s) => s,
@@ -1103,6 +1110,39 @@ mod tests {
         let realized = built.ctx.deploy_seed.unwrap();
         assert_eq!(built.ctx.seed, realized);
         assert!(built.ctx.graphs.strong.is_connected());
+    }
+
+    #[test]
+    fn cached_backend_reproduces_exact_runs() {
+        // backend=cached is bit-identical to exact, so the whole scenario
+        // pipeline (build → run → trace) must produce the same execution.
+        let build = |backend| {
+            base(
+                MacSpec::sinr(),
+                WorkloadSpec::Repeat(SourceSet::Stride(2)),
+                StopSpec::Slots(300),
+            )
+            .with_backend(backend)
+        };
+        let exact = build(BackendSpec::exact()).run().unwrap();
+        let cached = build(BackendSpec::cached()).run().unwrap();
+        assert_eq!(cached.ctx.backend, BackendSpec::cached());
+        assert_eq!(exact.outcome.trace, cached.outcome.trace);
+    }
+
+    #[test]
+    fn backend_threads_are_tuned_to_deployment_size() {
+        // A 16-node scenario requesting 8 threads must resolve serial
+        // (the parallel crossover); the effective spec is recorded.
+        let spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Slots(10),
+        )
+        .with_backend(BackendSpec::exact().with_threads(8));
+        let built = spec.build().unwrap();
+        assert_eq!(built.ctx.backend.threads, 1);
+        assert_eq!(built.ctx.backend.model, sinr_phys::InterferenceModel::Exact);
     }
 
     #[test]

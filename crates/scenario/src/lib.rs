@@ -85,21 +85,27 @@ pub mod prelude {
 /// are reproducible from the spec alone; the environment variable is a
 /// deliberate operator override (e.g. forcing `par:8` on a big machine)
 /// and **wins with a warning on stderr** when it differs from the spec.
+/// The warning is printed once per process ([`std::sync::Once`]) — a
+/// sweep builds hundreds of scenarios and must not repeat it per cell.
 ///
 /// # Panics
 ///
 /// Panics with the parse error if `SINR_BACKEND` is set but malformed —
 /// a misconfigured run must not silently fall back.
 pub fn env_backend_override(spec: sinr_phys::BackendSpec) -> sinr_phys::BackendSpec {
+    static OVERRIDE_WARNING: std::sync::Once = std::sync::Once::new();
     match std::env::var("SINR_BACKEND") {
         Ok(raw) => {
             let over =
                 sinr_phys::BackendSpec::parse(&raw).unwrap_or_else(|e| panic!("SINR_BACKEND: {e}"));
             if over != spec {
-                eprintln!(
-                    "warning: SINR_BACKEND={raw} overrides the spec backend `{spec}`; \
-                     results will not match the published spec"
-                );
+                OVERRIDE_WARNING.call_once(|| {
+                    eprintln!(
+                        "warning: SINR_BACKEND={raw} overrides the spec backend `{spec}` \
+                         (reported once per process; the override applies to every build); \
+                         results will not match the published spec"
+                    );
+                });
             }
             over
         }

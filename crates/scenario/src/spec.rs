@@ -851,9 +851,13 @@ pub struct ScenarioSpec {
     pub deploy: DeploymentSpec,
     /// SINR physical model.
     pub sinr: SinrSpec,
-    /// Reception backend (interference model + threads). The
+    /// Reception backend (interference model + threads): `exact`,
+    /// `grid:CELL`, `cached` or `par:T` combinations. The
     /// `SINR_BACKEND` environment variable can override this at run time
     /// (with a warning); published runs should rely on the spec field.
+    /// At build time the thread count is resolved against the realized
+    /// deployment size ([`BackendSpec::tuned`]), so requesting threads on
+    /// a small scenario runs serial rather than paying thread fan-out.
     pub backend: BackendSpec,
     /// MAC implementation under test.
     pub mac: MacSpec,

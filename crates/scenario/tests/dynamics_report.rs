@@ -1,0 +1,166 @@
+//! End-to-end coverage for mid-run dynamics: the full text-spec pipeline
+//! (parse → build → run → JSON report) must *reflect* each dynamic
+//! event, not merely survive it.
+//!
+//! Two deterministic executions are pinned here:
+//!
+//! * **Jammer window** (`jam` / `unjam`, i.e. `SinrAbsMac::set_jammer` /
+//!   `clear_jammer`): a jammed node transmits noise every slot, so it is
+//!   deaf (half-duplex) exactly while the jam is active — its `rcv`
+//!   trace events must vanish inside the window and resume after.
+//! * **Arrival/departure churn** (`Gated` activity windows): a source
+//!   must not broadcast before it arrives nor after it departs.
+//!
+//! Both assert through the run's [`Report`]: the JSON carries the `dyn=`
+//! lines (a report alone reproduces the run) and the measured metrics
+//! shift against a twin run without dynamics.
+
+use absmac::TraceKind;
+use sinr_scenario::{report_for, Json, ScenarioSpec};
+
+/// Parses, runs and reports a spec in one go.
+fn run_text(text: &str) -> (sinr_scenario::ScenarioRun, sinr_scenario::Report) {
+    let spec = ScenarioSpec::parse(text).unwrap_or_else(|e| panic!("spec: {e}"));
+    let run = spec.run().unwrap_or_else(|e| panic!("run: {e}"));
+    let report = report_for(&run);
+    (run, report)
+}
+
+fn metric_int(report: &sinr_scenario::Report, name: &str) -> u64 {
+    match report.metric(name) {
+        Some(Json::Num(v)) => *v as u64,
+        other => panic!("metric {name} missing or non-numeric: {other:?}"),
+    }
+}
+
+const JAM_BASE: &str = "\
+name=jam-window
+deploy=lattice:4:4:2
+sinr=range:8
+backend=cached
+mac=sinr
+workload=repeat:stride:2
+stop=slots:500
+seed=7
+measure=trace
+";
+
+#[test]
+fn jam_window_silences_the_jammed_nodes_reception() {
+    let jam_lines = "dyn=jam:1:1@100\ndyn=unjam:1@300\n";
+    let (base_run, base_report) = run_text(JAM_BASE);
+    let (jam_run, jam_report) = run_text(&format!("{JAM_BASE}{jam_lines}"));
+
+    // The report's embedded spec carries the dynamics — the JSON alone
+    // reproduces the run.
+    let json = jam_report.to_json();
+    assert!(json.contains("jam:1:1@100"), "report lost the jam event");
+    assert!(json.contains("unjam:1@300"), "report lost the unjam event");
+
+    // Node 1 hears broadcasts before the jam, is deaf (always
+    // transmitting noise, hence half-duplex) inside the window, and
+    // hears again after clear_jammer.
+    let rcv_times = |run: &sinr_scenario::ScenarioRun| -> Vec<u64> {
+        run.outcome
+            .trace
+            .iter()
+            .filter(|e| e.node == 1 && matches!(e.kind, TraceKind::Rcv(_)))
+            .map(|e| e.t)
+            .collect()
+    };
+    let jammed = rcv_times(&jam_run);
+    assert!(
+        jammed.iter().any(|&t| t < 100),
+        "node 1 heard nothing before the jam: {jammed:?}"
+    );
+    assert!(
+        !jammed.iter().any(|&t| (100..300).contains(&t)),
+        "node 1 received inside the jam window: {jammed:?}"
+    );
+    assert!(
+        jammed.iter().any(|&t| t >= 300),
+        "node 1 stayed deaf after clear_jammer: {jammed:?}"
+    );
+    // The undynamic twin hears throughout the window.
+    assert!(
+        rcv_times(&base_run)
+            .iter()
+            .any(|&t| (100..300).contains(&t)),
+        "baseline sanity: node 1 should receive inside [100, 300)"
+    );
+
+    // And the aggregate report shifts: blocked acks force the jammed
+    // node's neighbors into retransmissions, so total trace activity
+    // moves (upward, in this pinned execution).
+    let base_events = metric_int(&base_report, "trace_events");
+    let jam_events = metric_int(&jam_report, "trace_events");
+    assert_ne!(
+        jam_events, base_events,
+        "jam window left the report metrics untouched"
+    );
+}
+
+const CHURN_BASE: &str = "\
+name=churn-window
+deploy=lattice:4:4:2
+sinr=range:8
+backend=cached
+mac=sinr
+workload=repeat:list:0+3
+stop=slots:400
+seed=5
+measure=trace
+";
+
+#[test]
+fn arrival_and_departure_bound_a_sources_broadcasts() {
+    let churn_lines = "dyn=arrive:3@120\ndyn=depart:0@200\n";
+    let (base_run, base_report) = run_text(CHURN_BASE);
+    let (churn_run, churn_report) = run_text(&format!("{CHURN_BASE}{churn_lines}"));
+
+    let json = churn_report.to_json();
+    assert!(json.contains("arrive:3@120"), "report lost the arrival");
+    assert!(json.contains("depart:0@200"), "report lost the departure");
+
+    let bcast_times = |run: &sinr_scenario::ScenarioRun, node: usize| -> Vec<u64> {
+        run.outcome
+            .trace
+            .iter()
+            .filter(|e| e.node == node && matches!(e.kind, TraceKind::Bcast(_)))
+            .map(|e| e.t)
+            .collect()
+    };
+
+    // Node 3 joins at slot 120: it must broadcast, and never before.
+    let arrivals = bcast_times(&churn_run, 3);
+    assert!(
+        !arrivals.is_empty(),
+        "node 3 never broadcast after arriving"
+    );
+    assert!(
+        arrivals.iter().all(|&t| t >= 120),
+        "node 3 broadcast before its arrival: {arrivals:?}"
+    );
+
+    // Node 0 leaves at slot 200: broadcasts before, none after (one slot
+    // of grace for the bcast already queued when the gate closed).
+    let departures = bcast_times(&churn_run, 0);
+    assert!(
+        departures.iter().any(|&t| t < 200),
+        "node 0 never broadcast before departing"
+    );
+    assert!(
+        departures.iter().all(|&t| t < 202),
+        "node 0 broadcast after departing: {departures:?}"
+    );
+    // The undynamic twin has node 3 talking early and node 0 late.
+    assert!(bcast_times(&base_run, 3).iter().any(|&t| t < 120));
+    assert!(bcast_times(&base_run, 0).iter().any(|&t| t >= 202));
+
+    // Aggregate reflection: gating changes the measured event count.
+    assert_ne!(
+        metric_int(&base_report, "trace_events"),
+        metric_int(&churn_report, "trace_events"),
+        "dynamics left the report metrics untouched"
+    );
+}

@@ -57,7 +57,9 @@ pub mod prelude {
     pub use sinr_geom::{deploy, Point};
     pub use sinr_graphs::{induce_graph, Graph, SinrGraphs};
     pub use sinr_mac::{DecayMac, DecayParams, MacParams, SinrAbsMac};
-    pub use sinr_phys::{BackendSpec, InterferenceBackend, InterferenceModel, SinrParams};
+    pub use sinr_phys::{
+        BackendSpec, CachedBackend, GainCache, InterferenceBackend, InterferenceModel, SinrParams,
+    };
     pub use sinr_protocols::{Bmmb, Bsmb, FloodMaxConsensus, Proposal};
     pub use sinr_scenario::{
         report_for, DeploymentSpec, MacSpec, ScenarioSet, ScenarioSpec, SeedSpec, SinrSpec,

@@ -13,6 +13,11 @@
 //!    upper bound on interference, mirroring Lemma 10.3's ring
 //!    decomposition), so it never grants a reception `Exact` denies, and
 //!    any reception it does grant names the same sender.
+//! 3. **Cached-kernel exactness** — the delta-driven `CachedBackend`
+//!    produces receptions bit-identical to `Exact` on lattice-like and
+//!    uniform deployments, across churn (transmitters entering and
+//!    leaving between slots): incremental interference maintenance plus
+//!    the guarded near-threshold fallback never flips a decision.
 
 use proptest::prelude::*;
 
@@ -97,6 +102,67 @@ proptest! {
         }
     }
 
+    /// Claim 3, lattice-like deployments: a persistent cached backend
+    /// fed an evolving transmitter schedule equals fresh exact
+    /// computation bit for bit, slot by slot. The snapped sub-lattice
+    /// geometry produces *exact* SINR ties (symmetric interferers), the
+    /// territory where incremental float drift would first flip a
+    /// decision if the guard band failed.
+    #[test]
+    fn cached_is_bit_identical_to_exact_under_churn(
+        pts in near_field_points(48, 28),
+        range in 4.0f64..30.0,
+        stride in 1usize..4,
+        phase in 0usize..3,
+    ) {
+        let sinr = SinrParams::builder().range(range).build().unwrap();
+        let mut cached = BackendSpec::cached().build();
+        cached.prepare(&sinr, &pts);
+        let mut got = vec![None; pts.len()];
+        for step in 0..6usize {
+            // Stride and offset both evolve: senders enter and leave
+            // between consecutive slots, including an all-silent slot.
+            let senders: Vec<usize> = if step == 4 {
+                Vec::new()
+            } else {
+                (0..pts.len())
+                    .skip((phase + step) % 3)
+                    .step_by(stride + step % 2)
+                    .collect()
+            };
+            cached.decide_slot(&sinr, &pts, &senders, &mut got);
+            let want = decide_receptions(&sinr, &pts, &senders, InterferenceModel::Exact);
+            prop_assert_eq!(&got, &want, "slot {} (stride {})", step, stride);
+        }
+    }
+
+    /// Claim 3, uniform deployments: same bit-identity on the random
+    /// geometry the experiments actually sweep.
+    #[test]
+    fn cached_matches_exact_on_uniform_deployments(
+        n in 16usize..56,
+        seed in 0u64..200,
+        range in 6.0f64..24.0,
+        stride in 1usize..5,
+    ) {
+        let side = (n as f64).sqrt() * 2.5;
+        // Rejection-sampled deployments can fail the near-field check for
+        // a given seed; such cases carry nothing to test.
+        if let Ok(pts) = deploy::uniform(n, side, seed) {
+            let sinr = SinrParams::builder().range(range).build().unwrap();
+            let mut cached = BackendSpec::cached().build();
+            cached.prepare(&sinr, &pts);
+            let mut got = vec![None; pts.len()];
+            for step in 0..5usize {
+                let senders: Vec<usize> =
+                    (0..n).skip(step % 2).step_by(stride + step % 3).collect();
+                cached.decide_slot(&sinr, &pts, &senders, &mut got);
+                let want = decide_receptions(&sinr, &pts, &senders, InterferenceModel::Exact);
+                prop_assert_eq!(&got, &want, "slot {}", step);
+            }
+        }
+    }
+
     /// A long-lived backend fed varying sender sets (the Engine's usage
     /// pattern) matches fresh per-call computation: scratch-buffer reuse
     /// across slots is observationally invisible.
@@ -121,5 +187,33 @@ proptest! {
             );
             prop_assert_eq!(&out, &fresh, "slot {}", step);
         }
+    }
+}
+
+/// Claim 3 past the serial/parallel crossover: at n ≥ 512 the cached
+/// kernel's chunked sweeps actually spawn threads, and must still be
+/// bit-identical to both its own serial execution and `Exact`. (Kept out
+/// of the proptest loop — the O(n²) gain cache makes per-case costs
+/// non-trivial at this size.)
+#[test]
+fn cached_parallel_sweeps_are_bit_identical_past_the_crossover() {
+    let n = 600usize;
+    let pts = deploy::uniform(n, 62.0, 3).unwrap();
+    let sinr = SinrParams::builder().range(16.0).build().unwrap();
+    let mut serial = BackendSpec::cached().build();
+    let mut par = BackendSpec::cached().with_threads(3).build();
+    serial.prepare(&sinr, &pts);
+    par.prepare(&sinr, &pts);
+    let mut got_serial = vec![None; n];
+    let mut got_par = vec![None; n];
+    let mut exact = BackendSpec::exact().build();
+    let mut want = vec![None; n];
+    for step in 0..4usize {
+        let senders: Vec<usize> = (0..n).skip(step % 2).step_by(2 + step % 2).collect();
+        serial.decide_slot(&sinr, &pts, &senders, &mut got_serial);
+        par.decide_slot(&sinr, &pts, &senders, &mut got_par);
+        exact.decide_slot(&sinr, &pts, &senders, &mut want);
+        assert_eq!(got_serial, want, "serial cached vs exact, slot {step}");
+        assert_eq!(got_par, want, "parallel cached vs exact, slot {step}");
     }
 }
