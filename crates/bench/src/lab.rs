@@ -120,6 +120,18 @@ pub fn presets() -> Vec<Preset> {
             about: "CI smoke: Decay/[32] SMB proxy baseline",
             spec: || smoke("smoke-decay-smb", "decay_smb", "smb:0", "none"),
         },
+        Preset {
+            name: "smoke-mobility",
+            about: "CI smoke: waypoint mobility over the paper MAC (cached backend, \
+                    incremental gain-cache repair)",
+            spec: || {
+                let mut spec = smoke("smoke-mobility", "sinr", "repeat:stride:2", "trace");
+                spec.set("backend", "cached").expect("preset backend");
+                spec.set("mobility", "waypoint:0.25:4:7")
+                    .expect("preset mobility");
+                spec
+            },
+        },
     ]
 }
 

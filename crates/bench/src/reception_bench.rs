@@ -14,6 +14,19 @@
 //! `Engine` drives) and each reports decided slots per second of wall
 //! clock.
 //!
+//! A second, **moving-uniform** workload measures the mobility fast
+//! path: each slot teleports a cohort of `n/32` nodes between their home
+//! position and a parking row (the near-field invariant holds throughout)
+//! and then decides the slot. Three kernels are timed — the cached
+//! backend repairing its gain cache incrementally through
+//! `update_positions` (`repair`), the same backend forced through a full
+//! `prepare` rebuild per slot (`reprepare`, what a position change costs
+//! without the hook), and serial `exact` — and the row records the
+//! repair-over-reprepare speedup this PR pins (target ≥5x at n = 1024).
+//! Before timing, the repair kernel's decisions are checked against
+//! exact for a full movement cycle, so the bench cannot quietly measure
+//! a divergent kernel.
+//!
 //! After writing, the emitted JSON is read back and validated (parses
 //! shallowly, one row per backend per configuration) so a refactor
 //! cannot silently rot the BENCH file; CI runs the same binary in
@@ -95,6 +108,162 @@ fn measure(
     (1.0 / per_slot, receptions)
 }
 
+/// Nodes moved per slot in the moving-uniform workload: `n / MOVERS_DIV`.
+const MOVERS_DIV: usize = 32;
+
+/// One moving-uniform configuration: the three kernel rates plus the
+/// headline ratio.
+struct MobilitySample {
+    n: usize,
+    movers: usize,
+    repair: f64,
+    reprepare: f64,
+    exact: f64,
+}
+
+impl MobilitySample {
+    fn speedup(&self) -> f64 {
+        self.repair / self.reprepare.max(1e-9)
+    }
+}
+
+/// Advances the oscillating movement schedule by one slot: cohort
+/// `slot % cohorts` toggles between home and a parking row 10 units
+/// below the deployment (2-unit spacing, so near-field holds for any
+/// parked subset). Returns the moves through `moved`.
+fn mobility_step(
+    positions: &mut [Point],
+    home: &[Point],
+    parked: &mut [bool],
+    slot: usize,
+    movers: usize,
+    moved: &mut Vec<(usize, Point)>,
+) {
+    moved.clear();
+    let n = positions.len();
+    let cohorts = (n / movers).max(1);
+    let c = slot % cohorts;
+    for i in (c * movers..(c + 1) * movers).take_while(|&i| i < n) {
+        let to = if parked[i] {
+            home[i]
+        } else {
+            Point::new(2.0 * i as f64, -10.0)
+        };
+        parked[i] = !parked[i];
+        positions[i] = to;
+        moved.push((i, to));
+    }
+}
+
+/// Which per-slot procedure a mobility kernel runs.
+#[derive(Clone, Copy, PartialEq)]
+enum MobilityKernel {
+    /// Cached backend, incremental `update_positions` repair.
+    Repair,
+    /// Cached backend, full `prepare` rebuild every slot.
+    Reprepare,
+    /// Serial exact (reads positions fresh; nothing to maintain).
+    Exact,
+}
+
+fn measure_mobility_kernel(
+    sinr: &SinrParams,
+    home: &[Point],
+    senders: &[usize],
+    movers: usize,
+    kernel: MobilityKernel,
+    target_secs: f64,
+) -> f64 {
+    let n = home.len();
+    let cohorts = (n / movers).max(1);
+    let spec = match kernel {
+        MobilityKernel::Exact => BackendSpec::exact(),
+        _ => BackendSpec::cached(),
+    };
+    let mut backend = spec.build();
+    let mut positions = home.to_vec();
+    let mut parked = vec![false; n];
+    let mut moved: Vec<(usize, Point)> = Vec::new();
+    let mut out = vec![None; n];
+    backend.prepare(sinr, &positions);
+    let mut slot = 0usize;
+    let mut run_slots = |backend: &mut Box<dyn sinr_phys::InterferenceBackend>,
+                         positions: &mut Vec<Point>,
+                         parked: &mut Vec<bool>,
+                         slot: &mut usize,
+                         count: usize| {
+        for _ in 0..count {
+            mobility_step(positions, home, parked, *slot, movers, &mut moved);
+            match kernel {
+                MobilityKernel::Repair => backend.update_positions(sinr, positions, &moved),
+                MobilityKernel::Reprepare => backend.prepare(sinr, positions),
+                MobilityKernel::Exact => {}
+            }
+            backend.decide_slot(sinr, positions, senders, &mut out);
+            *slot += 1;
+        }
+    };
+    // Warm up two full movement cycles (everything parks and returns).
+    run_slots(
+        &mut backend,
+        &mut positions,
+        &mut parked,
+        &mut slot,
+        2 * cohorts,
+    );
+    // Calibrate so each measurement runs ~target_secs.
+    let t0 = Instant::now();
+    run_slots(
+        &mut backend,
+        &mut positions,
+        &mut parked,
+        &mut slot,
+        cohorts,
+    );
+    let once = t0.elapsed().as_secs_f64().max(1e-7);
+    let reps = ((target_secs / once) as usize).clamp(1, 20_000);
+    let t0 = Instant::now();
+    run_slots(
+        &mut backend,
+        &mut positions,
+        &mut parked,
+        &mut slot,
+        reps * cohorts,
+    );
+    let per_slot = t0.elapsed().as_secs_f64() / (reps * cohorts) as f64;
+    1.0 / per_slot
+}
+
+/// The repair kernel's self-check: decisions under incremental position
+/// repair must equal fresh exact computation for one full movement
+/// cycle.
+///
+/// # Panics
+///
+/// Panics on the first divergent slot — the bench must not publish
+/// numbers for a kernel that stopped being exact.
+fn check_mobility_exactness(sinr: &SinrParams, home: &[Point], senders: &[usize], movers: usize) {
+    let n = home.len();
+    let cohorts = (n / movers).max(1);
+    let mut cached = BackendSpec::cached().build();
+    let mut exact = BackendSpec::exact().build();
+    cached.prepare(sinr, home);
+    let mut positions = home.to_vec();
+    let mut parked = vec![false; n];
+    let mut moved = Vec::new();
+    let (mut got, mut want) = (vec![None; n], vec![None; n]);
+    for slot in 0..2 * cohorts {
+        mobility_step(&mut positions, home, &mut parked, slot, movers, &mut moved);
+        cached.update_positions(sinr, &positions, &moved);
+        cached.decide_slot(sinr, &positions, senders, &mut got);
+        exact.decide_slot(sinr, &positions, senders, &mut want);
+        assert_eq!(
+            got, want,
+            "mobility repair diverged from exact at slot {slot}"
+        );
+    }
+}
+
 /// Shallow validation of the emitted JSON: it must parse as the expected
 /// flat shape and carry one row per backend per (deployment, n) pair.
 ///
@@ -103,10 +272,15 @@ fn measure(
 /// Panics with a description when the file does not meet the contract —
 /// the whole point is that CI fails loudly instead of committing a
 /// rotten BENCH file.
-fn validate_json(json: &str, backends: &[String], configurations: usize) {
+fn validate_json(json: &str, backends: &[String], configurations: usize, mobility_rows: usize) {
     assert!(
         json.trim_start().starts_with('{') && json.trim_end().ends_with('}'),
         "BENCH json is not an object"
+    );
+    assert_eq!(
+        json.matches("\"repair_speedup\":").count(),
+        mobility_rows,
+        "expected one moving-uniform row per size"
     );
     let rows = json.matches("\"backend\":").count();
     assert_eq!(
@@ -217,10 +391,52 @@ pub fn run(args: &[String]) {
     }
     table.print();
 
+    // The moving-uniform workload: ~n/32 movers per slot, fixed senders,
+    // three kernels (see module docs).
+    let mut mobility_samples: Vec<MobilitySample> = Vec::new();
+    let mut mobility_table = Table::new(
+        "moving-uniform: cached incremental repair vs full re-prepare (n/32 movers per slot)",
+        &[
+            "n",
+            "movers",
+            "repair/s",
+            "reprepare/s",
+            "exact/s",
+            "speedup",
+        ],
+    );
+    for &n in sizes {
+        let side = (n as f64).sqrt() * 2.2;
+        let home = deploy::uniform(n, side, 5).expect("uniform");
+        let senders: Vec<usize> = (0..n).filter(|i| i % 2 == 0).collect();
+        let movers = (n / MOVERS_DIV).max(1);
+        check_mobility_exactness(&sinr, &home, &senders, movers);
+        let rate =
+            |kernel| measure_mobility_kernel(&sinr, &home, &senders, movers, kernel, target_secs);
+        let sample = MobilitySample {
+            n,
+            movers,
+            repair: rate(MobilityKernel::Repair),
+            reprepare: rate(MobilityKernel::Reprepare),
+            exact: rate(MobilityKernel::Exact),
+        };
+        mobility_table.row(vec![
+            n.to_string(),
+            movers.to_string(),
+            format!("{:.0}", sample.repair),
+            format!("{:.0}", sample.reprepare),
+            format!("{:.0}", sample.exact),
+            format!("{:.2}x", sample.speedup()),
+        ]);
+        mobility_samples.push(sample);
+    }
+    mobility_table.print();
+
     // Hand-rolled JSON: the workspace has no serde and the schema is flat.
     let mut json = String::from("{\n  \"bench\": \"reception\",\n  \"unit\": \"slots_per_sec\",\n");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"churn_cycle\": {CYCLE},");
+    let _ = writeln!(json, "  \"movers_div\": {MOVERS_DIV},");
     json.push_str("  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let _ = write!(
@@ -230,11 +446,34 @@ pub fn run(args: &[String]) {
         );
         json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
     }
+    json.push_str("  ],\n  \"mobility_samples\": [\n");
+    for (i, s) in mobility_samples.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"deployment\": \"moving-uniform\", \"n\": {}, \"movers\": {}, \
+             \"repair_slots_per_sec\": {:.1}, \"reprepare_slots_per_sec\": {:.1}, \
+             \"exact_slots_per_sec\": {:.1}, \"repair_speedup\": {:.2}}}",
+            s.n,
+            s.movers,
+            s.repair,
+            s.reprepare,
+            s.exact,
+            s.speedup()
+        );
+        json.push_str(if i + 1 < mobility_samples.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_reception.json");
     let written = std::fs::read_to_string(&out_path).expect("read back BENCH_reception.json");
-    validate_json(&written, &backend_names, sizes.len() * 2);
-    println!("wrote {out_path} ({} rows, validated)", samples.len());
+    validate_json(&written, &backend_names, sizes.len() * 2, sizes.len());
+    println!(
+        "wrote {out_path} ({} rows, validated)",
+        samples.len() + mobility_samples.len()
+    );
 
     // The claim this PR makes: at n = 1024 the cached kernel must beat
     // serial exact by a wide margin under realistic churn.
@@ -257,6 +496,18 @@ pub fn run(args: &[String]) {
                 "n=1024 {deployment}: exact {exact:.0}/s, cached {cached:.0}/s ({:.2}x), best accelerated {best_accel:.0}/s ({:.2}x)",
                 cached / exact.max(1e-9),
                 best_accel / exact.max(1e-9)
+            );
+        }
+        // The mobility claim: incremental repair must beat the full
+        // re-prepare by a wide margin at n = 1024 with n/32 movers.
+        if let Some(s) = mobility_samples.iter().find(|s| s.n == 1024) {
+            println!(
+                "n=1024 moving-uniform ({} movers/slot): repair {:.0}/s vs reprepare {:.0}/s ({:.2}x), exact {:.0}/s",
+                s.movers,
+                s.repair,
+                s.reprepare,
+                s.speedup(),
+                s.exact
             );
         }
     }

@@ -165,6 +165,37 @@ impl<P: Clone> DecayMac<P> {
     pub fn phys_stats(&self) -> EngineStats {
         self.engine.stats()
     }
+
+    /// The current node positions (moving under mobility, otherwise the
+    /// construction-time deployment).
+    pub fn positions(&self) -> &[Point] {
+        self.engine.positions()
+    }
+
+    /// Installs (or removes) a mobility model on the underlying engine
+    /// (see [`Engine::set_mobility`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model was not built over this MAC's current
+    /// positions.
+    pub fn set_mobility(&mut self, mobility: Option<sinr_geom::MobilityModel>) {
+        self.engine.set_mobility(mobility);
+    }
+
+    /// Scripted movement: relocates `node` to `to` between slots.
+    ///
+    /// # Errors
+    ///
+    /// [`PhysError::NearFieldViolation`] if the target violates the
+    /// minimum-distance assumption; the move is not applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `to` is non-finite.
+    pub fn teleport(&mut self, node: usize, to: Point) -> Result<(), PhysError> {
+        self.engine.teleport(node, to)
+    }
 }
 
 impl<P: Clone> MacLayer for DecayMac<P> {

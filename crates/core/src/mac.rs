@@ -242,6 +242,39 @@ impl<P: Clone> SinrAbsMac<P> {
         self.engine.protocol_mut(NodeId::from(node)).jam = None;
     }
 
+    /// The current node positions (moving under mobility, otherwise the
+    /// construction-time deployment).
+    pub fn positions(&self) -> &[Point] {
+        self.engine.positions()
+    }
+
+    /// Installs (or removes) a mobility model on the underlying engine;
+    /// movement is applied at the top of every physical slot and the
+    /// reception backend repairs its caches incrementally. See
+    /// [`Engine::set_mobility`] for the invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model was not built over this MAC's current
+    /// positions.
+    pub fn set_mobility(&mut self, mobility: Option<sinr_geom::MobilityModel>) {
+        self.engine.set_mobility(mobility);
+    }
+
+    /// Scripted movement: relocates `node` to `to` between slots.
+    ///
+    /// # Errors
+    ///
+    /// [`PhysError::NearFieldViolation`] if the target violates the
+    /// minimum-distance assumption; the move is not applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `to` is non-finite.
+    pub fn teleport(&mut self, node: usize, to: Point) -> Result<(), PhysError> {
+        self.engine.teleport(node, to)
+    }
+
     /// How many nodes have dropped out of the current approximate-progress
     /// epoch due to unsuccessful communication (the set `W` of Definition
     /// 10.2, observable for the ablation experiments).

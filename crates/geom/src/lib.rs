@@ -35,8 +35,10 @@ mod grid;
 mod point;
 
 pub mod deploy;
+pub mod mobility;
 
 pub use deploy::DeploySpec;
 pub use error::GeomError;
 pub use grid::HashGrid;
+pub use mobility::{geometry_digest, MobilityModel, MobilitySpec};
 pub use point::Point;

@@ -1,0 +1,615 @@
+//! Deterministic node mobility: deployments that move while a protocol
+//! runs.
+//!
+//! The paper freezes node positions for the duration of an execution
+//! (§4.2); mobility is the beyond-the-paper dynamics axis that stresses
+//! exactly what the locality lower-bound literature (Göös–Hirvonen–
+//! Suomela, Brandt et al.) identifies as hard: neighborhoods changing
+//! under the algorithm's feet. Two continuous models are provided, plus
+//! scripted teleports at the call-site's discretion:
+//!
+//! * **Random waypoint** ([`MobilitySpec::Waypoint`]): every node picks a
+//!   uniform target inside the deployment's bounding box, walks toward it
+//!   at `speed` per slot, pauses `pause` slots on arrival, then picks the
+//!   next target.
+//! * **Drift** ([`MobilitySpec::Drift`]): every node takes an independent
+//!   uniform step in `[-σ, σ]²` each slot, clamped to the bounding box.
+//!
+//! Every model is **fully deterministic**: an explicit seed drives a
+//! dedicated RNG stream that is consumed on a fixed per-slot schedule, so
+//! the trajectory depends only on `(spec, initial positions)` — never on
+//! protocol behavior or the reception backend. That invariant is what
+//! makes differential testing of reception backends possible under
+//! movement.
+//!
+//! The near-field assumption (minimum pairwise distance 1, §4.2) is
+//! preserved by construction: a step that would bring two nodes closer
+//! than [`MIN_NODE_DISTANCE`](crate::deploy::MIN_NODE_DISTANCE) is
+//! *rejected* (the node stays put for that slot). Rejection consumes no
+//! extra randomness, so trajectories remain deterministic.
+//!
+//! # Cost model: mover count is what matters downstream
+//!
+//! The cached reception kernel repairs its gain matrix at O(movers × n)
+//! per slot but falls back to a full O(n²) rebuild once ≥ n/4 nodes
+//! move in one slot (surgery on a quarter of the matrix costs as much
+//! as the rebuild). **Drift moves essentially every node every slot**,
+//! so at scale it deliberately pays rebuild price — it exists as the
+//! worst-case stressor. **Waypoint's `pause` knob controls the moving
+//! fraction** (walkers spend `pause / (pause + trip_len)` of their time
+//! parked), so large moving networks that want the incremental fast
+//! path should use waypoint with a generous pause. The stepper itself
+//! scans O(n) per mover for collisions (documented at
+//! [`MobilityModel::step`]), which is in the same O(movers × n)
+//! envelope as the repair it feeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::deploy::MIN_NODE_DISTANCE;
+use crate::{GeomError, Point};
+
+/// A declarative, serializable description of a mobility model — the
+/// movement half of a scenario, mirroring [`DeploySpec`](crate::DeploySpec)
+/// for static geometry. The compact text form round-trips through
+/// [`MobilitySpec::parse`] and `Display`:
+///
+/// | text | variant |
+/// |------|---------|
+/// | `waypoint:SPEED:PAUSE:SEED` | [`MobilitySpec::Waypoint`] |
+/// | `drift:SIGMA:SEED` | [`MobilitySpec::Drift`] |
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geom::MobilitySpec;
+///
+/// let spec = MobilitySpec::parse("waypoint:0.5:8:42").unwrap();
+/// assert_eq!(MobilitySpec::parse(&spec.to_string()).unwrap(), spec);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilitySpec {
+    /// Random waypoint: walk to a uniform target at `speed` per slot,
+    /// pause `pause` slots on arrival, repeat.
+    Waypoint {
+        /// Distance traveled per slot (> 0, finite).
+        speed: f64,
+        /// Slots spent paused at each waypoint.
+        pause: u64,
+        /// RNG seed for target selection.
+        seed: u64,
+    },
+    /// Uniform random drift: an independent step in `[-σ, σ]²` per slot.
+    Drift {
+        /// Maximum per-axis step per slot (> 0, finite).
+        sigma: f64,
+        /// RNG seed for the steps.
+        seed: u64,
+    },
+}
+
+impl MobilitySpec {
+    /// The model's RNG seed.
+    pub fn seed(&self) -> u64 {
+        match *self {
+            MobilitySpec::Waypoint { seed, .. } | MobilitySpec::Drift { seed, .. } => seed,
+        }
+    }
+
+    /// Validates the numeric parameters (shared by `parse` and
+    /// [`MobilityModel::new`], so a programmatically built spec fails
+    /// just as loudly as a parsed one).
+    fn validate(&self) -> Result<(), String> {
+        match *self {
+            MobilitySpec::Waypoint { speed, .. } => {
+                if !(speed.is_finite() && speed > 0.0) {
+                    return Err(format!(
+                        "mobility waypoint speed must be positive and finite, got {speed}"
+                    ));
+                }
+            }
+            MobilitySpec::Drift { sigma, .. } => {
+                if !(sigma.is_finite() && sigma > 0.0) {
+                    return Err(format!(
+                        "mobility drift sigma must be positive and finite, got {sigma}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the compact text form (see the type-level table).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the offending field on malformed
+    /// input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        fn num<T: std::str::FromStr>(parts: &[&str], i: usize, what: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            let raw = parts
+                .get(i)
+                .ok_or_else(|| format!("mobility is missing its {what} field"))?;
+            raw.parse()
+                .map_err(|e| format!("bad mobility {what} {raw:?}: {e}"))
+        }
+        let parts: Vec<&str> = s.split(':').collect();
+        let arity = |want: usize| -> Result<(), String> {
+            if parts.len() == 1 + want {
+                Ok(())
+            } else {
+                Err(format!(
+                    "mobility {} takes {want} field(s), got {}",
+                    parts[0],
+                    parts.len() - 1
+                ))
+            }
+        };
+        let spec = match parts[0] {
+            "waypoint" => {
+                arity(3)?;
+                MobilitySpec::Waypoint {
+                    speed: num(&parts, 1, "speed")?,
+                    pause: num(&parts, 2, "pause")?,
+                    seed: num(&parts, 3, "seed")?,
+                }
+            }
+            "drift" => {
+                arity(2)?;
+                MobilitySpec::Drift {
+                    sigma: num(&parts, 1, "sigma")?,
+                    seed: num(&parts, 2, "seed")?,
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown mobility model {other:?}; expected waypoint:SPEED:PAUSE:SEED or drift:SIGMA:SEED"
+                ))
+            }
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+impl std::fmt::Display for MobilitySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            MobilitySpec::Waypoint { speed, pause, seed } => {
+                write!(f, "waypoint:{speed}:{pause}:{seed}")
+            }
+            MobilitySpec::Drift { sigma, seed } => write!(f, "drift:{sigma}:{seed}"),
+        }
+    }
+}
+
+/// Per-node waypoint state.
+#[derive(Debug, Clone, Copy)]
+enum NodeState {
+    /// Waiting at a waypoint until the given slot.
+    Paused {
+        /// First slot at which a new target may be picked.
+        until: u64,
+    },
+    /// Walking toward a target.
+    Moving {
+        /// The current waypoint.
+        target: Point,
+    },
+}
+
+/// A stateful, deterministic mobility stepper over one deployment.
+///
+/// The model owns a working copy of the node positions (kept in sync by
+/// [`step`](MobilityModel::step) and [`displace`](MobilityModel::displace));
+/// the caller — typically the physical engine — applies the returned
+/// moves to its own position vector and forwards them to the reception
+/// backend's incremental repair hook.
+#[derive(Debug, Clone)]
+pub struct MobilityModel {
+    spec: MobilitySpec,
+    rng: StdRng,
+    positions: Vec<Point>,
+    lo: Point,
+    hi: Point,
+    state: Vec<NodeState>,
+    moves: Vec<(usize, Point)>,
+}
+
+impl MobilityModel {
+    /// Builds the model over a deployment. Nodes roam the deployment's
+    /// initial axis-aligned bounding box.
+    ///
+    /// # Errors
+    ///
+    /// [`GeomError::InvalidParameter`] if the spec's numeric parameters
+    /// are out of range.
+    pub fn new(spec: MobilitySpec, positions: &[Point]) -> Result<Self, GeomError> {
+        if spec.validate().is_err() {
+            return Err(GeomError::InvalidParameter {
+                name: "mobility",
+                requirement: "speed/sigma must be positive and finite",
+            });
+        }
+        let (mut lo, mut hi) = (
+            Point::new(f64::INFINITY, f64::INFINITY),
+            Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        );
+        for p in positions {
+            lo = Point::new(lo.x.min(p.x), lo.y.min(p.y));
+            hi = Point::new(hi.x.max(p.x), hi.y.max(p.y));
+        }
+        if positions.is_empty() {
+            lo = Point::ORIGIN;
+            hi = Point::ORIGIN;
+        }
+        Ok(MobilityModel {
+            spec,
+            rng: StdRng::seed_from_u64(spec.seed()),
+            positions: positions.to_vec(),
+            lo,
+            hi,
+            state: vec![NodeState::Paused { until: 0 }; positions.len()],
+            moves: Vec::new(),
+        })
+    }
+
+    /// The spec this model was built from.
+    pub fn spec(&self) -> MobilitySpec {
+        self.spec
+    }
+
+    /// The model's working copy of the node positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Uniform sample inside the bounding box (degenerate axes allowed).
+    fn sample_target(rng: &mut StdRng, lo: Point, hi: Point) -> Point {
+        let x = if hi.x > lo.x {
+            rng.random_range(lo.x..hi.x)
+        } else {
+            lo.x
+        };
+        let y = if hi.y > lo.y {
+            rng.random_range(lo.y..hi.y)
+        } else {
+            lo.y
+        };
+        Point::new(x, y)
+    }
+
+    /// Whether placing node `i` at `cand` keeps the near-field minimum
+    /// distance to every other node. O(n) exact scan — movement is a
+    /// modeling feature, not a hot kernel, and exactness keeps the
+    /// collision rule trivially deterministic.
+    fn clear_of_others(&self, i: usize, cand: Point) -> bool {
+        self.positions
+            .iter()
+            .enumerate()
+            .all(|(j, p)| j == i || p.dist_sq(cand) >= MIN_NODE_DISTANCE * MIN_NODE_DISTANCE)
+    }
+
+    /// Advances the model by one slot and returns the accepted moves as
+    /// `(node, new position)` pairs, in ascending node order, each node
+    /// at most once. Blocked candidates (near-field collisions) are
+    /// dropped for the slot without consuming extra randomness; a
+    /// blocked waypoint walker additionally abandons its target and
+    /// re-plans on the next slot — keeping the target would let two
+    /// walkers block each other permanently, and frozen pairs cascade
+    /// into a model-wide deadlock.
+    pub fn step(&mut self, slot: u64) -> &[(usize, Point)] {
+        self.moves.clear();
+        match self.spec {
+            MobilitySpec::Waypoint { speed, pause, .. } => {
+                for i in 0..self.positions.len() {
+                    if let NodeState::Paused { until } = self.state[i] {
+                        if slot < until {
+                            continue;
+                        }
+                        let target = Self::sample_target(&mut self.rng, self.lo, self.hi);
+                        self.state[i] = NodeState::Moving { target };
+                    }
+                    let NodeState::Moving { target } = self.state[i] else {
+                        unreachable!("paused nodes continue or transition above");
+                    };
+                    let cur = self.positions[i];
+                    let d = cur.dist(target);
+                    let cand = if d <= speed {
+                        self.state[i] = NodeState::Paused {
+                            until: slot + 1 + pause,
+                        };
+                        target
+                    } else {
+                        Point::new(
+                            cur.x + (target.x - cur.x) * speed / d,
+                            cur.y + (target.y - cur.y) * speed / d,
+                        )
+                    };
+                    if cand == cur {
+                        continue;
+                    }
+                    if self.clear_of_others(i, cand) {
+                        self.positions[i] = cand;
+                        self.moves.push((i, cand));
+                    } else {
+                        // Blocked: drop the waypoint and pick a fresh
+                        // one next slot instead of pushing against the
+                        // same obstacle forever.
+                        self.state[i] = NodeState::Paused { until: slot + 1 };
+                    }
+                }
+            }
+            MobilitySpec::Drift { sigma, .. } => {
+                for i in 0..self.positions.len() {
+                    // Draw unconditionally so the RNG schedule is fixed:
+                    // one (dx, dy) pair per node per slot, regardless of
+                    // collisions.
+                    let dx = self.rng.random_range(-sigma..sigma);
+                    let dy = self.rng.random_range(-sigma..sigma);
+                    let cur = self.positions[i];
+                    // Clamp to the box extended to the node's current
+                    // position: a node displaced outside the box by a
+                    // scripted teleport is not snapped back in one
+                    // mega-jump (which would break the per-slot |step| ≤
+                    // σ contract) — its outward steps are clamped off,
+                    // so it random-walks back toward the box at ≤ σ per
+                    // slot. Inside the box this reduces to the plain
+                    // clamp.
+                    let cand = Point::new(
+                        (cur.x + dx).clamp(self.lo.x.min(cur.x), self.hi.x.max(cur.x)),
+                        (cur.y + dy).clamp(self.lo.y.min(cur.y), self.hi.y.max(cur.y)),
+                    );
+                    if cand != cur && self.clear_of_others(i, cand) {
+                        self.positions[i] = cand;
+                        self.moves.push((i, cand));
+                    }
+                }
+            }
+        }
+        &self.moves
+    }
+
+    /// Applies an external (scripted) position change to the working
+    /// copy, keeping the model in sync with its caller. Waypoint walkers
+    /// keep their current target — a teleport is a displacement, not a
+    /// replanning event. The caller is responsible for validating the
+    /// target (the engine rejects near-field violations).
+    pub fn displace(&mut self, node: usize, to: Point) {
+        self.positions[node] = to;
+    }
+}
+
+/// An order-sensitive 64-bit digest of node positions (FNV-1a over the
+/// coordinate bit patterns). Two deployments digest equal iff every
+/// coordinate is bitwise equal in the same order — the cheap fingerprint
+/// scenario reports record per epoch so moving-network runs can be
+/// compared across reception backends without storing full trajectories.
+pub fn geometry_digest(points: &[Point]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in points {
+        for bits in [p.x.to_bits(), p.y.to_bits()] {
+            for b in bits.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy;
+
+    #[test]
+    fn spec_round_trips() {
+        for s in ["waypoint:0.5:8:42", "drift:0.25:7", "waypoint:2:0:0"] {
+            let spec = MobilitySpec::parse(s).unwrap();
+            assert_eq!(MobilitySpec::parse(&spec.to_string()).unwrap(), spec, "{s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_naming_the_field() {
+        for (bad, needle) in [
+            ("waypoint:0:5:1", "speed"),
+            ("waypoint:-1:5:1", "speed"),
+            ("waypoint:nan:5:1", "speed"),
+            ("waypoint:1:x:1", "pause"),
+            ("waypoint:1:2", "waypoint"),
+            ("waypoint:1:2:3:4", "waypoint"),
+            ("drift:0:1", "sigma"),
+            ("drift:abc:1", "sigma"),
+            ("drift:1", "drift"),
+            ("hover:1:2", "hover"),
+        ] {
+            let err = MobilitySpec::parse(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad}: {err} should name {needle}");
+        }
+    }
+
+    #[test]
+    fn model_rejects_invalid_spec() {
+        let bad = MobilitySpec::Waypoint {
+            speed: 0.0,
+            pause: 1,
+            seed: 0,
+        };
+        assert!(matches!(
+            MobilityModel::new(bad, &[Point::ORIGIN]),
+            Err(GeomError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn trajectories_are_deterministic_per_seed() {
+        let pts = deploy::uniform(24, 30.0, 3).unwrap();
+        let run = |seed: u64| {
+            let spec = MobilitySpec::Waypoint {
+                speed: 0.5,
+                pause: 2,
+                seed,
+            };
+            let mut m = MobilityModel::new(spec, &pts).unwrap();
+            for slot in 0..50 {
+                m.step(slot);
+            }
+            m.positions().to_vec()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn waypoint_preserves_near_field_and_bounds() {
+        let pts = deploy::uniform(32, 24.0, 5).unwrap();
+        let spec = MobilitySpec::Waypoint {
+            speed: 0.8,
+            pause: 0,
+            seed: 11,
+        };
+        let mut m = MobilityModel::new(spec, &pts).unwrap();
+        for slot in 0..200 {
+            m.step(slot);
+            assert!(
+                deploy::min_pairwise_distance(m.positions()) >= MIN_NODE_DISTANCE,
+                "near-field violated at slot {slot}"
+            );
+        }
+        for p in m.positions() {
+            assert!((0.0..=24.0).contains(&p.x) && (0.0..=24.0).contains(&p.y));
+        }
+        // Something actually moved.
+        assert_ne!(m.positions(), &pts[..]);
+    }
+
+    #[test]
+    fn drift_preserves_near_field_and_clamps() {
+        let pts = deploy::lattice(5, 5, 2.0).unwrap();
+        let spec = MobilitySpec::Drift {
+            sigma: 0.4,
+            seed: 2,
+        };
+        let mut m = MobilityModel::new(spec, &pts).unwrap();
+        for slot in 0..150 {
+            m.step(slot);
+            assert!(deploy::min_pairwise_distance(m.positions()) >= MIN_NODE_DISTANCE);
+        }
+        for p in m.positions() {
+            assert!((0.0..=8.0).contains(&p.x) && (0.0..=8.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn waypoint_pause_holds_nodes_still() {
+        // One node, huge pause: after reaching the first waypoint it must
+        // sit still for `pause` slots.
+        let pts = vec![Point::new(0.0, 0.0), Point::new(100.0, 100.0)];
+        let spec = MobilitySpec::Waypoint {
+            speed: 1000.0, // reaches any target in one step
+            pause: 10,
+            seed: 3,
+        };
+        let mut m = MobilityModel::new(spec, &pts).unwrap();
+        m.step(0);
+        let after_arrival = m.positions().to_vec();
+        for slot in 1..=10 {
+            let moves = m.step(slot);
+            assert!(moves.is_empty(), "moved during pause at slot {slot}");
+        }
+        assert_eq!(m.positions(), &after_arrival[..]);
+        assert!(!m.step(11).is_empty(), "pause must end");
+    }
+
+    #[test]
+    fn waypoint_never_deadlocks_on_collisions() {
+        // Regression: a blocked walker used to keep pushing toward the
+        // same target, and mutually blocking pairs froze the whole model
+        // within a few hundred slots. With re-planning, movement must
+        // continue indefinitely.
+        let pts = deploy::uniform(64, 55.0, 3).unwrap();
+        let spec = MobilitySpec::Waypoint {
+            speed: 0.5,
+            pause: 8,
+            seed: 42,
+        };
+        let mut m = MobilityModel::new(spec, &pts).unwrap();
+        let mut moves_in_window = 0usize;
+        for slot in 0..4000u64 {
+            moves_in_window += m.step(slot).len();
+            if slot % 500 == 499 {
+                assert!(moves_in_window > 0, "model deadlocked before slot {slot}");
+                moves_in_window = 0;
+            }
+        }
+        assert!(deploy::min_pairwise_distance(m.positions()) >= MIN_NODE_DISTANCE);
+    }
+
+    #[test]
+    fn moves_are_sorted_and_unique() {
+        let pts = deploy::uniform(20, 20.0, 1).unwrap();
+        let spec = MobilitySpec::Drift {
+            sigma: 0.3,
+            seed: 9,
+        };
+        let mut m = MobilityModel::new(spec, &pts).unwrap();
+        for slot in 0..30 {
+            let moves = m.step(slot);
+            assert!(moves.windows(2).all(|w| w[0].0 < w[1].0), "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn drift_returns_gradually_after_an_outside_teleport() {
+        // A scripted displacement outside the bounding box must not be
+        // undone in one clamp mega-jump; the node drifts back at ≤ σ
+        // per slot per axis.
+        let pts = deploy::lattice(3, 3, 2.0).unwrap(); // box [0,4]²
+        let spec = MobilitySpec::Drift {
+            sigma: 0.25,
+            seed: 4,
+        };
+        let mut m = MobilityModel::new(spec, &pts).unwrap();
+        m.displace(4, Point::new(50.0, 2.0));
+        let mut prev = m.positions()[4];
+        for slot in 0..40 {
+            m.step(slot);
+            let cur = m.positions()[4];
+            assert!(
+                (cur.x - prev.x).abs() <= 0.25 + 1e-12 && (cur.y - prev.y).abs() <= 0.25 + 1e-12,
+                "slot {slot}: jumped from {prev:?} to {cur:?}"
+            );
+            assert!(cur.x <= prev.x, "slot {slot}: drifted further out");
+            prev = cur;
+        }
+        assert!(prev.x < 50.0, "node never started back toward the box");
+    }
+
+    #[test]
+    fn displace_updates_the_working_copy() {
+        let pts = deploy::line(3, 5.0).unwrap();
+        let spec = MobilitySpec::Drift {
+            sigma: 0.1,
+            seed: 0,
+        };
+        let mut m = MobilityModel::new(spec, &pts).unwrap();
+        m.displace(1, Point::new(3.0, 4.0));
+        assert_eq!(m.positions()[1], Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn geometry_digest_is_order_and_bit_sensitive() {
+        let a = vec![Point::new(0.0, 1.0), Point::new(2.0, 3.0)];
+        let b = vec![Point::new(2.0, 3.0), Point::new(0.0, 1.0)];
+        let c = vec![Point::new(0.0, 1.0), Point::new(2.0, 3.0 + 1e-12)];
+        assert_eq!(geometry_digest(&a), geometry_digest(&a));
+        assert_ne!(geometry_digest(&a), geometry_digest(&b));
+        assert_ne!(geometry_digest(&a), geometry_digest(&c));
+        assert_ne!(geometry_digest(&a), geometry_digest(&[]));
+    }
+}

@@ -5,7 +5,7 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sinr_geom::{deploy, Point};
+use sinr_geom::{deploy, MobilityModel, Point};
 
 use crate::reception::{BackendSpec, InterferenceBackend, InterferenceModel};
 use crate::{PhysError, SinrParams};
@@ -119,6 +119,8 @@ pub struct Engine<P: Protocol> {
     backend: Box<dyn InterferenceBackend>,
     /// Per-slot reception decisions, reused across slots.
     decisions: Vec<Option<usize>>,
+    /// Optional movement model, advanced at the top of every slot.
+    mobility: Option<MobilityModel>,
     slot: u64,
     stats: EngineStats,
 }
@@ -193,6 +195,7 @@ impl<P: Protocol> Engine<P> {
             spec,
             backend: spec.build(),
             decisions: vec![None; n],
+            mobility: None,
             slot: 0,
             stats: EngineStats::default(),
         };
@@ -265,6 +268,73 @@ impl<P: Protocol> Engine<P> {
         self.backend.name()
     }
 
+    /// Installs (or removes) a mobility model. Movement is applied at
+    /// the top of every [`Engine::step`], *before* protocols decide
+    /// their slot actions, and the reception backend is notified through
+    /// [`InterferenceBackend::update_positions`] so the cached kernel
+    /// repairs its gain cache incrementally instead of rebuilding.
+    ///
+    /// Trajectories are driven by the model's own seeded RNG, never by
+    /// protocol state, so the same model produces the same movement
+    /// under every backend — the invariant the differential tests rely
+    /// on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model was not built over this engine's current
+    /// positions (its working copy must match bit for bit).
+    pub fn set_mobility(&mut self, mobility: Option<MobilityModel>) {
+        if let Some(model) = &mobility {
+            assert_eq!(
+                model.positions(),
+                &self.positions[..],
+                "mobility model must be built over the engine's current positions"
+            );
+        }
+        self.mobility = mobility;
+    }
+
+    /// Whether a mobility model is installed.
+    pub fn has_mobility(&self) -> bool {
+        self.mobility.is_some()
+    }
+
+    /// Scripted movement: instantly relocates `node` to `to`, keeping
+    /// any installed mobility model in sync and notifying the backend.
+    ///
+    /// # Errors
+    ///
+    /// [`PhysError::NearFieldViolation`] if the target sits closer than
+    /// the minimum distance 1 to another node (§4.2) — the move is not
+    /// applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `to` has a non-finite
+    /// coordinate (both are validated by callers that accept user
+    /// input).
+    pub fn teleport(&mut self, node: usize, to: Point) -> Result<(), PhysError> {
+        assert!(node < self.positions.len(), "node {node} out of range");
+        assert!(
+            to.x.is_finite() && to.y.is_finite(),
+            "teleport target must be finite"
+        );
+        for (j, p) in self.positions.iter().enumerate() {
+            if j != node && p.dist_sq(to) < deploy::MIN_NODE_DISTANCE * deploy::MIN_NODE_DISTANCE {
+                return Err(PhysError::NearFieldViolation {
+                    pair: (j.min(node), j.max(node)),
+                });
+            }
+        }
+        self.positions[node] = to;
+        if let Some(model) = &mut self.mobility {
+            model.displace(node, to);
+        }
+        self.backend
+            .update_positions(&self.params, &self.positions, &[(node, to)]);
+        Ok(())
+    }
+
     /// Cumulative counters.
     #[inline]
     pub fn stats(&self) -> EngineStats {
@@ -288,8 +358,29 @@ impl<P: Protocol> Engine<P> {
     }
 
     /// Executes one slot and returns its outcome.
+    ///
+    /// When a mobility model is installed, movement for the slot is
+    /// applied first — before protocols act and before the reception
+    /// decision — and the backend's incremental repair hook is invoked
+    /// with the moved nodes.
     pub fn step(&mut self) -> SlotOutcome {
         let slot = self.slot;
+        if self.mobility.is_some() {
+            let Engine {
+                mobility,
+                positions,
+                backend,
+                params,
+                ..
+            } = self;
+            let moves = mobility.as_mut().expect("checked above").step(slot);
+            if !moves.is_empty() {
+                for &(i, p) in moves {
+                    positions[i] = p;
+                }
+                backend.update_positions(params, positions, moves);
+            }
+        }
         let n = self.positions.len();
         let mut senders: Vec<usize> = Vec::new();
         let mut frames: Vec<Option<P::Msg>> = Vec::with_capacity(n);
@@ -566,6 +657,91 @@ mod tests {
             (0..60).map(|_| e.step()).collect::<Vec<_>>()
         };
         assert_eq!(run(BackendSpec::exact()), run(BackendSpec::cached()));
+    }
+
+    #[test]
+    fn mobile_execution_is_identical_across_backends() {
+        // Mobility is driven by its own seeded RNG, so positions evolve
+        // identically under every backend; with the cached kernel's
+        // incremental repair bit-identical to exact, whole executions
+        // must coincide.
+        use sinr_geom::{MobilityModel, MobilitySpec};
+        let run = |spec: BackendSpec| {
+            let pos = sinr_geom::deploy::uniform(30, 40.0, 5).unwrap();
+            let protos: Vec<CoinFlip> = (0..30).map(|_| CoinFlip).collect();
+            let mut e = Engine::with_backend(params(), pos, protos, 3, spec).unwrap();
+            let model = MobilityModel::new(
+                MobilitySpec::Waypoint {
+                    speed: 0.4,
+                    pause: 2,
+                    seed: 9,
+                },
+                e.positions(),
+            )
+            .unwrap();
+            e.set_mobility(Some(model));
+            let log: Vec<SlotOutcome> = (0..80).map(|_| e.step()).collect();
+            (log, e.positions().to_vec())
+        };
+        let (log_exact, pos_exact) = run(BackendSpec::exact());
+        let (log_cached, pos_cached) = run(BackendSpec::cached());
+        assert_eq!(log_exact, log_cached);
+        assert_eq!(
+            pos_exact, pos_cached,
+            "trajectories must not depend on backend"
+        );
+        // And movement actually happened.
+        assert_ne!(pos_exact, sinr_geom::deploy::uniform(30, 40.0, 5).unwrap());
+    }
+
+    #[test]
+    fn teleport_moves_a_node_and_rejects_near_field_violations() {
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(10.0, 0.0),
+        ];
+        let protos = vec![
+            Scripted::talker(vec![0, 1], 7),
+            Scripted::listener(),
+            Scripted::listener(),
+        ];
+        let mut e = Engine::with_backend(params(), pos, protos, 1, BackendSpec::cached()).unwrap();
+        // Too close to node 0: rejected, position unchanged.
+        let err = e.teleport(1, Point::new(0.5, 0.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            PhysError::NearFieldViolation { pair: (0, 1) }
+        ));
+        assert_eq!(e.positions()[1], Point::new(5.0, 0.0));
+        // A legal teleport out of range of the talker: node 1 stops
+        // hearing it.
+        e.step();
+        assert_eq!(e.protocol(NodeId(1)).heard, vec![(0, 7)]);
+        e.teleport(1, Point::new(100.0, 0.0)).unwrap();
+        e.step();
+        assert_eq!(e.protocol(NodeId(1)).heard, vec![(0, 7)], "out of range");
+        assert_eq!(e.positions()[1], Point::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn set_mobility_rejects_mismatched_model() {
+        use sinr_geom::{MobilityModel, MobilitySpec};
+        let pos = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)];
+        let protos = vec![Scripted::listener(), Scripted::listener()];
+        let mut e = Engine::new(params(), pos, protos, 0).unwrap();
+        let other = sinr_geom::deploy::line(2, 3.0).unwrap();
+        let model = MobilityModel::new(
+            MobilitySpec::Drift {
+                sigma: 0.1,
+                seed: 0,
+            },
+            &other,
+        )
+        .unwrap();
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| e.set_mobility(Some(model))));
+        assert!(result.is_err(), "mismatched model must be rejected");
     }
 
     #[test]

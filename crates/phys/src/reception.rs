@@ -69,6 +69,15 @@
 //! convenience wrapper keeps working, it just pays the preparation cost
 //! on every call.
 //!
+//! Moving deployments add a third lifecycle hook:
+//! [`update_positions`](InterferenceBackend::update_positions), called by
+//! the engine between slots with the nodes that moved. Stateless
+//! backends ignore it; the cached kernel repairs only the touched gain
+//! rows/columns and the affected incremental totals — O(movers × n)
+//! instead of the O(n²) re-`prepare` a position change would otherwise
+//! force (measured ≥5x per slot at n = 1024 with n/32 movers; see
+//! `BENCH_reception.json`).
+//!
 //! Selection is data-driven through [`BackendSpec`], a small `Copy` value
 //! that travels through constructor APIs (`Engine`, `SinrAbsMac`,
 //! `DecayMac`, the baselines, the bench binaries) and builds the backend
@@ -326,6 +335,31 @@ pub trait InterferenceBackend: Send {
         senders: &[usize],
         out: &mut [Option<usize>],
     );
+
+    /// Notifies the backend that nodes moved between slots (the mobility
+    /// lifecycle hook).
+    ///
+    /// `positions` is the **already updated** full position slice and
+    /// `moved` lists the changed nodes as `(index, new position)` pairs —
+    /// ascending indices, each node at most once. Stateless backends
+    /// (exact, grid, their parallel wrappers) read positions fresh every
+    /// slot, so the default is a no-op. The cached kernel overrides this
+    /// to repair only the touched gain rows/columns and the affected
+    /// incremental interference totals — O(movers × n) instead of the
+    /// O(n²) re-`prepare` the position change would otherwise force on
+    /// the next slot.
+    ///
+    /// Calling [`decide_slot`](InterferenceBackend::decide_slot) after a
+    /// position change *without* this hook stays correct for every
+    /// backend (the cached kernel detects the mismatch and re-prepares
+    /// lazily); the hook is purely the fast path.
+    fn update_positions(
+        &mut self,
+        _params: &SinrParams,
+        _positions: &[Point],
+        _moved: &[(usize, Point)],
+    ) {
+    }
 }
 
 /// Validates the shared `decide_slot` preconditions.
@@ -759,6 +793,28 @@ impl GainCache {
     fn d2_row(&self, s: usize, base: usize, len: usize) -> &[f64] {
         &self.d2[s * self.n + base..s * self.n + base + len]
     }
+
+    /// Repairs the cache after `node` moved to `to`: its gain/distance
+    /// row (node as sender) and column (node as listener) are recomputed
+    /// against the current positions, O(n) with the same per-pair
+    /// arithmetic as [`GainCache::build`] — so sums over patched entries
+    /// still reproduce exact-backend sums bit for bit. `dist_sq` is
+    /// symmetric at the bit level (`(-x)·(-x) == x·x` in IEEE 754), so
+    /// one distance computation serves both orientations.
+    pub fn move_node(&mut self, node: usize, to: Point) {
+        self.positions[node] = to;
+        for other in 0..self.n {
+            if other == node {
+                continue;
+            }
+            let dd = to.dist_sq(self.positions[other]);
+            let g = self.params.received_power(dd.sqrt());
+            self.d2[node * self.n + other] = dd;
+            self.gains[node * self.n + other] = g;
+            self.d2[other * self.n + node] = dd;
+            self.gains[other * self.n + node] = g;
+        }
+    }
 }
 
 /// A contiguous range of the cached kernel's per-listener state, the
@@ -971,6 +1027,123 @@ impl CachedBackend {
         self.ops_since_refresh = 0;
     }
 
+    /// Applies a position change to the prepared kernel state: the moved
+    /// nodes' gain rows/columns are recomputed and every affected
+    /// incremental quantity (per-listener totals, drift bounds, nearest
+    /// senders) is repaired — O(movers × n) against the O(n²) rebuild a
+    /// re-`prepare` would cost.
+    ///
+    /// The repair reuses the churn machinery: a moved node that is
+    /// currently transmitting is treated as *leaving* at its old gains
+    /// and *re-entering* at its new gains (growing the tracked drift
+    /// bound by one rounding unit per update, exactly like sender
+    /// churn), and each moved node's own listening state is rebuilt from
+    /// scratch (every distance to it changed). Bit-identity with
+    /// [`ExactBackend`] is preserved by the same argument as for churn:
+    /// totals stay within the tracked drift bound of the exact ordered
+    /// sum, and near-threshold decisions replay the exact summation.
+    fn update_positions_impl(
+        &mut self,
+        params: &SinrParams,
+        positions: &[Point],
+        moved: &[(usize, Point)],
+    ) {
+        if moved.is_empty() {
+            return;
+        }
+        let n = positions.len();
+        // A release assert, not a debug one: an unsorted `moved` list
+        // would silently corrupt the incremental totals by a full gain
+        // value — far outside the tracked drift bound, so the guarded
+        // exact-replay fallback would never catch it. The O(movers)
+        // check is noise next to the O(movers × n) repair.
+        assert!(
+            moved.windows(2).all(|w| w[0].0 < w[1].0),
+            "moved nodes must be ascending and unique"
+        );
+        let Some(cache) = self.cache.as_ref() else {
+            // Never prepared: nothing to repair, the first decide_slot
+            // prepares lazily against whatever positions it sees.
+            return;
+        };
+        if cache.params != *params || cache.n() != n {
+            // Parameter or size change: fall back to the lazy rebuild.
+            return;
+        }
+        if moved.len() * 4 >= n {
+            // Surgery on a quarter of the matrix costs as much as the
+            // (thread-chunked) rebuild; take the simple path. This also
+            // resets the delta state, so the next decide_slot runs a
+            // full refresh — still bit-identical, just not incremental.
+            self.prepare_impl(params, positions);
+            return;
+        }
+
+        // Moved nodes that are transmitting right now: their old gains
+        // must leave every listener's total before the patch, their new
+        // gains re-enter after it.
+        let moved_senders: Vec<usize> = moved
+            .iter()
+            .map(|&(i, _)| i)
+            .filter(|&i| self.sending[i])
+            .collect();
+        if !moved_senders.is_empty() {
+            let remaining: Vec<usize> = self
+                .prev
+                .iter()
+                .copied()
+                .filter(|i| moved_senders.binary_search(i).is_err())
+                .collect();
+            // Departure at the old gains; orphaned listeners (their
+            // nearest sender moved) rescan over the unmoved senders,
+            // whose cached distances are still valid.
+            self.sweep(|ls, cache| delta_range(ls, cache, &remaining, &[], &moved_senders));
+        }
+
+        let cache = self.cache.as_mut().expect("checked above");
+        for &(i, p) in moved {
+            cache.move_node(i, p);
+        }
+
+        if !moved_senders.is_empty() {
+            // Re-entry at the new gains; the enter path also lets each
+            // moved sender re-compete for nearest-sender with the exact
+            // backend's (distance, index) tie-break.
+            let senders = std::mem::take(&mut self.prev);
+            self.sweep(|ls, cache| delta_range(ls, cache, &senders, &moved_senders, &[]));
+            self.prev = senders;
+        }
+
+        // Every distance *to* a moved node changed, so its own listening
+        // state cannot be patched incrementally: rebuild it exactly the
+        // way refresh_range would (ordered sum over the sender set,
+        // first-minimum nearest-sender scan, drift bound reset).
+        let cache = self.cache.as_ref().expect("checked above");
+        let kf = self.prev.len() as f64;
+        for &(m, _) in moved {
+            let mut total = 0.0;
+            let mut bd = f64::INFINITY;
+            let mut bs = NO_SENDER;
+            for &s in &self.prev {
+                total += cache.gain(s, m);
+                let d = cache.dist_sq(s, m);
+                if d < bd {
+                    bd = d;
+                    bs = s;
+                }
+            }
+            self.total[m] = total;
+            self.err[m] = (kf + 1.0) * f64::EPSILON * total.abs();
+            self.best_d2[m] = bd;
+            self.best_s[m] = bs;
+        }
+
+        // Each leave/enter pair contributes rounding drift like any churn
+        // update; count it toward the periodic full refresh that keeps
+        // the guard band tight.
+        self.ops_since_refresh += (2 * moved_senders.len() + moved.len()) as u64;
+    }
+
     /// Runs `op` over the per-listener state, chunked across threads when
     /// the deployment is past the crossover.
     fn sweep(&mut self, op: impl Fn(ListenerState<'_>, &GainCache) + Sync) {
@@ -1037,6 +1210,15 @@ impl InterferenceBackend for CachedBackend {
 
     fn prepare(&mut self, params: &SinrParams, positions: &[Point]) {
         self.prepare_impl(params, positions);
+    }
+
+    fn update_positions(
+        &mut self,
+        params: &SinrParams,
+        positions: &[Point],
+        moved: &[(usize, Point)],
+    ) {
+        self.update_positions_impl(params, positions, moved);
     }
 
     fn decide_slot(
@@ -1649,5 +1831,212 @@ mod tests {
         let pos = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
         let mut out = vec![None; 1];
         ExactBackend::new().decide_slot(&p, &pos, &[0], &mut out);
+    }
+
+    /// Asserts the cached backend's decisions equal fresh exact
+    /// computation for the given positions/senders, returning both.
+    fn assert_cached_matches_exact(
+        p: &SinrParams,
+        cached: &mut CachedBackend,
+        pos: &[Point],
+        senders: &[usize],
+        label: &str,
+    ) {
+        let mut got = vec![None; pos.len()];
+        cached.decide_slot(p, pos, senders, &mut got);
+        let want = decide_receptions(p, pos, senders, InterferenceModel::Exact);
+        assert_eq!(got, want, "{label}");
+    }
+
+    #[test]
+    fn gain_cache_move_node_matches_a_fresh_build() {
+        let p = params();
+        let mut pos = sinr_geom::deploy::uniform(14, 24.0, 2).unwrap();
+        let mut cache = GainCache::build(&p, &pos, 1);
+        pos[3] = Point::new(100.0, 5.25);
+        pos[9] = Point::new(100.0, 12.5);
+        cache.move_node(3, pos[3]);
+        cache.move_node(9, pos[9]);
+        let fresh = GainCache::build(&p, &pos, 1);
+        assert!(cache.matches(&p, &pos));
+        for s in 0..14 {
+            for u in 0..14 {
+                assert_eq!(cache.gain(s, u), fresh.gain(s, u), "gain {s}->{u}");
+                assert_eq!(cache.dist_sq(s, u), fresh.dist_sq(s, u), "d2 {s}->{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_positions_repairs_instead_of_rebuilding() {
+        // The repaired kernel must keep producing exact decisions across
+        // moves of senders, listeners, and the current nearest sender.
+        let p = params();
+        let mut pos = sinr_geom::deploy::uniform(40, 50.0, 7).unwrap();
+        let mut cached = CachedBackend::new();
+        cached.prepare(&p, &pos);
+        let senders: Vec<usize> = (0..40).step_by(3).collect();
+        assert_cached_matches_exact(&p, &mut cached, &pos, &senders, "before any move");
+        for step in 0..30usize {
+            // Rotate a mover through senders and listeners alike; the
+            // parking row sits clear of the deployment and spaces its
+            // spots two units apart, so near-field always holds.
+            let m = (step * 7) % 40;
+            let to = Point::new(70.0 + 2.0 * step as f64, 70.0);
+            pos[m] = to;
+            cached.update_positions(&p, &pos, &[(m, to)]);
+            assert_cached_matches_exact(&p, &mut cached, &pos, &senders, &format!("move {step}"));
+        }
+    }
+
+    #[test]
+    fn update_positions_handles_moved_best_sender() {
+        // Listener 0's nearest sender walks away until a different
+        // sender becomes nearest — the orphan-rescan path.
+        let p = params();
+        let mut pos = vec![
+            Point::new(0.0, 0.0),  // listener
+            Point::new(2.0, 0.0),  // nearest sender, about to leave
+            Point::new(6.0, 0.0),  // second sender
+            Point::new(40.0, 0.0), // far sender
+        ];
+        let senders = vec![1, 2, 3];
+        let mut cached = CachedBackend::new();
+        cached.prepare(&p, &pos);
+        assert_cached_matches_exact(&p, &mut cached, &pos, &senders, "initial");
+        for step in 1..=12 {
+            // The walker drifts away on an offset row, staying a unit
+            // clear of the in-line senders it passes.
+            pos[1] = Point::new(2.0 + step as f64 * 1.5, 2.0);
+            cached.update_positions(&p, &pos, &[(1, pos[1])]);
+            assert_cached_matches_exact(&p, &mut cached, &pos, &senders, &format!("step {step}"));
+        }
+    }
+
+    #[test]
+    fn teleporting_across_the_threshold_never_leaves_a_stale_total() {
+        // The adversarial drift-bound test: one interferer teleports back
+        // and forth across the exact decode boundary of a near-threshold
+        // link, every hop landing the decision inside the guarded
+        // fallback band. Run long enough to cross several REFRESH_OPS
+        // cycles and assert (a) decisions stay bit-identical to exact
+        // and (b) the tracked drift bound really covers the distance to
+        // the exact ordered sum — i.e. no stale total ever survives a
+        // refresh cycle.
+        let p = params();
+        // Listener 0 decodes sender 1; interferer 2 hops between a spot
+        // where the SINR is comfortably above beta and one where it is
+        // just below.
+        let near = Point::new(11.0, 0.0);
+        let far = Point::new(26.0, 0.0);
+        let mut pos = vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0), far];
+        let senders = vec![1, 2];
+        let mut cached = CachedBackend::new();
+        cached.prepare(&p, &pos);
+        let total_ops = REFRESH_OPS * 3 + 17;
+        for step in 0..total_ops {
+            let to = if step % 2 == 0 { near } else { far };
+            pos[2] = to;
+            cached.update_positions(&p, &pos, &[(2, to)]);
+            assert_cached_matches_exact(
+                &p,
+                &mut cached,
+                &pos,
+                &senders,
+                &format!("teleport {step}"),
+            );
+            // Drift-bound bookkeeping: the maintained total must sit
+            // within the tracked error of the exact ordered sum.
+            let cache = cached.gain_cache().unwrap();
+            for u in 0..pos.len() {
+                let exact: f64 = senders.iter().map(|&s| cache.gain(s, u)).sum();
+                assert!(
+                    (cached.total[u] - exact).abs() <= cached.err[u] + f64::EPSILON * exact.abs(),
+                    "stale total at listener {u} after {step} teleports: \
+                     total {} vs exact {exact}, err bound {}",
+                    cached.total[u],
+                    cached.err[u]
+                );
+            }
+        }
+        // The periodic refresh must actually have fired along the way.
+        assert!(cached.ops_since_refresh < total_ops, "refresh never ran");
+    }
+
+    #[test]
+    fn update_positions_mass_move_takes_the_rebuild_path() {
+        // Moving >= n/4 nodes at once rebuilds the cache outright; the
+        // decisions must still be exact.
+        let p = params();
+        let mut pos = sinr_geom::deploy::uniform(24, 30.0, 4).unwrap();
+        let mut cached = CachedBackend::new();
+        cached.prepare(&p, &pos);
+        let senders: Vec<usize> = (0..24).step_by(2).collect();
+        assert_cached_matches_exact(&p, &mut cached, &pos, &senders, "before");
+        let moved: Vec<(usize, Point)> = (0..12)
+            .map(|i| {
+                let to = Point::new(pos[i].x + 40.0, pos[i].y);
+                pos[i] = to;
+                (i, to)
+            })
+            .collect();
+        cached.update_positions(&p, &pos, &moved);
+        assert!(cached.gain_cache().unwrap().matches(&p, &pos));
+        assert_cached_matches_exact(&p, &mut cached, &pos, &senders, "after mass move");
+    }
+
+    #[test]
+    fn update_positions_before_prepare_is_a_safe_noop() {
+        let p = params();
+        let pos = sinr_geom::deploy::line(6, 3.0).unwrap();
+        let mut cached = CachedBackend::new();
+        // No cache yet: the hook must not panic, and the first
+        // decide_slot prepares lazily.
+        cached.update_positions(&p, &pos, &[(0, pos[0])]);
+        assert_cached_matches_exact(&p, &mut cached, &pos, &[0, 3], "lazy prepare");
+    }
+
+    #[test]
+    fn update_positions_is_a_noop_for_stateless_backends() {
+        // Exact/grid/parallel read positions fresh per slot; the hook
+        // must not disturb them.
+        let p = params();
+        let mut pos = sinr_geom::deploy::uniform(20, 30.0, 6).unwrap();
+        let senders: Vec<usize> = (0..20).step_by(2).collect();
+        for spec in [
+            BackendSpec::exact(),
+            BackendSpec::grid_far_field(8.0),
+            BackendSpec::exact().with_threads(2),
+        ] {
+            let mut backend = spec.build();
+            backend.prepare(&p, &pos);
+            let mut out = vec![None; pos.len()];
+            backend.decide_slot(&p, &pos, &senders, &mut out);
+            pos[5] = Point::new(pos[5].x + 9.0, pos[5].y);
+            backend.update_positions(&p, &pos, &[(5, pos[5])]);
+            backend.decide_slot(&p, &pos, &senders, &mut out);
+            let want = decide_receptions(&p, &pos, &senders, InterferenceModel::Exact);
+            if spec.model == InterferenceModel::Exact {
+                assert_eq!(out, want, "{spec}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_positions_composes_with_sender_churn() {
+        // Movement and churn interleaved — the combination the mobility
+        // engine actually produces.
+        let p = params();
+        let mut pos = sinr_geom::deploy::uniform(36, 44.0, 13).unwrap();
+        let mut cached = CachedBackend::new();
+        cached.prepare(&p, &pos);
+        for step in 0..25usize {
+            let m = (step * 5) % 36;
+            let to = Point::new(2.0 * step as f64, 120.0);
+            pos[m] = to;
+            cached.update_positions(&p, &pos, &[(m, to)]);
+            let senders: Vec<usize> = (0..36).skip(step % 3).step_by(2 + step % 2).collect();
+            assert_cached_matches_exact(&p, &mut cached, &pos, &senders, &format!("slot {step}"));
+        }
     }
 }

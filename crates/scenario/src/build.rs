@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 use sinr_baselines::{
     DecaySmb, DecaySmbConfig, DgknSmb, DgknSmbConfig, RoundRobinConfig, RoundRobinSmb, SmbReport,
 };
-use sinr_geom::{DeploySpec, Point};
+use sinr_geom::{geometry_digest, DeploySpec, MobilityModel, MobilitySpec, Point};
 use sinr_graphs::SinrGraphs;
 use sinr_mac::{DecayMac, DecayParams, MacParams, SinrAbsMac};
 use sinr_phys::{BackendSpec, SinrParams};
@@ -120,6 +120,38 @@ pub trait ScenarioMac: MacLayer {
     fn dropped_count(&self) -> Option<usize> {
         None
     }
+
+    /// Installs a continuous mobility model over the MAC's deployment.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Unsupported`] if this MAC has no physical
+    /// engine to move nodes in (the graph-based ideal MAC, the
+    /// self-contained baselines).
+    fn set_mobility(&mut self, _spec: &MobilitySpec) -> Result<(), ScenarioError> {
+        Err(ScenarioError::Unsupported(
+            "this MAC implementation has no physical engine to move nodes in".into(),
+        ))
+    }
+
+    /// Scripted movement: relocates `node` to `to` between slots.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Unsupported`] if this MAC has no physical
+    /// engine; [`ScenarioError::Phys`] if the target violates the
+    /// near-field assumption at the moment the event fires.
+    fn teleport(&mut self, _node: usize, _to: Point) -> Result<(), ScenarioError> {
+        Err(ScenarioError::Unsupported(
+            "this MAC implementation has no physical engine to move nodes in".into(),
+        ))
+    }
+
+    /// A 64-bit fingerprint of the current node positions, if this MAC
+    /// has physical geometry (see [`sinr_geom::geometry_digest`]).
+    fn geometry_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl<P: Clone> ScenarioMac for SinrAbsMac<P> {
@@ -144,9 +176,37 @@ impl<P: Clone> ScenarioMac for SinrAbsMac<P> {
     fn dropped_count(&self) -> Option<usize> {
         Some(SinrAbsMac::dropped_count(self))
     }
+
+    fn set_mobility(&mut self, spec: &MobilitySpec) -> Result<(), ScenarioError> {
+        let model = MobilityModel::new(*spec, self.positions())?;
+        SinrAbsMac::set_mobility(self, Some(model));
+        Ok(())
+    }
+
+    fn teleport(&mut self, node: usize, to: Point) -> Result<(), ScenarioError> {
+        SinrAbsMac::teleport(self, node, to).map_err(ScenarioError::from)
+    }
+
+    fn geometry_digest(&self) -> Option<u64> {
+        Some(geometry_digest(self.positions()))
+    }
 }
 
-impl<P: Clone> ScenarioMac for DecayMac<P> {}
+impl<P: Clone> ScenarioMac for DecayMac<P> {
+    fn set_mobility(&mut self, spec: &MobilitySpec) -> Result<(), ScenarioError> {
+        let model = MobilityModel::new(*spec, self.positions())?;
+        DecayMac::set_mobility(self, Some(model));
+        Ok(())
+    }
+
+    fn teleport(&mut self, node: usize, to: Point) -> Result<(), ScenarioError> {
+        DecayMac::teleport(self, node, to).map_err(ScenarioError::from)
+    }
+
+    fn geometry_digest(&self) -> Option<u64> {
+        Some(geometry_digest(self.positions()))
+    }
+}
 
 impl<P: Clone> ScenarioMac for IdealMac<P> {}
 
@@ -259,6 +319,10 @@ pub struct RunnableScenario {
     exec: Exec,
     check_done: bool,
     poll_dropped: bool,
+    /// Geometry-digest sampling period in slots (`None` = geometry is
+    /// static, record nothing). One epoch for the paper's MAC, an
+    /// eighth of the horizon otherwise.
+    digest_every: Option<u64>,
 }
 
 /// What a finished run measured.
@@ -284,6 +348,12 @@ pub struct ScenarioOutcome {
     pub consensus_inputs: Option<Vec<bool>>,
     /// Peak drop-out set size, when `measure=dropped`.
     pub max_dropped: Option<usize>,
+    /// Per-epoch geometry fingerprints (initial, each epoch boundary,
+    /// final), recorded only when the scenario moves nodes (`mobility=`
+    /// or `dyn=teleport:…`). Trajectories are backend-independent, so
+    /// these digests must agree bit for bit across reception backends —
+    /// the cheap observable the differential tests pin.
+    pub geometry_digests: Option<Vec<u64>>,
 }
 
 /// A finished run: the build context plus the outcome.
@@ -321,6 +391,15 @@ impl ScenarioSpec {
         // 16-node spec runs serial; receptions are thread-invariant, so
         // this changes wall clock only). The effective spec is what the
         // run context reports.
+        //
+        // The resolution is deliberately made ONCE, against the
+        // deployment realized at slot 0. Mobility moves nodes but never
+        // adds or removes them, and the crossover depends only on the
+        // listener COUNT — so the slot-0 choice remains exactly right
+        // for the whole run, no matter how the geometry evolves. If a
+        // future dynamics axis ever changes n mid-run, this is the line
+        // to revisit (unit-tested in
+        // `backend_threads_resolved_once_at_slot_zero_under_mobility`).
         let backend = backend.tuned(n);
 
         let seed = match self.seed {
@@ -396,13 +475,26 @@ impl ScenarioSpec {
             WorkloadSpec::Consensus { .. } => {}
         }
 
+        // Mobility (continuous movement and scripted teleports) needs a
+        // physical engine to move nodes in: only the SINR MAC and Decay
+        // run one. The ideal MAC is graph-based and the SMB baselines
+        // are self-contained executions.
+        let physical_mac = matches!(self.mac, MacSpec::Sinr { .. } | MacSpec::Decay { .. });
+        if self.mobility.is_some() && !physical_mac {
+            return Err(unsupported(format!(
+                "mobility requires a physical-engine MAC (sinr or decay), got mac={}",
+                self.mac
+            )));
+        }
+
         // Validate dynamics against the chosen MAC and workload.
         for ev in &self.dynamics {
             let node = match ev.kind {
                 DynKind::Jam { node, .. }
                 | DynKind::Unjam { node }
                 | DynKind::Arrive { node }
-                | DynKind::Depart { node } => node,
+                | DynKind::Depart { node }
+                | DynKind::Teleport { node, .. } => node,
             };
             if node >= n {
                 return Err(unsupported(format!(
@@ -425,6 +517,19 @@ impl ScenarioSpec {
                         return Err(unsupported(format!(
                             "arrival/departure dynamics are not supported for workload={} over mac={}",
                             self.workload, self.mac
+                        )));
+                    }
+                }
+                DynKind::Teleport { x, y, .. } => {
+                    if !physical_mac {
+                        return Err(unsupported(format!(
+                            "teleport dynamics require a physical-engine MAC (sinr or decay), got mac={}",
+                            self.mac
+                        )));
+                    }
+                    if !(x.is_finite() && y.is_finite()) {
+                        return Err(unsupported(format!(
+                            "teleport target ({x}, {y}) must be finite"
                         )));
                     }
                 }
@@ -476,6 +581,22 @@ impl ScenarioSpec {
             backend,
         )?;
 
+        // Geometry digests are only worth recording when something can
+        // move; sample once per approximate-progress epoch when the
+        // paper's MAC defines one (the ×2 converts the layout's
+        // odd-slot count into physical slots, the same convention as
+        // `stop=epochs` and the reported `epoch_len`), else eight
+        // samples across the horizon.
+        let moves_nodes = self.mobility.is_some()
+            || self
+                .dynamics
+                .iter()
+                .any(|ev| matches!(ev.kind, DynKind::Teleport { .. }));
+        let digest_every = moves_nodes.then(|| match &mac_params {
+            Some(params) => 2 * params.layout().epoch_len(),
+            None => (max_slots / 8).max(1),
+        });
+
         Ok(RunnableScenario {
             ctx: ScenarioCtx {
                 spec: self.clone(),
@@ -491,6 +612,7 @@ impl ScenarioSpec {
             exec,
             check_done,
             poll_dropped: self.measure.dropped,
+            digest_every,
         })
     }
 
@@ -569,8 +691,11 @@ impl ScenarioSpec {
             }
             mac @ (MacSpec::Sinr { .. } | MacSpec::Ideal(_) | MacSpec::Decay { .. }) => {
                 if let WorkloadSpec::Consensus { deadline } = self.workload {
-                    let mac: Box<dyn ScenarioMac<Payload = Proposal>> =
+                    let mut mac: Box<dyn ScenarioMac<Payload = Proposal>> =
                         build_layer(mac, sinr, positions, graphs, mac_params, seed, backend)?;
+                    if let Some(m) = &self.mobility {
+                        mac.set_mobility(m)?;
+                    }
                     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
                     let values: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
                     let clients = FloodMaxConsensus::network(&values, deadline);
@@ -580,8 +705,11 @@ impl ScenarioSpec {
                         values,
                     ))
                 } else {
-                    let mac: Box<dyn ScenarioMac<Payload = u64>> =
+                    let mut mac: Box<dyn ScenarioMac<Payload = u64>> =
                         build_layer(mac, sinr, positions, graphs, mac_params, seed, backend)?;
+                    if let Some(m) = &self.mobility {
+                        mac.set_mobility(m)?;
+                    }
                     let base: Vec<WorkClient> = match &self.workload {
                         WorkloadSpec::Repeat(srcs) => {
                             Repeater::network(n, |i| srcs.is_source(i, n).then_some(i as u64))
@@ -708,43 +836,88 @@ fn build_layer<P: Clone + 'static>(
     }
 }
 
-/// Steps a runner for up to `max_slots`, applying jammer dynamics and
-/// polling the drop-out set; returns `(completed_at, max_dropped)`.
+/// What [`drive`] measured beyond the trace.
+struct DriveOutcome {
+    completed_at: Option<u64>,
+    max_dropped: Option<usize>,
+    geometry_digests: Option<Vec<u64>>,
+}
+
+/// Steps a runner for up to `max_slots`, applying MAC-directed dynamics
+/// (jammers, scripted teleports), polling the drop-out set and sampling
+/// geometry digests at the given period.
 fn drive<P: Clone, C: MacClient<P>>(
     runner: &mut Runner<Box<dyn ScenarioMac<Payload = P>>, C>,
     max_slots: u64,
     check_done: bool,
     dynamics: &[DynEvent],
     poll_dropped: bool,
-) -> Result<(Option<u64>, Option<usize>), ScenarioError> {
-    let mut jams: Vec<&DynEvent> = dynamics
+    digest_every: Option<u64>,
+) -> Result<DriveOutcome, ScenarioError> {
+    let mut events: Vec<&DynEvent> = dynamics
         .iter()
-        .filter(|ev| matches!(ev.kind, DynKind::Jam { .. } | DynKind::Unjam { .. }))
+        .filter(|ev| {
+            matches!(
+                ev.kind,
+                DynKind::Jam { .. } | DynKind::Unjam { .. } | DynKind::Teleport { .. }
+            )
+        })
         .collect();
-    jams.sort_by_key(|ev| ev.at);
-    let mut next_jam = 0usize;
+    events.sort_by_key(|ev| ev.at);
+    let mut next_event = 0usize;
     let mut max_dropped: Option<usize> = None;
+    let mut digests: Vec<u64> = Vec::new();
+    let mut last_sampled: Option<u64> = None;
+    // Sampling is keyed by slot so the unconditional final sample never
+    // duplicates an epoch-boundary sample taken the same slot (the
+    // common case: the default period divides the horizon evenly).
+    let mut sample_digest = |runner: &Runner<Box<dyn ScenarioMac<Payload = P>>, C>, at: u64| {
+        if digest_every.is_some() && last_sampled != Some(at) {
+            if let Some(d) = runner.mac().geometry_digest() {
+                digests.push(d);
+                last_sampled = Some(at);
+            }
+        }
+    };
+    sample_digest(runner, 0);
+    let mut completed_at = None;
     for _ in 0..max_slots {
         let now = runner.mac().now();
-        while next_jam < jams.len() && jams[next_jam].at <= now {
-            match jams[next_jam].kind {
+        while next_event < events.len() && events[next_event].at <= now {
+            match events[next_event].kind {
                 DynKind::Jam { node, p } => runner.mac_mut().set_jammer(node, Some(p))?,
                 DynKind::Unjam { node } => runner.mac_mut().set_jammer(node, None)?,
+                DynKind::Teleport { node, x, y } => {
+                    runner.mac_mut().teleport(node, Point::new(x, y))?
+                }
                 _ => unreachable!("filtered above"),
             }
-            next_jam += 1;
+            next_event += 1;
         }
         let t = runner.step()?;
+        if let Some(k) = digest_every {
+            if t.is_multiple_of(k) {
+                sample_digest(runner, t);
+            }
+        }
         if poll_dropped {
             if let Some(d) = runner.mac().dropped_count() {
                 max_dropped = Some(max_dropped.unwrap_or(0).max(d));
             }
         }
         if check_done && runner.clients().all(|c| c.is_done()) {
-            return Ok((Some(t), max_dropped));
+            completed_at = Some(t);
+            break;
         }
     }
-    Ok((None, max_dropped))
+    // The final geometry, whether the run completed or hit its horizon
+    // (skipped when the last slot was already an epoch-boundary sample).
+    sample_digest(runner, runner.mac().now());
+    Ok(DriveOutcome {
+        completed_at,
+        max_dropped,
+        geometry_digests: (digest_every.is_some() && !digests.is_empty()).then_some(digests),
+    })
 }
 
 impl RunnableScenario {
@@ -759,42 +932,46 @@ impl RunnableScenario {
         let dynamics = self.ctx.spec.dynamics.clone();
         let outcome = match &mut self.exec {
             Exec::Mac(runner) => {
-                let (completed_at, max_dropped) = drive(
+                let driven = drive(
                     runner,
                     max_slots,
                     self.check_done,
                     &dynamics,
                     self.poll_dropped,
+                    self.digest_every,
                 )?;
                 ScenarioOutcome {
                     trace: runner.take_trace(),
                     trace_truncated: runner.trace_truncated(),
-                    completed_at,
+                    completed_at: driven.completed_at,
                     horizon: max_slots,
                     smb: None,
                     decisions: None,
                     consensus_inputs: None,
-                    max_dropped,
+                    max_dropped: driven.max_dropped,
+                    geometry_digests: driven.geometry_digests,
                 }
             }
             Exec::Consensus(runner, values) => {
-                let (completed_at, max_dropped) = drive(
+                let driven = drive(
                     runner,
                     max_slots,
                     self.check_done,
                     &dynamics,
                     self.poll_dropped,
+                    self.digest_every,
                 )?;
                 let decisions = runner.clients().map(|c| c.decision()).collect();
                 ScenarioOutcome {
                     trace: runner.take_trace(),
                     trace_truncated: runner.trace_truncated(),
-                    completed_at,
+                    completed_at: driven.completed_at,
                     horizon: max_slots,
                     smb: None,
                     decisions: Some(decisions),
                     consensus_inputs: Some(std::mem::take(values)),
-                    max_dropped,
+                    max_dropped: driven.max_dropped,
+                    geometry_digests: driven.geometry_digests,
                 }
             }
             Exec::Tdma(tdma) => {
@@ -827,6 +1004,7 @@ fn baseline_outcome(report: SmbReport, horizon: u64) -> ScenarioOutcome {
         decisions: None,
         consensus_inputs: None,
         max_dropped: None,
+        geometry_digests: None,
     }
 }
 
@@ -1143,6 +1321,227 @@ mod tests {
         let built = spec.build().unwrap();
         assert_eq!(built.ctx.backend.threads, 1);
         assert_eq!(built.ctx.backend.model, sinr_phys::InterferenceModel::Exact);
+    }
+
+    #[test]
+    fn mobility_runs_and_records_geometry_digests() {
+        for mac in [
+            MacSpec::sinr(),
+            MacSpec::Decay {
+                n_tilde: 16.0,
+                eps: 0.125,
+                budget_mult: 4.0,
+            },
+        ] {
+            let mut spec = base(
+                mac.clone(),
+                WorkloadSpec::Repeat(SourceSet::Stride(2)),
+                StopSpec::Slots(400),
+            );
+            spec.mobility = Some(sinr_geom::MobilitySpec::Waypoint {
+                speed: 0.3,
+                pause: 2,
+                seed: 11,
+            });
+            let run = spec.run().unwrap_or_else(|e| panic!("{mac}: {e}"));
+            let digests = run
+                .outcome
+                .geometry_digests
+                .as_ref()
+                .unwrap_or_else(|| panic!("{mac}: no digests"));
+            assert!(digests.len() >= 2, "{mac}: initial + final at least");
+            assert!(
+                digests.windows(2).any(|w| w[0] != w[1]),
+                "{mac}: geometry never changed under waypoint mobility"
+            );
+        }
+    }
+
+    #[test]
+    fn final_digest_is_not_duplicated_on_epoch_boundaries() {
+        // Non-sinr MAC, 400 slots: digest_every = 400/8 = 50, so the
+        // last in-loop sample lands exactly on the horizon — the final
+        // sample must be skipped, giving 9 entries (slot 0 + 8
+        // boundaries), not 10.
+        let mut spec = base(
+            MacSpec::Decay {
+                n_tilde: 16.0,
+                eps: 0.125,
+                budget_mult: 4.0,
+            },
+            WorkloadSpec::Repeat(SourceSet::Stride(2)),
+            StopSpec::Slots(400),
+        );
+        spec.mobility = Some(sinr_geom::MobilitySpec::Drift {
+            sigma: 0.2,
+            seed: 5,
+        });
+        let run = spec.run().unwrap();
+        let digests = run.outcome.geometry_digests.unwrap();
+        assert_eq!(digests.len(), 9, "{digests:?}");
+    }
+
+    #[test]
+    fn static_runs_record_no_geometry_digests() {
+        let spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::Stride(2)),
+            StopSpec::Slots(100),
+        );
+        let run = spec.run().unwrap();
+        assert!(run.outcome.geometry_digests.is_none());
+    }
+
+    #[test]
+    fn teleport_dynamics_move_the_node() {
+        let spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::Stride(2)),
+            StopSpec::Slots(200),
+        )
+        .with_dynamics(DynEvent {
+            at: 50,
+            kind: DynKind::Teleport {
+                node: 3,
+                x: 100.0,
+                y: 100.0,
+            },
+        });
+        let run = spec.run().unwrap();
+        let digests = run.outcome.geometry_digests.unwrap();
+        assert!(
+            digests.first() != digests.last(),
+            "teleport must change the recorded geometry"
+        );
+    }
+
+    #[test]
+    fn teleport_into_near_field_violation_fails_the_run() {
+        // The 4x4 lattice has node 0 at the origin; teleporting node 5
+        // on top of it must surface as a physical-layer error, not be
+        // silently skipped.
+        let spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Slots(100),
+        )
+        .with_dynamics(DynEvent {
+            at: 10,
+            kind: DynKind::Teleport {
+                node: 5,
+                x: 0.1,
+                y: 0.0,
+            },
+        });
+        assert!(matches!(spec.run(), Err(ScenarioError::Phys(_))));
+    }
+
+    #[test]
+    fn mobility_and_teleports_rejected_off_physical_macs() {
+        for mac in [
+            MacSpec::Ideal(IdealPolicy::Eager),
+            MacSpec::Tdma,
+            MacSpec::Dgkn,
+            MacSpec::DecaySmb,
+        ] {
+            let workload = if matches!(mac, MacSpec::Ideal(_)) {
+                WorkloadSpec::Repeat(SourceSet::All)
+            } else {
+                WorkloadSpec::Smb { source: 0 }
+            };
+            let mut with_mobility = base(mac.clone(), workload.clone(), StopSpec::Slots(100));
+            with_mobility.mobility = Some(sinr_geom::MobilitySpec::Drift {
+                sigma: 0.2,
+                seed: 1,
+            });
+            assert!(
+                matches!(with_mobility.build(), Err(ScenarioError::Unsupported(_))),
+                "mobility over {mac} must be rejected"
+            );
+            let with_teleport =
+                base(mac.clone(), workload, StopSpec::Slots(100)).with_dynamics(DynEvent {
+                    at: 10,
+                    kind: DynKind::Teleport {
+                        node: 1,
+                        x: 50.0,
+                        y: 50.0,
+                    },
+                });
+            assert!(
+                matches!(with_teleport.build(), Err(ScenarioError::Unsupported(_))),
+                "teleport over {mac} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn teleport_validation_catches_bad_targets_at_build_time() {
+        let out_of_range = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Slots(100),
+        )
+        .with_dynamics(DynEvent {
+            at: 10,
+            kind: DynKind::Teleport {
+                node: 99,
+                x: 5.0,
+                y: 5.0,
+            },
+        });
+        assert!(matches!(
+            out_of_range.build(),
+            Err(ScenarioError::Unsupported(_))
+        ));
+        let non_finite = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Slots(100),
+        )
+        .with_dynamics(DynEvent {
+            at: 10,
+            kind: DynKind::Teleport {
+                node: 1,
+                x: f64::NAN,
+                y: 5.0,
+            },
+        });
+        assert!(matches!(
+            non_finite.build(),
+            Err(ScenarioError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn backend_threads_resolved_once_at_slot_zero_under_mobility() {
+        // `ScenarioSpec::build` resolves the requested thread count
+        // against the deployment realized at slot 0 — a deliberate,
+        // documented choice: mobility moves nodes but never changes n,
+        // and the serial/parallel crossover depends only on the listener
+        // count, so the slot-0 resolution stays exactly right for the
+        // whole run. This pins both halves: the resolution itself and
+        // that a moving run completes under the resolved backend.
+        let mut spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::Stride(2)),
+            StopSpec::Slots(120),
+        )
+        .with_backend(BackendSpec::cached().with_threads(8));
+        spec.mobility = Some(sinr_geom::MobilitySpec::Drift {
+            sigma: 0.2,
+            seed: 3,
+        });
+        let built = spec.build().unwrap();
+        // 16 nodes < PAR_CROSSOVER_LISTENERS: resolved serial at slot 0.
+        assert_eq!(built.ctx.backend.threads, 1);
+        assert_eq!(
+            built.ctx.backend.model,
+            sinr_phys::InterferenceModel::Cached
+        );
+        let run = built.run().unwrap();
+        // n never changed, so the slot-0 resolution stayed valid.
+        assert_eq!(run.ctx.positions.len(), 16);
+        assert!(run.outcome.geometry_digests.is_some());
     }
 
     #[test]

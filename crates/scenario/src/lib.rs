@@ -17,7 +17,8 @@
 //! | `backend`  | reception computation (exact / grid far-field / threaded) — an implementation choice, not a model choice |
 //! | `mac`      | the plug-and-play axis: Algorithm 11.1 (`sinr`), the ideal reference layer, Decay (Thm 8.1 baseline), or the self-contained SMB baselines (TDMA schedule of Thm 6.1, DGKN \[14\], Decay/\[32\] proxy) |
 //! | `workload` | §4.5 problems: continuous/one-shot local broadcast (Defs. 5.1/7.1 measurement workloads), SMB/MMB (Thms 12.1/12.7), consensus (Cor. 5.5) |
-//! | `dyn`      | beyond-the-paper dynamics: jammers (failure injection), node arrival/departure (churn) |
+//! | `mobility` | beyond-the-paper movement: random-waypoint / drift trajectories evolved deterministically per slot (physical-engine MACs) |
+//! | `dyn`      | beyond-the-paper dynamics: jammers (failure injection), node arrival/departure (churn), scripted teleports |
 //! | `stop`     | slot horizons; `epochs:N` counts Algorithm 9.1 epochs |
 //! | `seed`     | every random choice is seeded — runs reproduce bit-for-bit from the spec text |
 //! | `measure`  | trace recording (latency extraction) and drop-out polling (Def. 10.2's set `W`) |

@@ -191,6 +191,20 @@ pub fn report_for(run: &ScenarioRun) -> Report {
     if let Some(d) = out.max_dropped {
         metrics.push(("max_dropped".into(), Json::int(d as u64)));
     }
+    if let Some(digests) = &out.geometry_digests {
+        // Hex strings: u64 digests do not fit a JSON double exactly.
+        metrics.push((
+            "geometry_digests".into(),
+            Json::Arr(
+                digests
+                    .iter()
+                    .map(|d| Json::str(format!("{d:016x}")))
+                    .collect(),
+            ),
+        ));
+        let moved = digests.windows(2).any(|w| w[0] != w[1]);
+        metrics.push(("geometry_changed".into(), Json::Bool(moved)));
+    }
     if let Some(smb) = &out.smb {
         metrics.push((
             "informed_count".into(),

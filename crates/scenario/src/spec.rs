@@ -16,7 +16,7 @@
 
 use std::fmt;
 
-use sinr_geom::DeploySpec;
+use sinr_geom::{DeploySpec, MobilitySpec};
 use sinr_phys::{BackendSpec, SinrParams};
 
 use crate::ScenarioError;
@@ -781,6 +781,17 @@ pub enum DynKind {
         /// The node to restore.
         node: usize,
     },
+    /// Scripted movement: the node relocates to `(x, y)` at this slot
+    /// (physical-engine MACs only; the move is rejected at run time if
+    /// it violates the near-field assumption).
+    Teleport {
+        /// The moving node.
+        node: usize,
+        /// Target x coordinate.
+        x: f64,
+        /// Target y coordinate.
+        y: f64,
+    },
     /// The node's client comes alive at this slot (late arrival).
     Arrive {
         /// The arriving node.
@@ -795,7 +806,8 @@ pub enum DynKind {
 
 impl DynEvent {
     /// Parses one `dyn=` value: `jam:NODE:P@SLOT`, `unjam:NODE@SLOT`,
-    /// `arrive:NODE@SLOT` or `depart:NODE@SLOT`.
+    /// `arrive:NODE@SLOT`, `depart:NODE@SLOT` or
+    /// `teleport:NODE:X:Y@SLOT`.
     ///
     /// # Errors
     ///
@@ -820,9 +832,15 @@ impl DynEvent {
             ("depart", 2) => DynKind::Depart {
                 node: num(parts[1], "node")?,
             },
+            ("teleport", 4) => DynKind::Teleport {
+                node: num(parts[1], "node")?,
+                x: num(parts[2], "x")?,
+                y: num(parts[3], "y")?,
+            },
             _ => {
                 return Err(parse_err(format!(
-                    "unknown dynamics event {body:?}; expected jam:NODE:P, unjam:NODE, arrive:NODE or depart:NODE"
+                    "unknown dynamics event {body:?}; expected jam:NODE:P, unjam:NODE, \
+                     arrive:NODE, depart:NODE or teleport:NODE:X:Y"
                 )))
             }
         };
@@ -837,6 +855,7 @@ impl fmt::Display for DynEvent {
             DynKind::Unjam { node } => write!(f, "unjam:{node}@{}", self.at),
             DynKind::Arrive { node } => write!(f, "arrive:{node}@{}", self.at),
             DynKind::Depart { node } => write!(f, "depart:{node}@{}", self.at),
+            DynKind::Teleport { node, x, y } => write!(f, "teleport:{node}:{x}:{y}@{}", self.at),
         }
     }
 }
@@ -863,6 +882,12 @@ pub struct ScenarioSpec {
     pub mac: MacSpec,
     /// Protocol workload.
     pub workload: WorkloadSpec,
+    /// Continuous node movement (`mobility=waypoint:…` /
+    /// `drift:…`), applied at the top of every physical slot;
+    /// `None` freezes the deployment as the paper does. Physical-engine
+    /// MACs only (`sinr`, `decay`). Scripted single moves go through
+    /// `dyn=teleport:…` instead.
+    pub mobility: Option<MobilitySpec>,
     /// Mid-run dynamics schedule, in effect-slot order.
     pub dynamics: Vec<DynEvent>,
     /// Stop condition.
@@ -890,6 +915,7 @@ impl ScenarioSpec {
             backend: BackendSpec::exact(),
             mac: MacSpec::sinr(),
             workload,
+            mobility: None,
             dynamics: Vec::new(),
             stop,
             seed: SeedSpec::Fixed(0),
@@ -933,11 +959,17 @@ impl ScenarioSpec {
         self
     }
 
+    /// Installs a mobility model.
+    pub fn with_mobility(mut self, mobility: MobilitySpec) -> Self {
+        self.mobility = Some(mobility);
+        self
+    }
+
     /// Applies one `key=value` override — the sweep mechanism. Accepted
     /// keys are the spec lines (`name`, `deploy`, `sinr`, `backend`,
-    /// `mac`, `workload`, `stop`, `seed`, `measure`, `dyn` which
-    /// appends) plus the dotted forms `sinr.FIELD` and `mac.KNOB` for
-    /// single-field overrides.
+    /// `mac`, `workload`, `mobility` where `none` clears it, `stop`,
+    /// `seed`, `measure`, `dyn` which appends) plus the dotted forms
+    /// `sinr.FIELD` and `mac.KNOB` for single-field overrides.
     ///
     /// # Errors
     ///
@@ -982,6 +1014,16 @@ impl ScenarioSpec {
             "backend" => self.backend = BackendSpec::parse(value).map_err(parse_err)?,
             "mac" => self.mac = MacSpec::parse(value)?,
             "workload" => self.workload = WorkloadSpec::parse(value)?,
+            "mobility" => {
+                self.mobility = if value == "none" {
+                    None
+                } else {
+                    Some(
+                        MobilitySpec::parse(value)
+                            .map_err(|e| parse_err(format!("mobility: {e}")))?,
+                    )
+                }
+            }
             "stop" => self.stop = StopSpec::parse(value)?,
             "seed" => self.seed = SeedSpec::parse(value)?,
             "measure" => self.measure = MeasureSpec::parse(value)?,
@@ -1046,6 +1088,9 @@ impl fmt::Display for ScenarioSpec {
         writeln!(f, "stop={}", self.stop)?;
         writeln!(f, "seed={}", self.seed)?;
         writeln!(f, "measure={}", self.measure)?;
+        if let Some(mobility) = &self.mobility {
+            writeln!(f, "mobility={mobility}")?;
+        }
         for ev in &self.dynamics {
             writeln!(f, "dyn={ev}")?;
         }
@@ -1142,10 +1187,113 @@ mod tests {
 
     #[test]
     fn dyn_events_round_trip() {
-        for s in ["jam:3:0.5@100", "unjam:3@200", "arrive:1@50", "depart:0@75"] {
+        for s in [
+            "jam:3:0.5@100",
+            "unjam:3@200",
+            "arrive:1@50",
+            "depart:0@75",
+            "teleport:4:12.5:-3@60",
+        ] {
             let ev = DynEvent::parse(s).unwrap();
             assert_eq!(ev.to_string(), s);
         }
+    }
+
+    #[test]
+    fn mobility_round_trips_and_none_clears() {
+        let mut spec = sample_spec().with_mobility(MobilitySpec::Waypoint {
+            speed: 0.5,
+            pause: 8,
+            seed: 42,
+        });
+        let parsed = ScenarioSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(parsed, spec);
+        spec.set("mobility", "drift:0.25:7").unwrap();
+        assert_eq!(
+            spec.mobility,
+            Some(MobilitySpec::Drift {
+                sigma: 0.25,
+                seed: 7
+            })
+        );
+        spec.set("mobility", "none").unwrap();
+        assert_eq!(spec.mobility, None);
+    }
+
+    #[test]
+    fn dyn_event_parse_failures_name_the_offending_part() {
+        // Every malformed form must produce a typed parse error whose
+        // message names what was wrong — not a generic failure.
+        for (bad, needle) in [
+            ("jam:3:0.5", "missing @SLOT"),
+            ("jam:3@100", "jam:3"),             // wrong arity
+            ("jam:3:0.5:9@100", "jam:3:0.5:9"), // wrong arity
+            ("jam:x:0.5@100", "node"),
+            ("jam:3:maybe@100", "probability"),
+            ("unjam@100", "unjam"),
+            ("arrive:1:2@50", "arrive:1:2"),
+            ("depart:@75", "node"),
+            ("teleport:1:2@60", "teleport:1:2"), // missing y
+            ("teleport:1:2:3:4@60", "teleport:1:2:3:4"),
+            ("teleport:a:2:3@60", "node"),
+            ("teleport:1:east:3@60", "\"east\""),
+            ("teleport:1:2:north@60", "\"north\""),
+            ("teleport:1:2:3@soon", "slot"),
+            ("warp:1@10", "warp"),
+        ] {
+            let err = DynEvent::parse(bad).unwrap_err();
+            assert!(matches!(err, ScenarioError::Parse(_)), "{bad}");
+            assert!(
+                err.to_string().contains(needle),
+                "{bad}: error {err:?} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mobility_parse_failures_name_the_key() {
+        let mut spec = sample_spec();
+        for (bad, needle) in [
+            ("hover:1:2", "hover"),
+            ("waypoint:0:5:1", "speed"),
+            ("waypoint:1:2", "waypoint"),
+            ("drift:-1:2", "sigma"),
+            ("drift", "drift"),
+        ] {
+            let err = spec.set("mobility", bad).unwrap_err();
+            assert!(matches!(err, ScenarioError::Parse(_)), "{bad}");
+            let msg = err.to_string();
+            assert!(
+                msg.contains("mobility") && msg.contains(needle),
+                "{bad}: error {msg:?} should mention mobility and {needle:?}"
+            );
+        }
+        // A full-text parse prefixes the line number.
+        let text = "deploy=lattice:4:4:2\nworkload=repeat:all\nstop=slots:10\nmobility=hover:1:2\n";
+        let err = ScenarioSpec::parse(text).unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
+    }
+
+    #[test]
+    fn deploy_parse_failures_name_the_offending_field() {
+        for (bad, needle) in [
+            ("hexgrid:3:3:1", "hexgrid"),
+            ("uniform:64:40", "uniform"), // wrong arity
+            ("uniform:many:40:7", "n"),
+            ("lattice:3:3:tight", "spacing"),
+            ("clusters:2:4:50:r:3", "radius"),
+            ("two_balls:6:48", "two_balls"),
+        ] {
+            let err = DeploymentSpec::parse(bad).unwrap_err();
+            assert!(matches!(err, ScenarioError::Parse(_)), "{bad}");
+            assert!(
+                err.to_string().contains(needle),
+                "{bad}: error {err} should mention {needle:?}"
+            );
+        }
+        // connected: on non-uniform geometry is a typed error too.
+        let err = DeploymentSpec::parse("connected:lattice:3:3:2").unwrap_err();
+        assert!(err.to_string().contains("uniform"), "{err}");
     }
 
     #[test]

@@ -100,6 +100,63 @@ fn jam_window_silences_the_jammed_nodes_reception() {
     );
 }
 
+const MOBILITY_BASE: &str = "\
+name=mobility-window
+deploy=lattice:4:4:2
+sinr=range:8
+backend=cached
+mac=sinr
+workload=repeat:stride:2
+stop=slots:400
+seed=9
+measure=trace
+";
+
+#[test]
+fn mobility_and_teleports_flow_through_the_text_pipeline() {
+    // mobility= and dyn=teleport survive parse → build → run → report,
+    // the report records per-epoch geometry digests, and the digests
+    // actually change — movement is reflected, not merely tolerated.
+    let lines = "mobility=waypoint:0.3:4:21\ndyn=teleport:2:150:150@80\n";
+    let (run, report) = run_text(&format!("{MOBILITY_BASE}{lines}"));
+    let json = report.to_json();
+    assert!(
+        json.contains("mobility=waypoint:0.3:4:21"),
+        "report lost the mobility line"
+    );
+    assert!(
+        json.contains("teleport:2:150:150@80"),
+        "report lost the teleport event"
+    );
+    assert!(
+        json.contains("\"geometry_digests\":["),
+        "report carries no geometry digests"
+    );
+    assert!(
+        json.contains("\"geometry_changed\":true"),
+        "geometry never changed under mobility"
+    );
+    let digests = run.outcome.geometry_digests.expect("digests recorded");
+    assert!(digests.len() >= 2, "initial + final at least: {digests:?}");
+
+    // The static twin records no digests at all.
+    let (static_run, static_report) = run_text(MOBILITY_BASE);
+    assert!(static_run.outcome.geometry_digests.is_none());
+    assert!(!static_report.to_json().contains("geometry_digests"));
+
+    // Same moving spec, exact backend: identical trajectory (digests are
+    // backend-invariant) — the differential guarantee, pinned on one
+    // deterministic execution through the text pipeline.
+    let exact_text = format!("{MOBILITY_BASE}{lines}").replace("backend=cached", "backend=exact");
+    let (exact_run, _) = run_text(&exact_text);
+    assert_eq!(
+        exact_run.outcome.geometry_digests.expect("digests"),
+        digests,
+        "trajectory depends on the reception backend"
+    );
+    assert_eq!(exact_run.outcome.trace, run.outcome.trace);
+}
+
 const CHURN_BASE: &str = "\
 name=churn-window
 deploy=lattice:4:4:2

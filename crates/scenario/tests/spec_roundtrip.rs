@@ -95,14 +95,32 @@ fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
 }
 
 fn dyn_strategy() -> impl Strategy<Value = DynEvent> {
-    (0u8..4, 0usize..64, 1u64..100_000, 0.0f64..1.0).prop_map(|(variant, node, at, p)| DynEvent {
+    (0u8..5, 0usize..64, 1u64..100_000, 0.0f64..1.0).prop_map(|(variant, node, at, p)| DynEvent {
         at,
         kind: match variant {
             0 => DynKind::Jam { node, p },
             1 => DynKind::Unjam { node },
             2 => DynKind::Arrive { node },
-            _ => DynKind::Depart { node },
+            3 => DynKind::Depart { node },
+            _ => DynKind::Teleport {
+                node,
+                x: p * 128.0 - 32.0,
+                y: p * 64.0,
+            },
         },
+    })
+}
+
+fn mobility_strategy() -> impl Strategy<Value = Option<sinr_geom::MobilitySpec>> {
+    (0u8..3, 0.01f64..8.0, 0u64..64, 0u64..1000).prop_map(|(variant, v, pause, seed)| match variant
+    {
+        0 => None,
+        1 => Some(sinr_geom::MobilitySpec::Waypoint {
+            speed: v,
+            pause,
+            seed,
+        }),
+        _ => Some(sinr_geom::MobilitySpec::Drift { sigma: v, seed }),
     })
 }
 
@@ -114,6 +132,7 @@ proptest! {
         deploy in deploy_strategy(),
         mac in mac_strategy(),
         workload in workload_strategy(),
+        mobility in mobility_strategy(),
         dynamics in prop::collection::vec(dyn_strategy(), 0..4),
         stop_kind in 0u8..3,
         slots in 1u64..10_000_000,
@@ -151,6 +170,7 @@ proptest! {
         for ev in dynamics {
             spec = spec.with_dynamics(ev);
         }
+        spec.mobility = mobility;
 
         let text = spec.to_string();
         let parsed = ScenarioSpec::parse(&text)

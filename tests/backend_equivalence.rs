@@ -18,6 +18,14 @@
 //!    uniform deployments, across churn (transmitters entering and
 //!    leaving between slots): incremental interference maintenance plus
 //!    the guarded near-threshold fallback never flips a decision.
+//! 4. **Mobility-repair exactness** — the same bit-identity holds when
+//!    node positions change between slots and the cached kernel repairs
+//!    its gain cache incrementally through `update_positions` instead of
+//!    rebuilding, including combined movement + churn.
+//! 5. **Scenario-level backend invariance** — an entire scenario run
+//!    (any physical MAC, any dynamics, mobility on or off) produces a
+//!    byte-identical JSON report under `backend=exact` and
+//!    `backend=cached` (modulo the backend name itself).
 
 use proptest::prelude::*;
 
@@ -25,6 +33,10 @@ use sinr_local_broadcast::phys::reception::{
     decide_receptions, decide_receptions_threaded, BackendSpec,
 };
 use sinr_local_broadcast::prelude::*;
+use sinr_local_broadcast::scenario::{
+    report_for, DeploymentSpec, DynEvent, DynKind, MacSpec, ScenarioSpec, SourceSet, StopSpec,
+    WorkloadSpec,
+};
 
 /// Random point sets with the near-field property, by snapping to a unit
 /// sub-lattice (guarantees pairwise distance ≥ 1 without rejection).
@@ -163,6 +175,46 @@ proptest! {
         }
     }
 
+    /// Claim 4: a cached backend whose positions are patched through
+    /// `update_positions` (the mobility fast path) stays bit-identical
+    /// to fresh exact computation, under combined movement and sender
+    /// churn. Movers park on a distant row, so the near-field invariant
+    /// is maintained the way the engine maintains it.
+    #[test]
+    fn cached_repair_matches_exact_under_movement_and_churn(
+        pts in near_field_points(40, 24),
+        range in 4.0f64..30.0,
+        stride in 1usize..4,
+        movers_per_slot in 1usize..4,
+    ) {
+        let sinr = SinrParams::builder().range(range).build().unwrap();
+        let mut pts = pts;
+        let mut cached = BackendSpec::cached().build();
+        cached.prepare(&sinr, &pts);
+        let mut got = vec![None; pts.len()];
+        let mut park = 0usize;
+        for step in 0..6usize {
+            let mut idxs: Vec<usize> = (0..movers_per_slot)
+                .map(|k| (step * movers_per_slot + k) % pts.len())
+                .collect();
+            idxs.sort_unstable();
+            idxs.dedup();
+            let mut moved: Vec<(usize, Point)> = Vec::new();
+            for &m in &idxs {
+                let to = Point::new(200.0 + 2.0 * park as f64, 200.0);
+                park += 1;
+                pts[m] = to;
+                moved.push((m, to));
+            }
+            cached.update_positions(&sinr, &pts, &moved);
+            let senders: Vec<usize> =
+                (0..pts.len()).skip(step % 2).step_by(stride + step % 2).collect();
+            cached.decide_slot(&sinr, &pts, &senders, &mut got);
+            let want = decide_receptions(&sinr, &pts, &senders, InterferenceModel::Exact);
+            prop_assert_eq!(&got, &want, "slot {} (movers {})", step, movers_per_slot);
+        }
+    }
+
     /// A long-lived backend fed varying sender sets (the Engine's usage
     /// pattern) matches fresh per-call computation: scratch-buffer reuse
     /// across slots is observationally invisible.
@@ -186,6 +238,148 @@ proptest! {
                 threads,
             );
             prop_assert_eq!(&out, &fresh, "slot {}", step);
+        }
+    }
+}
+
+/// Builds the scenario half of Claim 5: a small lattice spec with the
+/// given MAC, mobility and dynamics choices, parameterized only by the
+/// backend under test.
+fn differential_spec(
+    backend: BackendSpec,
+    mac_kind: u8,
+    workload_kind: u8,
+    mobility_kind: u8,
+    dyn_kind: u8,
+    seed: u64,
+) -> ScenarioSpec {
+    use sinr_local_broadcast::scenario::{MeasureSpec, SeedSpec, SinrSpec};
+    let mac = if mac_kind == 0 {
+        MacSpec::sinr()
+    } else {
+        MacSpec::Decay {
+            n_tilde: 16.0,
+            eps: 0.125,
+            budget_mult: 4.0,
+        }
+    };
+    let workload = if workload_kind == 0 {
+        WorkloadSpec::Repeat(SourceSet::Stride(2))
+    } else {
+        WorkloadSpec::OneShot(SourceSet::Count(3))
+    };
+    let mut spec = ScenarioSpec::new(
+        "differential",
+        DeploymentSpec::plain(sinr_local_broadcast::geom::DeploySpec::Lattice {
+            rows: 4,
+            cols: 4,
+            spacing: 2.0,
+        }),
+        workload,
+        StopSpec::Slots(300),
+    )
+    .with_sinr(SinrSpec::with_range(8.0))
+    .with_mac(mac)
+    .with_backend(backend)
+    .with_seed(SeedSpec::Fixed(seed))
+    .with_measure(MeasureSpec::trace_only());
+    spec.mobility = match mobility_kind {
+        0 => None,
+        1 => Some(sinr_local_broadcast::geom::MobilitySpec::Waypoint {
+            speed: 0.3,
+            pause: 3,
+            seed: seed ^ 0x5EED,
+        }),
+        _ => Some(sinr_local_broadcast::geom::MobilitySpec::Drift {
+            sigma: 0.25,
+            seed: seed ^ 0x5EED,
+        }),
+    };
+    match dyn_kind {
+        0 => {}
+        1 if mac_kind == 0 => {
+            // Jammers exist only on the paper's MAC.
+            spec = spec
+                .with_dynamics(DynEvent {
+                    at: 40,
+                    kind: DynKind::Jam { node: 1, p: 0.8 },
+                })
+                .with_dynamics(DynEvent {
+                    at: 160,
+                    kind: DynKind::Unjam { node: 1 },
+                });
+        }
+        1 | 2 => {
+            spec = spec
+                .with_dynamics(DynEvent {
+                    at: 30,
+                    kind: DynKind::Arrive { node: 5 },
+                })
+                .with_dynamics(DynEvent {
+                    at: 200,
+                    kind: DynKind::Depart { node: 7 },
+                });
+        }
+        _ => {
+            // Teleports park far outside the lattice (and the mobility
+            // bounding box), so near-field always holds at fire time.
+            spec = spec
+                .with_dynamics(DynEvent {
+                    at: 50,
+                    kind: DynKind::Teleport {
+                        node: 2,
+                        x: 200.0,
+                        y: 200.0,
+                    },
+                })
+                .with_dynamics(DynEvent {
+                    at: 120,
+                    kind: DynKind::Teleport {
+                        node: 9,
+                        x: 210.0,
+                        y: 200.0,
+                    },
+                });
+        }
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Claim 5 (the scenario-level differential): an arbitrary small
+    /// spec — any physical MAC, any dynamics, mobility on or off — run
+    /// under `backend=exact` and `backend=cached` yields byte-identical
+    /// JSON reports once the backend name itself is normalized away.
+    /// This closes the gap between the slot-level proptests above and
+    /// what an experimenter actually publishes: the report, including
+    /// traces, latency statistics and per-epoch geometry digests.
+    #[test]
+    fn scenario_reports_are_identical_across_backends(
+        mac_kind in 0u8..2,
+        workload_kind in 0u8..2,
+        mobility_kind in 0u8..3,
+        dyn_kind in 0u8..4,
+        seed in 0u64..10_000,
+    ) {
+        let spec = |backend| {
+            differential_spec(backend, mac_kind, workload_kind, mobility_kind, dyn_kind, seed)
+        };
+        let exact = spec(BackendSpec::exact()).run();
+        let cached = spec(BackendSpec::cached()).run();
+        match (exact, cached) {
+            (Ok(exact), Ok(cached)) => {
+                let exact_json = report_for(&exact).to_json();
+                let cached_json = report_for(&cached)
+                    .to_json()
+                    .replace("backend=cached", "backend=exact")
+                    .replace("\"backend\":\"cached\"", "\"backend\":\"exact\"");
+                prop_assert_eq!(exact_json, cached_json);
+            }
+            // A run may fail (e.g. a teleport colliding with a walker),
+            // but then both backends must fail identically.
+            (exact, cached) => prop_assert_eq!(exact.err(), cached.err()),
         }
     }
 }
