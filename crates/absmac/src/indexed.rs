@@ -1,0 +1,118 @@
+//! A deterministic, insertion-ordered set.
+//!
+//! `HashSet` iteration order depends on hasher state and allocation
+//! history, so any code path that ever iterates one risks leaking
+//! nondeterminism into reports — exactly the kind of bug the
+//! workspace's byte-identical differential tests exist to rule out.
+//! [`IndexedSet`] keeps `HashSet` membership cost but records insertion
+//! order in a parallel `Vec`, so iteration is deterministic by
+//! construction: two runs that insert the same elements in the same
+//! order observe the same iteration order, on any platform, under any
+//! hasher.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A set that iterates in insertion order (see the module docs).
+///
+/// Used for the MAC layers' per-node `delivered` message sets: today
+/// those sets are only probed for membership, but the deterministic
+/// order means a future consumer iterating them (duplicate audits,
+/// report extensions) cannot accidentally introduce run-to-run noise.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedSet<T> {
+    order: Vec<T>,
+    seen: HashSet<T>,
+}
+
+impl<T: Eq + Hash + Clone> IndexedSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        IndexedSet {
+            order: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Inserts `value`; returns `true` if it was not present before
+    /// (the same contract as `HashSet::insert`).
+    pub fn insert(&mut self, value: T) -> bool {
+        if self.seen.insert(value.clone()) {
+            self.order.push(value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `value` is in the set.
+    pub fn contains(&self, value: &T) -> bool {
+        self.seen.contains(value)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterates the elements in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.order.iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a IndexedSet<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.order.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_reports_novelty_and_preserves_order() {
+        let mut s = IndexedSet::new();
+        assert!(s.insert(3));
+        assert!(s.insert(1));
+        assert!(!s.insert(3), "duplicate insert must report false");
+        assert!(s.insert(2));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(&1));
+        assert!(!s.contains(&9));
+        let order: Vec<i32> = s.iter().copied().collect();
+        assert_eq!(order, vec![3, 1, 2], "iteration is insertion order");
+    }
+
+    #[test]
+    fn empty_set_basics() {
+        let s: IndexedSet<u64> = IndexedSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn iteration_order_is_independent_of_membership_probes() {
+        // Probing must never perturb the order (a HashSet has no such
+        // guarantee to violate, but pin the IndexedSet contract).
+        let mut s = IndexedSet::new();
+        for v in [5u32, 4, 9, 0] {
+            s.insert(v);
+        }
+        let before: Vec<u32> = s.iter().copied().collect();
+        for v in 0..100 {
+            let _ = s.contains(&v);
+        }
+        let after: Vec<u32> = s.iter().copied().collect();
+        assert_eq!(before, after);
+    }
+}

@@ -53,6 +53,7 @@ mod client;
 mod error;
 mod event;
 mod ideal;
+mod indexed;
 mod spec;
 
 pub mod measure;
@@ -61,4 +62,5 @@ pub use client::{MacClient, Runner};
 pub use error::MacError;
 pub use event::{MacEvent, MacMessage, MsgId, TraceEvent, TraceKind};
 pub use ideal::{IdealMac, SchedulerPolicy};
+pub use indexed::IndexedSet;
 pub use spec::{CmdSink, MacCmd, MacLayer, StepEvents};

@@ -17,9 +17,33 @@
 //!
 //! [`LatencyStats`] summarizes sample sets for the table printers.
 
+use std::collections::HashMap;
+
 use sinr_graphs::Graph;
 
 use crate::{MsgId, TraceEvent, TraceKind};
+
+/// Message activity windows extracted from a trace: per message id, the
+/// first `bcast` time and the first `ack`/`abort` time (absent when the
+/// message never started or never ended inside the trace). Both progress
+/// measurements qualify receptions against these windows, so the
+/// aggregation lives here once instead of being repeated per consumer.
+fn activity_windows(trace: &[TraceEvent]) -> (HashMap<MsgId, u64>, HashMap<MsgId, u64>) {
+    let mut start: HashMap<MsgId, u64> = HashMap::new();
+    let mut end: HashMap<MsgId, u64> = HashMap::new();
+    for ev in trace {
+        match ev.kind {
+            TraceKind::Bcast(id) => {
+                start.entry(id).or_insert(ev.t);
+            }
+            TraceKind::Ack(id) | TraceKind::Abort(id) => {
+                end.entry(id).or_insert(ev.t);
+            }
+            _ => {}
+        }
+    }
+    (start, end)
+}
 
 /// Summary statistics over latency samples (slot counts).
 #[derive(Debug, Clone, PartialEq)]
@@ -160,20 +184,7 @@ pub fn first_progress(
         "trigger and rcv graphs must have the same node count"
     );
     let n = trigger.len();
-    // Message activity windows.
-    let mut start: std::collections::HashMap<MsgId, u64> = std::collections::HashMap::new();
-    let mut end: std::collections::HashMap<MsgId, u64> = std::collections::HashMap::new();
-    for ev in trace {
-        match ev.kind {
-            TraceKind::Bcast(id) => {
-                start.entry(id).or_insert(ev.t);
-            }
-            TraceKind::Ack(id) | TraceKind::Abort(id) => {
-                end.entry(id).or_insert(ev.t);
-            }
-            _ => {}
-        }
-    }
+    let (start, end) = activity_windows(trace);
     // Trigger time per node.
     let mut t0 = vec![None::<u64>; n];
     for ev in trace {
@@ -264,19 +275,7 @@ pub fn progress_gaps(
         "trigger and rcv graphs must have the same node count"
     );
     let n = trigger.len();
-    let mut start: std::collections::HashMap<MsgId, u64> = std::collections::HashMap::new();
-    let mut end: std::collections::HashMap<MsgId, u64> = std::collections::HashMap::new();
-    for ev in trace {
-        match ev.kind {
-            TraceKind::Bcast(id) => {
-                start.entry(id).or_insert(ev.t);
-            }
-            TraceKind::Ack(id) | TraceKind::Abort(id) => {
-                end.entry(id).or_insert(ev.t);
-            }
-            _ => {}
-        }
-    }
+    let (start, end) = activity_windows(trace);
     // Per node: merged activity intervals of trigger-neighbor broadcasts.
     let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
     for (&id, &t0) in &start {

@@ -141,6 +141,28 @@ impl<P: Clone> DecaySmb<P> {
         seed: u64,
         spec: BackendSpec,
     ) -> Result<Self, PhysError> {
+        Self::with_prepared(sinr, positions, config, source, payload, seed, spec, None)
+    }
+
+    /// Like [`DecaySmb::with_backend`] with an optional pre-built shared
+    /// gain table for the cached kernel (see `Engine::with_prepared`): a
+    /// matching table skips the O(n²) preparation. Executions are
+    /// bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhysError`] from engine construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_prepared(
+        sinr: SinrParams,
+        positions: &[Point],
+        config: DecaySmbConfig,
+        source: usize,
+        payload: P,
+        seed: u64,
+        spec: BackendSpec,
+        table: Option<&std::sync::Arc<sinr_phys::GainTable>>,
+    ) -> Result<Self, PhysError> {
         let nodes = (0..positions.len())
             .map(|i| DecaySmbNode {
                 informed: (i == source).then(|| {
@@ -156,7 +178,7 @@ impl<P: Clone> DecaySmb<P> {
                 cycle_len: config.cycle_len,
             })
             .collect();
-        let engine = Engine::with_backend(sinr, positions.to_vec(), nodes, seed, spec)?;
+        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, table)?;
         Ok(DecaySmb { engine })
     }
 

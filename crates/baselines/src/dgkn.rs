@@ -145,6 +145,28 @@ impl<P: Clone> DgknSmb<P> {
         seed: u64,
         spec: BackendSpec,
     ) -> Result<Self, PhysError> {
+        Self::with_prepared(sinr, positions, config, source, payload, seed, spec, None)
+    }
+
+    /// Like [`DgknSmb::with_backend`] with an optional pre-built shared
+    /// gain table for the cached kernel (see `Engine::with_prepared`): a
+    /// matching table skips the O(n²) preparation. Executions are
+    /// bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhysError`] from engine construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_prepared(
+        sinr: SinrParams,
+        positions: &[Point],
+        config: &DgknSmbConfig,
+        source: usize,
+        payload: P,
+        seed: u64,
+        spec: BackendSpec,
+        table: Option<&std::sync::Arc<sinr_phys::GainTable>>,
+    ) -> Result<Self, PhysError> {
         let n = positions.len().max(2) as f64;
         // The defining parameter choice of [14]: w.h.p. everywhere.
         let eps = n.powf(-config.whp_exponent).clamp(1e-12, 0.49);
@@ -168,7 +190,7 @@ impl<P: Clone> DgknSmb<P> {
                 node
             })
             .collect();
-        let engine = Engine::with_backend(sinr, positions.to_vec(), nodes, seed, spec)?;
+        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, table)?;
         Ok(DgknSmb { engine })
     }
 

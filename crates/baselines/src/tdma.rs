@@ -117,9 +117,34 @@ impl<P: Clone> RoundRobinSmb<P> {
         sinr: SinrParams,
         positions: &[Point],
         config: &RoundRobinConfig,
+        payload_of: impl FnMut(usize) -> P,
+        seed: u64,
+        spec: BackendSpec,
+    ) -> Result<Self, PhysError> {
+        Self::with_prepared(sinr, positions, config, payload_of, seed, spec, None)
+    }
+
+    /// Like [`RoundRobinSmb::with_backend`] with an optional pre-built
+    /// shared gain table for the cached kernel (see
+    /// `Engine::with_prepared`): a matching table skips the O(n²)
+    /// preparation. Executions are bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhysError`] from engine construction.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`RoundRobinSmb::with_backend`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_prepared(
+        sinr: SinrParams,
+        positions: &[Point],
+        config: &RoundRobinConfig,
         mut payload_of: impl FnMut(usize) -> P,
         seed: u64,
         spec: BackendSpec,
+        table: Option<&std::sync::Arc<sinr_phys::GainTable>>,
     ) -> Result<Self, PhysError> {
         assert!(!config.broadcasters.is_empty(), "need broadcasters");
         let rotation = config.broadcasters.len();
@@ -139,7 +164,7 @@ impl<P: Clone> RoundRobinSmb<P> {
                 strong_neighbors: strong.neighbors(i).iter().map(|&x| x as usize).collect(),
             })
             .collect();
-        let engine = Engine::with_backend(sinr, positions.to_vec(), nodes, seed, spec)?;
+        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, table)?;
         Ok(RoundRobinSmb { engine })
     }
 

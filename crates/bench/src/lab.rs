@@ -229,7 +229,7 @@ pub fn cli_main(args: &[String]) -> Result<(), String> {
         Some("sweep") => {
             let name = args
                 .get(1)
-                .ok_or("usage: sinr-lab sweep NAME|FILE KEY=V1,V2,… [--threads N] [--reseed] [--traces] [--json PATH]")?;
+                .ok_or("usage: sinr-lab sweep NAME|FILE KEY=V1,V2,… [--threads N] [--reseed] [--traces] [--no-shared-prepare] [--json PATH]")?;
             let mut set = ScenarioSet::new(resolve_spec(name)?);
             let mut threads = std::thread::available_parallelism().map_or(1, |p| p.get());
             let mut json_path = None;
@@ -244,6 +244,7 @@ pub fn cli_main(args: &[String]) -> Result<(), String> {
                     }
                     "--reseed" => set = set.with_reseed(),
                     "--traces" => set = set.with_traces(),
+                    "--no-shared-prepare" => set = set.without_shared_prepare(),
                     "--json" => {
                         json_path = Some(rest.next().ok_or("--json needs a path (or -)")?.clone());
                     }
@@ -284,11 +285,13 @@ pub fn cli_main(args: &[String]) -> Result<(), String> {
             write_json(json_path.as_deref(), &joined)
         }
         Some("bench") => {
-            let out = args
-                .get(1)
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let out = args[1..]
+                .iter()
+                .find(|a| !a.starts_with("--"))
                 .cloned()
                 .unwrap_or_else(|| "BENCH_scenario.json".to_string());
-            bench_sweep_throughput(&out)
+            bench_scenario(&out, smoke)
         }
         Some("legacy") => {
             let name = args.get(1).ok_or("usage: sinr-lab legacy NAME")?;
@@ -303,9 +306,9 @@ pub fn cli_main(args: &[String]) -> Result<(), String> {
                  \x20 sinr-lab show NAME|FILE                     print a spec's text form\n\
                  \x20 sinr-lab run NAME|FILE [--json PATH]        run one scenario, emit a JSON report\n\
                  \x20 sinr-lab sweep NAME|FILE KEY=V1,V2,… \n\
-                 \x20          [--threads N] [--reseed] [--traces] [--json PATH]\n\
+                 \x20          [--threads N] [--reseed] [--traces] [--no-shared-prepare] [--json PATH]\n\
                  \x20                                             batch a spec grid across threads\n\
-                 \x20 sinr-lab bench [OUT.json]                   sweep-runner throughput (BENCH_scenario.json)\n\
+                 \x20 sinr-lab bench [OUT.json] [--smoke]         sweep throughput + shared-prepare speedups (BENCH_scenario.json)\n\
                  \x20 sinr-lab legacy NAME [ARGS…]                reprint a legacy binary's tables\n\
                  \n\
                  spec files are key=value text; see `sinr-lab show fig1` for an example\n\
@@ -339,15 +342,144 @@ fn write_json(path: Option<&str>, json: &str) -> Result<(), String> {
     }
 }
 
-/// Measures the sweep runner's throughput (satellite metric: a batch of
-/// 8 cells at n = 64, reception via the cached-gain kernel — the
-/// configuration sweeps should default to) and writes
-/// `BENCH_scenario.json`.
+/// One prepare-heavy measurement: an 8-cell `mac.t_mult` sweep on a
+/// fixed cached-backend uniform deployment, timed with shared
+/// preparation (the planner's one-table-per-group path) and with the
+/// legacy per-cell preparation.
+struct PrepareHeavyRow {
+    n: usize,
+    cells: usize,
+    slots_per_cell: u64,
+    shared_secs: f64,
+    percell_secs: f64,
+}
+
+impl PrepareHeavyRow {
+    fn speedup(&self) -> f64 {
+        self.percell_secs / self.shared_secs.max(1e-9)
+    }
+}
+
+/// The 8 `mac.t_mult` values of the prepare-heavy sweep.
+fn t_mult_axis() -> Vec<String> {
+    ["0.5", "0.75", "1", "1.25", "1.5", "2", "3", "4"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Times the prepare-heavy sweep at one deployment size (short
+/// horizon, so the O(n²) preparation dominates each cell — the regime
+/// the sweep planner exists for).
+fn measure_prepare_heavy(
+    n: usize,
+    slots_per_cell: u64,
+    threads: usize,
+) -> Result<PrepareHeavyRow, String> {
+    let side = (n as f64).sqrt() * 2.2;
+    let base = ScenarioSpec::new(
+        format!("prep-heavy-n{n}"),
+        DeploymentSpec::plain(sinr_geom::DeploySpec::Uniform { n, side, seed: 5 }),
+        WorkloadSpec::Repeat(SourceSet::Stride(2)),
+        StopSpec::Slots(slots_per_cell),
+    )
+    .with_sinr(SinrSpec::with_range(16.0))
+    .with_backend(sinr_phys::BackendSpec::cached())
+    .with_measure(MeasureSpec::none());
+    let set = ScenarioSet::new(base).axis("mac.t_mult", t_mult_axis());
+    let cells = set.cells().map_err(|e| e.to_string())?.len();
+    // Per-cell first, shared second: both orders warm the allocator for
+    // the other, and the pinned ratio is far above plausible
+    // ordering noise (the per-cell leg repeats the O(n²) preparation
+    // `cells` times).
+    let t0 = Instant::now();
+    set.clone()
+        .without_shared_prepare()
+        .run(threads)
+        .map_err(|e| e.to_string())?;
+    let percell_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let runs = set.run(threads).map_err(|e| e.to_string())?;
+    let shared_secs = t0.elapsed().as_secs_f64();
+    if runs.len() != cells {
+        return Err(format!(
+            "prepare-heavy n={n}: expected {cells} runs, got {}",
+            runs.len()
+        ));
+    }
+    Ok(PrepareHeavyRow {
+        n,
+        cells,
+        slots_per_cell,
+        shared_secs,
+        percell_secs,
+    })
+}
+
+/// Shallow validation of the emitted `BENCH_scenario.json`: expected
+/// shape, one prepare-heavy row per size, strictly positive speedups.
+///
+/// # Panics
+///
+/// Panics with a description when the file does not meet the contract —
+/// CI fails loudly instead of committing a rotten BENCH file.
+fn validate_scenario_json(json: &str, prepare_heavy_rows: usize) {
+    assert!(
+        json.trim_start().starts_with('{') && json.trim_end().ends_with('}'),
+        "BENCH_scenario json is not an object"
+    );
+    for key in [
+        "\"bench\":\"scenario_sweep\"",
+        "\"throughput\":",
+        "\"scenarios_per_sec\":",
+        "\"prepare_heavy\":",
+        "\"threads\":",
+    ] {
+        assert!(json.contains(key), "BENCH_scenario json is missing {key}");
+    }
+    let speedups: Vec<f64> = json
+        .match_indices("\"shared_speedup\":")
+        .map(|(i, k)| {
+            let rest = &json[i + k.len()..];
+            let end = rest.find([',', '}']).expect("number terminator");
+            rest[..end].trim().parse().expect("speedup is a number")
+        })
+        .collect();
+    assert_eq!(
+        speedups.len(),
+        prepare_heavy_rows,
+        "expected one prepare-heavy row per size"
+    );
+    assert!(
+        speedups.iter().all(|s| *s > 0.0),
+        "speedups must be positive: {speedups:?}"
+    );
+}
+
+/// Measures the sweep executor and writes `BENCH_scenario.json`:
+///
+/// * **throughput** — the historical metric: a batch of 8 seeds at
+///   n = 64, 500 slots each, reception via the cached-gain kernel.
+/// * **prepare_heavy** — the sweep-planner metric this PR pins: for
+///   n ∈ {64, 256, 512, 1024}, an 8-cell `mac.t_mult` sweep over one
+///   fixed uniform deployment with a short horizon, timed with shared
+///   preparation vs per-cell preparation. The n = 512 row is the
+///   headline (target ≥3x).
+///
+/// `--smoke` (the CI mode) shrinks everything to n = 32 and validates
+/// the JSON without claiming performance numbers. After writing, the
+/// emitted JSON is read back and validated so a refactor cannot
+/// silently rot the BENCH file.
 ///
 /// # Errors
 ///
-/// A message if the sweep fails or the file cannot be written.
-pub fn bench_sweep_throughput(out: &str) -> Result<(), String> {
+/// A message if a sweep fails or the file cannot be written.
+pub fn bench_scenario(out: &str, smoke: bool) -> Result<(), String> {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    // ---- historical throughput row ----
+    let batch = 8usize;
+    let throughput_slots = if smoke { 100u64 } else { 500 };
     let base = ScenarioSpec::new(
         "bench-sweep",
         DeploymentSpec::plain(sinr_geom::DeploySpec::Lattice {
@@ -356,14 +488,12 @@ pub fn bench_sweep_throughput(out: &str) -> Result<(), String> {
             spacing: 2.0,
         }),
         WorkloadSpec::Repeat(SourceSet::Stride(2)),
-        StopSpec::Slots(500),
+        StopSpec::Slots(throughput_slots),
     )
     .with_sinr(SinrSpec::with_range(8.0))
     .with_backend(sinr_phys::BackendSpec::cached())
     .with_measure(MeasureSpec::none());
-    let batch = 8usize;
     let seeds: Vec<String> = (1..=batch as u64).map(|s| s.to_string()).collect();
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let set = ScenarioSet::new(base).axis("seed", seeds);
     // Warm-up pass so thread start-up is off the measured path.
     set.run(threads).map_err(|e| e.to_string())?;
@@ -371,19 +501,69 @@ pub fn bench_sweep_throughput(out: &str) -> Result<(), String> {
     let runs = set.run(threads).map_err(|e| e.to_string())?;
     let secs = t0.elapsed().as_secs_f64();
     let per_sec = batch as f64 / secs.max(1e-9);
+    println!("sweep throughput: {per_sec:.2} scenarios/sec (batch {batch}, {threads} threads)");
+
+    // ---- prepare-heavy rows: shared vs per-cell preparation ----
+    let sizes: &[usize] = if smoke { &[32] } else { &[64, 256, 512, 1024] };
+    let slots_per_cell = if smoke { 60 } else { 20 };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let row = measure_prepare_heavy(n, slots_per_cell, threads)?;
+        println!(
+            "prepare-heavy n={:5}: shared {:.3}s vs per-cell {:.3}s ({:.2}x, {} cells x {} slots)",
+            row.n,
+            row.shared_secs,
+            row.percell_secs,
+            row.speedup(),
+            row.cells,
+            row.slots_per_cell,
+        );
+        rows.push(row);
+    }
+    if let Some(row) = rows.iter().find(|r| r.n == 512) {
+        println!(
+            "n=512 8-cell mac.t_mult sweep: shared prepare {:.2}x over per-cell (target >= 3x)",
+            row.speedup()
+        );
+    }
+
     let json = Json::Obj(vec![
-        ("bench".into(), Json::str("scenario_sweep_throughput")),
-        ("n".into(), Json::int(64)),
-        ("slots_per_cell".into(), Json::int(500)),
-        ("batch".into(), Json::int(batch as u64)),
+        ("bench".into(), Json::str("scenario_sweep")),
+        ("smoke".into(), Json::Bool(smoke)),
         ("threads".into(), Json::int(threads as u64)),
-        ("seconds".into(), Json::Num(secs)),
-        ("scenarios_per_sec".into(), Json::Num(per_sec)),
-        ("cells_completed".into(), Json::int(runs.len() as u64)),
+        (
+            "throughput".into(),
+            Json::Obj(vec![
+                ("n".into(), Json::int(64)),
+                ("slots_per_cell".into(), Json::int(throughput_slots)),
+                ("batch".into(), Json::int(batch as u64)),
+                ("seconds".into(), Json::Num(secs)),
+                ("scenarios_per_sec".into(), Json::Num(per_sec)),
+                ("cells_completed".into(), Json::int(runs.len() as u64)),
+            ]),
+        ),
+        (
+            "prepare_heavy".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("n".into(), Json::int(r.n as u64)),
+                            ("cells".into(), Json::int(r.cells as u64)),
+                            ("slots_per_cell".into(), Json::int(r.slots_per_cell)),
+                            ("shared_secs".into(), Json::Num(r.shared_secs)),
+                            ("percell_secs".into(), Json::Num(r.percell_secs)),
+                            ("shared_speedup".into(), Json::Num(r.speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ]);
     std::fs::write(out, format!("{json}\n")).map_err(|e| format!("writing {out}: {e}"))?;
-    println!("sweep throughput: {per_sec:.2} scenarios/sec (batch {batch}, {threads} threads)");
-    println!("wrote {out}");
+    let written = std::fs::read_to_string(out).map_err(|e| format!("reading back {out}: {e}"))?;
+    validate_scenario_json(&written, rows.len());
+    println!("wrote {out} (validated)");
     Ok(())
 }
 

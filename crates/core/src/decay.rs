@@ -8,9 +8,7 @@
 //! slot `j` of each cycle — and acknowledge after a fixed cycle budget,
 //! mirroring the timer-based acknowledgment of Algorithm B.1.
 
-use std::collections::HashSet;
-
-use absmac::{MacError, MacEvent, MacLayer, MacMessage, MsgId, StepEvents};
+use absmac::{IndexedSet, MacError, MacEvent, MacLayer, MacMessage, MsgId, StepEvents};
 use sinr_geom::Point;
 use sinr_phys::{
     Action, BackendSpec, Engine, EngineStats, InterferenceModel, NodeId, PhysError, Protocol,
@@ -52,7 +50,7 @@ struct DecayNode<P> {
     budget_slots: u64,
     active: Option<(MsgId, P)>,
     slots_used: u64,
-    delivered: HashSet<MsgId>,
+    delivered: IndexedSet<MsgId>,
     outbox: Vec<MacEvent<P>>,
 }
 
@@ -141,6 +139,25 @@ impl<P: Clone> DecayMac<P> {
         seed: u64,
         spec: BackendSpec,
     ) -> Result<Self, PhysError> {
+        Self::with_prepared(sinr, positions, params, seed, spec, None)
+    }
+
+    /// Like [`DecayMac::with_backend`] with an optional pre-built shared
+    /// gain table for the cached kernel (see [`Engine::with_prepared`]):
+    /// a matching table skips the O(n²) preparation. Executions are
+    /// bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhysError`] from engine construction.
+    pub fn with_prepared(
+        sinr: SinrParams,
+        positions: &[Point],
+        params: DecayParams,
+        seed: u64,
+        spec: BackendSpec,
+        table: Option<&std::sync::Arc<sinr_phys::GainTable>>,
+    ) -> Result<Self, PhysError> {
         let budget_slots = params.cycle_len as u64 * params.cycles_budget as u64;
         let nodes = (0..positions.len())
             .map(|i| DecayNode {
@@ -149,11 +166,11 @@ impl<P: Clone> DecayMac<P> {
                 budget_slots,
                 active: None,
                 slots_used: 0,
-                delivered: HashSet::new(),
+                delivered: IndexedSet::new(),
                 outbox: Vec::new(),
             })
             .collect();
-        let engine = Engine::with_backend(sinr, positions.to_vec(), nodes, seed, spec)?;
+        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, table)?;
         let n = positions.len();
         Ok(DecayMac {
             engine,

@@ -8,11 +8,11 @@
 //! Conditional wake-up (Definition 4.4) holds by construction: a node
 //! transmits nothing before its first `bcast` input, and receptions are
 //! passive. `rcv(m)` is delivered at most once per distinct message per
-//! node, whichever sublayer decodes it first.
+//! node, whichever sublayer decodes it first. The per-node `delivered`
+//! set is an [`IndexedSet`] rather than a `HashSet`, so its iteration
+//! order is deterministic and can never leak hasher state into reports.
 
-use std::collections::HashSet;
-
-use absmac::{MacError, MacEvent, MacLayer, MacMessage, MsgId, StepEvents};
+use absmac::{IndexedSet, MacError, MacEvent, MacLayer, MacMessage, MsgId, StepEvents};
 use sinr_geom::Point;
 use sinr_phys::{
     Action, BackendSpec, Engine, EngineStats, InterferenceModel, NodeId, PhysError, Protocol,
@@ -28,7 +28,7 @@ pub(crate) struct MacNode<P> {
     ack: AckLayer<P>,
     approg: ApprogLayer<P>,
     active: Option<MsgId>,
-    delivered: HashSet<MsgId>,
+    delivered: IndexedSet<MsgId>,
     outbox: Vec<MacEvent<P>>,
     /// Failure injection: a jammer transmits junk label frames with this
     /// probability every slot instead of running the protocol. Outside
@@ -43,7 +43,7 @@ impl<P: Clone> MacNode<P> {
             ack: AckLayer::new(params),
             approg: ApprogLayer::new(params),
             active: None,
-            delivered: HashSet::new(),
+            delivered: IndexedSet::new(),
             outbox: Vec::new(),
             jam: None,
         }
@@ -172,10 +172,30 @@ impl<P: Clone> SinrAbsMac<P> {
         seed: u64,
         spec: BackendSpec,
     ) -> Result<Self, PhysError> {
+        Self::with_prepared(sinr, positions, params, seed, spec, None)
+    }
+
+    /// Like [`SinrAbsMac::with_backend`] with an optional pre-built
+    /// shared gain table for the cached kernel (see
+    /// [`Engine::with_prepared`]): a matching table skips the O(n²)
+    /// preparation, a mismatched or absent one falls back to building it
+    /// here. Executions are bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SinrAbsMac::new`].
+    pub fn with_prepared(
+        sinr: SinrParams,
+        positions: &[Point],
+        params: MacParams,
+        seed: u64,
+        spec: BackendSpec,
+        table: Option<&std::sync::Arc<sinr_phys::GainTable>>,
+    ) -> Result<Self, PhysError> {
         let nodes = (0..positions.len())
             .map(|i| MacNode::new(&params, i))
             .collect();
-        let engine = Engine::with_backend(sinr, positions.to_vec(), nodes, seed, spec)?;
+        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, table)?;
         let n = positions.len();
         Ok(SinrAbsMac {
             engine,

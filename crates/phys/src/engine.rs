@@ -1,13 +1,14 @@
 //! The slotted simulation engine driving [`Protocol`] automata.
 
 use std::fmt;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sinr_geom::{deploy, MobilityModel, Point};
 
-use crate::reception::{BackendSpec, InterferenceBackend, InterferenceModel};
+use crate::reception::{BackendSpec, GainTable, InterferenceBackend, InterferenceModel};
 use crate::{PhysError, SinrParams};
 
 /// Identifier of a node in a simulation (its index in the position list).
@@ -172,6 +173,32 @@ impl<P: Protocol> Engine<P> {
         seed: u64,
         spec: BackendSpec,
     ) -> Result<Self, PhysError> {
+        Self::with_prepared(params, positions, protocols, seed, spec, None)
+    }
+
+    /// Like [`Engine::with_backend`] with an already-built shared gain
+    /// table for the cached reception kernel: when `table` matches
+    /// `params`/`positions`, backend preparation only resets per-run
+    /// slot state instead of rebuilding the O(n²) gain matrix — the
+    /// construction path sweep executors use to amortize one
+    /// preparation across many runs over a fixed deployment. A
+    /// non-matching table is ignored (the backend builds its own, so
+    /// this constructor is never less correct than
+    /// [`Engine::with_backend`]); non-cached backends ignore it
+    /// entirely. The execution is bit-identical either way — the table
+    /// entries equal what the backend would have computed itself.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::new`].
+    pub fn with_prepared(
+        params: SinrParams,
+        positions: Vec<Point>,
+        protocols: Vec<P>,
+        seed: u64,
+        spec: BackendSpec,
+        table: Option<&Arc<GainTable>>,
+    ) -> Result<Self, PhysError> {
         if positions.len() != protocols.len() {
             return Err(PhysError::MismatchedInputs {
                 positions: positions.len(),
@@ -187,13 +214,16 @@ impl<P: Protocol> Engine<P> {
             .map(|i| StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
             .collect();
         let n = positions.len();
+        // A table for a different deployment would just be rebuilt by
+        // prepare; drop it here so the cost profile is predictable.
+        let table = table.filter(|t| t.matches(&params, &positions));
         let mut engine = Engine {
             params,
             positions,
             protocols,
             rngs,
             spec,
-            backend: spec.build(),
+            backend: spec.build_with_table(table),
             decisions: vec![None; n],
             mobility: None,
             slot: 0,
@@ -657,6 +687,32 @@ mod tests {
             (0..60).map(|_| e.step()).collect::<Vec<_>>()
         };
         assert_eq!(run(BackendSpec::exact()), run(BackendSpec::cached()));
+    }
+
+    #[test]
+    fn engine_with_prepared_matches_cold_construction() {
+        // An engine handed a pre-built gain table must produce the exact
+        // execution a cold engine does; a mismatched table must be
+        // ignored rather than trusted.
+        use crate::reception::GainTable;
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(30, 40.0, 5).unwrap();
+        let run = |table: Option<&Arc<GainTable>>| {
+            let protos: Vec<CoinFlip> = (0..30).map(|_| CoinFlip).collect();
+            let mut e =
+                Engine::with_prepared(p, pos.clone(), protos, 3, BackendSpec::cached(), table)
+                    .unwrap();
+            (0..60).map(|_| e.step()).collect::<Vec<_>>()
+        };
+        let cold = run(None);
+        let table = Arc::new(GainTable::build(&p, &pos, 1));
+        assert_eq!(cold, run(Some(&table)), "shared table");
+        let mismatched = Arc::new(GainTable::build(
+            &p,
+            &sinr_geom::deploy::uniform(30, 40.0, 6).unwrap(),
+            1,
+        ));
+        assert_eq!(cold, run(Some(&mismatched)), "mismatched table ignored");
     }
 
     #[test]

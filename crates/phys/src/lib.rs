@@ -63,6 +63,6 @@ pub use engine::{Action, Engine, EngineStats, NodeId, Protocol, SlotCtx, SlotOut
 pub use error::PhysError;
 pub use params::{SinrParams, SinrParamsBuilder};
 pub use reception::{
-    effective_threads, BackendSpec, CachedBackend, GainCache, InterferenceBackend,
-    InterferenceModel, PAR_CROSSOVER_LISTENERS,
+    effective_threads, BackendSpec, CachedBackend, GainTable, InterferenceBackend,
+    InterferenceModel, SlotState, PAR_CROSSOVER_LISTENERS,
 };

@@ -34,16 +34,20 @@
 //!   O(near transmitters + occupied cells) instead of O(senders).
 //!
 //! * [`CachedBackend`] precomputes every pairwise link gain `P/d^α` once
-//!   per deployment into a [`GainCache`] (flat row-major `n×n`), then
-//!   drives each slot from the *delta* of the transmitter set: the total
-//!   interference at every listener is maintained incrementally as
+//!   per deployment into an immutable [`GainTable`] (flat row-major
+//!   `n×n`, held in an `Arc` so many runs over one deployment share a
+//!   single copy), then drives each slot from the *delta* of the
+//!   transmitter set: the total interference at every listener is
+//!   maintained incrementally — in a small per-run [`SlotState`] — as
 //!   senders enter and leave, with a periodic exact refresh bounding
 //!   float drift and a guarded near-threshold fallback that replays the
 //!   exact summation — receptions are **bit-identical** to
 //!   [`ExactBackend`] (verified by proptest, including churn). Per-slot
 //!   cost is O(|Δ senders| × n) instead of O(n × senders), at O(n²)
-//!   memory. The fastest choice for long simulations whose transmitter
-//!   set evolves gradually (every MAC layer in this workspace).
+//!   memory *per deployment* (not per run: sweeps over a fixed
+//!   deployment hand every cell a clone of one `Arc<GainTable>`). The
+//!   fastest choice for long simulations whose transmitter set evolves
+//!   gradually (every MAC layer in this workspace).
 //!
 //! * [`ParallelBackend`] wraps the exact or grid model and splits the
 //!   per-listener loop across OS threads (`std::thread::scope`).
@@ -76,12 +80,18 @@
 //! rows/columns and the affected incremental totals — O(movers × n)
 //! instead of the O(n²) re-`prepare` a position change would otherwise
 //! force (measured ≥5x per slot at n = 1024 with n/32 movers; see
-//! `BENCH_reception.json`).
+//! `BENCH_reception.json`). When the kernel's [`GainTable`] is shared
+//! with other runs, the first repair forks a private copy
+//! (`Arc::make_mut` copy-on-write), so movement in one run can never
+//! corrupt another run's gains — sharing stays safe even if a moving
+//! scenario is accidentally handed a shared table.
 //!
 //! Selection is data-driven through [`BackendSpec`], a small `Copy` value
 //! that travels through constructor APIs (`Engine`, `SinrAbsMac`,
 //! `DecayMac`, the baselines, the bench binaries) and builds the backend
 //! at the edge.
+
+use std::sync::Arc;
 
 use sinr_geom::{HashGrid, Point};
 
@@ -227,6 +237,26 @@ impl BackendSpec {
         }
     }
 
+    /// Builds the worker for this spec around an already-built shared
+    /// gain table.
+    ///
+    /// Only the cached model consumes the table (the stateless models
+    /// have nothing to precompute), and only when it matches the
+    /// deployment the backend is later prepared against — a mismatched
+    /// table is simply rebuilt by `prepare`, so this is always correct
+    /// and at worst as expensive as [`BackendSpec::build`]. This is the
+    /// construction path the scenario sweep planner uses to amortize one
+    /// O(n²) preparation across every cell of a sweep group.
+    pub fn build_with_table(self, table: Option<&Arc<GainTable>>) -> Box<dyn InterferenceBackend> {
+        match (self.model, table) {
+            (InterferenceModel::Cached, Some(table)) => Box::new(CachedBackend::with_shared_table(
+                Arc::clone(table),
+                self.threads,
+            )),
+            _ => self.build(),
+        }
+    }
+
     /// Parses a spec from a compact string, for CLI/bench selection:
     /// `exact`, `grid:CELL`, `cached`, `par:THREADS`, or combinations
     /// like `grid:CELL:par:THREADS`.
@@ -309,8 +339,10 @@ pub trait InterferenceBackend: Send {
     /// [`decide_slot`](InterferenceBackend::decide_slot), and again
     /// whenever positions or parameters change. The default is a no-op:
     /// the exact and grid models have nothing to precompute. The cached
-    /// kernel builds its [`GainCache`] here, so the O(n²) gain matrix is
-    /// paid at construction instead of inside the first simulated slot.
+    /// kernel builds its [`GainTable`] here (unless it was constructed
+    /// around a matching shared table, in which case only the per-run
+    /// [`SlotState`] is reset), so the O(n²) gain matrix is paid at
+    /// construction instead of inside the first simulated slot.
     fn prepare(&mut self, _params: &SinrParams, _positions: &[Point]) {}
 
     /// Decides receptions for every node given the set of transmitters.
@@ -525,7 +557,7 @@ fn rebuild_cells(grid: &HashGrid, cells: &mut Vec<((i64, i64), Vec<usize>)>) {
 /// BENCH numbers come from a core-starved CI container whose parallel
 /// rows mostly price spawn overhead — on machines with real cores the
 /// crossover lands earlier — and because the same gate serves the
-/// one-shot [`GainCache::build`] row fill, an O(n²) job that amortizes
+/// one-shot [`GainTable::build`] row fill, an O(n²) job that amortizes
 /// its spawns far sooner than a per-slot loop does.
 pub const PAR_CROSSOVER_LISTENERS: usize = 512;
 
@@ -698,9 +730,15 @@ const REFRESH_OPS: u64 = 1024;
 /// cached entries reproduce exact-backend sums bit for bit.
 ///
 /// Memory is O(n²) — 16 MiB of `f64` at n = 1024 — the price of turning
-/// per-slot `powf` calls into loads.
+/// per-slot `powf` calls into loads. The table is **immutable from the
+/// kernel's point of view**: all per-run mutability lives in
+/// [`SlotState`], so one `Arc<GainTable>` built once per deployment can
+/// back any number of concurrent [`CachedBackend`]s (sweep cells, worker
+/// threads). The only mutation, [`GainTable::move_node`], is applied by
+/// the cached kernel through `Arc::make_mut` — copy-on-write, so a
+/// moving run forks a private table instead of disturbing its sharers.
 #[derive(Debug, Clone)]
-pub struct GainCache {
+pub struct GainTable {
     n: usize,
     params: SinrParams,
     positions: Vec<Point>,
@@ -708,11 +746,14 @@ pub struct GainCache {
     d2: Vec<f64>,
 }
 
-impl GainCache {
+impl GainTable {
     /// Precomputes the gain and distance matrices for a deployment,
     /// chunking the row fill across up to `threads` OS threads (rows are
     /// independent; [`effective_threads`] applies, so small deployments
-    /// build serially).
+    /// build serially). The thread count never changes the entries —
+    /// each pair is computed independently — so a table built by a sweep
+    /// planner equals the one any cell would have built for itself, bit
+    /// for bit.
     pub fn build(params: &SinrParams, positions: &[Point], threads: usize) -> Self {
         let n = positions.len();
         let mut gains = vec![0.0f64; n * n];
@@ -746,7 +787,7 @@ impl GainCache {
                 }
             });
         }
-        GainCache {
+        GainTable {
             n,
             params: *params,
             positions: positions.to_vec(),
@@ -794,10 +835,10 @@ impl GainCache {
         &self.d2[s * self.n + base..s * self.n + base + len]
     }
 
-    /// Repairs the cache after `node` moved to `to`: its gain/distance
+    /// Repairs the table after `node` moved to `to`: its gain/distance
     /// row (node as sender) and column (node as listener) are recomputed
     /// against the current positions, O(n) with the same per-pair
-    /// arithmetic as [`GainCache::build`] — so sums over patched entries
+    /// arithmetic as [`GainTable::build`] — so sums over patched entries
     /// still reproduce exact-backend sums bit for bit. `dist_sq` is
     /// symmetric at the bit level (`(-x)·(-x) == x·x` in IEEE 754), so
     /// one distance computation serves both orientations.
@@ -833,7 +874,7 @@ struct ListenerState<'a> {
 /// [`ExactBackend`] performs, hence identical bits) and nearest senders
 /// re-selected with the exact backend's first-minimum tie-break. Resets
 /// the drift bound to cover only the inherent ordered-sum rounding.
-fn refresh_range(ls: ListenerState<'_>, cache: &GainCache, senders: &[usize]) {
+fn refresh_range(ls: ListenerState<'_>, cache: &GainTable, senders: &[usize]) {
     let len = ls.total.len();
     ls.total.fill(0.0);
     ls.best_d2.fill(f64::INFINITY);
@@ -864,7 +905,7 @@ fn refresh_range(ls: ListenerState<'_>, cache: &GainCache, senders: &[usize]) {
 /// departed are rescanned over the full new set.
 fn delta_range(
     ls: ListenerState<'_>,
-    cache: &GainCache,
+    cache: &GainTable,
     senders: &[usize],
     enters: &[usize],
     leaves: &[usize],
@@ -921,24 +962,17 @@ fn delta_range(
     }
 }
 
-/// Cached-gain reception kernel driven by transmitter deltas (see module
-/// docs).
+/// The per-run mutable half of the cached kernel: incremental
+/// interference totals, drift bookkeeping, nearest-sender choices and
+/// the previous transmitter set.
 ///
-/// [`prepare`](InterferenceBackend::prepare) builds the [`GainCache`];
-/// each [`decide_slot`](InterferenceBackend::decide_slot) then diffs the
-/// sender set against the previous slot and updates every listener's
-/// total interference and nearest sender incrementally — O(|Δ| × n)
-/// instead of the exact backend's O(n × senders). Receptions are
-/// **bit-identical** to [`ExactBackend`]: near-threshold decisions (the
-/// only ones float drift could flip) are detected by a conservative
-/// guard band derived from a tracked per-listener drift bound and
-/// resolved by replaying the exact backend's summation from the cache,
-/// and a full refresh every [`REFRESH_OPS`] delta updates keeps the
-/// drift bound (and hence the guard band) tiny.
-#[derive(Debug)]
-pub struct CachedBackend {
-    threads: usize,
-    cache: Option<GainCache>,
+/// Everything expensive and deployment-derived lives in the immutable
+/// [`GainTable`]; a `SlotState` is a handful of `O(n)` vectors that are
+/// cheap to allocate and reset, which is what makes sharing one table
+/// across many runs worthwhile — each run brings only its own
+/// `SlotState`.
+#[derive(Debug, Default)]
+pub struct SlotState {
     /// Per-listener total received power over the current sender set.
     total: Vec<f64>,
     /// Per-listener conservative bound on |total − exact ordered sum|.
@@ -955,6 +989,56 @@ pub struct CachedBackend {
     ops_since_refresh: u64,
 }
 
+impl SlotState {
+    /// Resets the state for a fresh run over an `n`-node deployment.
+    fn reset(&mut self, n: usize) {
+        self.total.clear();
+        self.total.resize(n, 0.0);
+        self.err.clear();
+        self.err.resize(n, 0.0);
+        self.best_d2.clear();
+        self.best_d2.resize(n, f64::INFINITY);
+        self.best_s.clear();
+        self.best_s.resize(n, NO_SENDER);
+        self.sending.clear();
+        self.sending.resize(n, false);
+        self.prev.clear();
+        self.enters.clear();
+        self.leaves.clear();
+        self.ops_since_refresh = 0;
+    }
+
+    /// Whether the state is sized for an `n`-node deployment (false on a
+    /// freshly constructed backend whose `prepare` has not run yet).
+    fn ready_for(&self, n: usize) -> bool {
+        self.total.len() == n
+    }
+}
+
+/// Cached-gain reception kernel driven by transmitter deltas (see module
+/// docs).
+///
+/// [`prepare`](InterferenceBackend::prepare) builds the [`GainTable`]
+/// (or adopts a matching shared one — see
+/// [`CachedBackend::with_shared_table`]) and resets the per-run
+/// [`SlotState`]; each
+/// [`decide_slot`](InterferenceBackend::decide_slot) then diffs the
+/// sender set against the previous slot and updates every listener's
+/// total interference and nearest sender incrementally — O(|Δ| × n)
+/// instead of the exact backend's O(n × senders). Receptions are
+/// **bit-identical** to [`ExactBackend`]: near-threshold decisions (the
+/// only ones float drift could flip) are detected by a conservative
+/// guard band derived from a tracked per-listener drift bound and
+/// resolved by replaying the exact backend's summation from the table,
+/// and a full refresh every [`REFRESH_OPS`] delta updates keeps the
+/// drift bound (and hence the guard band) tiny.
+#[derive(Debug)]
+pub struct CachedBackend {
+    threads: usize,
+    table: Option<Arc<GainTable>>,
+    state: SlotState,
+}
+
 impl Default for CachedBackend {
     fn default() -> Self {
         CachedBackend::new()
@@ -962,7 +1046,7 @@ impl Default for CachedBackend {
 }
 
 impl CachedBackend {
-    /// A fresh serial cached kernel (no gain cache yet; it is built by
+    /// A fresh serial cached kernel (no gain table yet; it is built by
     /// [`prepare`](InterferenceBackend::prepare) or lazily on first use).
     pub fn new() -> Self {
         CachedBackend::with_threads(1)
@@ -980,16 +1064,28 @@ impl CachedBackend {
         assert!(threads > 0, "threads must be nonzero");
         CachedBackend {
             threads,
-            cache: None,
-            total: Vec::new(),
-            err: Vec::new(),
-            best_d2: Vec::new(),
-            best_s: Vec::new(),
-            sending: Vec::new(),
-            prev: Vec::new(),
-            enters: Vec::new(),
-            leaves: Vec::new(),
-            ops_since_refresh: 0,
+            table: None,
+            state: SlotState::default(),
+        }
+    }
+
+    /// A cached kernel around an already-built shared gain table: when
+    /// the deployment later handed to
+    /// [`prepare`](InterferenceBackend::prepare) matches the table,
+    /// preparation only resets the per-run [`SlotState`] — O(n) instead
+    /// of the O(n²) table build. A non-matching deployment rebuilds a
+    /// private table exactly as [`CachedBackend::with_threads`] would,
+    /// so adopting a table is never incorrect, only sometimes useless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_shared_table(table: Arc<GainTable>, threads: usize) -> Self {
+        assert!(threads > 0, "threads must be nonzero");
+        CachedBackend {
+            threads,
+            table: Some(table),
+            state: SlotState::default(),
         }
     }
 
@@ -998,33 +1094,29 @@ impl CachedBackend {
         self.threads
     }
 
-    /// The prepared gain cache, if any.
-    pub fn gain_cache(&self) -> Option<&GainCache> {
-        self.cache.as_ref()
+    /// The prepared gain table, if any.
+    pub fn gain_table(&self) -> Option<&GainTable> {
+        self.table.as_deref()
     }
 
-    /// (Re)builds the cache and resets all incremental state.
+    /// A shareable handle to the prepared gain table, if any — hand
+    /// clones of this to other backends over the same deployment to
+    /// amortize the O(n²) build.
+    pub fn shared_table(&self) -> Option<Arc<GainTable>> {
+        self.table.clone()
+    }
+
+    /// (Re)builds the table (unless the held one already matches) and
+    /// resets all incremental state.
     fn prepare_impl(&mut self, params: &SinrParams, positions: &[Point]) {
         if !self
-            .cache
+            .table
             .as_ref()
             .is_some_and(|c| c.matches(params, positions))
         {
-            self.cache = Some(GainCache::build(params, positions, self.threads));
+            self.table = Some(Arc::new(GainTable::build(params, positions, self.threads)));
         }
-        let n = positions.len();
-        self.total.clear();
-        self.total.resize(n, 0.0);
-        self.err.clear();
-        self.err.resize(n, 0.0);
-        self.best_d2.clear();
-        self.best_d2.resize(n, f64::INFINITY);
-        self.best_s.clear();
-        self.best_s.resize(n, NO_SENDER);
-        self.sending.clear();
-        self.sending.resize(n, false);
-        self.prev.clear();
-        self.ops_since_refresh = 0;
+        self.state.reset(positions.len());
     }
 
     /// Applies a position change to the prepared kernel state: the moved
@@ -1042,6 +1134,11 @@ impl CachedBackend {
     /// [`ExactBackend`] is preserved by the same argument as for churn:
     /// totals stay within the tracked drift bound of the exact ordered
     /// sum, and near-threshold decisions replay the exact summation.
+    ///
+    /// If the gain table is shared with other backends, the first patch
+    /// forks a private copy (`Arc::make_mut`): the O(n²) copy is paid
+    /// once per moving run, every later move mutates the now-unique
+    /// table in place, and no sharer ever observes the movement.
     fn update_positions_impl(
         &mut self,
         params: &SinrParams,
@@ -1061,13 +1158,15 @@ impl CachedBackend {
             moved.windows(2).all(|w| w[0].0 < w[1].0),
             "moved nodes must be ascending and unique"
         );
-        let Some(cache) = self.cache.as_ref() else {
+        let Some(table) = self.table.as_ref() else {
             // Never prepared: nothing to repair, the first decide_slot
             // prepares lazily against whatever positions it sees.
             return;
         };
-        if cache.params != *params || cache.n() != n {
-            // Parameter or size change: fall back to the lazy rebuild.
+        if table.params != *params || table.n() != n || !self.state.ready_for(n) {
+            // Parameter or size change (or an adopted shared table whose
+            // slot state was never prepared): fall back to the lazy
+            // rebuild.
             return;
         }
         if moved.len() * 4 >= n {
@@ -1085,10 +1184,11 @@ impl CachedBackend {
         let moved_senders: Vec<usize> = moved
             .iter()
             .map(|&(i, _)| i)
-            .filter(|&i| self.sending[i])
+            .filter(|&i| self.state.sending[i])
             .collect();
         if !moved_senders.is_empty() {
             let remaining: Vec<usize> = self
+                .state
                 .prev
                 .iter()
                 .copied()
@@ -1097,66 +1197,72 @@ impl CachedBackend {
             // Departure at the old gains; orphaned listeners (their
             // nearest sender moved) rescan over the unmoved senders,
             // whose cached distances are still valid.
-            self.sweep(|ls, cache| delta_range(ls, cache, &remaining, &[], &moved_senders));
+            self.sweep(|ls, table| delta_range(ls, table, &remaining, &[], &moved_senders));
         }
 
-        let cache = self.cache.as_mut().expect("checked above");
+        // Copy-on-write: a shared table is forked here, a private one is
+        // patched in place.
+        let table = Arc::make_mut(self.table.as_mut().expect("checked above"));
         for &(i, p) in moved {
-            cache.move_node(i, p);
+            table.move_node(i, p);
         }
 
         if !moved_senders.is_empty() {
             // Re-entry at the new gains; the enter path also lets each
             // moved sender re-compete for nearest-sender with the exact
             // backend's (distance, index) tie-break.
-            let senders = std::mem::take(&mut self.prev);
-            self.sweep(|ls, cache| delta_range(ls, cache, &senders, &moved_senders, &[]));
-            self.prev = senders;
+            let senders = std::mem::take(&mut self.state.prev);
+            self.sweep(|ls, table| delta_range(ls, table, &senders, &moved_senders, &[]));
+            self.state.prev = senders;
         }
 
         // Every distance *to* a moved node changed, so its own listening
         // state cannot be patched incrementally: rebuild it exactly the
         // way refresh_range would (ordered sum over the sender set,
         // first-minimum nearest-sender scan, drift bound reset).
-        let cache = self.cache.as_ref().expect("checked above");
-        let kf = self.prev.len() as f64;
+        let table = self.table.as_deref().expect("checked above");
+        let state = &mut self.state;
+        let kf = state.prev.len() as f64;
         for &(m, _) in moved {
             let mut total = 0.0;
             let mut bd = f64::INFINITY;
             let mut bs = NO_SENDER;
-            for &s in &self.prev {
-                total += cache.gain(s, m);
-                let d = cache.dist_sq(s, m);
+            for &s in &state.prev {
+                total += table.gain(s, m);
+                let d = table.dist_sq(s, m);
                 if d < bd {
                     bd = d;
                     bs = s;
                 }
             }
-            self.total[m] = total;
-            self.err[m] = (kf + 1.0) * f64::EPSILON * total.abs();
-            self.best_d2[m] = bd;
-            self.best_s[m] = bs;
+            state.total[m] = total;
+            state.err[m] = (kf + 1.0) * f64::EPSILON * total.abs();
+            state.best_d2[m] = bd;
+            state.best_s[m] = bs;
         }
 
         // Each leave/enter pair contributes rounding drift like any churn
         // update; count it toward the periodic full refresh that keeps
         // the guard band tight.
-        self.ops_since_refresh += (2 * moved_senders.len() + moved.len()) as u64;
+        state.ops_since_refresh += (2 * moved_senders.len() + moved.len()) as u64;
     }
 
     /// Runs `op` over the per-listener state, chunked across threads when
     /// the deployment is past the crossover.
-    fn sweep(&mut self, op: impl Fn(ListenerState<'_>, &GainCache) + Sync) {
+    fn sweep(&mut self, op: impl Fn(ListenerState<'_>, &GainTable) + Sync) {
         let CachedBackend {
             threads,
-            cache,
+            table,
+            state,
+        } = self;
+        let SlotState {
             total,
             err,
             best_d2,
             best_s,
             ..
-        } = self;
-        let cache = cache.as_ref().expect("sweep requires a prepared cache");
+        } = state;
+        let cache = table.as_deref().expect("sweep requires a prepared table");
         let n = total.len();
         let eff = effective_threads(*threads, n);
         if eff <= 1 {
@@ -1231,82 +1337,85 @@ impl InterferenceBackend for CachedBackend {
         check_invariants(positions, senders, out);
         out.fill(None);
         if !self
-            .cache
+            .table
             .as_ref()
             .is_some_and(|c| c.matches(params, positions))
+            || !self.state.ready_for(positions.len())
         {
             // Lazy (re)preparation: correct for one-shot wrappers and
-            // deployment swaps, at the cost of an O(n²) rebuild.
+            // deployment swaps, at the cost of an O(n²) rebuild — or
+            // just the O(n) slot-state reset when a matching shared
+            // table was adopted at construction.
             self.prepare_impl(params, positions);
         }
 
         // Diff the sorted sender sets into arrivals and departures.
-        self.enters.clear();
-        self.leaves.clear();
+        self.state.enters.clear();
+        self.state.leaves.clear();
         let (mut i, mut j) = (0usize, 0usize);
-        while i < self.prev.len() || j < senders.len() {
-            match (self.prev.get(i), senders.get(j)) {
+        while i < self.state.prev.len() || j < senders.len() {
+            match (self.state.prev.get(i), senders.get(j)) {
                 (Some(&p), Some(&s)) if p == s => {
                     i += 1;
                     j += 1;
                 }
                 (Some(&p), Some(&s)) if p < s => {
-                    self.leaves.push(p);
+                    self.state.leaves.push(p);
                     i += 1;
                 }
                 (Some(_), Some(&s)) => {
-                    self.enters.push(s);
+                    self.state.enters.push(s);
                     j += 1;
                 }
                 (Some(&p), None) => {
-                    self.leaves.push(p);
+                    self.state.leaves.push(p);
                     i += 1;
                 }
                 (None, Some(&s)) => {
-                    self.enters.push(s);
+                    self.state.enters.push(s);
                     j += 1;
                 }
                 (None, None) => unreachable!("loop condition"),
             }
         }
 
-        let delta = self.enters.len() + self.leaves.len();
-        self.ops_since_refresh += delta as u64;
-        if delta >= senders.len().max(1) || self.ops_since_refresh >= REFRESH_OPS {
+        let delta = self.state.enters.len() + self.state.leaves.len();
+        self.state.ops_since_refresh += delta as u64;
+        if delta >= senders.len().max(1) || self.state.ops_since_refresh >= REFRESH_OPS {
             // A delta as large as the set itself makes the rebuild the
             // cheaper path; the periodic refresh bounds float drift.
-            self.ops_since_refresh = 0;
+            self.state.ops_since_refresh = 0;
             self.sweep(|ls, cache| refresh_range(ls, cache, senders));
         } else if delta > 0 {
             let (enters, leaves) = (
-                std::mem::take(&mut self.enters),
-                std::mem::take(&mut self.leaves),
+                std::mem::take(&mut self.state.enters),
+                std::mem::take(&mut self.state.leaves),
             );
             self.sweep(|ls, cache| delta_range(ls, cache, senders, &enters, &leaves));
-            self.enters = enters;
-            self.leaves = leaves;
+            self.state.enters = enters;
+            self.state.leaves = leaves;
         }
-        for &s in &self.leaves {
-            self.sending[s] = false;
+        for &s in &self.state.leaves {
+            self.state.sending[s] = false;
         }
-        for &s in &self.enters {
-            self.sending[s] = true;
+        for &s in &self.state.enters {
+            self.state.sending[s] = true;
         }
-        self.prev.clear();
-        self.prev.extend_from_slice(senders);
+        self.state.prev.clear();
+        self.state.prev.extend_from_slice(senders);
         if senders.is_empty() {
             return;
         }
 
-        let CachedBackend {
-            cache,
+        let CachedBackend { table, state, .. } = self;
+        let SlotState {
             total,
             err,
             best_s,
             sending,
             ..
-        } = self;
-        let cache = cache.as_ref().expect("prepared above");
+        } = state;
+        let cache = table.as_deref().expect("prepared above");
         let kf = senders.len() as f64;
         let beta = params.beta();
         let noise = params.noise();
@@ -1735,10 +1844,10 @@ mod tests {
     }
 
     #[test]
-    fn gain_cache_entries_match_exact_arithmetic() {
+    fn gain_table_entries_match_exact_arithmetic() {
         let p = params();
         let pos = sinr_geom::deploy::uniform(12, 20.0, 1).unwrap();
-        let cache = GainCache::build(&p, &pos, 1);
+        let cache = GainTable::build(&p, &pos, 1);
         assert_eq!(cache.n(), 12);
         assert!(cache.matches(&p, &pos));
         for s in 0..12 {
@@ -1849,15 +1958,15 @@ mod tests {
     }
 
     #[test]
-    fn gain_cache_move_node_matches_a_fresh_build() {
+    fn gain_table_move_node_matches_a_fresh_build() {
         let p = params();
         let mut pos = sinr_geom::deploy::uniform(14, 24.0, 2).unwrap();
-        let mut cache = GainCache::build(&p, &pos, 1);
+        let mut cache = GainTable::build(&p, &pos, 1);
         pos[3] = Point::new(100.0, 5.25);
         pos[9] = Point::new(100.0, 12.5);
         cache.move_node(3, pos[3]);
         cache.move_node(9, pos[9]);
-        let fresh = GainCache::build(&p, &pos, 1);
+        let fresh = GainTable::build(&p, &pos, 1);
         assert!(cache.matches(&p, &pos));
         for s in 0..14 {
             for u in 0..14 {
@@ -1947,20 +2056,24 @@ mod tests {
             );
             // Drift-bound bookkeeping: the maintained total must sit
             // within the tracked error of the exact ordered sum.
-            let cache = cached.gain_cache().unwrap();
+            let cache = cached.gain_table().unwrap();
             for u in 0..pos.len() {
                 let exact: f64 = senders.iter().map(|&s| cache.gain(s, u)).sum();
                 assert!(
-                    (cached.total[u] - exact).abs() <= cached.err[u] + f64::EPSILON * exact.abs(),
+                    (cached.state.total[u] - exact).abs()
+                        <= cached.state.err[u] + f64::EPSILON * exact.abs(),
                     "stale total at listener {u} after {step} teleports: \
                      total {} vs exact {exact}, err bound {}",
-                    cached.total[u],
-                    cached.err[u]
+                    cached.state.total[u],
+                    cached.state.err[u]
                 );
             }
         }
         // The periodic refresh must actually have fired along the way.
-        assert!(cached.ops_since_refresh < total_ops, "refresh never ran");
+        assert!(
+            cached.state.ops_since_refresh < total_ops,
+            "refresh never ran"
+        );
     }
 
     #[test]
@@ -1981,7 +2094,7 @@ mod tests {
             })
             .collect();
         cached.update_positions(&p, &pos, &moved);
-        assert!(cached.gain_cache().unwrap().matches(&p, &pos));
+        assert!(cached.gain_table().unwrap().matches(&p, &pos));
         assert_cached_matches_exact(&p, &mut cached, &pos, &senders, "after mass move");
     }
 
@@ -2020,6 +2133,114 @@ mod tests {
                 assert_eq!(out, want, "{spec}");
             }
         }
+    }
+
+    #[test]
+    fn shared_table_is_adopted_without_a_rebuild() {
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(20, 30.0, 3).unwrap();
+        let table = Arc::new(GainTable::build(&p, &pos, 1));
+        let mut backend = CachedBackend::with_shared_table(Arc::clone(&table), 1);
+        backend.prepare(&p, &pos);
+        // prepare must keep the very same allocation, not clone or
+        // rebuild it.
+        assert!(Arc::ptr_eq(&backend.shared_table().unwrap(), &table));
+        let senders: Vec<usize> = (0..20).step_by(2).collect();
+        assert_cached_matches_exact(&p, &mut backend, &pos, &senders, "shared table");
+        assert!(Arc::ptr_eq(&backend.shared_table().unwrap(), &table));
+    }
+
+    #[test]
+    fn shared_table_works_without_an_explicit_prepare() {
+        // The lazy path: a backend built around a matching table whose
+        // prepare was never called must initialize its slot state on the
+        // first decide_slot instead of reading empty vectors.
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(16, 24.0, 9).unwrap();
+        let table = Arc::new(GainTable::build(&p, &pos, 1));
+        let mut backend = CachedBackend::with_shared_table(Arc::clone(&table), 1);
+        let senders: Vec<usize> = (0..16).step_by(3).collect();
+        assert_cached_matches_exact(&p, &mut backend, &pos, &senders, "lazy shared");
+        assert!(Arc::ptr_eq(&backend.shared_table().unwrap(), &table));
+    }
+
+    #[test]
+    fn mismatched_shared_table_is_rebuilt_not_trusted() {
+        let p = params();
+        let other = sinr_geom::deploy::uniform(12, 20.0, 1).unwrap();
+        let pos = sinr_geom::deploy::uniform(12, 20.0, 2).unwrap();
+        let table = Arc::new(GainTable::build(&p, &other, 1));
+        let mut backend = CachedBackend::with_shared_table(Arc::clone(&table), 1);
+        let senders: Vec<usize> = (0..12).step_by(2).collect();
+        assert_cached_matches_exact(&p, &mut backend, &pos, &senders, "mismatched table");
+        assert!(
+            !Arc::ptr_eq(&backend.shared_table().unwrap(), &table),
+            "a non-matching table must be replaced"
+        );
+        assert!(backend.gain_table().unwrap().matches(&p, &pos));
+    }
+
+    #[test]
+    fn movement_forks_a_shared_table_copy_on_write() {
+        // Two backends share one table; one of them moves a node. The
+        // mover must fork a private copy (and stay exact against the
+        // moved geometry), the other must keep the original allocation
+        // (and stay exact against the unmoved geometry).
+        let p = params();
+        let home = sinr_geom::deploy::uniform(24, 32.0, 6).unwrap();
+        let table = Arc::new(GainTable::build(&p, &home, 1));
+        let mut mover = CachedBackend::with_shared_table(Arc::clone(&table), 1);
+        let mut bystander = CachedBackend::with_shared_table(Arc::clone(&table), 1);
+        mover.prepare(&p, &home);
+        bystander.prepare(&p, &home);
+        let senders: Vec<usize> = (0..24).step_by(2).collect();
+        assert_cached_matches_exact(&p, &mut mover, &home, &senders, "mover before");
+        assert_cached_matches_exact(&p, &mut bystander, &home, &senders, "bystander before");
+
+        let mut moved_pos = home.clone();
+        moved_pos[5] = Point::new(80.0, 80.0);
+        mover.update_positions(&p, &moved_pos, &[(5, moved_pos[5])]);
+        assert!(
+            !Arc::ptr_eq(&mover.shared_table().unwrap(), &table),
+            "repair on a shared table must fork"
+        );
+        assert!(
+            Arc::ptr_eq(&bystander.shared_table().unwrap(), &table),
+            "the bystander's table must be untouched"
+        );
+        assert_cached_matches_exact(&p, &mut mover, &moved_pos, &senders, "mover after");
+        assert_cached_matches_exact(&p, &mut bystander, &home, &senders, "bystander after");
+        // And the original table still holds the unmoved geometry.
+        assert!(table.matches(&p, &home));
+    }
+
+    #[test]
+    fn build_with_table_routes_only_the_cached_model() {
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(10, 16.0, 4).unwrap();
+        let table = Arc::new(GainTable::build(&p, &pos, 1));
+        assert_eq!(
+            BackendSpec::cached().build_with_table(Some(&table)).name(),
+            "cached"
+        );
+        assert_eq!(
+            BackendSpec::exact().build_with_table(Some(&table)).name(),
+            "exact"
+        );
+        assert_eq!(
+            BackendSpec::cached().build_with_table(None).name(),
+            "cached"
+        );
+        // The adopted table really is shared, not copied.
+        let mut backend = BackendSpec::cached()
+            .with_threads(2)
+            .build_with_table(Some(&table));
+        backend.prepare(&p, &pos);
+        let senders: Vec<usize> = (0..10).step_by(2).collect();
+        let mut got = vec![None; pos.len()];
+        backend.decide_slot(&p, &pos, &senders, &mut got);
+        let want = decide_receptions(&p, &pos, &senders, InterferenceModel::Exact);
+        assert_eq!(got, want);
     }
 
     #[test]

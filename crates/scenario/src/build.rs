@@ -10,6 +10,8 @@
 //! applying the dynamics schedule, and yields a [`ScenarioRun`] holding
 //! the build context and the measured [`ScenarioOutcome`].
 
+use std::sync::Arc;
+
 use absmac::{IdealMac, MacClient, MacEvent, MacLayer, Runner};
 use rand::{Rng, SeedableRng};
 use sinr_baselines::{
@@ -18,13 +20,13 @@ use sinr_baselines::{
 use sinr_geom::{geometry_digest, DeploySpec, MobilityModel, MobilitySpec, Point};
 use sinr_graphs::SinrGraphs;
 use sinr_mac::{DecayMac, DecayParams, MacParams, SinrAbsMac};
-use sinr_phys::{BackendSpec, SinrParams};
+use sinr_phys::{BackendSpec, GainTable, InterferenceModel, SinrParams};
 use sinr_protocols::{Bmmb, Bsmb, FloodMaxConsensus, Proposal};
 
 use crate::clients::{Gated, OneShot, Repeater};
 use crate::spec::{
-    DeploymentSpec, DynEvent, DynKind, IdealPolicy, MacSpec, ScenarioSpec, SeedSpec, SourceSet,
-    StopSpec, WorkloadSpec,
+    DeploymentSpec, DynEvent, DynKind, IdealPolicy, MacSpec, ScenarioSpec, SeedSpec, SinrSpec,
+    SourceSet, StopSpec, WorkloadSpec,
 };
 use crate::ScenarioError;
 
@@ -268,6 +270,100 @@ impl MacClient<u64> for WorkClient {
     }
 }
 
+/// The shareable, immutable outcome of deployment preparation: realized
+/// positions, induced graphs, the realized deployment seed and — when
+/// the cached reception kernel is in play — one `Arc`'d [`GainTable`].
+///
+/// Preparing a deployment is the O(n²) half of building a scenario
+/// (graph induction plus, for `backend=cached`, the gain-matrix build);
+/// everything else in [`ScenarioSpec::build`] is O(n) or cheaper. A
+/// sweep over a fixed deployment therefore prepares **once** and hands
+/// every cell this value via
+/// [`ScenarioSpec::build_with_prepared`] — each cell clones the
+/// positions/graphs (cheap relative to recomputing them) and shares the
+/// gain table by `Arc`. Cells built this way are byte-identical to
+/// cold-built ones (differentially property-tested in
+/// `tests/sweep_equivalence.rs`): the generators are deterministic, the
+/// table entries equal what the cell would have computed itself, and a
+/// moving cell copy-on-writes its table fork instead of disturbing
+/// sharers.
+#[derive(Debug, Clone)]
+pub struct PreparedDeployment {
+    /// The spec keys this preparation is valid for.
+    sinr_spec: SinrSpec,
+    deploy: DeploymentSpec,
+    positions: Vec<Point>,
+    graphs: SinrGraphs,
+    deploy_seed: Option<u64>,
+    /// Built only when a consumer runs the cached kernel.
+    table: Option<Arc<GainTable>>,
+}
+
+impl PreparedDeployment {
+    /// Realizes `spec`'s deployment once, building the shared gain
+    /// table when `spec`'s effective backend runs the cached kernel.
+    ///
+    /// # Errors
+    ///
+    /// The same errors [`ScenarioSpec::build`] would produce for the
+    /// deployment half: invalid physics, infeasible geometry, a failed
+    /// connectivity search.
+    pub fn prepare(spec: &ScenarioSpec) -> Result<Self, ScenarioError> {
+        let backend = crate::env_backend_override(spec.backend);
+        Self::prepare_inner(spec, backend.model == InterferenceModel::Cached)
+    }
+
+    /// Like [`PreparedDeployment::prepare`] with the gain-table decision
+    /// made by the caller — the sweep planner passes `true` when *any*
+    /// cell of a group wants the cached kernel, even if the
+    /// representative cell does not.
+    pub(crate) fn prepare_inner(
+        spec: &ScenarioSpec,
+        want_table: bool,
+    ) -> Result<Self, ScenarioError> {
+        let sinr = spec.sinr.to_params()?;
+        let (positions, graphs, deploy_seed) = spec.deploy.realize(&sinr)?;
+        let table = want_table.then(|| {
+            let threads = crate::env_backend_override(spec.backend)
+                .tuned(positions.len())
+                .threads;
+            // Thread count never changes the entries (each pair is
+            // computed independently), so the shared table equals any
+            // cell's private build bit for bit.
+            Arc::new(GainTable::build(&sinr, &positions, threads))
+        });
+        Ok(PreparedDeployment {
+            sinr_spec: spec.sinr,
+            deploy: spec.deploy,
+            positions,
+            graphs,
+            deploy_seed,
+            table,
+        })
+    }
+
+    /// Whether this preparation is valid for `spec`: same deployment
+    /// spec (geometry, seed, connectivity search) and same SINR
+    /// parameters — the two keys the realized positions, graphs and
+    /// gains are functions of. Mobility deliberately does **not**
+    /// invalidate a match: movement happens after slot 0, the prepared
+    /// state describes slot 0, and the cached kernel forks its table
+    /// copy-on-write on the first repair.
+    pub fn matches(&self, spec: &ScenarioSpec) -> bool {
+        self.deploy == spec.deploy && self.sinr_spec == spec.sinr
+    }
+
+    /// The realized node positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The shared gain table, when one was built.
+    pub fn gain_table(&self) -> Option<&Arc<GainTable>> {
+        self.table.as_ref()
+    }
+}
+
 /// Everything resolved while building a scenario: the realized
 /// deployment, induced graphs, parameters and effective backend. Kept
 /// alongside the execution so measurement post-processing (latency
@@ -379,11 +475,51 @@ impl ScenarioSpec {
     /// failed connectivity search, or an unsupported combination (e.g.
     /// `stop=epochs` on a MAC without an epoch structure).
     pub fn build(&self) -> Result<RunnableScenario, ScenarioError> {
+        self.build_inner(None)
+    }
+
+    /// Like [`ScenarioSpec::build`] against an already-prepared
+    /// deployment: the O(n²) preparation (geometry realization, graph
+    /// induction and — for the cached kernel — the gain-matrix build)
+    /// is taken from `prepared` instead of recomputed, which is what
+    /// lets a sweep executor amortize one preparation across every cell
+    /// of a group. The built scenario is byte-identical to a cold
+    /// [`ScenarioSpec::build`] (property-tested).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Unsupported`] if `prepared` was made for a
+    /// different deployment or SINR spec
+    /// ([`PreparedDeployment::matches`]), plus everything
+    /// [`ScenarioSpec::build`] can produce.
+    pub fn build_with_prepared(
+        &self,
+        prepared: &PreparedDeployment,
+    ) -> Result<RunnableScenario, ScenarioError> {
+        if !prepared.matches(self) {
+            return Err(unsupported(format!(
+                "prepared deployment (deploy={}, sinr={}) does not match spec {} \
+                 (deploy={}, sinr={})",
+                prepared.deploy, prepared.sinr_spec, self.name, self.deploy, self.sinr
+            )));
+        }
+        self.build_inner(Some(prepared))
+    }
+
+    fn build_inner(
+        &self,
+        prepared: Option<&PreparedDeployment>,
+    ) -> Result<RunnableScenario, ScenarioError> {
         let sinr = self.sinr.to_params()?;
         let backend = crate::env_backend_override(self.backend);
 
-        // Deployment (+ optional connectivity search).
-        let (positions, graphs, deploy_seed) = self.deploy.realize(&sinr)?;
+        // Deployment (+ optional connectivity search) — or the shared,
+        // already-realized copy. The generators are deterministic, so
+        // both paths yield bit-identical positions and graphs.
+        let (positions, graphs, deploy_seed) = match prepared {
+            Some(p) => (p.positions.clone(), p.graphs.clone(), p.deploy_seed),
+            None => self.deploy.realize(&sinr)?,
+        };
         let n = positions.len();
         // Serial/parallel crossover: now that the deployment size is
         // known, resolve the requested thread count against it so small
@@ -579,6 +715,7 @@ impl ScenarioSpec {
             mac_params.as_ref(),
             seed,
             backend,
+            prepared.and_then(|p| p.table.as_ref()),
         )?;
 
         // Geometry digests are only worth recording when something can
@@ -616,6 +753,7 @@ impl ScenarioSpec {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build_exec(
         &self,
         sinr: &SinrParams,
@@ -624,6 +762,7 @@ impl ScenarioSpec {
         mac_params: Option<&MacParams>,
         seed: u64,
         backend: BackendSpec,
+        table: Option<&Arc<GainTable>>,
     ) -> Result<Exec, ScenarioError> {
         let n = positions.len();
         let source_set = |w: &WorkloadSpec| match w {
@@ -643,13 +782,14 @@ impl ScenarioSpec {
                 if broadcasters.is_empty() {
                     return Err(unsupported("mac=tdma needs at least one broadcaster"));
                 }
-                let tdma = RoundRobinSmb::with_backend(
+                let tdma = RoundRobinSmb::with_prepared(
                     *sinr,
                     positions,
                     &RoundRobinConfig { broadcasters },
                     |i| i as u64,
                     seed,
                     backend,
+                    table,
                 )?;
                 Ok(Exec::Tdma(tdma))
             }
@@ -660,7 +800,7 @@ impl ScenarioSpec {
                         self.workload
                     )));
                 };
-                let dgkn = DgknSmb::with_backend(
+                let dgkn = DgknSmb::with_prepared(
                     *sinr,
                     positions,
                     &DgknSmbConfig::default(),
@@ -668,6 +808,7 @@ impl ScenarioSpec {
                     7u64,
                     seed,
                     backend,
+                    table,
                 )?;
                 Ok(Exec::Dgkn(dgkn))
             }
@@ -678,7 +819,7 @@ impl ScenarioSpec {
                         self.workload
                     )));
                 };
-                let decay = DecaySmb::with_backend(
+                let decay = DecaySmb::with_prepared(
                     *sinr,
                     positions,
                     DecaySmbConfig::for_network_size(n),
@@ -686,13 +827,15 @@ impl ScenarioSpec {
                     7u64,
                     seed,
                     backend,
+                    table,
                 )?;
                 Ok(Exec::DecaySmb(decay))
             }
             mac @ (MacSpec::Sinr { .. } | MacSpec::Ideal(_) | MacSpec::Decay { .. }) => {
                 if let WorkloadSpec::Consensus { deadline } = self.workload {
-                    let mut mac: Box<dyn ScenarioMac<Payload = Proposal>> =
-                        build_layer(mac, sinr, positions, graphs, mac_params, seed, backend)?;
+                    let mut mac: Box<dyn ScenarioMac<Payload = Proposal>> = build_layer(
+                        mac, sinr, positions, graphs, mac_params, seed, backend, table,
+                    )?;
                     if let Some(m) = &self.mobility {
                         mac.set_mobility(m)?;
                     }
@@ -705,8 +848,9 @@ impl ScenarioSpec {
                         values,
                     ))
                 } else {
-                    let mut mac: Box<dyn ScenarioMac<Payload = u64>> =
-                        build_layer(mac, sinr, positions, graphs, mac_params, seed, backend)?;
+                    let mut mac: Box<dyn ScenarioMac<Payload = u64>> = build_layer(
+                        mac, sinr, positions, graphs, mac_params, seed, backend, table,
+                    )?;
                     if let Some(m) = &self.mobility {
                         mac.set_mobility(m)?;
                     }
@@ -784,7 +928,10 @@ impl ScenarioSpec {
 }
 
 /// Constructs one of the plug-and-play MAC layers behind the erased
-/// [`ScenarioMac`] interface, for any payload type.
+/// [`ScenarioMac`] interface, for any payload type. `table` is the
+/// sweep planner's shared gain table (consumed only by the cached
+/// reception kernel of the physical-engine MACs).
+#[allow(clippy::too_many_arguments)]
 fn build_layer<P: Clone + 'static>(
     mac: &MacSpec,
     sinr: &SinrParams,
@@ -793,12 +940,13 @@ fn build_layer<P: Clone + 'static>(
     mac_params: Option<&MacParams>,
     seed: u64,
     backend: BackendSpec,
+    table: Option<&Arc<GainTable>>,
 ) -> Result<Box<dyn ScenarioMac<Payload = P>>, ScenarioError> {
     match mac {
         MacSpec::Sinr { .. } => {
             let params = mac_params.expect("mac=sinr resolves params").clone();
-            Ok(Box::new(SinrAbsMac::with_backend(
-                *sinr, positions, params, seed, backend,
+            Ok(Box::new(SinrAbsMac::with_prepared(
+                *sinr, positions, params, seed, backend, table,
             )?))
         }
         MacSpec::Ideal(policy) => {
@@ -828,8 +976,8 @@ fn build_layer<P: Clone + 'static>(
                 return Err(unsupported("decay budget_mult must be positive"));
             }
             let params = DecayParams::from_contention(*n_tilde, *eps, *budget_mult);
-            Ok(Box::new(DecayMac::with_backend(
-                *sinr, positions, params, seed, backend,
+            Ok(Box::new(DecayMac::with_prepared(
+                *sinr, positions, params, seed, backend, table,
             )?))
         }
         _ => Err(unsupported(format!("{mac} is not a steppable MAC layer"))),
@@ -1542,6 +1690,67 @@ mod tests {
         // n never changed, so the slot-0 resolution stayed valid.
         assert_eq!(run.ctx.positions.len(), 16);
         assert!(run.outcome.geometry_digests.is_some());
+    }
+
+    #[test]
+    fn build_with_prepared_reproduces_cold_builds() {
+        // One prepared deployment drives two cells (different MAC
+        // knobs); each must match its cold-built twin byte for byte at
+        // the report level, and the cached kernel must actually share
+        // the prepared table.
+        let mut spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::Stride(2)),
+            StopSpec::Slots(300),
+        )
+        .with_backend(BackendSpec::cached());
+        let prepared = PreparedDeployment::prepare(&spec).unwrap();
+        assert!(
+            prepared.gain_table().is_some(),
+            "cached spec builds a table"
+        );
+        for t_mult in ["1", "2"] {
+            spec.set("mac.t_mult", t_mult).unwrap();
+            let warm = spec.build_with_prepared(&prepared).unwrap().run().unwrap();
+            let cold = spec.run().unwrap();
+            assert_eq!(
+                crate::report_for(&warm).to_json(),
+                crate::report_for(&cold).to_json(),
+                "t_mult={t_mult}"
+            );
+        }
+        // An exact-backend spec prepares without a gain table.
+        let exact = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Slots(50),
+        );
+        assert!(PreparedDeployment::prepare(&exact)
+            .unwrap()
+            .gain_table()
+            .is_none());
+    }
+
+    #[test]
+    fn build_with_prepared_rejects_mismatched_deployments() {
+        let spec = base(
+            MacSpec::sinr(),
+            WorkloadSpec::Repeat(SourceSet::All),
+            StopSpec::Slots(50),
+        );
+        let prepared = PreparedDeployment::prepare(&spec).unwrap();
+        let mut other = spec.clone();
+        other.set("deploy", "lattice:5:5:2").unwrap();
+        assert!(matches!(
+            other.build_with_prepared(&prepared),
+            Err(ScenarioError::Unsupported(_))
+        ));
+        let mut other_sinr = spec.clone();
+        other_sinr.set("sinr.range", "9").unwrap();
+        assert!(matches!(
+            other_sinr.build_with_prepared(&prepared),
+            Err(ScenarioError::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -57,8 +57,8 @@ mod sweep;
 pub mod clients;
 
 pub use build::{
-    connected_uniform, RunnableScenario, ScenarioCtx, ScenarioMac, ScenarioOutcome, ScenarioRun,
-    WorkClient, CONNECTED_SEED_BUDGET,
+    connected_uniform, PreparedDeployment, RunnableScenario, ScenarioCtx, ScenarioMac,
+    ScenarioOutcome, ScenarioRun, WorkClient, CONNECTED_SEED_BUDGET,
 };
 pub use error::ScenarioError;
 pub use report::{report_for, Json, Report};
@@ -66,7 +66,7 @@ pub use spec::{
     DeploymentSpec, DynEvent, DynKind, IdealPolicy, MacKnob, MacSpec, MeasureSpec, ScenarioSpec,
     SeedSpec, SinrSpec, SourceSet, StopSpec, WorkloadSpec,
 };
-pub use sweep::{splitmix64, Axis, ScenarioSet};
+pub use sweep::{splitmix64, Axis, ScenarioSet, SweepPlan};
 
 /// The items most scenario programs need, in one import.
 pub mod prelude {

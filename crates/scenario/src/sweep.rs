@@ -9,12 +9,34 @@
 //! [`ScenarioSet::reseed`] enabled, cell `i` runs with seed
 //! `splitmix64(base_seed ⊕ (i+1))`, so a sweep is reproducible without
 //! every cell sharing one RNG stream.
+//!
+//! # Shared preparation
+//!
+//! Most sweeps vary MAC knobs, workloads or seeds over one *fixed*
+//! deployment, yet deployment preparation (geometry realization, graph
+//! induction and — for `backend=cached` — the O(n²) gain-matrix build)
+//! is the dominant per-cell cost at large n. The executor therefore
+//! *plans* before it runs ([`ScenarioSet::plan`]): cells are grouped by
+//! their **deployment key** — deployment spec (geometry + seed +
+//! connectivity search) × SINR parameters — while cells that move nodes
+//! (`mobility=`, `dyn=teleport:…`) and cells that are their
+//! deployment's sole consumer are left ungrouped. The first worker
+//! to claim a cell of a group prepares it once
+//! ([`crate::PreparedDeployment`]); every other cell of the group gets
+//! `Arc` clones of the shared state through
+//! [`ScenarioSpec::build_with_prepared`], and the group's last cell to
+//! finish releases the shared state, so a many-group sweep never holds
+//! every gain table alive at once. Results are **byte-identical**
+//! to per-cell preparation ([`ScenarioSet::without_shared_prepare`];
+//! differentially property-tested in `tests/sweep_equivalence.rs`):
+//! the shared values equal what each cell would have computed, and a
+//! cell that moves nodes anyway forks its gain table copy-on-write.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use crate::build::ScenarioRun;
-use crate::spec::{ScenarioSpec, SeedSpec};
+use crate::build::{PreparedDeployment, ScenarioRun};
+use crate::spec::{DynKind, ScenarioSpec, SeedSpec};
 use crate::ScenarioError;
 
 /// SplitMix64 — the standard 64-bit seed scrambler, used to derive
@@ -25,6 +47,26 @@ pub fn splitmix64(mut x: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Percent-escapes the characters that would make a rendered sweep cell
+/// name (`base/key=value/key=value…`) ambiguous: `/` (the segment
+/// separator), `=` (the key/value separator) and `%` (the escape
+/// itself). Axis keys and values pass through otherwise unchanged, so
+/// the common cells (`mac.t_mult=2`, `seed=7`) render exactly as
+/// before; an axis value like `a/b=c` renders as `a%2Fb%3Dc` instead of
+/// silently forging extra segments.
+fn escape_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '/' => out.push_str("%2F"),
+            '=' => out.push_str("%3D"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// One sweep axis: a spec key and the values it takes.
@@ -54,6 +96,12 @@ pub struct ScenarioSet {
     /// exactly the unbounded growth a sweep must avoid. Enable only for
     /// small sweeps whose post-processing needs the traces.
     pub keep_traces: bool,
+    /// Prepare each deployment group once and share it across the
+    /// group's cells (on by default; see the module docs). Turning it
+    /// off forces the legacy per-cell preparation — the reference the
+    /// differential tests and the `bench_scenario` prepare-heavy rows
+    /// compare against. Results are byte-identical either way.
+    pub shared_prepare: bool,
 }
 
 impl ScenarioSet {
@@ -64,6 +112,7 @@ impl ScenarioSet {
             axes: Vec::new(),
             reseed: false,
             keep_traces: false,
+            shared_prepare: true,
         }
     }
 
@@ -85,6 +134,14 @@ impl ScenarioSet {
     /// Keeps trace recording on in every cell.
     pub fn with_traces(mut self) -> Self {
         self.keep_traces = true;
+        self
+    }
+
+    /// Disables shared preparation: every cell realizes its deployment,
+    /// induces its graphs and builds its gain cache from scratch, as the
+    /// executor did before the sweep planner existed.
+    pub fn without_shared_prepare(mut self) -> Self {
+        self.shared_prepare = false;
         self
     }
 
@@ -110,7 +167,12 @@ impl ScenarioSet {
                 for value in &axis.values {
                     let mut c = cell.clone();
                     c.set(&axis.key, value)?;
-                    c.name = format!("{}/{}={}", c.name, axis.key, value);
+                    c.name = format!(
+                        "{}/{}={}",
+                        c.name,
+                        escape_component(&axis.key),
+                        escape_component(value)
+                    );
                     next.push(c);
                 }
             }
@@ -132,20 +194,119 @@ impl ScenarioSet {
         Ok(cells)
     }
 
+    /// Expands the grid and groups cells for shared preparation (see
+    /// the module docs for the grouping rules). Groups with a single
+    /// member are dissolved back to per-cell preparation: preparing
+    /// once for one consumer is the same work plus a positions/graphs
+    /// clone, so a deployment-swept sweep (every cell its own
+    /// deployment) plans exactly like the legacy executor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScenarioSet::cells`].
+    pub fn plan(&self) -> Result<SweepPlan, ScenarioError> {
+        let cells = self.cells()?;
+        let mut key_index: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        let mut groups: Vec<Option<usize>> = Vec::with_capacity(cells.len());
+        let mut wants_table: Vec<bool> = Vec::new();
+        let mut members: Vec<usize> = Vec::new();
+        for cell in &cells {
+            let Some(key) = deployment_key(cell) else {
+                groups.push(None);
+                continue;
+            };
+            let next = key_index.len();
+            let g = *key_index.entry(key).or_insert(next);
+            if g == wants_table.len() {
+                wants_table.push(false);
+                members.push(0);
+            }
+            wants_table[g] |= crate::env_backend_override(cell.backend).model
+                == sinr_phys::InterferenceModel::Cached;
+            members[g] += 1;
+            groups.push(Some(g));
+        }
+        // Dissolve singleton groups and renumber the survivors densely.
+        let mut renumber: Vec<Option<usize>> = Vec::with_capacity(members.len());
+        let mut surviving_tables: Vec<bool> = Vec::new();
+        for (g, &count) in members.iter().enumerate() {
+            if count > 1 {
+                renumber.push(Some(surviving_tables.len()));
+                surviving_tables.push(wants_table[g]);
+            } else {
+                renumber.push(None);
+            }
+        }
+        for slot in &mut groups {
+            *slot = slot.and_then(|g| renumber[g]);
+        }
+        Ok(SweepPlan {
+            cells,
+            groups,
+            wants_table: surviving_tables,
+        })
+    }
+
     /// Builds and runs every cell across `threads` OS threads
     /// (`std::thread::scope`; a shared atomic work queue keeps the
     /// threads busy regardless of per-cell cost). Results come back in
     /// cell order. The first cell error stops workers from claiming
     /// further cells (already-running cells finish) and is returned.
     ///
+    /// With [`shared_prepare`](ScenarioSet::shared_prepare) on (the
+    /// default), the first worker to claim a cell of a deployment group
+    /// prepares the group once and later cells reuse the shared state —
+    /// see the module docs; reports are byte-identical to per-cell
+    /// preparation.
+    ///
     /// # Errors
     ///
     /// The first (in cell order) [`ScenarioError`] any cell produced.
     pub fn run(&self, threads: usize) -> Result<Vec<ScenarioRun>, ScenarioError> {
-        let cells = self.cells()?;
+        // With sharing disabled there is nothing to group — skip the
+        // planning pass entirely (the reference leg of the equivalence
+        // tests and benches must not pay for a plan it ignores).
+        let plan = if self.shared_prepare {
+            self.plan()?
+        } else {
+            let cells = self.cells()?;
+            let groups = vec![None; cells.len()];
+            SweepPlan {
+                cells,
+                groups,
+                wants_table: Vec::new(),
+            }
+        };
+        let cells = &plan.cells;
         let threads = threads.max(1).min(cells.len().max(1));
         let next = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
+        // One lazily-prepared slot per deployment group. The first
+        // claimant prepares while holding the lock (later claimants of
+        // the same group block on it), so each group pays its O(n²)
+        // exactly once. A failed preparation is recorded as `Released`
+        // and the affected cells fall back to cold builds, which
+        // reproduce the error per cell — the exact behavior (and error)
+        // per-cell preparation would yield. `remaining` counts the
+        // group's unfinished members; the last one to finish releases
+        // the shared state, so a many-group sweep never holds every
+        // group's O(n²) tables alive simultaneously.
+        struct Group {
+            state: Mutex<GroupState>,
+            remaining: AtomicUsize,
+        }
+        enum GroupState {
+            Pending,
+            Ready(Arc<PreparedDeployment>),
+            Released,
+        }
+        let prepared: Vec<Group> = (0..plan.wants_table.len())
+            .map(|g| Group {
+                state: Mutex::new(GroupState::Pending),
+                remaining: AtomicUsize::new(plan.groups.iter().filter(|x| **x == Some(g)).count()),
+            })
+            .collect();
         let results: Vec<Mutex<Option<Result<ScenarioRun, ScenarioError>>>> =
             cells.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
@@ -158,7 +319,46 @@ impl ScenarioSet {
                     if i >= cells.len() {
                         break;
                     }
-                    let outcome = cells[i].run();
+                    let outcome = match plan.groups[i] {
+                        Some(g) => {
+                            let prep = {
+                                let mut state =
+                                    prepared[g].state.lock().expect("no panics under lock");
+                                match &*state {
+                                    GroupState::Pending => {
+                                        match PreparedDeployment::prepare_inner(
+                                            &cells[i],
+                                            plan.wants_table[g],
+                                        ) {
+                                            Ok(p) => {
+                                                let p = Arc::new(p);
+                                                *state = GroupState::Ready(Arc::clone(&p));
+                                                Some(p)
+                                            }
+                                            Err(_) => {
+                                                *state = GroupState::Released;
+                                                None
+                                            }
+                                        }
+                                    }
+                                    GroupState::Ready(p) => Some(Arc::clone(p)),
+                                    GroupState::Released => None,
+                                }
+                            };
+                            let outcome = match prep {
+                                Some(p) => cells[i]
+                                    .build_with_prepared(&p)
+                                    .and_then(crate::RunnableScenario::run),
+                                None => cells[i].run(),
+                            };
+                            if prepared[g].remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                *prepared[g].state.lock().expect("no panics under lock") =
+                                    GroupState::Released;
+                            }
+                            outcome
+                        }
+                        None => cells[i].run(),
+                    };
                     if outcome.is_err() {
                         abort.store(true, Ordering::Relaxed);
                     }
@@ -178,6 +378,58 @@ impl ScenarioSet {
             }
         }
         Ok(runs)
+    }
+}
+
+/// The shared-preparation grouping key of one cell, or `None` when the
+/// cell must prepare privately. Cells share exactly when their realized
+/// deployment and derived gains are guaranteed identical: same
+/// deployment spec (geometry, generator seed, connectivity search) and
+/// same SINR parameters (gains are `P/d^α` with `P` derived from the
+/// SINR spec). Cells that move nodes — continuous `mobility=` or a
+/// scripted `dyn=teleport:…` — are left ungrouped: their gain tables
+/// diverge from slot 0's, so sharing would only buy a copy-on-write
+/// fork. (Sharing would still be *correct* — the fork protects
+/// sharers — just not profitable.)
+fn deployment_key(cell: &ScenarioSpec) -> Option<String> {
+    let moves_nodes = cell.mobility.is_some()
+        || cell
+            .dynamics
+            .iter()
+            .any(|ev| matches!(ev.kind, DynKind::Teleport { .. }));
+    if moves_nodes {
+        return None;
+    }
+    // '\u{1}' cannot appear in either Display form, so the key is
+    // unambiguous.
+    Some(format!("{}\u{1}{}", cell.deploy, cell.sinr))
+}
+
+/// The output of [`ScenarioSet::plan`]: expanded cells plus their
+/// shared-preparation grouping.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Expanded cells, in sweep (row-major) order.
+    pub cells: Vec<ScenarioSpec>,
+    /// For each cell, its deployment group (`None` = prepared per
+    /// cell: the cell moves nodes, or it is the sole consumer of its
+    /// deployment and sharing would buy nothing).
+    pub groups: Vec<Option<usize>>,
+    /// Per group: whether any member's effective backend runs the
+    /// cached kernel, i.e. whether preparation must include the shared
+    /// gain table.
+    wants_table: Vec<bool>,
+}
+
+impl SweepPlan {
+    /// Number of shared-preparation groups.
+    pub fn group_count(&self) -> usize {
+        self.wants_table.len()
+    }
+
+    /// Number of cells that participate in shared preparation.
+    pub fn shared_cell_count(&self) -> usize {
+        self.groups.iter().flatten().count()
     }
 }
 
@@ -264,5 +516,107 @@ mod tests {
     fn splitmix_scrambles() {
         assert_ne!(splitmix64(1), splitmix64(2));
         assert_eq!(splitmix64(7), splitmix64(7));
+    }
+
+    #[test]
+    fn cell_names_escape_separator_characters() {
+        // The `name` key accepts arbitrary values, so an axis value can
+        // contain the separators the rendered cell name is built from;
+        // escaping keeps the name unambiguous. Pin the exact rendering.
+        // (`set("name", …)` first replaces the base name with the raw
+        // value; the appended `key=value` segment is what's escaped.)
+        let set = ScenarioSet::new(base()).axis("name", vec!["a/b=c%d".into()]);
+        let cells = set.cells().unwrap();
+        assert_eq!(cells[0].name, "a/b=c%d/name=a%2Fb%3Dc%25d");
+        // The common case renders exactly as before the escaping.
+        let set = ScenarioSet::new(base()).axis("mac.t_mult", vec!["2".into()]);
+        assert_eq!(set.cells().unwrap()[0].name, "sweep-base/mac.t_mult=2");
+    }
+
+    #[test]
+    fn plan_groups_fixed_deployment_cells_together() {
+        // Four mac.t_mult cells over one deployment: one shared group.
+        let set = ScenarioSet::new(base()).axis(
+            "mac.t_mult",
+            vec!["1".into(), "2".into(), "3".into(), "4".into()],
+        );
+        let plan = set.plan().unwrap();
+        assert_eq!(plan.cells.len(), 4);
+        assert_eq!(plan.group_count(), 1);
+        assert_eq!(plan.shared_cell_count(), 4);
+        assert!(plan.groups.iter().all(|g| *g == Some(0)));
+    }
+
+    #[test]
+    fn plan_separates_distinct_deployments_and_sinr_params() {
+        let set = ScenarioSet::new(base())
+            .axis("sinr.range", vec!["8".into(), "12".into()])
+            .axis("seed", vec!["1".into(), "2".into()]);
+        let plan = set.plan().unwrap();
+        // The seed axis changes only the run seed (lattice geometry has
+        // no generator seed), so cells group by sinr.range: 2 groups of
+        // 2 cells.
+        assert_eq!(plan.group_count(), 2);
+        assert_eq!(plan.shared_cell_count(), 4);
+        assert_eq!(plan.groups, vec![Some(0), Some(0), Some(1), Some(1)]);
+
+        // A swept deployment makes every cell the sole consumer of its
+        // deployment: the singleton groups are dissolved and the cells
+        // prepare per cell, exactly like the legacy executor.
+        let set = ScenarioSet::new(base()).axis(
+            "deploy",
+            vec!["lattice:3:3:2".into(), "lattice:4:4:2".into()],
+        );
+        let plan = set.plan().unwrap();
+        assert_eq!(plan.group_count(), 0);
+        assert_eq!(plan.groups, vec![None, None]);
+    }
+
+    #[test]
+    fn plan_leaves_moving_cells_ungrouped() {
+        let set = ScenarioSet::new(base())
+            .axis("mobility", vec!["none".into(), "drift:0.2:5".into()])
+            .axis("mac.t_mult", vec!["1".into(), "2".into()]);
+        let plan = set.plan().unwrap();
+        // mobility=none cells share one group; drift cells are private.
+        assert_eq!(plan.groups[0], Some(0));
+        assert_eq!(plan.groups[1], Some(0));
+        assert_eq!(plan.groups[2], None);
+        assert_eq!(plan.groups[3], None);
+        assert_eq!(plan.shared_cell_count(), 2);
+
+        // A teleport event also forces private preparation.
+        let mut spec = base();
+        spec.set("dyn", "teleport:1:40:40@50").unwrap();
+        let plan = ScenarioSet::new(spec)
+            .axis("mac.t_mult", vec!["1".into()])
+            .plan()
+            .unwrap();
+        assert_eq!(plan.groups, vec![None]);
+    }
+
+    #[test]
+    fn shared_prepare_matches_per_cell_prepare_byte_for_byte() {
+        // The executor-level pin of the equivalence contract (the
+        // differential proptest in tests/sweep_equivalence.rs covers the
+        // randomized space): one cached-backend sweep, run both ways,
+        // identical JSON reports including the uniform + connected
+        // deployment search.
+        let mut spec = base();
+        spec.set("deploy", "connected:uniform:24:28:3").unwrap();
+        spec.set("backend", "cached").unwrap();
+        spec.set("seed", "deploy").unwrap();
+        let set = ScenarioSet::new(spec).axis("mac.t_mult", vec!["1".into(), "2".into()]);
+        let shared = set.run(2).unwrap();
+        let percell = set.clone().without_shared_prepare().run(2).unwrap();
+        assert_eq!(shared.len(), percell.len());
+        for (s, p) in shared.iter().zip(&percell) {
+            assert_eq!(
+                crate::report_for(s).to_json(),
+                crate::report_for(p).to_json(),
+                "cell {}",
+                s.ctx.spec.name
+            );
+        }
     }
 }

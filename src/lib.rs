@@ -58,7 +58,7 @@ pub mod prelude {
     pub use sinr_graphs::{induce_graph, Graph, SinrGraphs};
     pub use sinr_mac::{DecayMac, DecayParams, MacParams, SinrAbsMac};
     pub use sinr_phys::{
-        BackendSpec, CachedBackend, GainCache, InterferenceBackend, InterferenceModel, SinrParams,
+        BackendSpec, CachedBackend, GainTable, InterferenceBackend, InterferenceModel, SinrParams,
     };
     pub use sinr_protocols::{Bmmb, Bsmb, FloodMaxConsensus, Proposal};
     pub use sinr_scenario::{
