@@ -145,7 +145,7 @@ impl<P: Clone> DecaySmb<P> {
     }
 
     /// Like [`DecaySmb::with_backend`] with an optional pre-built shared
-    /// gain table for the cached kernel (see `Engine::with_prepared`): a
+    /// preparation artifacts (dense or hybrid table) (see `Engine::with_prepared`): a
     /// matching table skips the O(n²) preparation. Executions are
     /// bit-identical either way.
     ///
@@ -161,7 +161,7 @@ impl<P: Clone> DecaySmb<P> {
         payload: P,
         seed: u64,
         spec: BackendSpec,
-        table: Option<&std::sync::Arc<sinr_phys::GainTable>>,
+        tables: Option<&sinr_phys::SharedTables>,
     ) -> Result<Self, PhysError> {
         let nodes = (0..positions.len())
             .map(|i| DecaySmbNode {
@@ -178,7 +178,7 @@ impl<P: Clone> DecaySmb<P> {
                 cycle_len: config.cycle_len,
             })
             .collect();
-        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, table)?;
+        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, tables)?;
         Ok(DecaySmb { engine })
     }
 

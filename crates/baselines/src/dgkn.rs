@@ -149,7 +149,7 @@ impl<P: Clone> DgknSmb<P> {
     }
 
     /// Like [`DgknSmb::with_backend`] with an optional pre-built shared
-    /// gain table for the cached kernel (see `Engine::with_prepared`): a
+    /// preparation artifacts (dense or hybrid table) (see `Engine::with_prepared`): a
     /// matching table skips the O(n²) preparation. Executions are
     /// bit-identical either way.
     ///
@@ -165,7 +165,7 @@ impl<P: Clone> DgknSmb<P> {
         payload: P,
         seed: u64,
         spec: BackendSpec,
-        table: Option<&std::sync::Arc<sinr_phys::GainTable>>,
+        tables: Option<&sinr_phys::SharedTables>,
     ) -> Result<Self, PhysError> {
         let n = positions.len().max(2) as f64;
         // The defining parameter choice of [14]: w.h.p. everywhere.
@@ -190,7 +190,7 @@ impl<P: Clone> DgknSmb<P> {
                 node
             })
             .collect();
-        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, table)?;
+        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, tables)?;
         Ok(DgknSmb { engine })
     }
 

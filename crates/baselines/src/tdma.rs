@@ -124,9 +124,9 @@ impl<P: Clone> RoundRobinSmb<P> {
         Self::with_prepared(sinr, positions, config, payload_of, seed, spec, None)
     }
 
-    /// Like [`RoundRobinSmb::with_backend`] with an optional pre-built
-    /// shared gain table for the cached kernel (see
-    /// `Engine::with_prepared`): a matching table skips the O(n²)
+    /// Like [`RoundRobinSmb::with_backend`] with optional pre-built
+    /// shared preparation artifacts (see `Engine::with_prepared`): a
+    /// matching dense or hybrid table skips the per-deployment
     /// preparation. Executions are bit-identical either way.
     ///
     /// # Errors
@@ -144,7 +144,7 @@ impl<P: Clone> RoundRobinSmb<P> {
         mut payload_of: impl FnMut(usize) -> P,
         seed: u64,
         spec: BackendSpec,
-        table: Option<&std::sync::Arc<sinr_phys::GainTable>>,
+        tables: Option<&sinr_phys::SharedTables>,
     ) -> Result<Self, PhysError> {
         assert!(!config.broadcasters.is_empty(), "need broadcasters");
         let rotation = config.broadcasters.len();
@@ -164,7 +164,7 @@ impl<P: Clone> RoundRobinSmb<P> {
                 strong_neighbors: strong.neighbors(i).iter().map(|&x| x as usize).collect(),
             })
             .collect();
-        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, table)?;
+        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, tables)?;
         Ok(RoundRobinSmb { engine })
     }
 

@@ -121,6 +121,16 @@ pub fn presets() -> Vec<Preset> {
             spec: || smoke("smoke-decay-smb", "decay_smb", "smb:0", "none"),
         },
         Preset {
+            name: "smoke-hybrid",
+            about: "CI smoke: paper MAC over the sparse hybrid reception kernel \
+                    (near-field rows + far-field cell aggregates)",
+            spec: || {
+                let mut spec = smoke("smoke-hybrid", "sinr", "repeat:stride:2", "trace");
+                spec.set("backend", "hybrid").expect("preset backend");
+                spec
+            },
+        },
+        Preset {
             name: "smoke-mobility",
             about: "CI smoke: waypoint mobility over the paper MAC (cached backend, \
                     incremental gain-cache repair)",

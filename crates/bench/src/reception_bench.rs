@@ -4,7 +4,8 @@
 //!
 //! For every deployment shape (lattice, uniform) and size
 //! `n ∈ {64, 256, 1024}`, each backend (`exact`, `grid`, `cached`,
-//! `exact+par`, `grid+par`) repeatedly resolves whole slots against a
+//! `hybrid`, `exact+par`, `grid+par`) repeatedly resolves whole slots
+//! against a
 //! **churning transmitter schedule**: roughly half the nodes always
 //! transmit and an extra cohort of `n/32` rotates every slot, so
 //! consecutive slots differ in ~n/16 transmitters — the access pattern
@@ -27,6 +28,16 @@
 //! exact for a full movement cycle, so the bench cannot quietly measure
 //! a divergent kernel.
 //!
+//! A third, **city-scale** section (full runs only, not `--smoke`)
+//! measures the sparse hybrid kernel on uniform deployments at
+//! n = 10⁴ and n = 10⁵ — sizes where the dense n×n gain table is
+//! respectively marginal (1.6 GB) and refused outright (160 GB, over
+//! the `SINR_MAX_TABLE_BYTES` cap; the refusal is asserted before
+//! measuring). Serial `grid` is the reference at n = 10⁴ and the row
+//! set pins the headline ratio (target ≥10x hybrid over grid). The
+//! hybrid rows run at an explicit near-field cutoff tuned for the
+//! bench density (see [`CITY_CUTOFF`]).
+//!
 //! After writing, the emitted JSON is read back and validated (parses
 //! shallowly, one row per backend per configuration) so a refactor
 //! cannot silently rot the BENCH file; CI runs the same binary in
@@ -42,7 +53,7 @@ use std::time::Instant;
 
 use crate::common::Table;
 use sinr_geom::{deploy, Point};
-use sinr_phys::{BackendSpec, SinrParams};
+use sinr_phys::{dense_table_bytes, max_table_bytes, BackendSpec, GainTable, SinrParams};
 
 /// Slots in one churn cycle (and distinct transmitter sets).
 const CYCLE: usize = 16;
@@ -80,7 +91,7 @@ fn measure(
     target_secs: f64,
 ) -> (f64, usize) {
     let mut backend = spec.build();
-    backend.prepare(sinr, positions);
+    backend.prepare(sinr, positions).expect("bench prepare");
     let mut out = vec![None; positions.len()];
     // Warm up one full cycle (pays scratch allocation, thread start-up
     // and the cached kernel's first full refresh).
@@ -155,6 +166,24 @@ fn mobility_step(
     }
 }
 
+/// Near-field cutoff for the city-scale hybrid rows. The per-slot cost
+/// trades near-row degree (∝ cutoff²) against far-cell count
+/// (∝ 1/cell_size² with cell_size = cutoff/3); at the bench density
+/// (~0.21 nodes/unit²) the curve bottoms out slightly above the decode
+/// range — cutoff 20 measures ~25% faster than the default
+/// (cutoff = range = 16) and decodes more listeners, since a wider
+/// exact band leaves less interference to over-estimate.
+const CITY_CUTOFF: f64 = 20.0;
+
+/// One city-scale configuration: a kernel's rate at a size where the
+/// dense n×n table is marginal or refused.
+struct LargeSample {
+    n: usize,
+    kernel: String,
+    slots_per_sec: f64,
+    receptions: usize,
+}
+
 /// Which per-slot procedure a mobility kernel runs.
 #[derive(Clone, Copy, PartialEq)]
 enum MobilityKernel {
@@ -185,7 +214,7 @@ fn measure_mobility_kernel(
     let mut parked = vec![false; n];
     let mut moved: Vec<(usize, Point)> = Vec::new();
     let mut out = vec![None; n];
-    backend.prepare(sinr, &positions);
+    backend.prepare(sinr, &positions).expect("bench prepare");
     let mut slot = 0usize;
     let mut run_slots = |backend: &mut Box<dyn sinr_phys::InterferenceBackend>,
                          positions: &mut Vec<Point>,
@@ -196,7 +225,9 @@ fn measure_mobility_kernel(
             mobility_step(positions, home, parked, *slot, movers, &mut moved);
             match kernel {
                 MobilityKernel::Repair => backend.update_positions(sinr, positions, &moved),
-                MobilityKernel::Reprepare => backend.prepare(sinr, positions),
+                MobilityKernel::Reprepare => {
+                    backend.prepare(sinr, positions).expect("bench re-prepare");
+                }
                 MobilityKernel::Exact => {}
             }
             backend.decide_slot(sinr, positions, senders, &mut out);
@@ -247,7 +278,7 @@ fn check_mobility_exactness(sinr: &SinrParams, home: &[Point], senders: &[usize]
     let cohorts = (n / movers).max(1);
     let mut cached = BackendSpec::cached().build();
     let mut exact = BackendSpec::exact().build();
-    cached.prepare(sinr, home);
+    cached.prepare(sinr, home).expect("bench prepare");
     let mut positions = home.to_vec();
     let mut parked = vec![false; n];
     let mut moved = Vec::new();
@@ -272,7 +303,13 @@ fn check_mobility_exactness(sinr: &SinrParams, home: &[Point], senders: &[usize]
 /// Panics with a description when the file does not meet the contract —
 /// the whole point is that CI fails loudly instead of committing a
 /// rotten BENCH file.
-fn validate_json(json: &str, backends: &[String], configurations: usize, mobility_rows: usize) {
+fn validate_json(
+    json: &str,
+    backends: &[String],
+    configurations: usize,
+    mobility_rows: usize,
+    large_rows: usize,
+) {
     assert!(
         json.trim_start().starts_with('{') && json.trim_end().ends_with('}'),
         "BENCH json is not an object"
@@ -281,6 +318,15 @@ fn validate_json(json: &str, backends: &[String], configurations: usize, mobilit
         json.matches("\"repair_speedup\":").count(),
         mobility_rows,
         "expected one moving-uniform row per size"
+    );
+    assert_eq!(
+        json.matches("\"kernel\":").count(),
+        large_rows,
+        "expected {large_rows} city-scale rows"
+    );
+    assert!(
+        json.contains("\"dense_table_cap\":"),
+        "BENCH json is missing the dense-table cap"
     );
     let rows = json.matches("\"backend\":").count();
     assert_eq!(
@@ -343,6 +389,7 @@ pub fn run(args: &[String]) {
         BackendSpec::exact(),
         BackendSpec::grid_far_field(cell),
         BackendSpec::cached(),
+        BackendSpec::hybrid(0.0),
         BackendSpec::exact().with_threads(threads),
         BackendSpec::grid_far_field(cell).with_threads(threads),
     ];
@@ -432,6 +479,66 @@ pub fn run(args: &[String]) {
     }
     mobility_table.print();
 
+    // City-scale rows: the sparse hybrid kernel where the dense table
+    // stops being an option (see the module docs). Skipped in smoke
+    // mode — deployment generation alone is seconds at n = 10⁵.
+    let mut large_samples: Vec<LargeSample> = Vec::new();
+    let mut hybrid_over_grid = 0.0f64;
+    if !smoke {
+        let mut large_table = Table::new(
+            "city-scale uniform: sparse hybrid kernel (~n/2 transmitters, ~n/16 churn)",
+            &["n", "kernel", "slots_per_sec", "receptions"],
+        );
+        for &(n, with_grid) in &[(10_000usize, true), (100_000, false)] {
+            let side = (n as f64).sqrt() * 2.2;
+            let positions = deploy::uniform(n, side, 5).expect("uniform");
+            let schedule = churn_schedule(n);
+            // Past the byte cap the dense table must refuse with a
+            // structured error (not OOM) — the refusal the hybrid
+            // kernel exists to answer.
+            if dense_table_bytes(n) > max_table_bytes() {
+                assert!(
+                    GainTable::try_build(&sinr, &positions, threads).is_err(),
+                    "dense table must refuse at n={n}"
+                );
+            }
+            let mut kernels: Vec<BackendSpec> = Vec::new();
+            if with_grid {
+                kernels.push(BackendSpec::grid_far_field(cell));
+                kernels.push(BackendSpec::grid_far_field(cell).with_threads(threads));
+            }
+            kernels.push(BackendSpec::hybrid(CITY_CUTOFF));
+            kernels.push(BackendSpec::hybrid(CITY_CUTOFF).with_threads(threads));
+            for spec in kernels {
+                let kernel = spec.build().name().to_string();
+                let (slots_per_sec, receptions) =
+                    measure(&sinr, &positions, &schedule, spec, target_secs);
+                large_table.row(vec![
+                    n.to_string(),
+                    kernel.clone(),
+                    format!("{slots_per_sec:.1}"),
+                    receptions.to_string(),
+                ]);
+                large_samples.push(LargeSample {
+                    n,
+                    kernel,
+                    slots_per_sec,
+                    receptions,
+                });
+            }
+        }
+        large_table.print();
+        let rate = |n: usize, kernel: &str| {
+            large_samples
+                .iter()
+                .find(|s| s.n == n && s.kernel == kernel)
+                .map(|s| s.slots_per_sec)
+                .unwrap_or(0.0)
+        };
+        hybrid_over_grid =
+            rate(10_000, "hybrid").max(rate(10_000, "hybrid+par")) / rate(10_000, "grid").max(1e-9);
+    }
+
     // Hand-rolled JSON: the workspace has no serde and the schema is flat.
     let mut json = String::from("{\n  \"bench\": \"reception\",\n  \"unit\": \"slots_per_sec\",\n");
     let _ = writeln!(json, "  \"threads\": {threads},");
@@ -466,13 +573,51 @@ pub fn run(args: &[String]) {
             "\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"large_samples\": [\n");
+    for (i, s) in large_samples.iter().enumerate() {
+        let cutoff = if s.kernel.starts_with("hybrid") {
+            format!("\"cutoff\": {CITY_CUTOFF}, ")
+        } else {
+            String::new()
+        };
+        let _ = write!(
+            json,
+            "    {{\"deployment\": \"uniform-large\", \"n\": {}, \"kernel\": \"{}\", \
+             {}\"slots_per_sec\": {:.2}, \"receptions\": {}, \"dense_table_bytes\": {}}}",
+            s.n,
+            s.kernel,
+            cutoff,
+            s.slots_per_sec,
+            s.receptions,
+            dense_table_bytes(s.n)
+        );
+        json.push_str(if i + 1 < large_samples.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    let _ = write!(json, "  \"dense_table_cap\": {}", max_table_bytes());
+    if !smoke {
+        let _ = write!(
+            json,
+            ",\n  \"hybrid_over_grid_n10000\": {hybrid_over_grid:.2}"
+        );
+    }
+    json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_reception.json");
     let written = std::fs::read_to_string(&out_path).expect("read back BENCH_reception.json");
-    validate_json(&written, &backend_names, sizes.len() * 2, sizes.len());
+    validate_json(
+        &written,
+        &backend_names,
+        sizes.len() * 2,
+        sizes.len(),
+        large_samples.len(),
+    );
     println!(
         "wrote {out_path} ({} rows, validated)",
-        samples.len() + mobility_samples.len()
+        samples.len() + mobility_samples.len() + large_samples.len()
     );
 
     // The claim this PR makes: at n = 1024 the cached kernel must beat
@@ -510,5 +655,28 @@ pub fn run(args: &[String]) {
                 s.exact
             );
         }
+        // The city-scale claims: hybrid beats grid by ≥10x at n = 10⁴,
+        // and still decides slots at n = 10⁵ where the dense table
+        // refuses to build at all.
+        let large_rate = |n: usize, kernel: &str| {
+            large_samples
+                .iter()
+                .find(|s| s.n == n && s.kernel == kernel)
+                .map(|s| s.slots_per_sec)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "n=10000 uniform: grid {:.1}/s, hybrid:{CITY_CUTOFF} {:.1}/s, hybrid+par {:.1}/s — hybrid/grid {hybrid_over_grid:.1}x (target >=10x)",
+            large_rate(10_000, "grid"),
+            large_rate(10_000, "hybrid"),
+            large_rate(10_000, "hybrid+par"),
+        );
+        println!(
+            "n=100000 uniform: dense table ({} bytes) over the {}-byte cap, refused; hybrid {:.1}/s, hybrid+par {:.1}/s",
+            dense_table_bytes(100_000),
+            max_table_bytes(),
+            large_rate(100_000, "hybrid"),
+            large_rate(100_000, "hybrid+par"),
+        );
     }
 }

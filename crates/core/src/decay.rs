@@ -142,10 +142,10 @@ impl<P: Clone> DecayMac<P> {
         Self::with_prepared(sinr, positions, params, seed, spec, None)
     }
 
-    /// Like [`DecayMac::with_backend`] with an optional pre-built shared
-    /// gain table for the cached kernel (see [`Engine::with_prepared`]):
-    /// a matching table skips the O(n²) preparation. Executions are
-    /// bit-identical either way.
+    /// Like [`DecayMac::with_backend`] with optional pre-built shared
+    /// preparation artifacts (see [`Engine::with_prepared`]): a matching
+    /// dense or hybrid table skips the per-deployment preparation.
+    /// Executions are bit-identical either way.
     ///
     /// # Errors
     ///
@@ -156,7 +156,7 @@ impl<P: Clone> DecayMac<P> {
         params: DecayParams,
         seed: u64,
         spec: BackendSpec,
-        table: Option<&std::sync::Arc<sinr_phys::GainTable>>,
+        tables: Option<&sinr_phys::SharedTables>,
     ) -> Result<Self, PhysError> {
         let budget_slots = params.cycle_len as u64 * params.cycles_budget as u64;
         let nodes = (0..positions.len())
@@ -170,7 +170,7 @@ impl<P: Clone> DecayMac<P> {
                 outbox: Vec::new(),
             })
             .collect();
-        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, table)?;
+        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, tables)?;
         let n = positions.len();
         Ok(DecayMac {
             engine,

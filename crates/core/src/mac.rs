@@ -175,11 +175,11 @@ impl<P: Clone> SinrAbsMac<P> {
         Self::with_prepared(sinr, positions, params, seed, spec, None)
     }
 
-    /// Like [`SinrAbsMac::with_backend`] with an optional pre-built
-    /// shared gain table for the cached kernel (see
-    /// [`Engine::with_prepared`]): a matching table skips the O(n²)
-    /// preparation, a mismatched or absent one falls back to building it
-    /// here. Executions are bit-identical either way.
+    /// Like [`SinrAbsMac::with_backend`] with optional pre-built shared
+    /// preparation artifacts (see [`Engine::with_prepared`]): a matching
+    /// dense or hybrid table skips the per-deployment preparation, a
+    /// mismatched or absent one falls back to building it here.
+    /// Executions are bit-identical either way.
     ///
     /// # Errors
     ///
@@ -190,12 +190,12 @@ impl<P: Clone> SinrAbsMac<P> {
         params: MacParams,
         seed: u64,
         spec: BackendSpec,
-        table: Option<&std::sync::Arc<sinr_phys::GainTable>>,
+        tables: Option<&sinr_phys::SharedTables>,
     ) -> Result<Self, PhysError> {
         let nodes = (0..positions.len())
             .map(|i| MacNode::new(&params, i))
             .collect();
-        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, table)?;
+        let engine = Engine::with_prepared(sinr, positions.to_vec(), nodes, seed, spec, tables)?;
         let n = positions.len();
         Ok(SinrAbsMac {
             engine,
@@ -212,11 +212,15 @@ impl<P: Clone> SinrAbsMac<P> {
     /// Sets the number of OS threads reception decisions run on; the
     /// execution stays bit-identical (listeners are independent).
     ///
+    /// # Errors
+    ///
+    /// Propagates [`PhysError`] from re-preparing the backend.
+    ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
-    pub fn set_threads(&mut self, threads: usize) {
-        self.engine.set_threads(threads);
+    pub fn set_threads(&mut self, threads: usize) -> Result<(), PhysError> {
+        self.engine.set_threads(threads)
     }
 
     /// The reception backend specification this MAC runs with.

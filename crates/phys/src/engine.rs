@@ -1,14 +1,13 @@
 //! The slotted simulation engine driving [`Protocol`] automata.
 
 use std::fmt;
-use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sinr_geom::{deploy, MobilityModel, Point};
 
-use crate::reception::{BackendSpec, GainTable, InterferenceBackend, InterferenceModel};
+use crate::reception::{BackendSpec, InterferenceBackend, InterferenceModel, SharedTables};
 use crate::{PhysError, SinrParams};
 
 /// Identifier of a node in a simulation (its index in the position list).
@@ -176,28 +175,32 @@ impl<P: Protocol> Engine<P> {
         Self::with_prepared(params, positions, protocols, seed, spec, None)
     }
 
-    /// Like [`Engine::with_backend`] with an already-built shared gain
-    /// table for the cached reception kernel: when `table` matches
-    /// `params`/`positions`, backend preparation only resets per-run
-    /// slot state instead of rebuilding the O(n²) gain matrix — the
-    /// construction path sweep executors use to amortize one
-    /// preparation across many runs over a fixed deployment. A
-    /// non-matching table is ignored (the backend builds its own, so
-    /// this constructor is never less correct than
-    /// [`Engine::with_backend`]); non-cached backends ignore it
-    /// entirely. The execution is bit-identical either way — the table
-    /// entries equal what the backend would have computed itself.
+    /// Like [`Engine::with_backend`] with already-built shared
+    /// preparation artifacts ([`SharedTables`]): when a carried table
+    /// matches `params`/`positions` (and, for the hybrid kernel, this
+    /// spec's cutoff), backend preparation only resets per-run slot
+    /// state instead of rebuilding the gain table — the construction
+    /// path sweep executors use to amortize one preparation across many
+    /// runs over a fixed deployment. A non-matching table is ignored
+    /// (the backend builds its own, so this constructor is never less
+    /// correct than [`Engine::with_backend`]); stateless backends
+    /// ignore the carrier entirely. The execution is bit-identical
+    /// either way — the table entries equal what the backend would have
+    /// computed itself.
     ///
     /// # Errors
     ///
-    /// Same as [`Engine::new`].
+    /// Same as [`Engine::new`], plus [`PhysError::GainTableTooLarge`]
+    /// when a cached-model spec would need a dense table over the
+    /// configured memory cap (switch to `hybrid:CUTOFF` or raise
+    /// `SINR_MAX_TABLE_BYTES`).
     pub fn with_prepared(
         params: SinrParams,
         positions: Vec<Point>,
         protocols: Vec<P>,
         seed: u64,
         spec: BackendSpec,
-        table: Option<&Arc<GainTable>>,
+        tables: Option<&SharedTables>,
     ) -> Result<Self, PhysError> {
         if positions.len() != protocols.len() {
             return Err(PhysError::MismatchedInputs {
@@ -216,14 +219,14 @@ impl<P: Protocol> Engine<P> {
         let n = positions.len();
         // A table for a different deployment would just be rebuilt by
         // prepare; drop it here so the cost profile is predictable.
-        let table = table.filter(|t| t.matches(&params, &positions));
+        let tables = tables.map(|t| t.matching(spec, &params, &positions));
         let mut engine = Engine {
             params,
             positions,
             protocols,
             rngs,
             spec,
-            backend: spec.build_with_table(table),
+            backend: spec.build_with_tables(tables.as_ref()),
             decisions: vec![None; n],
             mobility: None,
             slot: 0,
@@ -231,8 +234,10 @@ impl<P: Protocol> Engine<P> {
         };
         // First phase of the backend lifecycle: per-deployment
         // precomputation (the cached kernel builds its gain matrix here,
-        // outside the first simulated slot).
-        engine.backend.prepare(&engine.params, &engine.positions);
+        // outside the first simulated slot — and refuses structurally,
+        // instead of OOM-aborting, when the dense table would be too
+        // large).
+        engine.backend.prepare(&engine.params, &engine.positions)?;
         Ok(engine)
     }
 
@@ -269,11 +274,15 @@ impl<P: Protocol> Engine<P> {
     /// Sets the number of OS threads used for reception decisions (the
     /// simulation stays deterministic — listeners are independent).
     ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::set_backend`].
+    ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
-    pub fn set_threads(&mut self, threads: usize) {
-        self.set_backend(self.spec.with_threads(threads));
+    pub fn set_threads(&mut self, threads: usize) -> Result<(), PhysError> {
+        self.set_backend(self.spec.with_threads(threads))
     }
 
     /// Swaps the reception backend mid-simulation. Determinism note: the
@@ -281,10 +290,18 @@ impl<P: Protocol> Engine<P> {
     /// different interference *model* the reception outcomes (and hence
     /// the execution) may diverge from that point on; changing only the
     /// thread count never does.
-    pub fn set_backend(&mut self, spec: BackendSpec) {
+    ///
+    /// # Errors
+    ///
+    /// [`PhysError::GainTableTooLarge`] when a cached-model spec would
+    /// need a dense table over the configured memory cap; the previous
+    /// backend stays in place.
+    pub fn set_backend(&mut self, spec: BackendSpec) -> Result<(), PhysError> {
+        let mut backend = spec.build();
+        backend.prepare(&self.params, &self.positions)?;
         self.spec = spec;
-        self.backend = spec.build();
-        self.backend.prepare(&self.params, &self.positions);
+        self.backend = backend;
+        Ok(())
     }
 
     /// The backend specification reception decisions currently run with.
@@ -669,7 +686,7 @@ mod tests {
             let pos = sinr_geom::deploy::uniform(30, 40.0, 5).unwrap();
             let protos: Vec<CoinFlip> = (0..30).map(|_| CoinFlip).collect();
             let mut e = Engine::new(params(), pos, protos, 3).unwrap();
-            e.set_threads(threads);
+            e.set_threads(threads).unwrap();
             (0..40).map(|_| e.step()).collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(2));
@@ -694,25 +711,43 @@ mod tests {
         // An engine handed a pre-built gain table must produce the exact
         // execution a cold engine does; a mismatched table must be
         // ignored rather than trusted.
-        use crate::reception::GainTable;
+        use crate::reception::{GainTable, HybridTable};
+        use std::sync::Arc;
         let p = params();
         let pos = sinr_geom::deploy::uniform(30, 40.0, 5).unwrap();
-        let run = |table: Option<&Arc<GainTable>>| {
+        let run = |spec: BackendSpec, tables: Option<&SharedTables>| {
             let protos: Vec<CoinFlip> = (0..30).map(|_| CoinFlip).collect();
-            let mut e =
-                Engine::with_prepared(p, pos.clone(), protos, 3, BackendSpec::cached(), table)
-                    .unwrap();
+            let mut e = Engine::with_prepared(p, pos.clone(), protos, 3, spec, tables).unwrap();
             (0..60).map(|_| e.step()).collect::<Vec<_>>()
         };
-        let cold = run(None);
+        let cold = run(BackendSpec::cached(), None);
         let table = Arc::new(GainTable::build(&p, &pos, 1));
-        assert_eq!(cold, run(Some(&table)), "shared table");
-        let mismatched = Arc::new(GainTable::build(
+        let tables = SharedTables::from(Arc::clone(&table));
+        assert_eq!(
+            cold,
+            run(BackendSpec::cached(), Some(&tables)),
+            "shared table"
+        );
+        let mismatched = SharedTables::from(Arc::new(GainTable::build(
             &p,
             &sinr_geom::deploy::uniform(30, 40.0, 6).unwrap(),
             1,
-        ));
-        assert_eq!(cold, run(Some(&mismatched)), "mismatched table ignored");
+        )));
+        assert_eq!(
+            cold,
+            run(BackendSpec::cached(), Some(&mismatched)),
+            "mismatched table ignored"
+        );
+        // Same contract for the sparse kernel: a shared hybrid table
+        // changes nothing about the execution.
+        let hybrid_cold = run(BackendSpec::hybrid(8.0), None);
+        let sparse =
+            SharedTables::new().with_hybrid(Arc::new(HybridTable::build(&p, &pos, 8.0, 1)));
+        assert_eq!(
+            hybrid_cold,
+            run(BackendSpec::hybrid(8.0), Some(&sparse)),
+            "shared hybrid table"
+        );
     }
 
     #[test]

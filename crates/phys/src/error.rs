@@ -24,6 +24,17 @@ pub enum PhysError {
         /// The offending pair of node indices.
         pair: (usize, usize),
     },
+    /// A dense gain-table build would exceed the configured memory cap
+    /// (`SINR_MAX_TABLE_BYTES`, default 2 GiB) — the structured
+    /// alternative to OOM-aborting inside an n×n allocation.
+    GainTableTooLarge {
+        /// Deployment size the table was requested for.
+        n: usize,
+        /// Bytes the dense table would need (`n × n × 16`).
+        bytes: u64,
+        /// The cap in force when the build was refused.
+        cap: u64,
+    },
 }
 
 impl fmt::Display for PhysError {
@@ -44,6 +55,12 @@ impl fmt::Display for PhysError {
                 "nodes {} and {} are closer than the minimum distance 1",
                 pair.0, pair.1
             ),
+            PhysError::GainTableTooLarge { n, bytes, cap } => write!(
+                f,
+                "dense gain table for n={n} needs {bytes} bytes, over the {cap}-byte cap; \
+                 use backend=hybrid:CUTOFF (sparse near-field rows) for deployments this \
+                 large, or raise SINR_MAX_TABLE_BYTES"
+            ),
         }
     }
 }
@@ -62,6 +79,19 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('4'));
+    }
+
+    #[test]
+    fn table_too_large_names_the_escape_hatches() {
+        let e = PhysError::GainTableTooLarge {
+            n: 100_000,
+            bytes: 160_000_000_000,
+            cap: 2_147_483_648,
+        };
+        let s = e.to_string();
+        assert!(s.contains("hybrid"), "must hint at the sparse backend: {s}");
+        assert!(s.contains("SINR_MAX_TABLE_BYTES"), "must name the cap: {s}");
+        assert!(s.contains("100000"), "must name the deployment size: {s}");
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub use engine::{Action, Engine, EngineStats, NodeId, Protocol, SlotCtx, SlotOut
 pub use error::PhysError;
 pub use params::{SinrParams, SinrParamsBuilder};
 pub use reception::{
-    effective_threads, BackendSpec, CachedBackend, GainTable, InterferenceBackend,
-    InterferenceModel, SlotState, PAR_CROSSOVER_LISTENERS,
+    dense_table_bytes, effective_threads, max_table_bytes, BackendSpec, CachedBackend, GainTable,
+    HybridBackend, HybridState, HybridTable, InterferenceBackend, InterferenceModel, SharedTables,
+    SlotState, PAR_CROSSOVER_LISTENERS,
 };

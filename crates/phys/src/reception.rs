@@ -49,6 +49,22 @@
 //!   fastest choice for long simulations whose transmitter set evolves
 //!   gradually (every MAC layer in this workspace).
 //!
+//! * [`HybridBackend`] fuses the two approximable halves for city-scale
+//!   deployments (n = 10⁴–10⁵, where the dense table would need 1.6 GB
+//!   to 160 GB): pairs within a spatial-hash cutoff radius get the
+//!   cached treatment — exact gains in CSR-style sparse rows
+//!   ([`HybridTable`], O(n·near_degree) memory), driven incrementally by
+//!   transmitter deltas — while each far cell is aggregated as
+//!   `count · P/box^α` with `box` the cell-pair lower-bound distance,
+//!   maintained incrementally from per-cell transmitter counts. Far
+//!   distances are under-estimated, so like the grid model the kernel is
+//!   **conservative**: it never decodes a message [`ExactBackend`] would
+//!   reject (and since `β > 1` forces any granted sender to strictly
+//!   dominate, a granted message always names the sender exact would
+//!   name). The near-field half of the arithmetic is bit-identical to
+//!   the dense kernel's. [`BackendSpec::tuned`] auto-selects this model
+//!   when a requested dense table would exceed [`max_table_bytes`].
+//!
 //! * [`ParallelBackend`] wraps the exact or grid model and splits the
 //!   per-listener loop across OS threads (`std::thread::scope`).
 //!   Listeners are independent, so the result is **bit-identical** to the
@@ -91,11 +107,12 @@
 //! `DecayMac`, the baselines, the bench binaries) and builds the backend
 //! at the edge.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use sinr_geom::{HashGrid, Point};
 
-use crate::SinrParams;
+use crate::{PhysError, SinrParams};
 
 /// How interference sums are computed by [`decide_receptions`].
 ///
@@ -121,6 +138,17 @@ pub enum InterferenceModel {
     /// deltas. Receptions are bit-identical to [`Exact`](Self::Exact) at
     /// O(|Δ senders| × n) per slot and O(n²) memory (see module docs).
     Cached,
+    /// Sparse near-field / aggregated far-field kernel: exact cached gains
+    /// only for pairs within a spatial-hash cutoff radius (sparse
+    /// CSR-style rows), per-cell far-field interference maintained
+    /// incrementally from transmitter deltas. Conservative like
+    /// [`GridFarField`](Self::GridFarField), O(n · near_degree) memory —
+    /// the city-scale kernel for n = 10⁴–10⁵ where the dense table cannot
+    /// exist (see module docs).
+    Hybrid {
+        /// Near-field cutoff radius; `0.0` means auto (the weak range R).
+        cutoff: f64,
+    },
 }
 
 /// Complete, serializable description of a reception backend: which
@@ -193,6 +221,24 @@ impl BackendSpec {
         }
     }
 
+    /// The sparse hybrid near/far kernel with the given near-field cutoff
+    /// radius (`0.0` = auto: the weak range R of the parameters the
+    /// backend is later prepared with).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cutoff` is finite and non-negative.
+    pub fn hybrid(cutoff: f64) -> Self {
+        assert!(
+            cutoff.is_finite() && cutoff >= 0.0,
+            "hybrid cutoff must be finite and non-negative"
+        );
+        BackendSpec {
+            model: InterferenceModel::Hybrid { cutoff },
+            threads: 1,
+        }
+    }
+
     /// The same model split across `threads` OS threads.
     ///
     /// # Panics
@@ -207,12 +253,29 @@ impl BackendSpec {
     /// the serial/parallel crossover ([`effective_threads`]): below
     /// [`PAR_CROSSOVER_LISTENERS`] listeners the returned spec is serial,
     /// so small scenarios never pay thread fan-out that costs more than
-    /// it saves. Receptions are thread-count invariant, so tuning never
-    /// changes results — only wall clock.
+    /// it saves. Thread tuning never changes results — only wall clock.
+    ///
+    /// **Memory fallback:** a [`Cached`](InterferenceModel::Cached) model
+    /// whose dense table would exceed [`max_table_bytes`] at this
+    /// deployment size is replaced by the sparse
+    /// [`Hybrid`](InterferenceModel::Hybrid) kernel (auto cutoff). Unlike
+    /// thread tuning this **does change results** — hybrid is a
+    /// conservative approximation, not bit-identical to exact — but the
+    /// alternative is a structured refusal
+    /// ([`PhysError::GainTableTooLarge`]) at preparation time, and a
+    /// scenario that opted into `tuned` sizing asked for the backend to
+    /// fit the deployment. The swap is loud in reports: the backend name
+    /// becomes `hybrid`.
     pub fn tuned(self, listeners: usize) -> Self {
+        let model = match self.model {
+            InterferenceModel::Cached if dense_table_bytes(listeners) > max_table_bytes() => {
+                InterferenceModel::Hybrid { cutoff: 0.0 }
+            }
+            m => m,
+        };
         BackendSpec {
+            model,
             threads: effective_threads(self.threads, listeners),
-            ..self
         }
     }
 
@@ -223,11 +286,14 @@ impl BackendSpec {
             InterferenceModel::GridFarField { cell_size } => {
                 Box::new(GridFarFieldBackend::new(cell_size))
             }
-            // The cached kernel owns its thread handling (its hot loops
-            // are listener-chunked internally), so it never goes through
-            // `ParallelBackend`.
+            // The cached and hybrid kernels own their thread handling
+            // (their hot loops are listener-chunked internally), so they
+            // never go through `ParallelBackend`.
             InterferenceModel::Cached => {
                 return Box::new(CachedBackend::with_threads(self.threads))
+            }
+            InterferenceModel::Hybrid { cutoff } => {
+                return Box::new(HybridBackend::with_threads(cutoff, self.threads))
             }
         };
         if self.threads == 1 {
@@ -257,21 +323,60 @@ impl BackendSpec {
         }
     }
 
+    /// Like [`BackendSpec::build_with_table`], but consuming whichever
+    /// member of a [`SharedTables`] carrier this spec's model can use:
+    /// the dense table for the cached kernel, the sparse table for the
+    /// hybrid kernel, nothing for the stateless models. A missing or
+    /// later-mismatching table degrades to a private build, never to an
+    /// error.
+    pub fn build_with_tables(self, tables: Option<&SharedTables>) -> Box<dyn InterferenceBackend> {
+        match self.model {
+            InterferenceModel::Cached => self.build_with_table(tables.and_then(|t| t.dense())),
+            InterferenceModel::Hybrid { cutoff } => match tables.and_then(|t| t.hybrid()) {
+                Some(table) => Box::new(HybridBackend::with_shared_table(
+                    cutoff,
+                    Arc::clone(table),
+                    self.threads,
+                )),
+                None => self.build(),
+            },
+            _ => self.build(),
+        }
+    }
+
     /// Parses a spec from a compact string, for CLI/bench selection:
-    /// `exact`, `grid:CELL`, `cached`, `par:THREADS`, or combinations
-    /// like `grid:CELL:par:THREADS`.
+    /// `exact`, `grid:CELL`, `cached`, `hybrid[:CUTOFF]`, `par:THREADS`,
+    /// or combinations like `grid:CELL:par:THREADS` and
+    /// `hybrid:16:par:8`. The hybrid cutoff is optional — bare `hybrid`
+    /// auto-selects the weak range R at preparation time.
     ///
     /// # Errors
     ///
     /// Returns a description of the problem on malformed input.
     pub fn parse(s: &str) -> Result<Self, String> {
         let mut spec = BackendSpec::exact();
-        let mut parts = s.split(':');
+        let mut parts = s.split(':').peekable();
         loop {
             match parts.next() {
                 None => return Ok(spec),
                 Some("exact") => spec.model = InterferenceModel::Exact,
                 Some("cached") => spec.model = InterferenceModel::Cached,
+                Some("hybrid") => {
+                    // The cutoff component is optional: consume the next
+                    // component only if it is numeric (so `hybrid:par:8`
+                    // keeps working).
+                    let mut cutoff = 0.0f64;
+                    if let Some(c) = parts.peek().and_then(|p| p.parse::<f64>().ok()) {
+                        if !(c.is_finite() && c >= 0.0) {
+                            return Err(format!(
+                                "hybrid cutoff must be finite and non-negative, got {c}"
+                            ));
+                        }
+                        cutoff = c;
+                        parts.next();
+                    }
+                    spec.model = InterferenceModel::Hybrid { cutoff };
+                }
                 Some("grid") => {
                     let cell = parts
                         .next()
@@ -298,7 +403,7 @@ impl BackendSpec {
                 }
                 Some(other) => {
                     return Err(format!(
-                    "unknown backend component {other:?}; expected exact, grid:CELL, cached or par:THREADS"
+                    "unknown backend component {other:?}; expected exact, grid:CELL, cached, hybrid[:CUTOFF] or par:THREADS"
                 ))
                 }
             }
@@ -312,6 +417,8 @@ impl std::fmt::Display for BackendSpec {
             InterferenceModel::Exact => write!(f, "exact")?,
             InterferenceModel::GridFarField { cell_size } => write!(f, "grid:{cell_size}")?,
             InterferenceModel::Cached => write!(f, "cached")?,
+            InterferenceModel::Hybrid { cutoff: 0.0 } => write!(f, "hybrid")?,
+            InterferenceModel::Hybrid { cutoff } => write!(f, "hybrid:{cutoff}")?,
         }
         if self.threads > 1 {
             write!(f, ":par:{}", self.threads)?;
@@ -342,8 +449,18 @@ pub trait InterferenceBackend: Send {
     /// kernel builds its [`GainTable`] here (unless it was constructed
     /// around a matching shared table, in which case only the per-run
     /// [`SlotState`] is reset), so the O(n²) gain matrix is paid at
-    /// construction instead of inside the first simulated slot.
-    fn prepare(&mut self, _params: &SinrParams, _positions: &[Point]) {}
+    /// construction instead of inside the first simulated slot; the
+    /// hybrid kernel builds its sparse [`HybridTable`] likewise.
+    ///
+    /// # Errors
+    ///
+    /// [`PhysError::GainTableTooLarge`] when the cached kernel's dense
+    /// table would exceed [`max_table_bytes`] — a structured refusal
+    /// instead of an OOM abort inside the n×n allocation. The stateless
+    /// and hybrid backends never fail.
+    fn prepare(&mut self, _params: &SinrParams, _positions: &[Point]) -> Result<(), PhysError> {
+        Ok(())
+    }
 
     /// Decides receptions for every node given the set of transmitters.
     ///
@@ -575,6 +692,62 @@ pub fn effective_threads(requested: usize, listeners: usize) -> usize {
     }
 }
 
+/// Runs one task per chunk of pre-split work, spawning a scoped OS
+/// thread per chunk — the single chunking primitive behind every
+/// parallel loop in this module (gain-table row fill, the cached and
+/// hybrid listener-state sweeps, the parallel per-listener decide).
+///
+/// Callers split their mutable state into disjoint chunk values first
+/// (`chunks_mut` plus whatever per-chunk context the task needs) and
+/// decide the chunk count via [`effective_threads`]; a single chunk runs
+/// inline on the calling thread, so the serial path never pays
+/// `thread::scope` setup.
+fn chunked_scope<T: Send>(chunks: Vec<T>, task: impl Fn(T) + Sync) {
+    if chunks.len() <= 1 {
+        for chunk in chunks {
+            task(chunk);
+        }
+        return;
+    }
+    let task = &task;
+    std::thread::scope(|scope| {
+        for chunk in chunks {
+            scope.spawn(move || task(chunk));
+        }
+    });
+}
+
+/// Default dense gain-table memory cap: 2 GiB (n ≈ 11586).
+const DEFAULT_MAX_TABLE_BYTES: u64 = 2 * 1024 * 1024 * 1024;
+
+/// Bytes a dense [`GainTable`] needs for an `n`-node deployment: two
+/// n×n `f64` matrices (gains and squared distances), 16 bytes per pair.
+pub fn dense_table_bytes(n: usize) -> u64 {
+    (n as u64).saturating_mul(n as u64).saturating_mul(16)
+}
+
+/// The dense gain-table memory cap in bytes: `SINR_MAX_TABLE_BYTES` if
+/// set (read once per process), else 2 GiB. [`GainTable::try_build`] and
+/// [`CachedBackend::prepare`](InterferenceBackend::prepare) refuse —
+/// with a structured [`PhysError::GainTableTooLarge`] — deployments
+/// whose table would exceed it, and [`BackendSpec::tuned`] swaps such
+/// deployments to the sparse hybrid kernel instead.
+///
+/// # Panics
+///
+/// Panics if `SINR_MAX_TABLE_BYTES` is set but not a valid `u64` — a
+/// misconfigured cap must not silently fall back to the default.
+pub fn max_table_bytes() -> u64 {
+    static CAP: OnceLock<u64> = OnceLock::new();
+    *CAP.get_or_init(|| match std::env::var("SINR_MAX_TABLE_BYTES") {
+        Ok(raw) => raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("SINR_MAX_TABLE_BYTES: bad value {raw:?}: {e}")),
+        Err(_) => DEFAULT_MAX_TABLE_BYTES,
+    })
+}
+
 /// Chunked parallel execution of either serial model across OS threads.
 ///
 /// Listener decisions are independent, so splitting `out` into contiguous
@@ -597,13 +770,17 @@ impl ParallelBackend {
     /// # Panics
     ///
     /// Panics if `threads` is zero, or if `model` is
-    /// [`InterferenceModel::Cached`] — the cached kernel chunks its own
-    /// hot loops (build via [`BackendSpec::build`] instead).
+    /// [`InterferenceModel::Cached`] or [`InterferenceModel::Hybrid`] —
+    /// those kernels chunk their own hot loops (build via
+    /// [`BackendSpec::build`] instead).
     pub fn new(model: InterferenceModel, threads: usize) -> Self {
         assert!(threads > 0, "threads must be nonzero");
         assert!(
-            !matches!(model, InterferenceModel::Cached),
-            "the cached kernel parallelizes internally; build it through BackendSpec"
+            !matches!(
+                model,
+                InterferenceModel::Cached | InterferenceModel::Hybrid { .. }
+            ),
+            "the cached/hybrid kernels parallelize internally; build them through BackendSpec"
         );
         if let InterferenceModel::GridFarField { cell_size } = model {
             assert!(
@@ -630,7 +807,9 @@ impl InterferenceBackend for ParallelBackend {
         match self.model {
             InterferenceModel::Exact => "exact+par",
             InterferenceModel::GridFarField { .. } => "grid+par",
-            InterferenceModel::Cached => unreachable!("rejected by ParallelBackend::new"),
+            InterferenceModel::Cached | InterferenceModel::Hybrid { .. } => {
+                unreachable!("rejected by ParallelBackend::new")
+            }
         }
     }
 
@@ -656,50 +835,34 @@ impl InterferenceBackend for ParallelBackend {
                 rebuild_cells(&grid, &mut self.cells);
                 Some((grid, near_cutoff(params, cell_size)))
             }
-            InterferenceModel::Cached => unreachable!("rejected by ParallelBackend::new"),
+            InterferenceModel::Cached | InterferenceModel::Hybrid { .. } => {
+                unreachable!("rejected by ParallelBackend::new")
+            }
         };
         let threads = effective_threads(self.threads, positions.len());
-        if threads == 1 {
-            // Below the crossover (or a single requested thread): the
-            // listener count cannot amortize thread spawns.
-            for (u, slot) in out.iter_mut().enumerate() {
-                *slot = match &grid_ctx {
-                    None => decide_exact(params, positions, senders, &self.sender_pts, u),
+        let chunk = positions.len().div_ceil(threads);
+        let tasks: Vec<(usize, &mut [Option<usize>])> = out
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(k, chunk_out)| (k * chunk, chunk_out))
+            .collect();
+        let sender_pts = &self.sender_pts;
+        let cells = &self.cells;
+        let grid_ctx = &grid_ctx;
+        chunked_scope(tasks, |(base, out_chunk)| {
+            for (i, slot) in out_chunk.iter_mut().enumerate() {
+                let u = base + i;
+                *slot = match grid_ctx {
+                    None => decide_exact(params, positions, senders, sender_pts, u),
                     Some((grid, cutoff)) => {
                         let ctx = GridSlot {
                             grid,
-                            cells: &self.cells,
+                            cells,
                             near_cutoff: *cutoff,
                         };
-                        decide_grid(params, positions, senders, &self.sender_pts, &ctx, u)
+                        decide_grid(params, positions, senders, sender_pts, &ctx, u)
                     }
                 };
-            }
-            return;
-        }
-        let chunk = positions.len().div_ceil(threads);
-        let sender_pts = &self.sender_pts;
-        let cells = &self.cells;
-        std::thread::scope(|scope| {
-            for (k, out_chunk) in out.chunks_mut(chunk).enumerate() {
-                let grid_ctx = &grid_ctx;
-                scope.spawn(move || {
-                    let base = k * chunk;
-                    for (i, slot) in out_chunk.iter_mut().enumerate() {
-                        let u = base + i;
-                        *slot = match grid_ctx {
-                            None => decide_exact(params, positions, senders, sender_pts, u),
-                            Some((grid, cutoff)) => {
-                                let ctx = GridSlot {
-                                    grid,
-                                    cells,
-                                    near_cutoff: *cutoff,
-                                };
-                                decide_grid(params, positions, senders, sender_pts, &ctx, u)
-                            }
-                        };
-                    }
-                });
             }
         });
     }
@@ -714,6 +877,40 @@ const NO_SENDER: usize = usize::MAX;
 /// accumulated drift stays orders of magnitude below the near-threshold
 /// guard band that triggers exact recomputation.
 const REFRESH_OPS: u64 = 1024;
+
+/// Diffs two sorted, deduplicated index sets into `enters` (in `curr`
+/// only) and `leaves` (in `prev` only), clearing both outputs first.
+/// Shared by the cached and hybrid kernels' per-slot delta derivation.
+fn diff_sorted(prev: &[usize], curr: &[usize], enters: &mut Vec<usize>, leaves: &mut Vec<usize>) {
+    enters.clear();
+    leaves.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < prev.len() || j < curr.len() {
+        match (prev.get(i), curr.get(j)) {
+            (Some(&p), Some(&s)) if p == s => {
+                i += 1;
+                j += 1;
+            }
+            (Some(&p), Some(&s)) if p < s => {
+                leaves.push(p);
+                i += 1;
+            }
+            (Some(_), Some(&s)) => {
+                enters.push(s);
+                j += 1;
+            }
+            (Some(&p), None) => {
+                leaves.push(p);
+                i += 1;
+            }
+            (None, Some(&s)) => {
+                enters.push(s);
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+}
 
 /// All pairwise link gains of a deployment, precomputed once.
 ///
@@ -755,7 +952,47 @@ impl GainTable {
     /// planner equals the one any cell would have built for itself, bit
     /// for bit.
     pub fn build(params: &SinrParams, positions: &[Point], threads: usize) -> Self {
+        Self::try_build_with_cap(params, positions, threads, u64::MAX)
+            .expect("uncapped build cannot fail")
+    }
+
+    /// Like [`GainTable::build`], but refusing — with
+    /// [`PhysError::GainTableTooLarge`] — deployments whose n×n matrices
+    /// would exceed [`max_table_bytes`], instead of OOM-aborting inside
+    /// the allocation. This is the build the cached kernel's
+    /// [`prepare`](InterferenceBackend::prepare) uses.
+    ///
+    /// # Errors
+    ///
+    /// [`PhysError::GainTableTooLarge`] when `n × n × 16` bytes exceed
+    /// the cap.
+    pub fn try_build(
+        params: &SinrParams,
+        positions: &[Point],
+        threads: usize,
+    ) -> Result<Self, PhysError> {
+        Self::try_build_with_cap(params, positions, threads, max_table_bytes())
+    }
+
+    /// [`GainTable::try_build`] against an explicit byte cap — the
+    /// injectable core, so tests can exercise the refusal without
+    /// mutating process environment.
+    ///
+    /// # Errors
+    ///
+    /// [`PhysError::GainTableTooLarge`] when `n × n × 16` bytes exceed
+    /// `cap`.
+    pub fn try_build_with_cap(
+        params: &SinrParams,
+        positions: &[Point],
+        threads: usize,
+        cap: u64,
+    ) -> Result<Self, PhysError> {
         let n = positions.len();
+        let bytes = dense_table_bytes(n);
+        if bytes > cap {
+            return Err(PhysError::GainTableTooLarge { n, bytes, cap });
+        }
         let mut gains = vec![0.0f64; n * n];
         let mut d2 = vec![f64::INFINITY; n * n];
         let fill = |first_row: usize, grows: &mut [f64], drows: &mut [f64]| {
@@ -772,28 +1009,27 @@ impl GainTable {
             }
         };
         let eff = effective_threads(threads.max(1), n);
-        if eff <= 1 || n == 0 {
-            fill(0, &mut gains, &mut d2);
+        let tasks: Vec<(usize, &mut [f64], &mut [f64])> = if eff <= 1 || n == 0 {
+            vec![(0, gains.as_mut_slice(), d2.as_mut_slice())]
         } else {
             let rows = n.div_ceil(eff);
-            let fill = &fill;
-            std::thread::scope(|scope| {
-                for (k, (grows, drows)) in gains
-                    .chunks_mut(rows * n)
-                    .zip(d2.chunks_mut(rows * n))
-                    .enumerate()
-                {
-                    scope.spawn(move || fill(k * rows, grows, drows));
-                }
-            });
-        }
-        GainTable {
+            gains
+                .chunks_mut(rows * n)
+                .zip(d2.chunks_mut(rows * n))
+                .enumerate()
+                .map(|(k, (grows, drows))| (k * rows, grows, drows))
+                .collect()
+        };
+        chunked_scope(tasks, |(first_row, grows, drows)| {
+            fill(first_row, grows, drows)
+        });
+        Ok(GainTable {
             n,
             params: *params,
             positions: positions.to_vec(),
             gains,
             d2,
-        }
+        })
     }
 
     /// Number of nodes the cache was built for.
@@ -867,6 +1103,44 @@ struct ListenerState<'a> {
     err: &'a mut [f64],
     best_d2: &'a mut [f64],
     best_s: &'a mut [usize],
+}
+
+/// Splits the four per-listener state arrays into `eff` contiguous
+/// [`ListenerState`] chunks (a single whole-range chunk when `eff <= 1`),
+/// ready for [`chunked_scope`]. Shared by the cached and hybrid kernels'
+/// sweeps.
+fn listener_chunks<'a>(
+    total: &'a mut [f64],
+    err: &'a mut [f64],
+    best_d2: &'a mut [f64],
+    best_s: &'a mut [usize],
+    n: usize,
+    eff: usize,
+) -> Vec<ListenerState<'a>> {
+    if eff <= 1 || n == 0 {
+        return vec![ListenerState {
+            base: 0,
+            total,
+            err,
+            best_d2,
+            best_s,
+        }];
+    }
+    let chunk = n.div_ceil(eff);
+    total
+        .chunks_mut(chunk)
+        .zip(err.chunks_mut(chunk))
+        .zip(best_d2.chunks_mut(chunk))
+        .zip(best_s.chunks_mut(chunk))
+        .enumerate()
+        .map(|(k, (((total, err), best_d2), best_s))| ListenerState {
+            base: k * chunk,
+            total,
+            err,
+            best_d2,
+            best_s,
+        })
+        .collect()
 }
 
 /// Rebuilds a listener range from scratch: totals summed sender-major in
@@ -1107,16 +1381,22 @@ impl CachedBackend {
     }
 
     /// (Re)builds the table (unless the held one already matches) and
-    /// resets all incremental state.
-    fn prepare_impl(&mut self, params: &SinrParams, positions: &[Point]) {
+    /// resets all incremental state. Fails — without touching the held
+    /// table — when the dense build would exceed [`max_table_bytes`].
+    fn prepare_impl(&mut self, params: &SinrParams, positions: &[Point]) -> Result<(), PhysError> {
         if !self
             .table
             .as_ref()
             .is_some_and(|c| c.matches(params, positions))
         {
-            self.table = Some(Arc::new(GainTable::build(params, positions, self.threads)));
+            self.table = Some(Arc::new(GainTable::try_build(
+                params,
+                positions,
+                self.threads,
+            )?));
         }
         self.state.reset(positions.len());
+        Ok(())
     }
 
     /// Applies a position change to the prepared kernel state: the moved
@@ -1174,7 +1454,11 @@ impl CachedBackend {
             // (thread-chunked) rebuild; take the simple path. This also
             // resets the delta state, so the next decide_slot runs a
             // full refresh — still bit-identical, just not incremental.
-            self.prepare_impl(params, positions);
+            // The rebuild replaces an existing same-size table, so it is
+            // deliberately uncapped: a table that already exists is
+            // proof the size fits in memory.
+            self.table = Some(Arc::new(GainTable::build(params, positions, self.threads)));
+            self.state.reset(n);
             return;
         }
 
@@ -1265,43 +1549,8 @@ impl CachedBackend {
         let cache = table.as_deref().expect("sweep requires a prepared table");
         let n = total.len();
         let eff = effective_threads(*threads, n);
-        if eff <= 1 {
-            op(
-                ListenerState {
-                    base: 0,
-                    total,
-                    err,
-                    best_d2,
-                    best_s,
-                },
-                cache,
-            );
-            return;
-        }
-        let chunk = n.div_ceil(eff);
-        let op = &op;
-        std::thread::scope(|scope| {
-            for (k, (((total, err), best_d2), best_s)) in total
-                .chunks_mut(chunk)
-                .zip(err.chunks_mut(chunk))
-                .zip(best_d2.chunks_mut(chunk))
-                .zip(best_s.chunks_mut(chunk))
-                .enumerate()
-            {
-                scope.spawn(move || {
-                    op(
-                        ListenerState {
-                            base: k * chunk,
-                            total,
-                            err,
-                            best_d2,
-                            best_s,
-                        },
-                        cache,
-                    )
-                });
-            }
-        });
+        let tasks = listener_chunks(total, err, best_d2, best_s, n, eff);
+        chunked_scope(tasks, |ls| op(ls, cache));
     }
 }
 
@@ -1314,8 +1563,8 @@ impl InterferenceBackend for CachedBackend {
         }
     }
 
-    fn prepare(&mut self, params: &SinrParams, positions: &[Point]) {
-        self.prepare_impl(params, positions);
+    fn prepare(&mut self, params: &SinrParams, positions: &[Point]) -> Result<(), PhysError> {
+        self.prepare_impl(params, positions)
     }
 
     fn update_positions(
@@ -1345,39 +1594,21 @@ impl InterferenceBackend for CachedBackend {
             // Lazy (re)preparation: correct for one-shot wrappers and
             // deployment swaps, at the cost of an O(n²) rebuild — or
             // just the O(n) slot-state reset when a matching shared
-            // table was adopted at construction.
-            self.prepare_impl(params, positions);
+            // table was adopted at construction. Inside decide_slot
+            // there is no error channel, so an over-cap deployment
+            // panics with the structured message (callers who want the
+            // error call `prepare` first, as the engine does).
+            self.prepare_impl(params, positions)
+                .unwrap_or_else(|e| panic!("cached backend: {e}"));
         }
 
         // Diff the sorted sender sets into arrivals and departures.
-        self.state.enters.clear();
-        self.state.leaves.clear();
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < self.state.prev.len() || j < senders.len() {
-            match (self.state.prev.get(i), senders.get(j)) {
-                (Some(&p), Some(&s)) if p == s => {
-                    i += 1;
-                    j += 1;
-                }
-                (Some(&p), Some(&s)) if p < s => {
-                    self.state.leaves.push(p);
-                    i += 1;
-                }
-                (Some(_), Some(&s)) => {
-                    self.state.enters.push(s);
-                    j += 1;
-                }
-                (Some(&p), None) => {
-                    self.state.leaves.push(p);
-                    i += 1;
-                }
-                (None, Some(&s)) => {
-                    self.state.enters.push(s);
-                    j += 1;
-                }
-                (None, None) => unreachable!("loop condition"),
-            }
-        }
+        diff_sorted(
+            &self.state.prev,
+            senders,
+            &mut self.state.enters,
+            &mut self.state.leaves,
+        );
 
         let delta = self.state.enters.len() + self.state.leaves.len();
         self.state.ops_since_refresh += delta as u64;
@@ -1446,6 +1677,1287 @@ impl InterferenceBackend for CachedBackend {
                 total[u] = exact_total;
                 err[u] = (kf + 1.0) * f64::EPSILON * exact_total.abs();
                 params.decodes(signal, exact_total - signal)
+            } else {
+                margin > 0.0
+            };
+            if decodes {
+                *slot = Some(best);
+            }
+        }
+    }
+}
+
+/// The shareable preparation artifacts of one deployment, carried from
+/// an amortizing caller (the sweep planner, a bench harness) into
+/// backend construction: the dense n×n [`GainTable`] for cached cells
+/// and/or the sparse [`HybridTable`] for hybrid cells. Either member
+/// may be absent; [`BackendSpec::build_with_tables`] consumes whichever
+/// its model can use and ignores the rest, so one carrier serves a
+/// mixed-backend sweep group.
+#[derive(Debug, Clone, Default)]
+pub struct SharedTables {
+    dense: Option<Arc<GainTable>>,
+    hybrid: Option<Arc<HybridTable>>,
+}
+
+impl SharedTables {
+    /// An empty carrier (every build degrades to a private prepare).
+    pub fn new() -> Self {
+        SharedTables::default()
+    }
+
+    /// Adds a dense gain table for cached-model consumers.
+    pub fn with_dense(mut self, table: Arc<GainTable>) -> Self {
+        self.dense = Some(table);
+        self
+    }
+
+    /// Adds a sparse hybrid table for hybrid-model consumers.
+    pub fn with_hybrid(mut self, table: Arc<HybridTable>) -> Self {
+        self.hybrid = Some(table);
+        self
+    }
+
+    /// The dense member, if present.
+    pub fn dense(&self) -> Option<&Arc<GainTable>> {
+        self.dense.as_ref()
+    }
+
+    /// The sparse hybrid member, if present.
+    pub fn hybrid(&self) -> Option<&Arc<HybridTable>> {
+        self.hybrid.as_ref()
+    }
+
+    /// Whether the carrier holds nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.dense.is_none() && self.hybrid.is_none()
+    }
+
+    /// A copy keeping only the members that actually match `params` and
+    /// `positions` (the hybrid member must additionally have been built
+    /// for `spec`'s cutoff). Callers that cannot guarantee provenance —
+    /// the engine adopting caller-supplied tables — filter through this
+    /// so a stale table degrades to a rebuild instead of wrong gains.
+    pub fn matching(
+        &self,
+        spec: BackendSpec,
+        params: &SinrParams,
+        positions: &[Point],
+    ) -> SharedTables {
+        SharedTables {
+            dense: self.dense.clone().filter(|t| t.matches(params, positions)),
+            hybrid: match spec.model {
+                InterferenceModel::Hybrid { cutoff } => self
+                    .hybrid
+                    .clone()
+                    .filter(|t| t.matches(params, positions, cutoff)),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl From<Arc<GainTable>> for SharedTables {
+    fn from(table: Arc<GainTable>) -> Self {
+        SharedTables::new().with_dense(table)
+    }
+}
+
+/// How many spatial-hash cells span the hybrid near-field cutoff
+/// radius.
+///
+/// Smaller cells tighten the far-field over-estimate (a cell's
+/// lower-bound distance approaches its members' true distances) and
+/// trim the near neighborhood's area overshoot, at the price of more
+/// cells in the far sweeps. Three cells per cutoff keeps the near
+/// neighborhood at ~60 cells while per-cell far aggregation stays
+/// coarse enough that table loads, not `powf` calls, dominate.
+const HYBRID_CELLS_PER_CUTOFF: f64 = 3.0;
+
+/// One spatial-hash bucket of the hybrid kernel: its integer grid key
+/// and member nodes (ascending). Slots are **append-only** — mobility
+/// may occupy new keys, and emptied cells persist with no members — so
+/// a slot index, once assigned, stays valid for the table's lifetime
+/// and every far-field iteration can run in slot-index order
+/// (deterministic, unlike `HashMap` iteration).
+#[derive(Debug, Clone)]
+struct CellSlot {
+    key: (i64, i64),
+    members: Vec<u32>,
+}
+
+/// One sparse near-field link: a neighboring node and the exact link
+/// gain to it, computed with the same `dist_sq → sqrt →
+/// received_power` arithmetic as [`GainTable`] so near-field sums
+/// reproduce the dense kernel's bits. Distances are recomputed from
+/// positions on demand (`Point::dist_sq` is bitwise symmetric), keeping
+/// a link at 16 bytes.
+#[derive(Debug, Clone, Copy)]
+struct NearLink {
+    node: u32,
+    gain: f64,
+}
+
+/// Squared lower bound on the distance between any point of the cell at
+/// key offset `(di, dj)` and any point of the origin cell: adjacent or
+/// identical cells can touch (bound 0); beyond that each axis
+/// contributes `(|Δ| − 1) · cell_size` of guaranteed separation.
+#[inline]
+fn box_dist_sq(di: i64, dj: i64, cell_size: f64) -> f64 {
+    let dx = (di.abs() - 1).max(0) as f64 * cell_size;
+    let dy = (dj.abs() - 1).max(0) as f64 * cell_size;
+    dx * dx + dy * dy
+}
+
+/// The cell key of `p`, matching [`HashGrid`]'s bucketing exactly (the
+/// build buckets through `HashGrid`, mobility re-buckets through this).
+#[inline]
+fn hybrid_key(p: Point, cell_size: f64) -> (i64, i64) {
+    (
+        (p.x / cell_size).floor() as i64,
+        (p.y / cell_size).floor() as i64,
+    )
+}
+
+/// Per-cell-pair far-field gains, indexed by absolute key offset.
+///
+/// A far cell's aggregate contribution to a listener is
+/// `count · P/box^α` with `box` the cell-pair lower-bound distance,
+/// which depends only on the absolute key offset `(|Δi|, |Δj|)` — so
+/// all O(cells²) far pair gains collapse into one small offset-indexed
+/// table and the far sweeps become multiply-adds instead of `powf`
+/// storms. Near offsets store 0 (their value is never read).
+#[derive(Debug, Clone, Default)]
+struct PairGain {
+    dj_max: i64,
+    vals: Vec<f64>,
+}
+
+impl PairGain {
+    fn build(
+        params: &SinrParams,
+        cell_size: f64,
+        cutoff_sq: f64,
+        di_max: i64,
+        dj_max: i64,
+    ) -> Self {
+        let mut vals = vec![0.0; ((di_max + 1) * (dj_max + 1)) as usize];
+        for di in 0..=di_max {
+            for dj in 0..=dj_max {
+                let b2 = box_dist_sq(di, dj, cell_size);
+                if b2 > cutoff_sq {
+                    // The near-field assumption puts every true pair
+                    // distance at ≥ 1, so clamping the box bound to 1
+                    // keeps it a valid lower bound while honoring
+                    // `received_power`'s domain.
+                    vals[(di * (dj_max + 1) + dj) as usize] =
+                        params.received_power(b2.sqrt().max(1.0));
+                }
+            }
+        }
+        PairGain { dj_max, vals }
+    }
+
+    #[inline]
+    fn get(&self, di: i64, dj: i64) -> f64 {
+        self.vals[(di * (self.dj_max + 1) + dj) as usize]
+    }
+}
+
+/// Collects node `u`'s sparse near row: exact links to every other
+/// member of each cell whose pair box distance to `u`'s cell is within
+/// the cutoff, sorted by node index (so row iteration visits senders in
+/// the exact backend's ascending order).
+#[allow(clippy::too_many_arguments)]
+fn build_row(
+    params: &SinrParams,
+    positions: &[Point],
+    cells: &[CellSlot],
+    slot_of: &HashMap<(i64, i64), u32>,
+    cell_size: f64,
+    cutoff_sq: f64,
+    reach: i64,
+    u: usize,
+    key: (i64, i64),
+    row: &mut Vec<NearLink>,
+) {
+    row.clear();
+    let pu = positions[u];
+    for di in -reach..=reach {
+        for dj in -reach..=reach {
+            if box_dist_sq(di, dj, cell_size) > cutoff_sq {
+                continue;
+            }
+            let Some(&slot) = slot_of.get(&(key.0 + di, key.1 + dj)) else {
+                continue;
+            };
+            for &m in &cells[slot as usize].members {
+                if m as usize == u {
+                    continue;
+                }
+                let d2 = positions[m as usize].dist_sq(pu);
+                row.push(NearLink {
+                    node: m,
+                    gain: params.received_power(d2.sqrt()),
+                });
+            }
+        }
+    }
+    row.sort_unstable_by_key(|l| l.node);
+}
+
+/// Immutable sparse preparation of the hybrid kernel for one deployment
+/// (the O(n·near_degree) analogue of the dense [`GainTable`]): exact
+/// link gains for every **near** pair — pairs whose spatial-hash cells
+/// are within the cutoff radius of each other — in per-node sorted
+/// rows, plus the cell bucketing and the offset-indexed far pair gains.
+///
+/// Like `GainTable` it is deployment-derived and shareable: sweeps hand
+/// every cell a clone of one `Arc<HybridTable>`, and mobility forks a
+/// private copy on first write (`Arc::make_mut`). The build is
+/// thread-count invariant — rows are computed per node independently —
+/// so a shared table is bitwise identical to a private one.
+#[derive(Debug, Clone)]
+pub struct HybridTable {
+    params: SinrParams,
+    positions: Vec<Point>,
+    /// The cutoff as specified (0.0 = auto), compared by `matches`.
+    cutoff_spec: f64,
+    /// The resolved near-field cutoff radius (> 0).
+    cutoff: f64,
+    cell_size: f64,
+    /// Per-node slot index into `cells`.
+    cell_of: Vec<u32>,
+    /// Append-only cell slots, created in sorted-key order at build.
+    cells: Vec<CellSlot>,
+    /// Key → slot lookups only; never iterated (HashMap order is not
+    /// deterministic).
+    slot_of: HashMap<(i64, i64), u32>,
+    /// Per-node sorted near links (symmetric: `v ∈ rows[u] ⇔ u ∈
+    /// rows[v]`, with bitwise-equal gains).
+    rows: Vec<Vec<NearLink>>,
+    /// Bounding box of occupied keys, sized to grow `pair_gain`.
+    key_lo: (i64, i64),
+    key_hi: (i64, i64),
+    pair_gain: PairGain,
+}
+
+impl HybridTable {
+    /// Builds the sparse table: spatial-hash bucketing via [`HashGrid`]
+    /// with cell size `cutoff / 3`, near rows thread-chunked across up
+    /// to `threads` OS threads. A `cutoff_spec` of `0.0` resolves to
+    /// the deployment's weak range `R` — every in-range link is then
+    /// exact and only genuinely out-of-range interference is
+    /// aggregated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff_spec` is negative or non-finite, or if any
+    /// position is non-finite.
+    pub fn build(
+        params: &SinrParams,
+        positions: &[Point],
+        cutoff_spec: f64,
+        threads: usize,
+    ) -> Self {
+        assert!(
+            cutoff_spec.is_finite() && cutoff_spec >= 0.0,
+            "hybrid cutoff must be finite and non-negative, got {cutoff_spec}"
+        );
+        let cutoff = if cutoff_spec > 0.0 {
+            cutoff_spec
+        } else {
+            params.range()
+        };
+        let cell_size = cutoff / HYBRID_CELLS_PER_CUTOFF;
+        let cutoff_sq = cutoff * cutoff;
+        let n = positions.len();
+
+        // Bucket through the shared spatial hash, then freeze the
+        // buckets into slots in sorted-key order: slot numbering (and
+        // with it every far-field iteration) is deterministic.
+        let grid = HashGrid::build(positions, cell_size);
+        let mut cells: Vec<CellSlot> = grid
+            .cells()
+            .map(|(key, members)| CellSlot {
+                key,
+                members: members.iter().map(|&m| m as u32).collect(),
+            })
+            .collect();
+        cells.sort_unstable_by_key(|c| c.key);
+        let mut slot_of = HashMap::with_capacity(cells.len());
+        let mut cell_of = vec![0u32; n];
+        let mut key_lo = (0i64, 0i64);
+        let mut key_hi = (0i64, 0i64);
+        for (slot, cell) in cells.iter_mut().enumerate() {
+            cell.members.sort_unstable();
+            slot_of.insert(cell.key, slot as u32);
+            for &m in &cell.members {
+                cell_of[m as usize] = slot as u32;
+            }
+            if slot == 0 {
+                key_lo = cell.key;
+                key_hi = cell.key;
+            } else {
+                key_lo = (key_lo.0.min(cell.key.0), key_lo.1.min(cell.key.1));
+                key_hi = (key_hi.0.max(cell.key.0), key_hi.1.max(cell.key.1));
+            }
+        }
+        let pair_gain = PairGain::build(
+            params,
+            cell_size,
+            cutoff_sq,
+            key_hi.0 - key_lo.0,
+            key_hi.1 - key_lo.1,
+        );
+
+        let reach = hybrid_reach(cutoff, cell_size);
+        let mut rows: Vec<Vec<NearLink>> = vec![Vec::new(); n];
+        let eff = effective_threads(threads.max(1), n);
+        let chunk = (if eff <= 1 { n } else { n.div_ceil(eff) }).max(1);
+        let tasks: Vec<(usize, &mut [Vec<NearLink>])> = rows
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(k, r)| (k * chunk, r))
+            .collect();
+        let (cells_ref, slot_ref, cell_ref) = (&cells, &slot_of, &cell_of);
+        chunked_scope(tasks, |(base, row_chunk)| {
+            for (i, row) in row_chunk.iter_mut().enumerate() {
+                let u = base + i;
+                let key = cells_ref[cell_ref[u] as usize].key;
+                build_row(
+                    params, positions, cells_ref, slot_ref, cell_size, cutoff_sq, reach, u, key,
+                    row,
+                );
+            }
+        });
+
+        HybridTable {
+            params: *params,
+            positions: positions.to_vec(),
+            cutoff_spec,
+            cutoff,
+            cell_size,
+            cell_of,
+            cells,
+            slot_of,
+            rows,
+            key_lo,
+            key_hi,
+            pair_gain,
+        }
+    }
+
+    /// Whether this table was built for exactly this deployment and
+    /// cutoff specification.
+    pub fn matches(&self, params: &SinrParams, positions: &[Point], cutoff_spec: f64) -> bool {
+        self.params == *params && self.cutoff_spec == cutoff_spec && self.positions == positions
+    }
+
+    /// Number of nodes the table was built for.
+    pub fn n(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The resolved near-field cutoff radius.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Total number of stored near links (both directions counted);
+    /// sparse memory is ~16 bytes per link versus the dense table's
+    /// fixed `16·n²`.
+    pub fn near_links(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// The exact link gain between `u` and its near neighbor `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pair is not near — callers only ask for links
+    /// they discovered in a row scan.
+    fn near_gain(&self, u: usize, v: usize) -> f64 {
+        let row = &self.rows[u];
+        let i = row
+            .binary_search_by_key(&(v as u32), |l| l.node)
+            .expect("near_gain queried for a non-near pair");
+        row[i].gain
+    }
+
+    /// The far-field gain from source cell `src` to destination cell
+    /// `dest`, or `None` when the pair is near (its members live in the
+    /// sparse rows instead).
+    #[inline]
+    fn far_pair(&self, dest: u32, src: u32) -> Option<f64> {
+        let kd = self.cells[dest as usize].key;
+        let ks = self.cells[src as usize].key;
+        let di = (kd.0 - ks.0).abs();
+        let dj = (kd.1 - ks.1).abs();
+        if box_dist_sq(di, dj, self.cell_size) > self.cutoff * self.cutoff {
+            Some(self.pair_gain.get(di, dj))
+        } else {
+            None
+        }
+    }
+
+    /// Grows the pair-gain table when `key` falls outside the occupied
+    /// bounding box (mobility reaching fresh ground).
+    fn grow_pair_gain(&mut self, key: (i64, i64)) {
+        let lo = (self.key_lo.0.min(key.0), self.key_lo.1.min(key.1));
+        let hi = (self.key_hi.0.max(key.0), self.key_hi.1.max(key.1));
+        if lo == self.key_lo && hi == self.key_hi {
+            return;
+        }
+        self.key_lo = lo;
+        self.key_hi = hi;
+        self.pair_gain = PairGain::build(
+            &self.params,
+            self.cell_size,
+            self.cutoff * self.cutoff,
+            hi.0 - lo.0,
+            hi.1 - lo.1,
+        );
+    }
+
+    /// Re-buckets one moved node: detaches it from its old cell and its
+    /// old neighbors' rows, rebuilds its own row at the new position,
+    /// mirrors the new links into the new neighbors' rows, and appends
+    /// a fresh cell slot when the new key was unoccupied. Returns the
+    /// node's new slot and whether that slot was appended.
+    fn rebucket(&mut self, m: usize, to: Point) -> (u32, bool) {
+        let mu = m as u32;
+        let mut row = std::mem::take(&mut self.rows[m]);
+        for link in &row {
+            let nrow = &mut self.rows[link.node as usize];
+            if let Ok(i) = nrow.binary_search_by_key(&mu, |l| l.node) {
+                nrow.remove(i);
+            }
+        }
+        let old = &mut self.cells[self.cell_of[m] as usize].members;
+        if let Ok(i) = old.binary_search(&mu) {
+            old.remove(i);
+        }
+
+        self.positions[m] = to;
+        let key = hybrid_key(to, self.cell_size);
+        let (slot, appended) = match self.slot_of.get(&key) {
+            Some(&s) => (s, false),
+            None => {
+                let s = self.cells.len() as u32;
+                self.cells.push(CellSlot {
+                    key,
+                    members: Vec::new(),
+                });
+                self.slot_of.insert(key, s);
+                self.grow_pair_gain(key);
+                (s, true)
+            }
+        };
+        self.cell_of[m] = slot;
+        let members = &mut self.cells[slot as usize].members;
+        let at = members.binary_search(&mu).unwrap_err();
+        members.insert(at, mu);
+
+        let cutoff_sq = self.cutoff * self.cutoff;
+        let reach = hybrid_reach(self.cutoff, self.cell_size);
+        build_row(
+            &self.params,
+            &self.positions,
+            &self.cells,
+            &self.slot_of,
+            self.cell_size,
+            cutoff_sq,
+            reach,
+            m,
+            key,
+            &mut row,
+        );
+        for link in &row {
+            let nrow = &mut self.rows[link.node as usize];
+            if let Err(i) = nrow.binary_search_by_key(&mu, |l| l.node) {
+                nrow.insert(
+                    i,
+                    NearLink {
+                        node: mu,
+                        gain: link.gain,
+                    },
+                );
+            }
+        }
+        self.rows[m] = row;
+        (slot, appended)
+    }
+}
+
+/// Cell offsets out to `reach` cover every cell whose box distance can
+/// be within the cutoff (the +1 absorbs the touching-cell slack in
+/// [`box_dist_sq`]).
+#[inline]
+fn hybrid_reach(cutoff: f64, cell_size: f64) -> i64 {
+    1 + (cutoff / cell_size).ceil() as i64
+}
+
+/// Rebuilds a listener range of the hybrid kernel from scratch: near
+/// totals summed over each listener's sparse row in ascending node
+/// order restricted to the current transmitters — per listener, the
+/// exact backend's ordered sub-sum over the near senders, hence
+/// identical bits for the near-field portion — and nearest **near**
+/// senders re-selected with the exact backend's first-minimum
+/// tie-break.
+fn hybrid_refresh_range(ls: ListenerState<'_>, table: &HybridTable, sending: &[bool]) {
+    for i in 0..ls.total.len() {
+        let u = ls.base + i;
+        let pu = table.positions[u];
+        let mut total = 0.0;
+        let mut terms = 0u32;
+        let mut bd = f64::INFINITY;
+        let mut bs = NO_SENDER;
+        for link in &table.rows[u] {
+            let v = link.node as usize;
+            if !sending[v] {
+                continue;
+            }
+            total += link.gain;
+            terms += 1;
+            let d = table.positions[v].dist_sq(pu);
+            if d < bd {
+                bd = d;
+                bs = v;
+            }
+        }
+        ls.total[i] = total;
+        ls.err[i] = (f64::from(terms) + 1.0) * f64::EPSILON * total.abs();
+        ls.best_d2[i] = bd;
+        ls.best_s[i] = bs;
+    }
+}
+
+/// Applies a transmitter-set delta to a listener range of the hybrid
+/// kernel (the sparse analogue of [`delta_range`]): departed near
+/// senders' gains leave each row-adjacent listener's total, arrivals
+/// enter, the nearest-near-sender choice is patched with the
+/// (distance, index) tie-break, and listeners orphaned by a departure
+/// rescan their own row against the **current** sending flags — which
+/// the caller must have updated before this sweep runs.
+fn hybrid_delta_range(
+    ls: ListenerState<'_>,
+    table: &HybridTable,
+    sending: &[bool],
+    enters: &[usize],
+    leaves: &[usize],
+) {
+    let lo = ls.base as u32;
+    let hi = (ls.base + ls.total.len()) as u32;
+    for &s in leaves {
+        let row = &table.rows[s];
+        let start = row.partition_point(|l| l.node < lo);
+        for link in &row[start..] {
+            if link.node >= hi {
+                break;
+            }
+            let i = link.node as usize - ls.base;
+            ls.total[i] -= link.gain;
+            ls.err[i] += f64::EPSILON * ls.total[i].abs();
+        }
+    }
+    let mut orphaned: Vec<usize> = Vec::new();
+    if !leaves.is_empty() {
+        for (i, (bd, bs)) in ls.best_d2.iter_mut().zip(ls.best_s.iter_mut()).enumerate() {
+            if *bs != NO_SENDER && leaves.binary_search(bs).is_ok() {
+                *bd = f64::INFINITY;
+                *bs = NO_SENDER;
+                orphaned.push(ls.base + i);
+            }
+        }
+    }
+    for &s in enters {
+        let ps = table.positions[s];
+        let row = &table.rows[s];
+        let start = row.partition_point(|l| l.node < lo);
+        for link in &row[start..] {
+            if link.node >= hi {
+                break;
+            }
+            let i = link.node as usize - ls.base;
+            ls.total[i] += link.gain;
+            ls.err[i] += f64::EPSILON * ls.total[i].abs();
+            let d = table.positions[link.node as usize].dist_sq(ps);
+            if d < ls.best_d2[i] || (d == ls.best_d2[i] && s < ls.best_s[i]) {
+                ls.best_d2[i] = d;
+                ls.best_s[i] = s;
+            }
+        }
+    }
+    for &u in &orphaned {
+        let pu = table.positions[u];
+        let mut bd = f64::INFINITY;
+        let mut bs = NO_SENDER;
+        for link in &table.rows[u] {
+            let v = link.node as usize;
+            if !sending[v] {
+                continue;
+            }
+            let d = table.positions[v].dist_sq(pu);
+            if d < bd {
+                bd = d;
+                bs = v;
+            }
+        }
+        ls.best_d2[u - ls.base] = bd;
+        ls.best_s[u - ls.base] = bs;
+    }
+}
+
+/// Collapses `(cell, ±1)` pairs into net per-cell deltas sorted by slot
+/// index (the deterministic application order of the far-field folds),
+/// dropping cells whose net change is zero.
+fn compact_cell_deltas(cd: &mut Vec<(u32, i32)>) {
+    cd.sort_unstable_by_key(|&(c, _)| c);
+    let mut w = 0;
+    for r in 0..cd.len() {
+        if w > 0 && cd[w - 1].0 == cd[r].0 {
+            cd[w - 1].1 += cd[r].1;
+        } else {
+            cd[w] = cd[r];
+            w += 1;
+        }
+    }
+    cd.truncate(w);
+    cd.retain(|&(_, d)| d != 0);
+}
+
+/// The per-run mutable half of the hybrid kernel (the sparse analogue
+/// of [`SlotState`]): incremental near-field totals and
+/// nearest-near-sender choices per listener, plus per-cell transmitter
+/// counts and aggregated far-field interference, all maintained from
+/// transmitter enter/leave deltas.
+#[derive(Debug, Default)]
+pub struct HybridState {
+    /// Per-listener near-field interference total (the far field lives
+    /// in `far`, keyed by the listener's cell).
+    near: Vec<f64>,
+    /// Per-listener conservative bound on |near − exact ordered sum|.
+    err: Vec<f64>,
+    /// Per-listener squared distance to the nearest near sender.
+    best_d2: Vec<f64>,
+    /// Per-listener nearest near sender ([`NO_SENDER`] when none).
+    best_s: Vec<usize>,
+    /// Whether each node transmitted in the previous `decide_slot`.
+    sending: Vec<bool>,
+    prev: Vec<usize>,
+    enters: Vec<usize>,
+    leaves: Vec<usize>,
+    /// Per-cell current transmitter count.
+    cell_count: Vec<u32>,
+    /// Per-cell aggregated far-field interference at any listener in
+    /// the cell (destination-keyed).
+    far: Vec<f64>,
+    /// Per-cell conservative drift bound on `far`.
+    far_err: Vec<f64>,
+    /// Scratch: net `(cell, count delta)` pairs for the current update.
+    cell_delta: Vec<(u32, i32)>,
+    ops_since_refresh: u64,
+}
+
+impl HybridState {
+    /// Resets the state for a fresh run over `n` nodes in `cells` cell
+    /// slots.
+    fn reset(&mut self, n: usize, cells: usize) {
+        self.near.clear();
+        self.near.resize(n, 0.0);
+        self.err.clear();
+        self.err.resize(n, 0.0);
+        self.best_d2.clear();
+        self.best_d2.resize(n, f64::INFINITY);
+        self.best_s.clear();
+        self.best_s.resize(n, NO_SENDER);
+        self.sending.clear();
+        self.sending.resize(n, false);
+        self.prev.clear();
+        self.enters.clear();
+        self.leaves.clear();
+        self.cell_count.clear();
+        self.cell_count.resize(cells, 0);
+        self.far.clear();
+        self.far.resize(cells, 0.0);
+        self.far_err.clear();
+        self.far_err.resize(cells, 0.0);
+        self.cell_delta.clear();
+        self.ops_since_refresh = 0;
+    }
+
+    /// Whether the state is sized for this deployment and cell layout.
+    fn ready_for(&self, n: usize, cells: usize) -> bool {
+        self.near.len() == n && self.far.len() == cells
+    }
+}
+
+/// Sparse near-field / aggregated far-field reception kernel for
+/// deployments too large for the dense [`GainTable`] (see module docs).
+///
+/// Near pairs (within the spatial-hash cutoff radius) get the cached
+/// kernel's treatment — exact gains in CSR-style sparse rows, driven
+/// incrementally by transmitter deltas with a guarded deterministic
+/// replay for near-threshold decisions. Far pairs are aggregated per
+/// cell: each cell tracks how many of its members transmit, and every
+/// listener adds `Σ_cells count · P/box^α` with `box` the cell-pair
+/// lower-bound distance. Far distances are under-estimated, so
+/// interference is over-estimated and the kernel is **conservative**
+/// like [`GridFarFieldBackend`]: it never decodes a message
+/// [`ExactBackend`] would reject, and a granted message always names
+/// the exact backend's sender (verified by the
+/// `tests/backend_equivalence.rs` proptests, including churn and
+/// mobility). Results are bit-reproducible across thread counts and
+/// shared-vs-private tables.
+///
+/// Per-slot cost is O(|Δ senders| × near listeners + Δcells × cells);
+/// memory is O(n · near_degree + cells).
+#[derive(Debug)]
+pub struct HybridBackend {
+    threads: usize,
+    /// The cutoff as specified (0.0 = auto-resolve to the weak range).
+    cutoff: f64,
+    table: Option<Arc<HybridTable>>,
+    state: HybridState,
+}
+
+impl HybridBackend {
+    /// A fresh serial hybrid kernel; `cutoff` of 0.0 auto-selects the
+    /// deployment's weak range `R` at preparation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff` is negative or non-finite.
+    pub fn new(cutoff: f64) -> Self {
+        HybridBackend::with_threads(cutoff, 1)
+    }
+
+    /// Like [`HybridBackend::new`] with sweeps chunked across up to
+    /// `threads` OS threads (bit-identical results at any thread
+    /// count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or `cutoff` is invalid.
+    pub fn with_threads(cutoff: f64, threads: usize) -> Self {
+        assert!(threads > 0, "threads must be nonzero");
+        assert!(
+            cutoff.is_finite() && cutoff >= 0.0,
+            "hybrid cutoff must be finite and non-negative, got {cutoff}"
+        );
+        HybridBackend {
+            threads,
+            cutoff,
+            table: None,
+            state: HybridState::default(),
+        }
+    }
+
+    /// A hybrid kernel around an already-built shared sparse table:
+    /// matching deployments skip straight to the O(n) state reset,
+    /// mismatching ones rebuild privately (adoption is never incorrect,
+    /// only sometimes useless). The same copy-on-write discipline as
+    /// [`CachedBackend::with_shared_table`] applies under mobility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or `cutoff` is invalid.
+    pub fn with_shared_table(cutoff: f64, table: Arc<HybridTable>, threads: usize) -> Self {
+        let mut backend = HybridBackend::with_threads(cutoff, threads);
+        backend.table = Some(table);
+        backend
+    }
+
+    /// The configured thread count (before the crossover is applied).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The prepared sparse table, if any.
+    pub fn hybrid_table(&self) -> Option<&HybridTable> {
+        self.table.as_deref()
+    }
+
+    /// A shareable handle to the prepared sparse table, if any.
+    pub fn shared_table(&self) -> Option<Arc<HybridTable>> {
+        self.table.clone()
+    }
+
+    /// (Re)builds the sparse table (unless the held one matches) and
+    /// resets all incremental state.
+    fn prepare_impl(&mut self, params: &SinrParams, positions: &[Point]) {
+        if !self
+            .table
+            .as_ref()
+            .is_some_and(|t| t.matches(params, positions, self.cutoff))
+        {
+            self.table = Some(Arc::new(HybridTable::build(
+                params,
+                positions,
+                self.cutoff,
+                self.threads,
+            )));
+        }
+        let cells = self.table.as_deref().expect("just built").cells.len();
+        self.state.reset(positions.len(), cells);
+    }
+
+    /// Runs `op` over the per-listener near-field state, chunked across
+    /// threads past the crossover; `op` additionally sees the sparse
+    /// table and the **current** sending flags.
+    fn sweep(&mut self, op: impl Fn(ListenerState<'_>, &HybridTable, &[bool]) + Sync) {
+        let HybridBackend {
+            threads,
+            table,
+            state,
+            ..
+        } = self;
+        let HybridState {
+            near,
+            err,
+            best_d2,
+            best_s,
+            sending,
+            ..
+        } = state;
+        let table = table.as_deref().expect("sweep requires a prepared table");
+        let n = near.len();
+        let eff = effective_threads(*threads, n);
+        let tasks = listener_chunks(near, err, best_d2, best_s, n, eff);
+        let sending: &[bool] = sending;
+        chunked_scope(tasks, |ls| op(ls, table, sending));
+    }
+
+    /// Applies the compacted `state.cell_delta` to the per-cell
+    /// transmitter counts.
+    fn apply_count_deltas(&mut self) {
+        for &(c, d) in &self.state.cell_delta {
+            let cnt = &mut self.state.cell_count[c as usize];
+            *cnt = (i64::from(*cnt) + i64::from(d)) as u32;
+        }
+    }
+
+    /// Folds the compacted `state.cell_delta` into every destination
+    /// cell's far-field aggregate (thread-chunked over destinations;
+    /// each destination applies the deltas in slot order, so results
+    /// are thread-count invariant).
+    fn apply_far_deltas(&mut self) {
+        let HybridBackend {
+            threads,
+            table,
+            state,
+            ..
+        } = self;
+        let table = table.as_deref().expect("prepared");
+        let HybridState {
+            far,
+            far_err,
+            cell_delta,
+            ..
+        } = state;
+        if cell_delta.is_empty() {
+            return;
+        }
+        let cells = far.len();
+        let eff = effective_threads(*threads, cells);
+        let chunk = (if eff <= 1 { cells } else { cells.div_ceil(eff) }).max(1);
+        let deltas: &[(u32, i32)] = cell_delta;
+        let tasks: Vec<(usize, &mut [f64], &mut [f64])> = far
+            .chunks_mut(chunk)
+            .zip(far_err.chunks_mut(chunk))
+            .enumerate()
+            .map(|(k, (f, e))| (k * chunk, f, e))
+            .collect();
+        chunked_scope(tasks, |(base, fs, es)| {
+            for (i, (fv, ev)) in fs.iter_mut().zip(es.iter_mut()).enumerate() {
+                let dest = (base + i) as u32;
+                for &(src, d) in deltas {
+                    if let Some(pg) = table.far_pair(dest, src) {
+                        *fv += f64::from(d) * pg;
+                        *ev += f64::EPSILON * fv.abs();
+                    }
+                }
+            }
+        });
+    }
+
+    /// Recomputes every destination cell's far-field aggregate from the
+    /// current transmitter counts in slot order (thread-chunked over
+    /// destinations) and resets the per-cell drift bounds.
+    fn far_refresh(&mut self) {
+        let HybridBackend {
+            threads,
+            table,
+            state,
+            ..
+        } = self;
+        let table = table.as_deref().expect("prepared");
+        let HybridState {
+            far,
+            far_err,
+            cell_count,
+            ..
+        } = state;
+        let cells = far.len();
+        let eff = effective_threads(*threads, cells);
+        let chunk = (if eff <= 1 { cells } else { cells.div_ceil(eff) }).max(1);
+        let counts: &[u32] = cell_count;
+        let tasks: Vec<(usize, &mut [f64], &mut [f64])> = far
+            .chunks_mut(chunk)
+            .zip(far_err.chunks_mut(chunk))
+            .enumerate()
+            .map(|(k, (f, e))| (k * chunk, f, e))
+            .collect();
+        chunked_scope(tasks, |(base, fs, es)| {
+            for (i, (fv, ev)) in fs.iter_mut().zip(es.iter_mut()).enumerate() {
+                let dest = (base + i) as u32;
+                let mut sum = 0.0;
+                let mut terms = 0u32;
+                for (src, &cnt) in counts.iter().enumerate() {
+                    if cnt == 0 {
+                        continue;
+                    }
+                    if let Some(pg) = table.far_pair(dest, src as u32) {
+                        sum += f64::from(cnt) * pg;
+                        terms += 1;
+                    }
+                }
+                *fv = sum;
+                *ev = (f64::from(terms) + 1.0) * f64::EPSILON * sum.abs();
+            }
+        });
+    }
+
+    /// Applies a position change to the prepared kernel: movers are
+    /// re-bucketed and only their sparse rows, cell memberships and the
+    /// far-field cell sums are patched — O(movers × (near_degree +
+    /// cells)) against the full rebuild a re-`prepare` would cost.
+    ///
+    /// Mirrors [`CachedBackend::update_positions_impl`]: a transmitting
+    /// mover *leaves* at its old gains (old row, old cell) before the
+    /// table is touched and *re-enters* at its new gains after, each
+    /// mover's own listening state is rebuilt from its new row, and a
+    /// shared table is forked copy-on-write on first patch. Moves that
+    /// land in previously unoccupied cells append fresh slots (the
+    /// far-field arrays grow with them).
+    fn update_positions_impl(
+        &mut self,
+        params: &SinrParams,
+        positions: &[Point],
+        moved: &[(usize, Point)],
+    ) {
+        if moved.is_empty() {
+            return;
+        }
+        let n = positions.len();
+        // Release assert for the same reason as the cached kernel: an
+        // unsorted list would corrupt totals far outside the tracked
+        // drift bound.
+        assert!(
+            moved.windows(2).all(|w| w[0].0 < w[1].0),
+            "moved nodes must be ascending and unique"
+        );
+        let Some(table) = self.table.as_ref() else {
+            return;
+        };
+        if table.params != *params || table.n() != n || !self.state.ready_for(n, table.cells.len())
+        {
+            return;
+        }
+        if moved.len() * 4 >= n {
+            // Mass moves: the rebuild beats per-mover surgery, and the
+            // state reset makes the next decide_slot run a full refresh.
+            self.table = Some(Arc::new(HybridTable::build(
+                params,
+                positions,
+                self.cutoff,
+                self.threads,
+            )));
+            let cells = self.table.as_deref().expect("just built").cells.len();
+            self.state.reset(n, cells);
+            return;
+        }
+
+        // Phase 1: transmitting movers leave at their old gains — old
+        // rows for the near field, old cells for the far field — with
+        // their sending flags dropped so orphan rescans cannot
+        // resurrect them at stale distances.
+        let moved_senders: Vec<usize> = moved
+            .iter()
+            .map(|&(i, _)| i)
+            .filter(|&i| self.state.sending[i])
+            .collect();
+        if !moved_senders.is_empty() {
+            for &s in &moved_senders {
+                self.state.sending[s] = false;
+            }
+            self.sweep(|ls, table, sending| {
+                hybrid_delta_range(ls, table, sending, &[], &moved_senders)
+            });
+            let table = self.table.as_deref().expect("checked above");
+            self.state.cell_delta.clear();
+            for &s in &moved_senders {
+                self.state.cell_delta.push((table.cell_of[s], -1));
+            }
+            compact_cell_deltas(&mut self.state.cell_delta);
+            self.apply_count_deltas();
+            self.apply_far_deltas();
+        }
+
+        // Phase 2: re-bucket each mover (copy-on-write fork of a shared
+        // table on the first patch). Movers are processed sequentially;
+        // pairs of movers converge to their new-position gains once
+        // both have re-bucketed.
+        let table = Arc::make_mut(self.table.as_mut().expect("checked above"));
+        let mut appended: Vec<u32> = Vec::new();
+        for &(m, to) in moved {
+            let (slot, was_new) = table.rebucket(m, to);
+            if was_new {
+                appended.push(slot);
+                self.state.cell_count.push(0);
+                self.state.far.push(0.0);
+                self.state.far_err.push(0.0);
+            }
+        }
+
+        // Phase 3: freshly appended cells compute their far field from
+        // scratch (every other cell's aggregate is unaffected by new
+        // empty destinations).
+        let table = self.table.as_deref().expect("checked above");
+        for &slot in &appended {
+            let mut sum = 0.0;
+            let mut terms = 0u32;
+            for (src, &cnt) in self.state.cell_count.iter().enumerate() {
+                if cnt == 0 {
+                    continue;
+                }
+                if let Some(pg) = table.far_pair(slot, src as u32) {
+                    sum += f64::from(cnt) * pg;
+                    terms += 1;
+                }
+            }
+            self.state.far[slot as usize] = sum;
+            self.state.far_err[slot as usize] = (f64::from(terms) + 1.0) * f64::EPSILON * sum.abs();
+        }
+
+        // Phase 4: transmitting movers re-enter at their new gains and
+        // new cells, re-competing for nearest-near-sender with the
+        // (distance, index) tie-break.
+        if !moved_senders.is_empty() {
+            for &s in &moved_senders {
+                self.state.sending[s] = true;
+            }
+            self.sweep(|ls, table, sending| {
+                hybrid_delta_range(ls, table, sending, &moved_senders, &[])
+            });
+            let table = self.table.as_deref().expect("checked above");
+            self.state.cell_delta.clear();
+            for &s in &moved_senders {
+                self.state.cell_delta.push((table.cell_of[s], 1));
+            }
+            compact_cell_deltas(&mut self.state.cell_delta);
+            self.apply_count_deltas();
+            self.apply_far_deltas();
+        }
+
+        // Phase 5: every distance *to* a mover changed, so its own
+        // listening state is rebuilt from its new row the way a refresh
+        // would.
+        let table = self.table.as_deref().expect("checked above");
+        let state = &mut self.state;
+        for &(m, _) in moved {
+            let pu = table.positions[m];
+            let mut total = 0.0;
+            let mut terms = 0u32;
+            let mut bd = f64::INFINITY;
+            let mut bs = NO_SENDER;
+            for link in &table.rows[m] {
+                let v = link.node as usize;
+                if !state.sending[v] {
+                    continue;
+                }
+                total += link.gain;
+                terms += 1;
+                let d = table.positions[v].dist_sq(pu);
+                if d < bd {
+                    bd = d;
+                    bs = v;
+                }
+            }
+            state.near[m] = total;
+            state.err[m] = (f64::from(terms) + 1.0) * f64::EPSILON * total.abs();
+            state.best_d2[m] = bd;
+            state.best_s[m] = bs;
+        }
+
+        state.ops_since_refresh += (2 * moved_senders.len() + moved.len()) as u64;
+    }
+}
+
+impl InterferenceBackend for HybridBackend {
+    fn name(&self) -> &'static str {
+        if self.threads > 1 {
+            "hybrid+par"
+        } else {
+            "hybrid"
+        }
+    }
+
+    fn prepare(&mut self, params: &SinrParams, positions: &[Point]) -> Result<(), PhysError> {
+        self.prepare_impl(params, positions);
+        Ok(())
+    }
+
+    fn update_positions(
+        &mut self,
+        params: &SinrParams,
+        positions: &[Point],
+        moved: &[(usize, Point)],
+    ) {
+        self.update_positions_impl(params, positions, moved);
+    }
+
+    fn decide_slot(
+        &mut self,
+        params: &SinrParams,
+        positions: &[Point],
+        senders: &[usize],
+        out: &mut [Option<usize>],
+    ) {
+        check_invariants(positions, senders, out);
+        out.fill(None);
+        let prepared = match self.table.as_ref() {
+            Some(t) => {
+                t.matches(params, positions, self.cutoff)
+                    && self.state.ready_for(positions.len(), t.cells.len())
+            }
+            None => false,
+        };
+        if !prepared {
+            self.prepare_impl(params, positions);
+        }
+
+        diff_sorted(
+            &self.state.prev,
+            senders,
+            &mut self.state.enters,
+            &mut self.state.leaves,
+        );
+        let delta = self.state.enters.len() + self.state.leaves.len();
+        self.state.ops_since_refresh += delta as u64;
+
+        // Unlike the cached kernel, sending flags flip *before* the
+        // sweeps: hybrid orphan rescans read rows against the current
+        // flags instead of a sender list.
+        for &s in &self.state.leaves {
+            self.state.sending[s] = false;
+        }
+        for &s in &self.state.enters {
+            self.state.sending[s] = true;
+        }
+
+        // Per-cell transmitter-count deltas always apply; how they
+        // reach the far aggregates depends on the branch below.
+        {
+            let table = self.table.as_deref().expect("prepared above");
+            self.state.cell_delta.clear();
+            for &s in &self.state.leaves {
+                self.state.cell_delta.push((table.cell_of[s], -1));
+            }
+            for &s in &self.state.enters {
+                self.state.cell_delta.push((table.cell_of[s], 1));
+            }
+        }
+        compact_cell_deltas(&mut self.state.cell_delta);
+        self.apply_count_deltas();
+
+        // The refresh interval scales with n: at city scale the churn
+        // delta alone exceeds REFRESH_OPS every slot, and the tracked
+        // drift bounds (not the interval) carry correctness — a longer
+        // interval only widens the guard band slightly.
+        let interval = REFRESH_OPS.max(positions.len() as u64);
+        if delta >= senders.len().max(1) || self.state.ops_since_refresh >= interval {
+            self.state.ops_since_refresh = 0;
+            self.sweep(hybrid_refresh_range);
+            self.far_refresh();
+        } else if delta > 0 {
+            let (enters, leaves) = (
+                std::mem::take(&mut self.state.enters),
+                std::mem::take(&mut self.state.leaves),
+            );
+            self.sweep(|ls, table, sending| {
+                hybrid_delta_range(ls, table, sending, &enters, &leaves)
+            });
+            self.state.enters = enters;
+            self.state.leaves = leaves;
+            self.apply_far_deltas();
+        }
+        self.state.prev.clear();
+        self.state.prev.extend_from_slice(senders);
+        if senders.is_empty() {
+            return;
+        }
+
+        let HybridBackend { table, state, .. } = self;
+        let table = table.as_deref().expect("prepared above");
+        let HybridState {
+            near,
+            err,
+            best_s,
+            sending,
+            cell_count,
+            far,
+            far_err,
+            ..
+        } = state;
+        // Worst-case term count for the comparison-arithmetic slack:
+        // every sender near plus every cell far.
+        let kf = (senders.len() + table.cells.len()) as f64;
+        let beta = params.beta();
+        let noise = params.noise();
+        for (u, slot) in out.iter_mut().enumerate() {
+            if sending[u] {
+                continue;
+            }
+            let best = best_s[u];
+            if best == NO_SENDER {
+                continue;
+            }
+            let cu = table.cell_of[u] as usize;
+            let signal = table.near_gain(u, best);
+            let t = near[u] + far[cu];
+            let rhs = beta * ((t - signal) + noise);
+            let margin = signal - rhs;
+            // Same guard-band discipline as the cached kernel, with the
+            // far field's own drift bound added: outside the band the
+            // decision provably matches a drift-free hybrid evaluation;
+            // inside, replay both halves from scratch. (The *model* is
+            // conservative versus exact by construction — the band only
+            // pins determinism of the hybrid evaluation itself.)
+            let slack = 2.0 * (err[u] + far_err[cu]) + (kf + 2.0) * f64::EPSILON * t.abs();
+            let guard = 2.0 * beta * slack + 1e-13 * (signal.abs() + rhs.abs());
+            let decodes = if margin.abs() <= guard {
+                let mut near_sum = 0.0;
+                let mut terms = 0u32;
+                for link in &table.rows[u] {
+                    if sending[link.node as usize] {
+                        near_sum += link.gain;
+                        terms += 1;
+                    }
+                }
+                let mut far_sum = 0.0;
+                for (src, &cnt) in cell_count.iter().enumerate() {
+                    if cnt == 0 {
+                        continue;
+                    }
+                    if let Some(pg) = table.far_pair(cu as u32, src as u32) {
+                        far_sum += f64::from(cnt) * pg;
+                    }
+                }
+                near[u] = near_sum;
+                err[u] = (f64::from(terms) + 1.0) * f64::EPSILON * near_sum.abs();
+                params.decodes(signal, (near_sum + far_sum) - signal)
             } else {
                 margin > 0.0
             };
@@ -1790,7 +3302,7 @@ mod tests {
         let pos = sinr_geom::deploy::uniform(60, 70.0, 9).unwrap();
         let mut cached = BackendSpec::cached().build();
         let mut exact = BackendSpec::exact().build();
-        cached.prepare(&p, &pos);
+        cached.prepare(&p, &pos).unwrap();
         let mut got = vec![None; pos.len()];
         let mut want = vec![None; pos.len()];
         let schedules: Vec<Vec<usize>> = vec![
@@ -1817,7 +3329,7 @@ mod tests {
         let p = params();
         let pos = sinr_geom::deploy::lattice(6, 6, 2.0).unwrap();
         let mut cached = BackendSpec::cached().build();
-        cached.prepare(&p, &pos);
+        cached.prepare(&p, &pos).unwrap();
         let mut got = vec![None; pos.len()];
         for step in 0..6usize {
             let senders: Vec<usize> = (0..36).skip(step % 3).step_by(2 + step % 2).collect();
@@ -1889,9 +3401,13 @@ mod tests {
             "exact",
             "grid:8",
             "cached",
+            "hybrid",
+            "hybrid:16",
             "exact:par:4",
             "grid:2.5:par:8",
             "cached:par:4",
+            "hybrid:par:4",
+            "hybrid:2.5:par:8",
         ] {
             let spec = BackendSpec::parse(s).unwrap();
             let rendered = spec.to_string();
@@ -1906,8 +3422,22 @@ mod tests {
             BackendSpec::exact().with_threads(4)
         );
         assert_eq!(BackendSpec::parse("cached").unwrap(), BackendSpec::cached());
+        assert_eq!(
+            BackendSpec::parse("hybrid").unwrap(),
+            BackendSpec::hybrid(0.0)
+        );
+        assert_eq!(
+            BackendSpec::parse("hybrid:16").unwrap(),
+            BackendSpec::hybrid(16.0)
+        );
+        // The optional cutoff must not swallow a following component.
+        assert_eq!(
+            BackendSpec::parse("hybrid:par:4").unwrap(),
+            BackendSpec::hybrid(0.0).with_threads(4)
+        );
         assert!(BackendSpec::parse("grid").is_err());
         assert!(BackendSpec::parse("par:0").is_err());
+        assert!(BackendSpec::parse("hybrid:-2").is_err());
         assert!(BackendSpec::parse("warp").is_err());
     }
 
@@ -1930,6 +3460,11 @@ mod tests {
                 .build()
                 .name(),
             "grid+par"
+        );
+        assert_eq!(BackendSpec::hybrid(8.0).build().name(), "hybrid");
+        assert_eq!(
+            BackendSpec::hybrid(8.0).with_threads(2).build().name(),
+            "hybrid+par"
         );
     }
 
@@ -1983,7 +3518,7 @@ mod tests {
         let p = params();
         let mut pos = sinr_geom::deploy::uniform(40, 50.0, 7).unwrap();
         let mut cached = CachedBackend::new();
-        cached.prepare(&p, &pos);
+        cached.prepare(&p, &pos).unwrap();
         let senders: Vec<usize> = (0..40).step_by(3).collect();
         assert_cached_matches_exact(&p, &mut cached, &pos, &senders, "before any move");
         for step in 0..30usize {
@@ -2011,7 +3546,7 @@ mod tests {
         ];
         let senders = vec![1, 2, 3];
         let mut cached = CachedBackend::new();
-        cached.prepare(&p, &pos);
+        cached.prepare(&p, &pos).unwrap();
         assert_cached_matches_exact(&p, &mut cached, &pos, &senders, "initial");
         for step in 1..=12 {
             // The walker drifts away on an offset row, staying a unit
@@ -2041,7 +3576,7 @@ mod tests {
         let mut pos = vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0), far];
         let senders = vec![1, 2];
         let mut cached = CachedBackend::new();
-        cached.prepare(&p, &pos);
+        cached.prepare(&p, &pos).unwrap();
         let total_ops = REFRESH_OPS * 3 + 17;
         for step in 0..total_ops {
             let to = if step % 2 == 0 { near } else { far };
@@ -2083,7 +3618,7 @@ mod tests {
         let p = params();
         let mut pos = sinr_geom::deploy::uniform(24, 30.0, 4).unwrap();
         let mut cached = CachedBackend::new();
-        cached.prepare(&p, &pos);
+        cached.prepare(&p, &pos).unwrap();
         let senders: Vec<usize> = (0..24).step_by(2).collect();
         assert_cached_matches_exact(&p, &mut cached, &pos, &senders, "before");
         let moved: Vec<(usize, Point)> = (0..12)
@@ -2122,7 +3657,7 @@ mod tests {
             BackendSpec::exact().with_threads(2),
         ] {
             let mut backend = spec.build();
-            backend.prepare(&p, &pos);
+            backend.prepare(&p, &pos).unwrap();
             let mut out = vec![None; pos.len()];
             backend.decide_slot(&p, &pos, &senders, &mut out);
             pos[5] = Point::new(pos[5].x + 9.0, pos[5].y);
@@ -2141,7 +3676,7 @@ mod tests {
         let pos = sinr_geom::deploy::uniform(20, 30.0, 3).unwrap();
         let table = Arc::new(GainTable::build(&p, &pos, 1));
         let mut backend = CachedBackend::with_shared_table(Arc::clone(&table), 1);
-        backend.prepare(&p, &pos);
+        backend.prepare(&p, &pos).unwrap();
         // prepare must keep the very same allocation, not clone or
         // rebuild it.
         assert!(Arc::ptr_eq(&backend.shared_table().unwrap(), &table));
@@ -2191,8 +3726,8 @@ mod tests {
         let table = Arc::new(GainTable::build(&p, &home, 1));
         let mut mover = CachedBackend::with_shared_table(Arc::clone(&table), 1);
         let mut bystander = CachedBackend::with_shared_table(Arc::clone(&table), 1);
-        mover.prepare(&p, &home);
-        bystander.prepare(&p, &home);
+        mover.prepare(&p, &home).unwrap();
+        bystander.prepare(&p, &home).unwrap();
         let senders: Vec<usize> = (0..24).step_by(2).collect();
         assert_cached_matches_exact(&p, &mut mover, &home, &senders, "mover before");
         assert_cached_matches_exact(&p, &mut bystander, &home, &senders, "bystander before");
@@ -2235,7 +3770,7 @@ mod tests {
         let mut backend = BackendSpec::cached()
             .with_threads(2)
             .build_with_table(Some(&table));
-        backend.prepare(&p, &pos);
+        backend.prepare(&p, &pos).unwrap();
         let senders: Vec<usize> = (0..10).step_by(2).collect();
         let mut got = vec![None; pos.len()];
         backend.decide_slot(&p, &pos, &senders, &mut got);
@@ -2250,7 +3785,7 @@ mod tests {
         let p = params();
         let mut pos = sinr_geom::deploy::uniform(36, 44.0, 13).unwrap();
         let mut cached = CachedBackend::new();
-        cached.prepare(&p, &pos);
+        cached.prepare(&p, &pos).unwrap();
         for step in 0..25usize {
             let m = (step * 5) % 36;
             let to = Point::new(2.0 * step as f64, 120.0);
@@ -2259,5 +3794,267 @@ mod tests {
             let senders: Vec<usize> = (0..36).skip(step % 3).step_by(2 + step % 2).collect();
             assert_cached_matches_exact(&p, &mut cached, &pos, &senders, &format!("slot {step}"));
         }
+    }
+
+    /// Asserts the hybrid backend's decisions are conservative against
+    /// fresh exact computation: every grant must be a grant exact makes
+    /// of the same sender (denials are free). Returns the grant count so
+    /// callers can assert the test exercised something.
+    fn assert_hybrid_conservative(
+        p: &SinrParams,
+        hybrid: &mut HybridBackend,
+        pos: &[Point],
+        senders: &[usize],
+        label: &str,
+    ) -> usize {
+        let mut got = vec![None; pos.len()];
+        hybrid.decide_slot(p, pos, senders, &mut got);
+        let want = decide_receptions(p, pos, senders, InterferenceModel::Exact);
+        let mut grants = 0;
+        for (u, (h, e)) in got.iter().zip(&want).enumerate() {
+            if let Some(s) = h {
+                grants += 1;
+                assert_eq!(
+                    Some(*s),
+                    *e,
+                    "{label}: hybrid granted {s} to listener {u}, exact says {e:?}"
+                );
+            }
+        }
+        grants
+    }
+
+    #[test]
+    fn hybrid_is_conservative_across_churn() {
+        // A deployment several cutoffs wide, so the far field is
+        // genuinely exercised, driven through churny sender sets (delta
+        // and refresh paths both hit).
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(60, 48.0, 7).unwrap();
+        let mut hybrid = HybridBackend::new(8.0);
+        let mut total_grants = 0;
+        for step in 0..24usize {
+            let senders: Vec<usize> = (0..60).skip(step % 4).step_by(2 + step % 3).collect();
+            total_grants += assert_hybrid_conservative(
+                &p,
+                &mut hybrid,
+                &pos,
+                &senders,
+                &format!("slot {step}"),
+            );
+        }
+        assert!(total_grants > 0, "the workload must decode something");
+    }
+
+    #[test]
+    fn hybrid_with_generous_cutoff_matches_exact() {
+        // A cutoff wider than the deployment's diameter makes every
+        // pair near: the sparse rows then hold the full exact gains in
+        // ascending order, the far field is empty, and decisions are
+        // bit-identical to the exact backend.
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(40, 20.0, 11).unwrap();
+        let mut hybrid = HybridBackend::new(64.0);
+        for step in 0..10usize {
+            let senders: Vec<usize> = (step % 3..40).step_by(2).collect();
+            let mut got = vec![None; pos.len()];
+            hybrid.decide_slot(&p, &pos, &senders, &mut got);
+            let want = decide_receptions(&p, &pos, &senders, InterferenceModel::Exact);
+            assert_eq!(got, want, "slot {step}");
+        }
+    }
+
+    #[test]
+    fn hybrid_is_identical_across_thread_counts() {
+        // Past the parallel crossover so the chunked sweeps really
+        // split; decisions must not depend on the thread count.
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(600, 96.0, 3).unwrap();
+        let mut serial = HybridBackend::new(8.0);
+        let mut par = HybridBackend::with_threads(8.0, 4);
+        for step in 0..6usize {
+            let senders: Vec<usize> = (step % 2..600).step_by(3 + step % 2).collect();
+            let mut a = vec![None; pos.len()];
+            let mut b = vec![None; pos.len()];
+            serial.decide_slot(&p, &pos, &senders, &mut a);
+            par.decide_slot(&p, &pos, &senders, &mut b);
+            assert_eq!(a, b, "slot {step}");
+        }
+    }
+
+    #[test]
+    fn hybrid_mobility_repair_matches_a_fresh_build() {
+        // The incremental re-bucketing must converge to the same table
+        // (hence the same decisions) a from-scratch build would produce,
+        // and stay conservative against exact throughout.
+        let p = params();
+        let mut pos = sinr_geom::deploy::uniform(48, 40.0, 19).unwrap();
+        let mut repaired = HybridBackend::new(8.0);
+        let senders: Vec<usize> = (0..48).step_by(3).collect();
+        let mut warmup = vec![None; pos.len()];
+        repaired.decide_slot(&p, &pos, &senders, &mut warmup);
+        for step in 0..12usize {
+            let m = (step * 7) % 48;
+            // Long hops: movers cross cells and reach fresh ground
+            // (appended slots) as well as previously occupied cells.
+            let to = Point::new(
+                (step as f64 * 9.0) % 55.0,
+                if step % 2 == 0 {
+                    60.0 + step as f64
+                } else {
+                    3.0
+                },
+            );
+            pos[m] = to;
+            repaired.update_positions(&p, &pos, &[(m, to)]);
+            let senders: Vec<usize> = (0..48).skip(step % 2).step_by(3).collect();
+            let mut got = vec![None; pos.len()];
+            repaired.decide_slot(&p, &pos, &senders, &mut got);
+            let mut fresh = HybridBackend::new(8.0);
+            let mut want = vec![None; pos.len()];
+            fresh.decide_slot(&p, &pos, &senders, &mut want);
+            assert_eq!(got, want, "step {step}: repair diverged from rebuild");
+            assert_hybrid_conservative(&p, &mut repaired, &pos, &senders, &format!("step {step}"));
+        }
+    }
+
+    #[test]
+    fn hybrid_mass_move_takes_the_rebuild_path() {
+        let p = params();
+        let mut pos = sinr_geom::deploy::uniform(16, 20.0, 23).unwrap();
+        let mut hybrid = HybridBackend::new(8.0);
+        hybrid.prepare(&p, &pos).unwrap();
+        let moved: Vec<(usize, Point)> = (0..8)
+            .map(|i| (i, Point::new(30.0 + 2.5 * i as f64, 30.0)))
+            .collect();
+        for &(i, to) in &moved {
+            pos[i] = to;
+        }
+        hybrid.update_positions(&p, &pos, &moved);
+        assert!(
+            hybrid.hybrid_table().unwrap().matches(&p, &pos, 8.0),
+            "mass move must rebuild against the new positions"
+        );
+        let senders: Vec<usize> = (0..16).step_by(2).collect();
+        assert_hybrid_conservative(&p, &mut hybrid, &pos, &senders, "after mass move");
+    }
+
+    #[test]
+    fn hybrid_shared_table_is_adopted_and_forked_copy_on_write() {
+        let p = params();
+        let home = sinr_geom::deploy::uniform(24, 24.0, 31).unwrap();
+        let table = Arc::new(HybridTable::build(&p, &home, 8.0, 1));
+        let mut mover = HybridBackend::with_shared_table(8.0, Arc::clone(&table), 1);
+        let mut bystander = HybridBackend::with_shared_table(8.0, Arc::clone(&table), 1);
+        mover.prepare(&p, &home).unwrap();
+        bystander.prepare(&p, &home).unwrap();
+        // Adoption is by reference, not copy.
+        assert!(Arc::ptr_eq(&mover.shared_table().unwrap(), &table));
+
+        let mut moved_pos = home.clone();
+        moved_pos[5] = Point::new(50.0, 50.0);
+        mover.update_positions(&p, &moved_pos, &[(5, moved_pos[5])]);
+        assert!(
+            !Arc::ptr_eq(&mover.shared_table().unwrap(), &table),
+            "movement must fork the shared table"
+        );
+        assert!(
+            Arc::ptr_eq(&bystander.shared_table().unwrap(), &table),
+            "the bystander's table must be untouched"
+        );
+        let senders: Vec<usize> = (0..24).step_by(2).collect();
+        assert_hybrid_conservative(&p, &mut mover, &moved_pos, &senders, "mover after");
+        assert_hybrid_conservative(&p, &mut bystander, &home, &senders, "bystander after");
+        assert!(table.matches(&p, &home, 8.0));
+    }
+
+    #[test]
+    fn gain_table_cap_refuses_with_a_structured_error() {
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(12, 16.0, 2).unwrap();
+        // 12 nodes need 2304 bytes; a 1 KB cap must refuse without
+        // allocating.
+        let err = GainTable::try_build_with_cap(&p, &pos, 1, 1024).unwrap_err();
+        match err {
+            PhysError::GainTableTooLarge { n, bytes, cap } => {
+                assert_eq!(n, 12);
+                assert_eq!(bytes, 12 * 12 * 16);
+                assert_eq!(cap, 1024);
+            }
+            other => panic!("expected GainTableTooLarge, got {other}"),
+        }
+        assert!(
+            err.to_string().contains("hybrid"),
+            "the refusal must point at the sparse escape hatch: {err}"
+        );
+        // Under the cap the build succeeds and matches the plain path.
+        let ok = GainTable::try_build_with_cap(&p, &pos, 1, 1 << 20).unwrap();
+        assert!(ok.matches(&p, &pos));
+    }
+
+    #[test]
+    fn dense_table_bytes_saturates() {
+        assert_eq!(dense_table_bytes(1024), 16 * 1024 * 1024);
+        assert_eq!(dense_table_bytes(usize::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn tuned_falls_back_to_hybrid_over_the_memory_cap() {
+        // n=1024 needs 16 MB — fine; n=100_000 needs 160 GB — over any
+        // sane cap, so tuned() must swap in the sparse kernel. (Uses the
+        // default cap; the env override is validated in the bench
+        // harness, not here, to keep tests env-independent.)
+        if std::env::var("SINR_MAX_TABLE_BYTES").is_ok() {
+            return;
+        }
+        let small = BackendSpec::cached().tuned(1024);
+        assert_eq!(small.model, InterferenceModel::Cached);
+        let big = BackendSpec::cached().with_threads(8).tuned(100_000);
+        assert_eq!(big.model, InterferenceModel::Hybrid { cutoff: 0.0 });
+        assert_eq!(big.build().name(), "hybrid+par");
+        // Non-cached models never switch.
+        let exact = BackendSpec::exact().tuned(100_000);
+        assert_eq!(exact.model, InterferenceModel::Exact);
+    }
+
+    #[test]
+    fn build_with_tables_routes_by_model() {
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(10, 16.0, 4).unwrap();
+        let dense = Arc::new(GainTable::build(&p, &pos, 1));
+        let sparse = Arc::new(HybridTable::build(&p, &pos, 8.0, 1));
+        let tables = SharedTables::new()
+            .with_dense(Arc::clone(&dense))
+            .with_hybrid(Arc::clone(&sparse));
+        assert_eq!(
+            BackendSpec::cached()
+                .build_with_tables(Some(&tables))
+                .name(),
+            "cached"
+        );
+        assert_eq!(
+            BackendSpec::hybrid(8.0)
+                .build_with_tables(Some(&tables))
+                .name(),
+            "hybrid"
+        );
+        assert_eq!(
+            BackendSpec::exact().build_with_tables(Some(&tables)).name(),
+            "exact"
+        );
+        assert_eq!(
+            BackendSpec::hybrid(8.0).build_with_tables(None).name(),
+            "hybrid"
+        );
+        // The matching() filter drops a mismatched member instead of
+        // letting a backend adopt stale gains.
+        let other = sinr_geom::deploy::uniform(10, 16.0, 5).unwrap();
+        let kept = tables.matching(BackendSpec::hybrid(8.0), &p, &pos);
+        assert!(kept.dense().is_some() && kept.hybrid().is_some());
+        let dropped = tables.matching(BackendSpec::hybrid(8.0), &p, &other);
+        assert!(dropped.is_empty());
+        // A hybrid table built for one cutoff must not serve another.
+        let wrong_cutoff = tables.matching(BackendSpec::hybrid(4.0), &p, &pos);
+        assert!(wrong_cutoff.hybrid().is_none());
     }
 }

@@ -20,7 +20,7 @@ use sinr_baselines::{
 use sinr_geom::{geometry_digest, DeploySpec, MobilityModel, MobilitySpec, Point};
 use sinr_graphs::SinrGraphs;
 use sinr_mac::{DecayMac, DecayParams, MacParams, SinrAbsMac};
-use sinr_phys::{BackendSpec, GainTable, InterferenceModel, SinrParams};
+use sinr_phys::{BackendSpec, GainTable, HybridTable, InterferenceModel, SharedTables, SinrParams};
 use sinr_protocols::{Bmmb, Bsmb, FloodMaxConsensus, Proposal};
 
 use crate::clients::{Gated, OneShot, Repeater};
@@ -270,18 +270,61 @@ impl MacClient<u64> for WorkClient {
     }
 }
 
+/// Which shared tables a deployment preparation should build: the
+/// dense n×n matrix (for `backend=cached` consumers), a sparse hybrid
+/// table at a given cutoff (for `backend=hybrid:CUTOFF` consumers), or
+/// neither. The sweep planner merges the wants of every cell in a
+/// group; `PreparedDeployment::prepare` derives them from one spec.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct TableWants {
+    /// Build the dense [`GainTable`].
+    pub dense: bool,
+    /// Build a [`HybridTable`] at this cutoff (the spec value, `0.0` =
+    /// auto).
+    pub hybrid_cutoff: Option<f64>,
+}
+
+impl TableWants {
+    /// The wants of a single effective interference model.
+    pub fn of(model: InterferenceModel) -> Self {
+        match model {
+            InterferenceModel::Cached => TableWants {
+                dense: true,
+                hybrid_cutoff: None,
+            },
+            InterferenceModel::Hybrid { cutoff } => TableWants {
+                dense: false,
+                hybrid_cutoff: Some(cutoff),
+            },
+            _ => TableWants::default(),
+        }
+    }
+
+    /// Folds another cell's wants in. A group can hold at most one
+    /// hybrid table, so the first requested cutoff wins; cells at a
+    /// different cutoff simply fail the `matches` filter at build time
+    /// and prepare their own sparse rows — correct, just unshared.
+    pub fn merge(&mut self, other: TableWants) {
+        self.dense |= other.dense;
+        if self.hybrid_cutoff.is_none() {
+            self.hybrid_cutoff = other.hybrid_cutoff;
+        }
+    }
+}
+
 /// The shareable, immutable outcome of deployment preparation: realized
 /// positions, induced graphs, the realized deployment seed and — when
-/// the cached reception kernel is in play — one `Arc`'d [`GainTable`].
+/// a cached or hybrid reception kernel is in play — the matching
+/// `Arc`'d tables ([`GainTable`] dense, [`HybridTable`] sparse).
 ///
-/// Preparing a deployment is the O(n²) half of building a scenario
-/// (graph induction plus, for `backend=cached`, the gain-matrix build);
-/// everything else in [`ScenarioSpec::build`] is O(n) or cheaper. A
-/// sweep over a fixed deployment therefore prepares **once** and hands
-/// every cell this value via
+/// Preparing a deployment is the expensive half of building a scenario
+/// (graph induction plus, for `backend=cached`/`backend=hybrid`, the
+/// gain-table build); everything else in [`ScenarioSpec::build`] is
+/// O(n) or cheaper. A sweep over a fixed deployment therefore prepares
+/// **once** and hands every cell this value via
 /// [`ScenarioSpec::build_with_prepared`] — each cell clones the
 /// positions/graphs (cheap relative to recomputing them) and shares the
-/// gain table by `Arc`. Cells built this way are byte-identical to
+/// gain tables by `Arc`. Cells built this way are byte-identical to
 /// cold-built ones (differentially property-tested in
 /// `tests/sweep_equivalence.rs`): the generators are deterministic, the
 /// table entries equal what the cell would have computed itself, and a
@@ -295,50 +338,70 @@ pub struct PreparedDeployment {
     positions: Vec<Point>,
     graphs: SinrGraphs,
     deploy_seed: Option<u64>,
-    /// Built only when a consumer runs the cached kernel.
-    table: Option<Arc<GainTable>>,
+    /// Built only for consumers that run a table-backed kernel.
+    tables: SharedTables,
 }
 
 impl PreparedDeployment {
     /// Realizes `spec`'s deployment once, building the shared gain
-    /// table when `spec`'s effective backend runs the cached kernel.
+    /// table(s) the spec's effective backend will consume.
     ///
     /// # Errors
     ///
     /// The same errors [`ScenarioSpec::build`] would produce for the
     /// deployment half: invalid physics, infeasible geometry, a failed
-    /// connectivity search.
+    /// connectivity search, or a dense gain table over the
+    /// `SINR_MAX_TABLE_BYTES` cap
+    /// ([`sinr_phys::PhysError::GainTableTooLarge`], surfaced as
+    /// [`ScenarioError::Phys`] — though in practice the cap triggers
+    /// the same hybrid fallback `BackendSpec::tuned` applies, so the
+    /// sparse table is built instead).
     pub fn prepare(spec: &ScenarioSpec) -> Result<Self, ScenarioError> {
         let backend = crate::env_backend_override(spec.backend);
-        Self::prepare_inner(spec, backend.model == InterferenceModel::Cached)
+        Self::prepare_inner(spec, TableWants::of(backend.model))
     }
 
-    /// Like [`PreparedDeployment::prepare`] with the gain-table decision
-    /// made by the caller — the sweep planner passes `true` when *any*
-    /// cell of a group wants the cached kernel, even if the
-    /// representative cell does not.
+    /// Like [`PreparedDeployment::prepare`] with the table decision
+    /// made by the caller — the sweep planner passes the merged wants
+    /// of every cell in a group, even when the representative cell
+    /// itself wants nothing.
     pub(crate) fn prepare_inner(
         spec: &ScenarioSpec,
-        want_table: bool,
+        wants: TableWants,
     ) -> Result<Self, ScenarioError> {
         let sinr = spec.sinr.to_params()?;
         let (positions, graphs, deploy_seed) = spec.deploy.realize(&sinr)?;
-        let table = want_table.then(|| {
-            let threads = crate::env_backend_override(spec.backend)
-                .tuned(positions.len())
-                .threads;
-            // Thread count never changes the entries (each pair is
-            // computed independently), so the shared table equals any
-            // cell's private build bit for bit.
-            Arc::new(GainTable::build(&sinr, &positions, threads))
-        });
+        let n = positions.len();
+        // Mirror `BackendSpec::tuned`: a dense table over the memory
+        // cap is exactly what every cached cell will re-tune away from
+        // once it realizes n, switching to `hybrid` with an auto
+        // cutoff — so prepare the sparse table those cells will
+        // actually consume instead of refusing.
+        let mut wants = wants;
+        if wants.dense && sinr_phys::dense_table_bytes(n) > sinr_phys::max_table_bytes() {
+            wants.dense = false;
+            wants.hybrid_cutoff = wants.hybrid_cutoff.or(Some(0.0));
+        }
+        let threads = crate::env_backend_override(spec.backend).tuned(n).threads;
+        // Thread count never changes the entries of either table (each
+        // pair / row is computed independently), so the shared tables
+        // equal any cell's private build bit for bit.
+        let mut tables = SharedTables::new();
+        if wants.dense {
+            tables = tables.with_dense(Arc::new(GainTable::try_build(&sinr, &positions, threads)?));
+        }
+        if let Some(cutoff) = wants.hybrid_cutoff {
+            tables = tables.with_hybrid(Arc::new(HybridTable::build(
+                &sinr, &positions, cutoff, threads,
+            )));
+        }
         Ok(PreparedDeployment {
             sinr_spec: spec.sinr,
             deploy: spec.deploy,
             positions,
             graphs,
             deploy_seed,
-            table,
+            tables,
         })
     }
 
@@ -358,9 +421,19 @@ impl PreparedDeployment {
         &self.positions
     }
 
-    /// The shared gain table, when one was built.
+    /// The shared dense gain table, when one was built.
     pub fn gain_table(&self) -> Option<&Arc<GainTable>> {
-        self.table.as_ref()
+        self.tables.dense()
+    }
+
+    /// The shared sparse hybrid table, when one was built.
+    pub fn hybrid_table(&self) -> Option<&Arc<HybridTable>> {
+        self.tables.hybrid()
+    }
+
+    /// All shared tables (possibly empty).
+    pub fn tables(&self) -> &SharedTables {
+        &self.tables
     }
 }
 
@@ -715,7 +788,7 @@ impl ScenarioSpec {
             mac_params.as_ref(),
             seed,
             backend,
-            prepared.and_then(|p| p.table.as_ref()),
+            prepared.map(|p| &p.tables),
         )?;
 
         // Geometry digests are only worth recording when something can
@@ -762,7 +835,7 @@ impl ScenarioSpec {
         mac_params: Option<&MacParams>,
         seed: u64,
         backend: BackendSpec,
-        table: Option<&Arc<GainTable>>,
+        tables: Option<&SharedTables>,
     ) -> Result<Exec, ScenarioError> {
         let n = positions.len();
         let source_set = |w: &WorkloadSpec| match w {
@@ -789,7 +862,7 @@ impl ScenarioSpec {
                     |i| i as u64,
                     seed,
                     backend,
-                    table,
+                    tables,
                 )?;
                 Ok(Exec::Tdma(tdma))
             }
@@ -808,7 +881,7 @@ impl ScenarioSpec {
                     7u64,
                     seed,
                     backend,
-                    table,
+                    tables,
                 )?;
                 Ok(Exec::Dgkn(dgkn))
             }
@@ -827,14 +900,14 @@ impl ScenarioSpec {
                     7u64,
                     seed,
                     backend,
-                    table,
+                    tables,
                 )?;
                 Ok(Exec::DecaySmb(decay))
             }
             mac @ (MacSpec::Sinr { .. } | MacSpec::Ideal(_) | MacSpec::Decay { .. }) => {
                 if let WorkloadSpec::Consensus { deadline } = self.workload {
                     let mut mac: Box<dyn ScenarioMac<Payload = Proposal>> = build_layer(
-                        mac, sinr, positions, graphs, mac_params, seed, backend, table,
+                        mac, sinr, positions, graphs, mac_params, seed, backend, tables,
                     )?;
                     if let Some(m) = &self.mobility {
                         mac.set_mobility(m)?;
@@ -849,7 +922,7 @@ impl ScenarioSpec {
                     ))
                 } else {
                     let mut mac: Box<dyn ScenarioMac<Payload = u64>> = build_layer(
-                        mac, sinr, positions, graphs, mac_params, seed, backend, table,
+                        mac, sinr, positions, graphs, mac_params, seed, backend, tables,
                     )?;
                     if let Some(m) = &self.mobility {
                         mac.set_mobility(m)?;
@@ -928,9 +1001,9 @@ impl ScenarioSpec {
 }
 
 /// Constructs one of the plug-and-play MAC layers behind the erased
-/// [`ScenarioMac`] interface, for any payload type. `table` is the
-/// sweep planner's shared gain table (consumed only by the cached
-/// reception kernel of the physical-engine MACs).
+/// [`ScenarioMac`] interface, for any payload type. `tables` is the
+/// sweep planner's shared preparation state (consumed only by the
+/// cached/hybrid reception kernels of the physical-engine MACs).
 #[allow(clippy::too_many_arguments)]
 fn build_layer<P: Clone + 'static>(
     mac: &MacSpec,
@@ -940,13 +1013,13 @@ fn build_layer<P: Clone + 'static>(
     mac_params: Option<&MacParams>,
     seed: u64,
     backend: BackendSpec,
-    table: Option<&Arc<GainTable>>,
+    tables: Option<&SharedTables>,
 ) -> Result<Box<dyn ScenarioMac<Payload = P>>, ScenarioError> {
     match mac {
         MacSpec::Sinr { .. } => {
             let params = mac_params.expect("mac=sinr resolves params").clone();
             Ok(Box::new(SinrAbsMac::with_prepared(
-                *sinr, positions, params, seed, backend, table,
+                *sinr, positions, params, seed, backend, tables,
             )?))
         }
         MacSpec::Ideal(policy) => {
@@ -977,7 +1050,7 @@ fn build_layer<P: Clone + 'static>(
             }
             let params = DecayParams::from_contention(*n_tilde, *eps, *budget_mult);
             Ok(Box::new(DecayMac::with_prepared(
-                *sinr, positions, params, seed, backend, table,
+                *sinr, positions, params, seed, backend, tables,
             )?))
         }
         _ => Err(unsupported(format!("{mac} is not a steppable MAC layer"))),

@@ -14,8 +14,9 @@
 //!
 //! Most sweeps vary MAC knobs, workloads or seeds over one *fixed*
 //! deployment, yet deployment preparation (geometry realization, graph
-//! induction and — for `backend=cached` — the O(n²) gain-matrix build)
-//! is the dominant per-cell cost at large n. The executor therefore
+//! induction and — for `backend=cached` / `backend=hybrid` — the
+//! dense or sparse gain-table build) is the dominant per-cell cost at
+//! large n. The executor therefore
 //! *plans* before it runs ([`ScenarioSet::plan`]): cells are grouped by
 //! their **deployment key** — deployment spec (geometry + seed +
 //! connectivity search) × SINR parameters — while cells that move nodes
@@ -35,7 +36,7 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::build::{PreparedDeployment, ScenarioRun};
+use crate::build::{PreparedDeployment, ScenarioRun, TableWants};
 use crate::spec::{DynKind, ScenarioSpec, SeedSpec};
 use crate::ScenarioError;
 
@@ -209,7 +210,7 @@ impl ScenarioSet {
         let mut key_index: std::collections::HashMap<String, usize> =
             std::collections::HashMap::new();
         let mut groups: Vec<Option<usize>> = Vec::with_capacity(cells.len());
-        let mut wants_table: Vec<bool> = Vec::new();
+        let mut wants_table: Vec<TableWants> = Vec::new();
         let mut members: Vec<usize> = Vec::new();
         for cell in &cells {
             let Some(key) = deployment_key(cell) else {
@@ -219,17 +220,18 @@ impl ScenarioSet {
             let next = key_index.len();
             let g = *key_index.entry(key).or_insert(next);
             if g == wants_table.len() {
-                wants_table.push(false);
+                wants_table.push(TableWants::default());
                 members.push(0);
             }
-            wants_table[g] |= crate::env_backend_override(cell.backend).model
-                == sinr_phys::InterferenceModel::Cached;
+            wants_table[g].merge(TableWants::of(
+                crate::env_backend_override(cell.backend).model,
+            ));
             members[g] += 1;
             groups.push(Some(g));
         }
         // Dissolve singleton groups and renumber the survivors densely.
         let mut renumber: Vec<Option<usize>> = Vec::with_capacity(members.len());
-        let mut surviving_tables: Vec<bool> = Vec::new();
+        let mut surviving_tables: Vec<TableWants> = Vec::new();
         for (g, &count) in members.iter().enumerate() {
             if count > 1 {
                 renumber.push(Some(surviving_tables.len()));
@@ -415,10 +417,11 @@ pub struct SweepPlan {
     /// cell: the cell moves nodes, or it is the sole consumer of its
     /// deployment and sharing would buy nothing).
     pub groups: Vec<Option<usize>>,
-    /// Per group: whether any member's effective backend runs the
-    /// cached kernel, i.e. whether preparation must include the shared
-    /// gain table.
-    wants_table: Vec<bool>,
+    /// Per group: the merged table wants of the members' effective
+    /// backends — whether preparation must include the shared dense
+    /// gain table, a sparse hybrid table (and at which cutoff), or
+    /// neither.
+    wants_table: Vec<TableWants>,
 }
 
 impl SweepPlan {

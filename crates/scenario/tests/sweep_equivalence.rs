@@ -4,7 +4,7 @@
 //! realization, graph induction and gain-table build per group,
 //! `Arc`-shared across cells) must produce **byte-identical JSON
 //! reports** to the same sweep executed with per-cell preparation —
-//! across exact and cached
+//! across exact, cached and hybrid
 //! backends, physical MAC choices, dynamics schedules and mobility.
 //! This is the acceptance gate of the sweep planner: if sharing ever
 //! changed a single byte of a report, it would be an unsoundness in the
@@ -80,7 +80,7 @@ proptest! {
     fn shared_prepare_reports_are_byte_identical(
         deploy in deploy_strategy(),
         mac in mac_strategy(),
-        cached in 0u8..2,
+        backend_kind in 0u8..3,
         mobility in mobility_strategy(),
         dynamics in dyn_strategy(),
         axis_kind in 0u8..3,
@@ -100,8 +100,15 @@ proptest! {
         spec.set("sinr", "range:8").unwrap();
         spec.set("deploy", &deploy).unwrap();
         spec.set("mac", &mac).unwrap();
-        spec.set("backend", if cached == 1 { "cached" } else { "exact" })
-            .unwrap();
+        spec.set(
+            "backend",
+            match backend_kind {
+                0 => "exact",
+                1 => "cached",
+                _ => "hybrid",
+            },
+        )
+        .unwrap();
         spec.set("seed", &seed.to_string()).unwrap();
         if deploy.starts_with("connected:") {
             spec.set("seed", "deploy").unwrap();
@@ -165,6 +172,35 @@ fn prepare_heavy_t_mult_sweep_is_equivalent() {
 }
 
 #[test]
+fn hybrid_t_mult_sweep_is_equivalent() {
+    // The hybrid analogue of the prepare-heavy shape: every cell
+    // consumes the planner's shared sparse table (same uniform
+    // deployment, hybrid backend), and each must be byte-identical to
+    // its per-cell twin that built its own rows.
+    let mut spec = ScenarioSpec::new(
+        "hybrid-shape",
+        DeploymentSpec::plain(sinr_geom::DeploySpec::Uniform {
+            n: 48,
+            side: 16.0,
+            seed: 5,
+        }),
+        WorkloadSpec::Repeat(SourceSet::Stride(2)),
+        StopSpec::Slots(120),
+    );
+    spec.set("sinr", "range:8").unwrap();
+    spec.set("backend", "hybrid:6").unwrap();
+    spec.set("measure", "none").unwrap();
+    let t_mults: Vec<String> = ["1", "1.5", "2", "3"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let set = ScenarioSet::new(spec).axis("mac.t_mult", t_mults);
+    let plan = set.plan().unwrap();
+    assert_eq!(plan.group_count(), 1, "one deployment, one group");
+    assert_shared_equals_percell(&set, "hybrid prepare-heavy shape");
+}
+
+#[test]
 fn mixed_backend_axis_shares_one_table() {
     // backend itself as an axis: exact and cached cells share one
     // deployment group (and the table is built because one member wants
@@ -184,4 +220,32 @@ fn mixed_backend_axis_shares_one_table() {
     let plan = set.plan().unwrap();
     assert_eq!(plan.group_count(), 1, "one deployment, one group");
     assert_shared_equals_percell(&set, "mixed backend axis");
+
+    // With hybrid in the mix the group also carries the sparse table
+    // (dense + hybrid behind one preparation); a second hybrid cell at
+    // a different cutoff fails the match filter and quietly builds its
+    // own rows — reports must be unaffected either way.
+    let mut spec = ScenarioSpec::new(
+        "mixed-backend-hybrid",
+        DeploymentSpec::plain(sinr_geom::DeploySpec::Lattice {
+            rows: 4,
+            cols: 4,
+            spacing: 2.0,
+        }),
+        WorkloadSpec::Repeat(SourceSet::Stride(2)),
+        StopSpec::Slots(150),
+    );
+    spec.set("sinr", "range:8").unwrap();
+    let set = ScenarioSet::new(spec).axis(
+        "backend",
+        vec![
+            "exact".into(),
+            "cached".into(),
+            "hybrid".into(),
+            "hybrid:6".into(),
+        ],
+    );
+    let plan = set.plan().unwrap();
+    assert_eq!(plan.group_count(), 1, "one deployment, one group");
+    assert_shared_equals_percell(&set, "mixed backend axis with hybrid");
 }

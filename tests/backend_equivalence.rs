@@ -26,6 +26,12 @@
 //!    (any physical MAC, any dynamics, mobility on or off) produces a
 //!    byte-identical JSON report under `backend=exact` and
 //!    `backend=cached` (modulo the backend name itself).
+//! 6. **Hybrid conservativeness** — the sparse near/far kernel
+//!    over-estimates far-field interference (per-cell aggregates at
+//!    box-distance lower bounds), so like the grid it never grants a
+//!    reception `Exact` denies and any grant names the same sender —
+//!    across churn, at any cutoff, and under mobility repair
+//!    (`update_positions` patching sparse rows and cell sums).
 
 use proptest::prelude::*;
 
@@ -129,7 +135,7 @@ proptest! {
     ) {
         let sinr = SinrParams::builder().range(range).build().unwrap();
         let mut cached = BackendSpec::cached().build();
-        cached.prepare(&sinr, &pts);
+        cached.prepare(&sinr, &pts).unwrap();
         let mut got = vec![None; pts.len()];
         for step in 0..6usize {
             // Stride and offset both evolve: senders enter and leave
@@ -163,7 +169,7 @@ proptest! {
         if let Ok(pts) = deploy::uniform(n, side, seed) {
             let sinr = SinrParams::builder().range(range).build().unwrap();
             let mut cached = BackendSpec::cached().build();
-            cached.prepare(&sinr, &pts);
+            cached.prepare(&sinr, &pts).unwrap();
             let mut got = vec![None; pts.len()];
             for step in 0..5usize {
                 let senders: Vec<usize> =
@@ -190,7 +196,7 @@ proptest! {
         let sinr = SinrParams::builder().range(range).build().unwrap();
         let mut pts = pts;
         let mut cached = BackendSpec::cached().build();
-        cached.prepare(&sinr, &pts);
+        cached.prepare(&sinr, &pts).unwrap();
         let mut got = vec![None; pts.len()];
         let mut park = 0usize;
         for step in 0..6usize {
@@ -212,6 +218,123 @@ proptest! {
             cached.decide_slot(&sinr, &pts, &senders, &mut got);
             let want = decide_receptions(&sinr, &pts, &senders, InterferenceModel::Exact);
             prop_assert_eq!(&got, &want, "slot {} (movers {})", step, movers_per_slot);
+        }
+    }
+
+    /// Claim 6, lattice-like deployments: a persistent hybrid backend
+    /// fed an evolving transmitter schedule never grants a reception
+    /// exact denies, at any cutoff — including cutoffs small enough
+    /// that most interference flows through the far-field cell
+    /// aggregates. The snapped sub-lattice produces exact SINR ties,
+    /// the territory where an under-estimate would first show.
+    #[test]
+    fn hybrid_never_grants_what_exact_denies_under_churn(
+        pts in near_field_points(48, 28),
+        range in 4.0f64..24.0,
+        cutoff in 2.0f64..20.0,
+        stride in 1usize..4,
+    ) {
+        let sinr = SinrParams::builder().range(range).build().unwrap();
+        let mut hybrid = BackendSpec::hybrid(cutoff).build();
+        hybrid.prepare(&sinr, &pts).unwrap();
+        let mut got = vec![None; pts.len()];
+        for step in 0..6usize {
+            let senders: Vec<usize> = if step == 4 {
+                Vec::new()
+            } else {
+                (0..pts.len()).skip(step % 3).step_by(stride + step % 2).collect()
+            };
+            hybrid.decide_slot(&sinr, &pts, &senders, &mut got);
+            let want = decide_receptions(&sinr, &pts, &senders, InterferenceModel::Exact);
+            for (u, (g, e)) in got.iter().zip(want.iter()).enumerate() {
+                if let Some(gs) = g {
+                    prop_assert_eq!(
+                        e.as_ref(), Some(gs),
+                        "slot {}, listener {}: hybrid granted {:?}, exact {:?}", step, u, g, e
+                    );
+                }
+            }
+        }
+    }
+
+    /// Claim 6, uniform deployments: same conservativeness on the
+    /// random geometry the experiments actually sweep.
+    #[test]
+    fn hybrid_is_conservative_on_uniform_deployments(
+        n in 16usize..56,
+        seed in 0u64..200,
+        range in 6.0f64..24.0,
+        cutoff in 2.0f64..16.0,
+        stride in 1usize..5,
+    ) {
+        let side = (n as f64).sqrt() * 2.5;
+        if let Ok(pts) = deploy::uniform(n, side, seed) {
+            let sinr = SinrParams::builder().range(range).build().unwrap();
+            let mut hybrid = BackendSpec::hybrid(cutoff).build();
+            hybrid.prepare(&sinr, &pts).unwrap();
+            let mut got = vec![None; pts.len()];
+            for step in 0..5usize {
+                let senders: Vec<usize> =
+                    (0..n).skip(step % 2).step_by(stride + step % 3).collect();
+                hybrid.decide_slot(&sinr, &pts, &senders, &mut got);
+                let want = decide_receptions(&sinr, &pts, &senders, InterferenceModel::Exact);
+                for (u, (g, e)) in got.iter().zip(want.iter()).enumerate() {
+                    if let Some(gs) = g {
+                        prop_assert_eq!(
+                            e.as_ref(), Some(gs),
+                            "slot {}, listener {}", step, u
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Claim 6 under mobility: a hybrid backend whose positions are
+    /// patched through `update_positions` (re-bucketing movers, patching
+    /// their sparse rows and the far-field cell sums) stays
+    /// conservative vs fresh exact computation, under combined movement
+    /// and sender churn.
+    #[test]
+    fn hybrid_repair_stays_conservative_under_movement_and_churn(
+        pts in near_field_points(40, 24),
+        range in 4.0f64..24.0,
+        cutoff in 2.0f64..16.0,
+        stride in 1usize..4,
+        movers_per_slot in 1usize..4,
+    ) {
+        let sinr = SinrParams::builder().range(range).build().unwrap();
+        let mut pts = pts;
+        let mut hybrid = BackendSpec::hybrid(cutoff).build();
+        hybrid.prepare(&sinr, &pts).unwrap();
+        let mut got = vec![None; pts.len()];
+        let mut park = 0usize;
+        for step in 0..6usize {
+            let mut idxs: Vec<usize> = (0..movers_per_slot)
+                .map(|k| (step * movers_per_slot + k) % pts.len())
+                .collect();
+            idxs.sort_unstable();
+            idxs.dedup();
+            let mut moved: Vec<(usize, Point)> = Vec::new();
+            for &m in &idxs {
+                let to = Point::new(200.0 + 2.0 * park as f64, 200.0);
+                park += 1;
+                pts[m] = to;
+                moved.push((m, to));
+            }
+            hybrid.update_positions(&sinr, &pts, &moved);
+            let senders: Vec<usize> =
+                (0..pts.len()).skip(step % 2).step_by(stride + step % 2).collect();
+            hybrid.decide_slot(&sinr, &pts, &senders, &mut got);
+            let want = decide_receptions(&sinr, &pts, &senders, InterferenceModel::Exact);
+            for (u, (g, e)) in got.iter().zip(want.iter()).enumerate() {
+                if let Some(gs) = g {
+                    prop_assert_eq!(
+                        e.as_ref(), Some(gs),
+                        "slot {}, listener {} (movers {})", step, u, movers_per_slot
+                    );
+                }
+            }
         }
     }
 
@@ -396,8 +519,8 @@ fn cached_parallel_sweeps_are_bit_identical_past_the_crossover() {
     let sinr = SinrParams::builder().range(16.0).build().unwrap();
     let mut serial = BackendSpec::cached().build();
     let mut par = BackendSpec::cached().with_threads(3).build();
-    serial.prepare(&sinr, &pts);
-    par.prepare(&sinr, &pts);
+    serial.prepare(&sinr, &pts).unwrap();
+    par.prepare(&sinr, &pts).unwrap();
     let mut got_serial = vec![None; n];
     let mut got_par = vec![None; n];
     let mut exact = BackendSpec::exact().build();
