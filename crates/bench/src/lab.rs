@@ -12,8 +12,8 @@ use std::time::Instant;
 use sinr_mac::MacParams;
 use sinr_phys::SinrParams;
 use sinr_scenario::{
-    report_for, DeploymentSpec, Json, MeasureSpec, Report, ScenarioSet, ScenarioSpec, SeedSpec,
-    SinrSpec, SourceSet, StopSpec, WorkloadSpec,
+    pool_threads, report_for, DeploymentSpec, Json, MeasureSpec, Report, ScenarioSet, ScenarioSpec,
+    SeedSpec, SinrSpec, SourceSet, StopSpec, WorkloadSpec,
 };
 
 use crate::common::Table;
@@ -241,7 +241,7 @@ pub fn cli_main(args: &[String]) -> Result<(), String> {
                 .get(1)
                 .ok_or("usage: sinr-lab sweep NAME|FILE KEY=V1,V2,… [--threads N] [--reseed] [--traces] [--no-shared-prepare] [--json PATH]")?;
             let mut set = ScenarioSet::new(resolve_spec(name)?);
-            let mut threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+            let mut threads = pool_threads(None, None);
             let mut json_path = None;
             let mut rest = args[2..].iter();
             while let Some(arg) = rest.next() {
@@ -303,6 +303,16 @@ pub fn cli_main(args: &[String]) -> Result<(), String> {
                 .unwrap_or_else(|| "BENCH_scenario.json".to_string());
             bench_scenario(&out, smoke)
         }
+        Some("serve") => crate::service_bench::serve_cmd(&args[1..]),
+        Some("bench-service") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let out = args[1..]
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "BENCH_service.json".to_string());
+            crate::service_bench::bench_service(&out, smoke)
+        }
         Some("legacy") => {
             let name = args.get(1).ok_or("usage: sinr-lab legacy NAME")?;
             legacy(name, &args[2..])
@@ -319,6 +329,11 @@ pub fn cli_main(args: &[String]) -> Result<(), String> {
                  \x20          [--threads N] [--reseed] [--traces] [--no-shared-prepare] [--json PATH]\n\
                  \x20                                             batch a spec grid across threads\n\
                  \x20 sinr-lab bench [OUT.json] [--smoke]         sweep throughput + shared-prepare speedups (BENCH_scenario.json)\n\
+                 \x20 sinr-lab serve [--socket PATH] [--once] [--workers N] [--queue N]\n\
+                 \x20          [--cache-bytes N] [--replay-log N] [--no-cache]\n\
+                 \x20                                             persistent scenario service: NDJSON requests on stdin or a\n\
+                 \x20                                             Unix socket, streamed reports, LRU-cached prepared tables\n\
+                 \x20 sinr-lab bench-service [OUT.json] [--smoke] request-storm service benchmark (BENCH_service.json)\n\
                  \x20 sinr-lab legacy NAME [ARGS…]                reprint a legacy binary's tables\n\
                  \n\
                  spec files are key=value text; see `sinr-lab show fig1` for an example\n\
@@ -485,7 +500,7 @@ fn validate_scenario_json(json: &str, prepare_heavy_rows: usize) {
 ///
 /// A message if a sweep fails or the file cannot be written.
 pub fn bench_scenario(out: &str, smoke: bool) -> Result<(), String> {
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads = pool_threads(None, None);
 
     // ---- historical throughput row ----
     let batch = 8usize;

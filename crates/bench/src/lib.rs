@@ -28,3 +28,4 @@ pub mod exp_local;
 pub mod exp_table2;
 pub mod lab;
 pub mod reception_bench;
+pub mod service_bench;

@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Sentinel hop distance for unreachable nodes.
 pub const UNREACHABLE: u32 = u32::MAX;
@@ -22,11 +23,24 @@ pub const UNREACHABLE: u32 = u32::MAX;
 /// assert_eq!(g.hop_distance(0, 3), Some(3));
 /// assert_eq!(g.diameter(), Some(3));
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Graph {
     adj: Vec<Vec<u32>>,
     edge_count: usize,
+    /// Memoized [`Graph::diameter`] — the one O(n·(n+m)) query. Shared
+    /// through clones (an `Arc`), so every copy of a graph handed out by
+    /// a cache or sweep planner computes it at most once between them.
+    diameter: Arc<OnceLock<Option<u32>>>,
 }
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural identity only; the memo is derived state.
+        self.adj == other.adj
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Creates a graph with `n` nodes from an edge iterator.
@@ -56,6 +70,7 @@ impl Graph {
         Graph {
             adj,
             edge_count: edge_count / 2,
+            diameter: Arc::new(OnceLock::new()),
         }
     }
 
@@ -64,6 +79,7 @@ impl Graph {
         Graph {
             adj: vec![Vec::new(); n],
             edge_count: 0,
+            diameter: Arc::new(OnceLock::new()),
         }
     }
 
@@ -174,16 +190,20 @@ impl Graph {
     /// Diameter `D_G` (max hop distance over all pairs), or `None` if the
     /// graph is disconnected or empty.
     ///
-    /// Runs BFS from every node: O(n·(n+m)).
+    /// Runs BFS from every node — O(n·(n+m)) — **once**: the result is
+    /// memoized and shared through clones, so repeated reports over a
+    /// cached deployment pay nothing after the first.
     pub fn diameter(&self) -> Option<u32> {
-        if self.adj.is_empty() {
-            return None;
-        }
-        let mut diam = 0;
-        for v in 0..self.adj.len() {
-            diam = diam.max(self.eccentricity(v)?);
-        }
-        Some(diam)
+        *self.diameter.get_or_init(|| {
+            if self.adj.is_empty() {
+                return None;
+            }
+            let mut diam = 0;
+            for v in 0..self.adj.len() {
+                diam = diam.max(self.eccentricity(v)?);
+            }
+            Some(diam)
+        })
     }
 
     /// The subgraph induced by `nodes` (§4.1's `G|S`), with nodes

@@ -35,6 +35,13 @@ pub enum PhysError {
         /// The cap in force when the build was refused.
         cap: u64,
     },
+    /// A slot decision or state sweep ran against a table-backed kernel
+    /// whose table was never (successfully) prepared — the structured
+    /// refusal a long-lived caller gets instead of a poisoned process.
+    BackendNotPrepared {
+        /// The kernel kind (`"cached"` or `"hybrid"`).
+        backend: &'static str,
+    },
 }
 
 impl fmt::Display for PhysError {
@@ -60,6 +67,11 @@ impl fmt::Display for PhysError {
                 "dense gain table for n={n} needs {bytes} bytes, over the {cap}-byte cap; \
                  use backend=hybrid:CUTOFF (sparse near-field rows) for deployments this \
                  large, or raise SINR_MAX_TABLE_BYTES"
+            ),
+            PhysError::BackendNotPrepared { backend } => write!(
+                f,
+                "{backend} backend used without a prepared table; call \
+                 prepare(params, positions) first"
             ),
         }
     }
@@ -92,6 +104,14 @@ mod tests {
         assert!(s.contains("hybrid"), "must hint at the sparse backend: {s}");
         assert!(s.contains("SINR_MAX_TABLE_BYTES"), "must name the cap: {s}");
         assert!(s.contains("100000"), "must name the deployment size: {s}");
+    }
+
+    #[test]
+    fn not_prepared_names_the_backend_and_the_fix() {
+        let e = PhysError::BackendNotPrepared { backend: "cached" };
+        let s = e.to_string();
+        assert!(s.contains("cached"), "must name the kernel: {s}");
+        assert!(s.contains("prepare"), "must name the fix: {s}");
     }
 
     #[test]

@@ -485,6 +485,33 @@ pub trait InterferenceBackend: Send {
         out: &mut [Option<usize>],
     );
 
+    /// Fallible variant of
+    /// [`decide_slot`](InterferenceBackend::decide_slot) for long-lived
+    /// callers (a scenario service worker) that must reject one bad
+    /// request instead of letting it poison the process: backends whose
+    /// slot path can fail — the table-backed kernels, whose lazy
+    /// re-preparation can hit the [`max_table_bytes`] cap — return the
+    /// structured [`PhysError`] here and reserve panicking for the
+    /// infallible-signature `decide_slot` edge. The default forwards to
+    /// `decide_slot`: the stateless models have no failure mode.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`prepare`](InterferenceBackend::prepare) can produce
+    /// (the lazy re-preparation runs it), plus
+    /// [`PhysError::BackendNotPrepared`] if a table-backed kernel's
+    /// state went missing mid-decision.
+    fn try_decide_slot(
+        &mut self,
+        params: &SinrParams,
+        positions: &[Point],
+        senders: &[usize],
+        out: &mut [Option<usize>],
+    ) -> Result<(), PhysError> {
+        self.decide_slot(params, positions, senders, out);
+        Ok(())
+    }
+
     /// Notifies the backend that nodes moved between slots (the mobility
     /// lifecycle hook).
     ///
@@ -1038,6 +1065,15 @@ impl GainTable {
         self.n
     }
 
+    /// Resident size of the table in bytes: the gain and distance
+    /// matrices (`2 × n² × 8`) plus the retained position copy. This is
+    /// the quantity byte-budgeted caches account per entry — a shared
+    /// `Arc` costs this once no matter how many runs adopt it.
+    pub fn bytes(&self) -> usize {
+        (self.gains.len() + self.d2.len()) * std::mem::size_of::<f64>()
+            + self.positions.len() * std::mem::size_of::<Point>()
+    }
+
     /// Whether this cache was built for exactly these parameters and
     /// positions (bitwise position equality — the kernel's totals are
     /// only valid against the deployment the gains were derived from).
@@ -1481,12 +1517,25 @@ impl CachedBackend {
             // Departure at the old gains; orphaned listeners (their
             // nearest sender moved) rescan over the unmoved senders,
             // whose cached distances are still valid.
-            self.sweep(|ls, table| delta_range(ls, table, &remaining, &[], &moved_senders));
+            let CachedBackend {
+                threads,
+                table,
+                state,
+            } = self;
+            let Some(cache) = table.as_deref() else {
+                return;
+            };
+            Self::sweep_with(cache, *threads, state, |ls, table| {
+                delta_range(ls, table, &remaining, &[], &moved_senders)
+            });
         }
 
         // Copy-on-write: a shared table is forked here, a private one is
         // patched in place.
-        let table = Arc::make_mut(self.table.as_mut().expect("checked above"));
+        let Some(arc) = self.table.as_mut() else {
+            return;
+        };
+        let table = Arc::make_mut(arc);
         for &(i, p) in moved {
             table.move_node(i, p);
         }
@@ -1495,16 +1544,28 @@ impl CachedBackend {
             // Re-entry at the new gains; the enter path also lets each
             // moved sender re-compete for nearest-sender with the exact
             // backend's (distance, index) tie-break.
-            let senders = std::mem::take(&mut self.state.prev);
-            self.sweep(|ls, table| delta_range(ls, table, &senders, &moved_senders, &[]));
-            self.state.prev = senders;
+            let CachedBackend {
+                threads,
+                table,
+                state,
+            } = self;
+            let Some(cache) = table.as_deref() else {
+                return;
+            };
+            let senders = std::mem::take(&mut state.prev);
+            Self::sweep_with(cache, *threads, state, |ls, table| {
+                delta_range(ls, table, &senders, &moved_senders, &[])
+            });
+            state.prev = senders;
         }
 
         // Every distance *to* a moved node changed, so its own listening
         // state cannot be patched incrementally: rebuild it exactly the
         // way refresh_range would (ordered sum over the sender set,
         // first-minimum nearest-sender scan, drift bound reset).
-        let table = self.table.as_deref().expect("checked above");
+        let Some(table) = self.table.as_deref() else {
+            return;
+        };
         let state = &mut self.state;
         let kf = state.prev.len() as f64;
         for &(m, _) in moved {
@@ -1532,13 +1593,17 @@ impl CachedBackend {
     }
 
     /// Runs `op` over the per-listener state, chunked across threads when
-    /// the deployment is past the crossover.
-    fn sweep(&mut self, op: impl Fn(ListenerState<'_>, &GainTable) + Sync) {
-        let CachedBackend {
-            threads,
-            table,
-            state,
-        } = self;
+    /// the deployment is past the crossover. Takes the prepared table
+    /// explicitly: callers fetch it fallibly once (structured
+    /// [`PhysError::BackendNotPrepared`] on the decide path, a benign
+    /// early return on the repair path), so no "prepared above"
+    /// assertion is left to poison the process.
+    fn sweep_with(
+        cache: &GainTable,
+        threads: usize,
+        state: &mut SlotState,
+        op: impl Fn(ListenerState<'_>, &GainTable) + Sync,
+    ) {
         let SlotState {
             total,
             err,
@@ -1546,9 +1611,8 @@ impl CachedBackend {
             best_s,
             ..
         } = state;
-        let cache = table.as_deref().expect("sweep requires a prepared table");
         let n = total.len();
-        let eff = effective_threads(*threads, n);
+        let eff = effective_threads(threads, n);
         let tasks = listener_chunks(total, err, best_d2, best_s, n, eff);
         chunked_scope(tasks, |ls| op(ls, cache));
     }
@@ -1583,6 +1647,22 @@ impl InterferenceBackend for CachedBackend {
         senders: &[usize],
         out: &mut [Option<usize>],
     ) {
+        // The infallible-signature edge: inside `decide_slot` there is
+        // no error channel, so the one fallible step (an over-cap lazy
+        // re-preparation) panics with the structured message. Callers
+        // who want the error use `try_decide_slot`, as services do.
+        if let Err(e) = self.try_decide_slot(params, positions, senders, out) {
+            panic!("cached backend: {e}");
+        }
+    }
+
+    fn try_decide_slot(
+        &mut self,
+        params: &SinrParams,
+        positions: &[Point],
+        senders: &[usize],
+        out: &mut [Option<usize>],
+    ) -> Result<(), PhysError> {
         check_invariants(positions, senders, out);
         out.fill(None);
         if !self
@@ -1594,51 +1674,54 @@ impl InterferenceBackend for CachedBackend {
             // Lazy (re)preparation: correct for one-shot wrappers and
             // deployment swaps, at the cost of an O(n²) rebuild — or
             // just the O(n) slot-state reset when a matching shared
-            // table was adopted at construction. Inside decide_slot
-            // there is no error channel, so an over-cap deployment
-            // panics with the structured message (callers who want the
-            // error call `prepare` first, as the engine does).
-            self.prepare_impl(params, positions)
-                .unwrap_or_else(|e| panic!("cached backend: {e}"));
+            // table was adopted at construction. An over-cap deployment
+            // surfaces here as the structured error.
+            self.prepare_impl(params, positions)?;
         }
+        let CachedBackend {
+            threads,
+            table,
+            state,
+        } = self;
+        let Some(cache) = table.as_deref() else {
+            return Err(PhysError::BackendNotPrepared { backend: "cached" });
+        };
 
         // Diff the sorted sender sets into arrivals and departures.
-        diff_sorted(
-            &self.state.prev,
-            senders,
-            &mut self.state.enters,
-            &mut self.state.leaves,
-        );
+        diff_sorted(&state.prev, senders, &mut state.enters, &mut state.leaves);
 
-        let delta = self.state.enters.len() + self.state.leaves.len();
-        self.state.ops_since_refresh += delta as u64;
-        if delta >= senders.len().max(1) || self.state.ops_since_refresh >= REFRESH_OPS {
+        let delta = state.enters.len() + state.leaves.len();
+        state.ops_since_refresh += delta as u64;
+        if delta >= senders.len().max(1) || state.ops_since_refresh >= REFRESH_OPS {
             // A delta as large as the set itself makes the rebuild the
             // cheaper path; the periodic refresh bounds float drift.
-            self.state.ops_since_refresh = 0;
-            self.sweep(|ls, cache| refresh_range(ls, cache, senders));
+            state.ops_since_refresh = 0;
+            Self::sweep_with(cache, *threads, state, |ls, cache| {
+                refresh_range(ls, cache, senders)
+            });
         } else if delta > 0 {
             let (enters, leaves) = (
-                std::mem::take(&mut self.state.enters),
-                std::mem::take(&mut self.state.leaves),
+                std::mem::take(&mut state.enters),
+                std::mem::take(&mut state.leaves),
             );
-            self.sweep(|ls, cache| delta_range(ls, cache, senders, &enters, &leaves));
-            self.state.enters = enters;
-            self.state.leaves = leaves;
+            Self::sweep_with(cache, *threads, state, |ls, cache| {
+                delta_range(ls, cache, senders, &enters, &leaves)
+            });
+            state.enters = enters;
+            state.leaves = leaves;
         }
-        for &s in &self.state.leaves {
-            self.state.sending[s] = false;
+        for &s in &state.leaves {
+            state.sending[s] = false;
         }
-        for &s in &self.state.enters {
-            self.state.sending[s] = true;
+        for &s in &state.enters {
+            state.sending[s] = true;
         }
-        self.state.prev.clear();
-        self.state.prev.extend_from_slice(senders);
+        state.prev.clear();
+        state.prev.extend_from_slice(senders);
         if senders.is_empty() {
-            return;
+            return Ok(());
         }
 
-        let CachedBackend { table, state, .. } = self;
         let SlotState {
             total,
             err,
@@ -1646,7 +1729,6 @@ impl InterferenceBackend for CachedBackend {
             sending,
             ..
         } = state;
-        let cache = table.as_deref().expect("prepared above");
         let kf = senders.len() as f64;
         let beta = params.beta();
         let noise = params.noise();
@@ -1684,6 +1766,7 @@ impl InterferenceBackend for CachedBackend {
                 *slot = Some(best);
             }
         }
+        Ok(())
     }
 }
 
@@ -1731,6 +1814,14 @@ impl SharedTables {
     /// Whether the carrier holds nothing at all.
     pub fn is_empty(&self) -> bool {
         self.dense.is_none() && self.hybrid.is_none()
+    }
+
+    /// Combined resident bytes of the held tables
+    /// ([`GainTable::bytes`] + [`HybridTable::bytes`]) — what a
+    /// byte-budgeted cache charges for keeping this carrier alive.
+    pub fn bytes(&self) -> usize {
+        self.dense.as_deref().map_or(0, GainTable::bytes)
+            + self.hybrid.as_deref().map_or(0, HybridTable::bytes)
     }
 
     /// A copy keeping only the members that actually match `params` and
@@ -2071,6 +2162,24 @@ impl HybridTable {
         self.rows.iter().map(Vec::len).sum()
     }
 
+    /// Resident size of the sparse table in bytes: the near-link rows
+    /// (16 bytes per stored link), position copy, cell bucketing and
+    /// the offset-indexed far pair gains. The same cache-accounting
+    /// quantity as [`GainTable::bytes`], typically orders of magnitude
+    /// smaller at equal n.
+    pub fn bytes(&self) -> usize {
+        self.near_links() * std::mem::size_of::<NearLink>()
+            + self.positions.len() * std::mem::size_of::<Point>()
+            + self.cell_of.len() * std::mem::size_of::<u32>()
+            + self
+                .cells
+                .iter()
+                .map(|c| std::mem::size_of::<CellSlot>() + c.members.len() * 4)
+                .sum::<usize>()
+            + self.slot_of.len() * (std::mem::size_of::<(i64, i64)>() + 4)
+            + self.pair_gain.vals.len() * std::mem::size_of::<f64>()
+    }
+
     /// The exact link gain between `u` and its near neighbor `v`.
     ///
     /// # Panics
@@ -2391,6 +2500,15 @@ impl HybridState {
     fn ready_for(&self, n: usize, cells: usize) -> bool {
         self.near.len() == n && self.far.len() == cells
     }
+
+    /// Applies the compacted `cell_delta` to the per-cell transmitter
+    /// counts.
+    fn apply_count_deltas(&mut self) {
+        for &(c, d) in &self.cell_delta {
+            let cnt = &mut self.cell_count[c as usize];
+            *cnt = (i64::from(*cnt) + i64::from(d)) as u32;
+        }
+    }
 }
 
 /// Sparse near-field / aggregated far-field reception kernel for
@@ -2499,20 +2617,21 @@ impl HybridBackend {
                 self.threads,
             )));
         }
-        let cells = self.table.as_deref().expect("just built").cells.len();
+        let cells = self.table.as_deref().map_or(0, |t| t.cells.len());
         self.state.reset(positions.len(), cells);
     }
 
     /// Runs `op` over the per-listener near-field state, chunked across
     /// threads past the crossover; `op` additionally sees the sparse
-    /// table and the **current** sending flags.
-    fn sweep(&mut self, op: impl Fn(ListenerState<'_>, &HybridTable, &[bool]) + Sync) {
-        let HybridBackend {
-            threads,
-            table,
-            state,
-            ..
-        } = self;
+    /// table and the **current** sending flags. Like
+    /// [`CachedBackend::sweep_with`], the table is an explicit argument
+    /// fetched fallibly by the caller — no prepared-table assertion.
+    fn sweep_with(
+        table: &HybridTable,
+        threads: usize,
+        state: &mut HybridState,
+        op: impl Fn(ListenerState<'_>, &HybridTable, &[bool]) + Sync,
+    ) {
         let HybridState {
             near,
             err,
@@ -2521,35 +2640,18 @@ impl HybridBackend {
             sending,
             ..
         } = state;
-        let table = table.as_deref().expect("sweep requires a prepared table");
         let n = near.len();
-        let eff = effective_threads(*threads, n);
+        let eff = effective_threads(threads, n);
         let tasks = listener_chunks(near, err, best_d2, best_s, n, eff);
         let sending: &[bool] = sending;
         chunked_scope(tasks, |ls| op(ls, table, sending));
-    }
-
-    /// Applies the compacted `state.cell_delta` to the per-cell
-    /// transmitter counts.
-    fn apply_count_deltas(&mut self) {
-        for &(c, d) in &self.state.cell_delta {
-            let cnt = &mut self.state.cell_count[c as usize];
-            *cnt = (i64::from(*cnt) + i64::from(d)) as u32;
-        }
     }
 
     /// Folds the compacted `state.cell_delta` into every destination
     /// cell's far-field aggregate (thread-chunked over destinations;
     /// each destination applies the deltas in slot order, so results
     /// are thread-count invariant).
-    fn apply_far_deltas(&mut self) {
-        let HybridBackend {
-            threads,
-            table,
-            state,
-            ..
-        } = self;
-        let table = table.as_deref().expect("prepared");
+    fn apply_far_deltas(table: &HybridTable, threads: usize, state: &mut HybridState) {
         let HybridState {
             far,
             far_err,
@@ -2560,7 +2662,7 @@ impl HybridBackend {
             return;
         }
         let cells = far.len();
-        let eff = effective_threads(*threads, cells);
+        let eff = effective_threads(threads, cells);
         let chunk = (if eff <= 1 { cells } else { cells.div_ceil(eff) }).max(1);
         let deltas: &[(u32, i32)] = cell_delta;
         let tasks: Vec<(usize, &mut [f64], &mut [f64])> = far
@@ -2585,14 +2687,7 @@ impl HybridBackend {
     /// Recomputes every destination cell's far-field aggregate from the
     /// current transmitter counts in slot order (thread-chunked over
     /// destinations) and resets the per-cell drift bounds.
-    fn far_refresh(&mut self) {
-        let HybridBackend {
-            threads,
-            table,
-            state,
-            ..
-        } = self;
-        let table = table.as_deref().expect("prepared");
+    fn far_refresh(table: &HybridTable, threads: usize, state: &mut HybridState) {
         let HybridState {
             far,
             far_err,
@@ -2600,7 +2695,7 @@ impl HybridBackend {
             ..
         } = state;
         let cells = far.len();
-        let eff = effective_threads(*threads, cells);
+        let eff = effective_threads(threads, cells);
         let chunk = (if eff <= 1 { cells } else { cells.div_ceil(eff) }).max(1);
         let counts: &[u32] = cell_count;
         let tasks: Vec<(usize, &mut [f64], &mut [f64])> = far
@@ -2674,7 +2769,7 @@ impl HybridBackend {
                 self.cutoff,
                 self.threads,
             )));
-            let cells = self.table.as_deref().expect("just built").cells.len();
+            let cells = self.table.as_deref().map_or(0, |t| t.cells.len());
             self.state.reset(n, cells);
             return;
         }
@@ -2692,24 +2787,35 @@ impl HybridBackend {
             for &s in &moved_senders {
                 self.state.sending[s] = false;
             }
-            self.sweep(|ls, table, sending| {
+            let HybridBackend {
+                threads,
+                table,
+                state,
+                ..
+            } = self;
+            let Some(cache) = table.as_deref() else {
+                return;
+            };
+            Self::sweep_with(cache, *threads, state, |ls, table, sending| {
                 hybrid_delta_range(ls, table, sending, &[], &moved_senders)
             });
-            let table = self.table.as_deref().expect("checked above");
-            self.state.cell_delta.clear();
+            state.cell_delta.clear();
             for &s in &moved_senders {
-                self.state.cell_delta.push((table.cell_of[s], -1));
+                state.cell_delta.push((cache.cell_of[s], -1));
             }
-            compact_cell_deltas(&mut self.state.cell_delta);
-            self.apply_count_deltas();
-            self.apply_far_deltas();
+            compact_cell_deltas(&mut state.cell_delta);
+            state.apply_count_deltas();
+            Self::apply_far_deltas(cache, *threads, state);
         }
 
         // Phase 2: re-bucket each mover (copy-on-write fork of a shared
         // table on the first patch). Movers are processed sequentially;
         // pairs of movers converge to their new-position gains once
         // both have re-bucketed.
-        let table = Arc::make_mut(self.table.as_mut().expect("checked above"));
+        let Some(arc) = self.table.as_mut() else {
+            return;
+        };
+        let table = Arc::make_mut(arc);
         let mut appended: Vec<u32> = Vec::new();
         for &(m, to) in moved {
             let (slot, was_new) = table.rebucket(m, to);
@@ -2724,7 +2830,9 @@ impl HybridBackend {
         // Phase 3: freshly appended cells compute their far field from
         // scratch (every other cell's aggregate is unaffected by new
         // empty destinations).
-        let table = self.table.as_deref().expect("checked above");
+        let Some(table) = self.table.as_deref() else {
+            return;
+        };
         for &slot in &appended {
             let mut sum = 0.0;
             let mut terms = 0u32;
@@ -2748,23 +2856,33 @@ impl HybridBackend {
             for &s in &moved_senders {
                 self.state.sending[s] = true;
             }
-            self.sweep(|ls, table, sending| {
+            let HybridBackend {
+                threads,
+                table,
+                state,
+                ..
+            } = self;
+            let Some(cache) = table.as_deref() else {
+                return;
+            };
+            Self::sweep_with(cache, *threads, state, |ls, table, sending| {
                 hybrid_delta_range(ls, table, sending, &moved_senders, &[])
             });
-            let table = self.table.as_deref().expect("checked above");
-            self.state.cell_delta.clear();
+            state.cell_delta.clear();
             for &s in &moved_senders {
-                self.state.cell_delta.push((table.cell_of[s], 1));
+                state.cell_delta.push((cache.cell_of[s], 1));
             }
-            compact_cell_deltas(&mut self.state.cell_delta);
-            self.apply_count_deltas();
-            self.apply_far_deltas();
+            compact_cell_deltas(&mut state.cell_delta);
+            state.apply_count_deltas();
+            Self::apply_far_deltas(cache, *threads, state);
         }
 
         // Phase 5: every distance *to* a mover changed, so its own
         // listening state is rebuilt from its new row the way a refresh
         // would.
-        let table = self.table.as_deref().expect("checked above");
+        let Some(table) = self.table.as_deref() else {
+            return;
+        };
         let state = &mut self.state;
         for &(m, _) in moved {
             let pu = table.positions[m];
@@ -2825,6 +2943,18 @@ impl InterferenceBackend for HybridBackend {
         senders: &[usize],
         out: &mut [Option<usize>],
     ) {
+        if let Err(e) = self.try_decide_slot(params, positions, senders, out) {
+            panic!("hybrid backend: {e}");
+        }
+    }
+
+    fn try_decide_slot(
+        &mut self,
+        params: &SinrParams,
+        positions: &[Point],
+        senders: &[usize],
+        out: &mut [Option<usize>],
+    ) -> Result<(), PhysError> {
         check_invariants(positions, senders, out);
         out.fill(None);
         let prepared = match self.table.as_ref() {
@@ -2836,6 +2966,9 @@ impl InterferenceBackend for HybridBackend {
         };
         if !prepared {
             self.prepare_impl(params, positions);
+        }
+        if self.table.is_none() {
+            return Err(PhysError::BackendNotPrepared { backend: "hybrid" });
         }
 
         diff_sorted(
@@ -2857,50 +2990,61 @@ impl InterferenceBackend for HybridBackend {
             self.state.sending[s] = true;
         }
 
-        // Per-cell transmitter-count deltas always apply; how they
-        // reach the far aggregates depends on the branch below.
         {
-            let table = self.table.as_deref().expect("prepared above");
-            self.state.cell_delta.clear();
-            for &s in &self.state.leaves {
-                self.state.cell_delta.push((table.cell_of[s], -1));
-            }
-            for &s in &self.state.enters {
-                self.state.cell_delta.push((table.cell_of[s], 1));
-            }
-        }
-        compact_cell_deltas(&mut self.state.cell_delta);
-        self.apply_count_deltas();
+            let HybridBackend {
+                threads,
+                table,
+                state,
+                ..
+            } = self;
+            let Some(cache) = table.as_deref() else {
+                return Err(PhysError::BackendNotPrepared { backend: "hybrid" });
+            };
 
-        // The refresh interval scales with n: at city scale the churn
-        // delta alone exceeds REFRESH_OPS every slot, and the tracked
-        // drift bounds (not the interval) carry correctness — a longer
-        // interval only widens the guard band slightly.
-        let interval = REFRESH_OPS.max(positions.len() as u64);
-        if delta >= senders.len().max(1) || self.state.ops_since_refresh >= interval {
-            self.state.ops_since_refresh = 0;
-            self.sweep(hybrid_refresh_range);
-            self.far_refresh();
-        } else if delta > 0 {
-            let (enters, leaves) = (
-                std::mem::take(&mut self.state.enters),
-                std::mem::take(&mut self.state.leaves),
-            );
-            self.sweep(|ls, table, sending| {
-                hybrid_delta_range(ls, table, sending, &enters, &leaves)
-            });
-            self.state.enters = enters;
-            self.state.leaves = leaves;
-            self.apply_far_deltas();
+            // Per-cell transmitter-count deltas always apply; how they
+            // reach the far aggregates depends on the branch below.
+            state.cell_delta.clear();
+            for &s in &state.leaves {
+                state.cell_delta.push((cache.cell_of[s], -1));
+            }
+            for &s in &state.enters {
+                state.cell_delta.push((cache.cell_of[s], 1));
+            }
+            compact_cell_deltas(&mut state.cell_delta);
+            state.apply_count_deltas();
+
+            // The refresh interval scales with n: at city scale the churn
+            // delta alone exceeds REFRESH_OPS every slot, and the tracked
+            // drift bounds (not the interval) carry correctness — a longer
+            // interval only widens the guard band slightly.
+            let interval = REFRESH_OPS.max(positions.len() as u64);
+            if delta >= senders.len().max(1) || state.ops_since_refresh >= interval {
+                state.ops_since_refresh = 0;
+                Self::sweep_with(cache, *threads, state, hybrid_refresh_range);
+                Self::far_refresh(cache, *threads, state);
+            } else if delta > 0 {
+                let (enters, leaves) = (
+                    std::mem::take(&mut state.enters),
+                    std::mem::take(&mut state.leaves),
+                );
+                Self::sweep_with(cache, *threads, state, |ls, table, sending| {
+                    hybrid_delta_range(ls, table, sending, &enters, &leaves)
+                });
+                state.enters = enters;
+                state.leaves = leaves;
+                Self::apply_far_deltas(cache, *threads, state);
+            }
+            state.prev.clear();
+            state.prev.extend_from_slice(senders);
         }
-        self.state.prev.clear();
-        self.state.prev.extend_from_slice(senders);
         if senders.is_empty() {
-            return;
+            return Ok(());
         }
 
         let HybridBackend { table, state, .. } = self;
-        let table = table.as_deref().expect("prepared above");
+        let Some(table) = table.as_deref() else {
+            return Err(PhysError::BackendNotPrepared { backend: "hybrid" });
+        };
         let HybridState {
             near,
             err,
@@ -2965,6 +3109,7 @@ impl InterferenceBackend for HybridBackend {
                 *slot = Some(best);
             }
         }
+        Ok(())
     }
 }
 
@@ -3353,6 +3498,56 @@ mod tests {
             let want = decide_receptions(&p, &pos, &senders, InterferenceModel::Exact);
             assert_eq!(got, want, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn try_decide_slot_refuses_oversized_table_structurally() {
+        // A deployment past the dense-table byte cap must surface as a
+        // structured error from the fallible entry point — a long-lived
+        // service rejects the request; the process is not poisoned.
+        let p = params();
+        let n = 12_100; // n²·16 ≈ 2.34 GB > default 2 GiB cap
+        let pos = sinr_geom::deploy::lattice(110, 110, 2.0).unwrap();
+        let mut cached = BackendSpec::cached().build();
+        let senders = vec![0usize];
+        let mut out = vec![None; pos.len()];
+        let err = cached
+            .try_decide_slot(&p, &pos, &senders, &mut out)
+            .unwrap_err();
+        assert!(
+            matches!(err, PhysError::GainTableTooLarge { n: en, .. } if en == n),
+            "want GainTableTooLarge for n={n}, got {err}"
+        );
+        // The fallible entry point succeeds on a sane size.
+        let pos = sinr_geom::deploy::lattice(4, 4, 2.0).unwrap();
+        let mut out = vec![None; pos.len()];
+        cached
+            .try_decide_slot(&p, &pos, &[0], &mut out)
+            .expect("small deployment prepares fine");
+        assert!(out.iter().any(Option::is_some));
+    }
+
+    #[test]
+    fn table_byte_reporting_matches_layout() {
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(24, 30.0, 7).unwrap();
+        let dense = Arc::new(GainTable::build(&p, &pos, 1));
+        // gains + d2 are both n×n f64, positions are n Points.
+        let expect = 2 * 24 * 24 * std::mem::size_of::<f64>() + 24 * std::mem::size_of::<Point>();
+        assert_eq!(dense.bytes(), expect);
+
+        let hybrid = Arc::new(HybridTable::build(&p, &pos, 8.0, 1));
+        assert!(
+            hybrid.bytes() >= hybrid.near_links() * std::mem::size_of::<NearLink>(),
+            "hybrid bytes must cover at least the near rows"
+        );
+        assert!(hybrid.bytes() < dense.bytes() * 4, "sane upper bound");
+
+        let both = SharedTables::new()
+            .with_dense(Arc::clone(&dense))
+            .with_hybrid(Arc::clone(&hybrid));
+        assert_eq!(both.bytes(), dense.bytes() + hybrid.bytes());
+        assert_eq!(SharedTables::new().bytes(), 0);
     }
 
     #[test]

@@ -382,7 +382,7 @@ impl PreparedDeployment {
             wants.dense = false;
             wants.hybrid_cutoff = wants.hybrid_cutoff.or(Some(0.0));
         }
-        let threads = crate::env_backend_override(spec.backend).tuned(n).threads;
+        let threads = crate::resolve_backend(spec.backend, n).threads;
         // Thread count never changes the entries of either table (each
         // pair / row is computed independently), so the shared tables
         // equal any cell's private build bit for bit.
@@ -434,6 +434,14 @@ impl PreparedDeployment {
     /// All shared tables (possibly empty).
     pub fn tables(&self) -> &SharedTables {
         &self.tables
+    }
+
+    /// Resident bytes of this preparation: the shared gain tables plus
+    /// the realized positions — what a byte-budgeted cache charges for
+    /// keeping it warm. (Graphs are adjacency lists, small next to the
+    /// tables; they are deliberately not counted.)
+    pub fn resident_bytes(&self) -> usize {
+        self.tables.bytes() + self.positions.len() * std::mem::size_of::<Point>()
     }
 }
 
@@ -584,7 +592,6 @@ impl ScenarioSpec {
         prepared: Option<&PreparedDeployment>,
     ) -> Result<RunnableScenario, ScenarioError> {
         let sinr = self.sinr.to_params()?;
-        let backend = crate::env_backend_override(self.backend);
 
         // Deployment (+ optional connectivity search) — or the shared,
         // already-realized copy. The generators are deterministic, so
@@ -595,11 +602,11 @@ impl ScenarioSpec {
         };
         let n = positions.len();
         // Serial/parallel crossover: now that the deployment size is
-        // known, resolve the requested thread count against it so small
-        // scenarios never pay thread fan-out (`backend=par:8` on a
-        // 16-node spec runs serial; receptions are thread-invariant, so
-        // this changes wall clock only). The effective spec is what the
-        // run context reports.
+        // known, resolve the env override and the requested thread count
+        // against it so small scenarios never pay thread fan-out
+        // (`backend=par:8` on a 16-node spec runs serial; receptions are
+        // thread-invariant, so this changes wall clock only). The
+        // effective spec is what the run context reports.
         //
         // The resolution is deliberately made ONCE, against the
         // deployment realized at slot 0. Mobility moves nodes but never
@@ -609,7 +616,7 @@ impl ScenarioSpec {
         // future dynamics axis ever changes n mid-run, this is the line
         // to revisit (unit-tested in
         // `backend_threads_resolved_once_at_slot_zero_under_mobility`).
-        let backend = backend.tuned(n);
+        let backend = crate::resolve_backend(self.backend, n);
 
         let seed = match self.seed {
             SeedSpec::Fixed(s) => s,

@@ -72,10 +72,10 @@ pub use sweep::{splitmix64, Axis, ScenarioSet, SweepPlan};
 pub mod prelude {
     pub use crate::clients::{Gated, OneShot, Repeater};
     pub use crate::{
-        connected_uniform, env_backend_override, report_for, DeploymentSpec, DynEvent, DynKind,
-        IdealPolicy, Json, MacKnob, MacSpec, MeasureSpec, Report, RunnableScenario, ScenarioCtx,
-        ScenarioError, ScenarioRun, ScenarioSet, ScenarioSpec, SeedSpec, SinrSpec, SourceSet,
-        StopSpec, WorkloadSpec,
+        connected_uniform, env_backend_override, pool_threads, report_for, resolve_backend,
+        DeploymentSpec, DynEvent, DynKind, IdealPolicy, Json, MacKnob, MacSpec, MeasureSpec,
+        PreparedDeployment, Report, RunnableScenario, ScenarioCtx, ScenarioError, ScenarioRun,
+        ScenarioSet, ScenarioSpec, SeedSpec, SinrSpec, SourceSet, StopSpec, WorkloadSpec,
     };
 }
 
@@ -114,9 +114,63 @@ pub fn env_backend_override(spec: sinr_phys::BackendSpec) -> sinr_phys::BackendS
     }
 }
 
+/// Resolves the backend a scenario over `listeners` nodes will actually
+/// run: the [`env_backend_override`] wins over the spec field, then
+/// [`sinr_phys::BackendSpec::tuned`] applies the serial/parallel
+/// crossover and the dense-table memory fallback against the realized
+/// deployment size.
+///
+/// Every consumer that needs "the effective backend for n nodes" —
+/// [`ScenarioSpec::build`], [`PreparedDeployment::prepare`], the sweep
+/// executor and the scenario service's workers — goes through this one
+/// helper so they can never disagree.
+///
+/// # Panics
+///
+/// Panics if `SINR_BACKEND` is set but malformed (see
+/// [`env_backend_override`]).
+pub fn resolve_backend(spec: sinr_phys::BackendSpec, listeners: usize) -> sinr_phys::BackendSpec {
+    env_backend_override(spec).tuned(listeners)
+}
+
+/// Resolves a worker count for a pool driving many independent jobs
+/// (sweep cells, service requests).
+///
+/// `requested = None` (or `Some(0)`) means "use the machine":
+/// [`std::thread::available_parallelism`]. The result is clamped to at
+/// least 1 and — when the job count is known — to `jobs`, so a
+/// two-cell sweep never spins up eight idle workers.
+pub fn pool_threads(requested: Option<usize>, jobs: Option<usize>) -> usize {
+    let base = match requested {
+        Some(t) if t > 0 => t,
+        _ => std::thread::available_parallelism().map_or(1, |p| p.get()),
+    };
+    base.clamp(1, jobs.unwrap_or(usize::MAX).max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pool_threads_clamps_to_jobs_and_floor() {
+        assert_eq!(pool_threads(Some(8), Some(2)), 2);
+        assert_eq!(pool_threads(Some(2), Some(8)), 2);
+        assert_eq!(pool_threads(Some(4), None), 4);
+        assert_eq!(pool_threads(Some(3), Some(0)), 1);
+        assert!(pool_threads(None, None) >= 1);
+        assert_eq!(pool_threads(Some(0), Some(1)), 1);
+    }
+
+    #[test]
+    fn resolve_backend_applies_crossover() {
+        if std::env::var("SINR_BACKEND").is_ok() {
+            return;
+        }
+        let spec = sinr_phys::BackendSpec::exact().with_threads(8);
+        assert_eq!(resolve_backend(spec, 64).threads, 1);
+        assert_eq!(resolve_backend(spec, 2048).threads, 8);
+    }
 
     #[test]
     fn env_override_passes_spec_through_when_unset() {

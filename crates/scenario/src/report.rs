@@ -49,6 +49,18 @@ impl Json {
     pub fn opt_int(v: Option<u64>) -> Json {
         v.map_or(Json::Null, Json::int)
     }
+
+    /// Streams the serialized form into `w` without building an
+    /// intermediate `String` — the scenario service writes values
+    /// straight onto a connection. Byte-identical to
+    /// [`Json::to_string`](ToString::to_string).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error `w` reports.
+    pub fn write_to(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        write!(w, "{self}")
+    }
 }
 
 fn escape_into(out: &mut String, s: &str) {
@@ -120,15 +132,30 @@ pub struct Report {
 }
 
 impl Report {
-    /// Serializes to one JSON object.
-    pub fn to_json(&self) -> String {
+    /// The report as a [`Json`] value — what [`Report::to_json`]
+    /// serializes.
+    pub fn to_json_value(&self) -> Json {
         Json::Obj(vec![
             ("name".into(), Json::str(&self.name)),
             ("spec".into(), Json::str(&self.spec)),
             ("realized".into(), Json::Obj(self.realized.clone())),
             ("metrics".into(), Json::Obj(self.metrics.clone())),
         ])
-        .to_string()
+    }
+
+    /// Serializes to one JSON object.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// Streams the report's JSON into `w` instead of buffering it —
+    /// byte-identical to [`Report::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error `w` reports.
+    pub fn write_json(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        self.to_json_value().write_to(w)
     }
 
     /// Looks up a metric by name.

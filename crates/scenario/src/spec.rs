@@ -965,6 +965,32 @@ impl ScenarioSpec {
         self
     }
 
+    /// Whether this scenario moves nodes after slot 0 — continuous
+    /// `mobility=` or a scripted `dyn=teleport:…`. Moving runs fork any
+    /// shared gain table copy-on-write at the first repair, so sharers
+    /// stay safe but the sharing buys less.
+    pub fn moves_nodes(&self) -> bool {
+        self.mobility.is_some()
+            || self
+                .dynamics
+                .iter()
+                .any(|ev| matches!(ev.kind, DynKind::Teleport { .. }))
+    }
+
+    /// The shared-preparation identity of this spec: two specs with
+    /// equal keys are guaranteed to realize bit-identical positions,
+    /// graphs and gains, so one [`crate::PreparedDeployment`] serves
+    /// both. The key covers exactly the deployment spec (geometry,
+    /// generator seed, connectivity search) and the SINR parameters
+    /// (gains are `P/d^α` with `P` derived from the SINR spec); the
+    /// sweep planner and the scenario service's table cache both key on
+    /// it.
+    pub fn deployment_key(&self) -> String {
+        // '\u{1}' cannot appear in either Display form, so the key is
+        // unambiguous.
+        format!("{}\u{1}{}", self.deploy, self.sinr)
+    }
+
     /// Applies one `key=value` override — the sweep mechanism. Accepted
     /// keys are the spec lines (`name`, `deploy`, `sinr`, `backend`,
     /// `mac`, `workload`, `mobility` where `none` clears it, `stop`,

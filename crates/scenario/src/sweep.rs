@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::build::{PreparedDeployment, ScenarioRun, TableWants};
-use crate::spec::{DynKind, ScenarioSpec, SeedSpec};
+use crate::spec::{ScenarioSpec, SeedSpec};
 use crate::ScenarioError;
 
 /// SplitMix64 — the standard 64-bit seed scrambler, used to derive
@@ -281,7 +281,7 @@ impl ScenarioSet {
             }
         };
         let cells = &plan.cells;
-        let threads = threads.max(1).min(cells.len().max(1));
+        let threads = crate::pool_threads(Some(threads), Some(cells.len()));
         let next = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         // One lazily-prepared slot per deployment group. The first
@@ -394,17 +394,10 @@ impl ScenarioSet {
 /// fork. (Sharing would still be *correct* — the fork protects
 /// sharers — just not profitable.)
 fn deployment_key(cell: &ScenarioSpec) -> Option<String> {
-    let moves_nodes = cell.mobility.is_some()
-        || cell
-            .dynamics
-            .iter()
-            .any(|ev| matches!(ev.kind, DynKind::Teleport { .. }));
-    if moves_nodes {
+    if cell.moves_nodes() {
         return None;
     }
-    // '\u{1}' cannot appear in either Display form, so the key is
-    // unambiguous.
-    Some(format!("{}\u{1}{}", cell.deploy, cell.sinr))
+    Some(cell.deployment_key())
 }
 
 /// The output of [`ScenarioSet::plan`]: expanded cells plus their

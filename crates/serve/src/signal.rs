@@ -1,0 +1,54 @@
+//! Best-effort SIGTERM → drain flag, with no libc dependency.
+//!
+//! The handler only sets an atomic; the service observes it between
+//! input lines. glibc's `signal()` installs BSD semantics (SA_RESTART),
+//! so a blocking read resumes after the handler runs — the drain is
+//! therefore acted on at the next request line or EOF, which is also
+//! the exercised drain path in CI. On non-Unix targets installation is
+//! a no-op and the flag stays false.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// True once a drain was requested (SIGTERM after
+/// [`install_sigterm_drain`]).
+pub fn draining() -> bool {
+    DRAIN.load(Ordering::Relaxed)
+}
+
+/// Installs the SIGTERM handler that marks the service draining.
+/// Call once from the binary entry point, before serving.
+pub fn install_sigterm_drain() {
+    imp::install();
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::DRAIN;
+    use std::sync::atomic::Ordering;
+
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_term(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        DRAIN.store(true, Ordering::Relaxed);
+    }
+
+    // The one FFI call in the workspace: registering the handler needs
+    // the platform `signal(2)` entry point, which std does not expose.
+    #[allow(unsafe_code)]
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGTERM, on_term);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
