@@ -7,13 +7,16 @@
 //! `legacy NAME` to reprint any legacy binary's full tables (the legacy
 //! binaries themselves are thin wrappers over [`legacy`]).
 
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use sinr_mac::MacParams;
 use sinr_phys::SinrParams;
 use sinr_scenario::{
-    pool_threads, report_for, DeploymentSpec, Json, MeasureSpec, Report, ScenarioSet, ScenarioSpec,
-    SeedSpec, SinrSpec, SourceSet, StopSpec, WorkloadSpec,
+    merge_shards, pool_threads, report_for, DeploymentSpec, Json, MeasureSpec, Report, ScenarioSet,
+    ScenarioSpec, SeedSpec, Shard, ShardOutput, SinrSpec, SourceSet, StopSpec, WorkloadSpec,
 };
 
 use crate::common::Table;
@@ -239,10 +242,13 @@ pub fn cli_main(args: &[String]) -> Result<(), String> {
         Some("sweep") => {
             let name = args
                 .get(1)
-                .ok_or("usage: sinr-lab sweep NAME|FILE KEY=V1,V2,… [--threads N] [--reseed] [--traces] [--no-shared-prepare] [--json PATH]")?;
+                .ok_or("usage: sinr-lab sweep NAME|FILE KEY=V1,V2,… [--threads N] [--reseed] [--traces] [--no-shared-prepare] [--json PATH] [--out DIR [--shard K/N] [--resume]]")?;
             let mut set = ScenarioSet::new(resolve_spec(name)?);
             let mut threads = pool_threads(None, None);
             let mut json_path = None;
+            let mut out_dir: Option<String> = None;
+            let mut shard = Shard::full();
+            let mut resume = false;
             let mut rest = args[2..].iter();
             while let Some(arg) = rest.next() {
                 match arg.as_str() {
@@ -258,6 +264,13 @@ pub fn cli_main(args: &[String]) -> Result<(), String> {
                     "--json" => {
                         json_path = Some(rest.next().ok_or("--json needs a path (or -)")?.clone());
                     }
+                    "--out" => {
+                        out_dir = Some(rest.next().ok_or("--out needs a directory")?.clone());
+                    }
+                    "--shard" => {
+                        shard = Shard::parse(rest.next().ok_or("--shard needs K/N (e.g. 0/4)")?)?;
+                    }
+                    "--resume" => resume = true,
                     flag if flag.starts_with("--") => {
                         return Err(format!("unknown flag {flag:?} for sweep"))
                     }
@@ -272,27 +285,73 @@ pub fn cli_main(args: &[String]) -> Result<(), String> {
             if set.axes.is_empty() {
                 return Err("sweep needs at least one KEY=V1,V2,… axis".into());
             }
-            let cells = set.cells().map_err(|e| e.to_string())?.len();
-            let t0 = Instant::now();
-            let runs = set.run(threads).map_err(|e| e.to_string())?;
-            let secs = t0.elapsed().as_secs_f64();
-            let reports: Vec<Report> = runs.iter().map(report_for).collect();
-            for r in &reports {
-                print_summary(r);
+            let Some(dir) = out_dir else {
+                if shard != Shard::full() || resume {
+                    return Err("--shard/--resume need --out DIR (crash-safe NDJSON output)".into());
+                }
+                return sweep_in_memory(&set, threads, json_path.as_deref());
+            };
+            if json_path.is_some() {
+                return Err(
+                    "--json and --out are mutually exclusive; merge shard outputs with \
+                     `sinr-lab sweep-merge DIR --json PATH`"
+                        .into(),
+                );
             }
+            let dir = Path::new(&dir);
+            let plan = set.execution_plan().map_err(|e| e.to_string())?;
+            let t0 = Instant::now();
+            let (output, completed) = if resume {
+                ShardOutput::resume(dir, &set, &plan.cells, shard).map_err(|e| e.to_string())?
+            } else {
+                let fresh = ShardOutput::create(dir, &set, plan.cells.len(), shard)
+                    .map_err(|e| e.to_string())?;
+                (fresh, BTreeSet::new())
+            };
+            let summary = set
+                .run_sharded(&plan, threads, shard, &completed, &|i, run| {
+                    output.record(i, &report_for(&run))
+                })
+                .map_err(|e| e.to_string())?;
+            let secs = t0.elapsed().as_secs_f64();
             println!(
-                "sweep: {cells} cells on {threads} threads in {secs:.2}s ({:.2} scenarios/sec)",
-                cells as f64 / secs.max(1e-9)
+                "sweep shard {shard}: {} executed, {} already complete, {}/{} cells owned, \
+                 {threads} threads, {secs:.2}s ({:.2} scenarios/sec, peak {} runs resident)",
+                summary.executed,
+                summary.skipped,
+                summary.cells_in_shard,
+                summary.cells_total,
+                summary.executed as f64 / secs.max(1e-9),
+                summary.peak_resident_runs,
             );
-            let joined = format!(
-                "[{}]",
-                reports
-                    .iter()
-                    .map(Report::to_json)
-                    .collect::<Vec<_>>()
-                    .join(",")
+            Ok(())
+        }
+        Some("sweep-merge") => {
+            let dir = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("usage: sinr-lab sweep-merge DIR [--json PATH]")?;
+            let mut json_path = None;
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--json" => {
+                        json_path = Some(rest.next().ok_or("--json needs a path (or -)")?.clone());
+                    }
+                    other => return Err(format!("unknown argument {other:?} for sweep-merge")),
+                }
+            }
+            let merged = merge_shards(Path::new(dir)).map_err(|e| e.to_string())?;
+            println!(
+                "merged {} cells from {} shards (sweep key {:016x})",
+                merged.reports.len(),
+                merged.shards,
+                merged.key
             );
-            write_json(json_path.as_deref(), &joined)
+            write_json(
+                json_path.as_deref(),
+                &format!("[{}]", merged.reports.join(",")),
+            )
         }
         Some("bench") => {
             let smoke = args.iter().any(|a| a == "--smoke");
@@ -327,7 +386,12 @@ pub fn cli_main(args: &[String]) -> Result<(), String> {
                  \x20 sinr-lab run NAME|FILE [--json PATH]        run one scenario, emit a JSON report\n\
                  \x20 sinr-lab sweep NAME|FILE KEY=V1,V2,… \n\
                  \x20          [--threads N] [--reseed] [--traces] [--no-shared-prepare] [--json PATH]\n\
-                 \x20                                             batch a spec grid across threads\n\
+                 \x20          [--out DIR [--shard K/N] [--resume]]\n\
+                 \x20                                             batch a spec grid across threads; with --out, stream\n\
+                 \x20                                             crash-safe NDJSON per cell (shard K of N owns cells\n\
+                 \x20                                             i%N==K; --resume skips recorded cells after a kill)\n\
+                 \x20 sinr-lab sweep-merge DIR [--json PATH]      validate + merge a sharded sweep's output directory\n\
+                 \x20                                             (byte-identical to the single-process --json array)\n\
                  \x20 sinr-lab bench [OUT.json] [--smoke]         sweep throughput + shared-prepare speedups (BENCH_scenario.json)\n\
                  \x20 sinr-lab serve [--socket PATH] [--once] [--workers N] [--queue N]\n\
                  \x20          [--cache-bytes N] [--replay-log N] [--no-cache]\n\
@@ -342,6 +406,67 @@ pub fn cli_main(args: &[String]) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// The classic in-process sweep (`sinr-lab sweep` without `--out`),
+/// reworked to stream: each cell's report is summarized (and, with
+/// `--json`, rendered) the moment it completes and the `ScenarioRun` —
+/// traces included — is dropped inside the executor's sink, so resident
+/// memory is O(threads) plus the rendered JSON strings, never the runs
+/// themselves.
+fn sweep_in_memory(
+    set: &ScenarioSet,
+    threads: usize,
+    json_path: Option<&str>,
+) -> Result<(), String> {
+    let plan = set.execution_plan().map_err(|e| e.to_string())?;
+    let cells = plan.cells.len();
+    let rendered: Vec<Mutex<Option<String>>> = (0..cells).map(|_| Mutex::new(None)).collect();
+    let stdout = Mutex::new(());
+    let t0 = Instant::now();
+    let summary = set
+        .run_sharded(
+            &plan,
+            threads,
+            Shard::full(),
+            &BTreeSet::new(),
+            &|i, run| {
+                let report = report_for(&run);
+                drop(run);
+                {
+                    let _guard = stdout
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    print_summary(&report);
+                }
+                if json_path.is_some() {
+                    let json = report.to_json();
+                    *rendered[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(json);
+                }
+                Ok(())
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "sweep: {cells} cells on {threads} threads in {secs:.2}s ({:.2} scenarios/sec, \
+         peak {} runs resident)",
+        cells as f64 / secs.max(1e-9),
+        summary.peak_resident_runs,
+    );
+    let joined = format!(
+        "[{}]",
+        rendered
+            .into_iter()
+            .filter_map(|slot| slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    write_json(json_path, &joined)
 }
 
 fn print_summary(report: &Report) {
@@ -441,6 +566,99 @@ fn measure_prepare_heavy(
     })
 }
 
+/// One sharded-executor measurement: the same seed sweep run once in a
+/// single process and once as 4 sequential in-process shards (each
+/// streaming crash-safe NDJSON), plus a resume pass over the completed
+/// shard 0 to price the manifest/output scan.
+struct ShardedRow {
+    cells: usize,
+    shards: usize,
+    single_secs: f64,
+    sharded_secs: f64,
+    merged_identical: bool,
+    resume_scan_secs: f64,
+    resume_reexecuted: usize,
+}
+
+/// Times the sharded streaming executor against the single-process run
+/// on a `cells`-cell seed sweep of tiny scenarios (the per-cell work is
+/// small on purpose: this row prices the executor + output machinery,
+/// not the MAC).
+fn measure_sharded(cells: usize, threads: usize) -> Result<ShardedRow, String> {
+    let base = ScenarioSpec::new(
+        "bench-shard",
+        DeploymentSpec::plain(sinr_geom::DeploySpec::Lattice {
+            rows: 4,
+            cols: 4,
+            spacing: 2.0,
+        }),
+        WorkloadSpec::Repeat(SourceSet::Stride(2)),
+        StopSpec::Slots(60),
+    )
+    .with_sinr(SinrSpec::with_range(8.0))
+    .with_measure(MeasureSpec::none());
+    let seeds: Vec<String> = (1..=cells as u64).map(|s| s.to_string()).collect();
+    let set = ScenarioSet::new(base).axis("seed", seeds);
+    let plan = set.execution_plan().map_err(|e| e.to_string())?;
+    let tmp = std::env::temp_dir().join(format!("sinr-lab-bench-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let run_shard = |dir: &Path, shard: Shard| -> Result<(), String> {
+        let out =
+            ShardOutput::create(dir, &set, plan.cells.len(), shard).map_err(|e| e.to_string())?;
+        set.run_sharded(&plan, threads, shard, &BTreeSet::new(), &|i, run| {
+            out.record(i, &report_for(&run))
+        })
+        .map_err(|e| e.to_string())?;
+        Ok(())
+    };
+    let single_dir = tmp.join("single");
+    let shard_dir = tmp.join("sharded");
+    let t0 = Instant::now();
+    run_shard(&single_dir, Shard::full())?;
+    let single_secs = t0.elapsed().as_secs_f64();
+    let shards = 4usize;
+    let t0 = Instant::now();
+    for index in 0..shards {
+        run_shard(
+            &shard_dir,
+            Shard {
+                index,
+                count: shards,
+            },
+        )?;
+    }
+    let sharded_secs = t0.elapsed().as_secs_f64();
+    let merged_identical = merge_shards(&single_dir)
+        .map_err(|e| e.to_string())?
+        .reports
+        == merge_shards(&shard_dir).map_err(|e| e.to_string())?.reports;
+    // Resume over the fully-complete shard 0: everything is skipped, so
+    // the elapsed time is pure manifest/output scanning overhead.
+    let shard0 = Shard {
+        index: 0,
+        count: shards,
+    };
+    let t0 = Instant::now();
+    let (out, completed) =
+        ShardOutput::resume(&shard_dir, &set, &plan.cells, shard0).map_err(|e| e.to_string())?;
+    let summary = set
+        .run_sharded(&plan, threads, shard0, &completed, &|i, run| {
+            out.record(i, &report_for(&run))
+        })
+        .map_err(|e| e.to_string())?;
+    let resume_scan_secs = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&tmp);
+    Ok(ShardedRow {
+        cells,
+        shards,
+        single_secs,
+        sharded_secs,
+        merged_identical,
+        resume_scan_secs,
+        resume_reexecuted: summary.executed,
+    })
+}
+
 /// Shallow validation of the emitted `BENCH_scenario.json`: expected
 /// shape, one prepare-heavy row per size, strictly positive speedups.
 ///
@@ -459,6 +677,10 @@ fn validate_scenario_json(json: &str, prepare_heavy_rows: usize) {
         "\"scenarios_per_sec\":",
         "\"prepare_heavy\":",
         "\"threads\":",
+        "\"sharded\":",
+        "\"merged_identical\":true",
+        "\"resume\":",
+        "\"reexecuted\":0",
     ] {
         assert!(json.contains(key), "BENCH_scenario json is missing {key}");
     }
@@ -552,6 +774,35 @@ pub fn bench_scenario(out: &str, smoke: bool) -> Result<(), String> {
         );
     }
 
+    // ---- sharded streaming executor + resume overhead ----
+    let shard_cells = if smoke { 64 } else { 10_240 };
+    let sharded = measure_sharded(shard_cells, threads)?;
+    println!(
+        "sharded: {} cells single {:.2}s vs {}x sequential shards {:.2}s \
+         ({:.0} cells/sec sharded), merged identical: {}",
+        sharded.cells,
+        sharded.single_secs,
+        sharded.shards,
+        sharded.sharded_secs,
+        sharded.cells as f64 / sharded.sharded_secs.max(1e-9),
+        sharded.merged_identical,
+    );
+    println!(
+        "resume: complete-shard scan {:.3}s ({} cells, {} re-executed)",
+        sharded.resume_scan_secs,
+        sharded.cells / sharded.shards,
+        sharded.resume_reexecuted,
+    );
+    if !sharded.merged_identical {
+        return Err("sharded merge is not byte-identical to the single-process run".into());
+    }
+    if sharded.resume_reexecuted != 0 {
+        return Err(format!(
+            "resume re-executed {} completed cells",
+            sharded.resume_reexecuted
+        ));
+    }
+
     let json = Json::Obj(vec![
         ("bench".into(), Json::str("scenario_sweep")),
         ("smoke".into(), Json::Bool(smoke)),
@@ -583,6 +834,37 @@ pub fn bench_scenario(out: &str, smoke: bool) -> Result<(), String> {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "sharded".into(),
+            Json::Obj(vec![
+                ("cells".into(), Json::int(sharded.cells as u64)),
+                ("shards".into(), Json::int(sharded.shards as u64)),
+                ("single_secs".into(), Json::Num(sharded.single_secs)),
+                ("sharded_secs".into(), Json::Num(sharded.sharded_secs)),
+                (
+                    "cells_per_sec".into(),
+                    Json::Num(sharded.cells as f64 / sharded.sharded_secs.max(1e-9)),
+                ),
+                (
+                    "merged_identical".into(),
+                    Json::Bool(sharded.merged_identical),
+                ),
+            ]),
+        ),
+        (
+            "resume".into(),
+            Json::Obj(vec![
+                (
+                    "cells_in_shard".into(),
+                    Json::int((sharded.cells / sharded.shards) as u64),
+                ),
+                ("scan_secs".into(), Json::Num(sharded.resume_scan_secs)),
+                (
+                    "reexecuted".into(),
+                    Json::int(sharded.resume_reexecuted as u64),
+                ),
+            ]),
         ),
     ]);
     std::fs::write(out, format!("{json}\n")).map_err(|e| format!("writing {out}: {e}"))?;

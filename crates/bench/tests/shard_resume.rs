@@ -1,0 +1,148 @@
+//! Kill-and-resume, end to end through the real binary: a `sinr-lab
+//! sweep --out` child is SIGKILLed mid-flight, resumed with `--resume`,
+//! and the final directory must merge byte-identically to an
+//! uninterrupted run — with every pre-kill record preserved verbatim
+//! and no cell executed twice.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use sinr_scenario::merge_shards;
+
+const CELLS: usize = 300;
+
+fn seed_axis() -> String {
+    let seeds: Vec<String> = (1..=CELLS as u64).map(|s| s.to_string()).collect();
+    format!("seed={}", seeds.join(","))
+}
+
+fn sweep_cmd(dir: &Path, resume: bool) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_sinr_lab"));
+    cmd.args([
+        "sweep",
+        "smoke-sinr",
+        &seed_axis(),
+        "--threads",
+        "1",
+        "--out",
+    ])
+    .arg(dir);
+    if resume {
+        cmd.arg("--resume");
+    }
+    cmd
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sinr-kill-resume-{tag}-{}", std::process::id()))
+}
+
+/// The complete (newline-terminated) report lines currently in the
+/// shard's output file.
+fn complete_report_lines(dir: &Path) -> Vec<String> {
+    let path = dir.join("shard-0-of-1.ndjson");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let keep = text.rfind('\n').map_or(0, |i| i + 1);
+    text[..keep]
+        .lines()
+        .filter(|l| l.contains("\"event\":\"report\""))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Extracts the cell index from a report line (`…,"cell":N,…`).
+fn cell_index(line: &str) -> usize {
+    let at = line.find("\"cell\":").expect("report line has a cell") + "\"cell\":".len();
+    let digits = line[at..].bytes().take_while(u8::is_ascii_digit).count();
+    line[at..at + digits].parse().expect("cell index")
+}
+
+#[test]
+fn sigkill_mid_sweep_then_resume_matches_an_uninterrupted_run() {
+    let killed_dir = tmp_dir("killed");
+    let clean_dir = tmp_dir("clean");
+    let _ = std::fs::remove_dir_all(&killed_dir);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+
+    // Start the sweep and SIGKILL it once a handful of cells have been
+    // flushed — mid-write as far as the child is concerned; the
+    // per-cell flush contract is what must make this survivable.
+    let mut child = sweep_cmd(&killed_dir, false)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn sweep child");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "child produced no output in time"
+        );
+        if complete_report_lines(&killed_dir).len() >= 5 {
+            break;
+        }
+        assert!(
+            child.try_wait().expect("try_wait").is_none(),
+            "child finished before it could be killed; enlarge CELLS"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().expect("SIGKILL the sweep child");
+    child.wait().expect("reap the sweep child");
+
+    let survivors = complete_report_lines(&killed_dir);
+    assert!(
+        survivors.len() >= 5 && survivors.len() < CELLS,
+        "kill landed mid-sweep ({} of {CELLS} cells recorded)",
+        survivors.len()
+    );
+
+    // Resume must finish the shard without redoing completed cells: the
+    // summary line reports exactly the survivors as already complete.
+    let resumed = sweep_cmd(&killed_dir, true)
+        .output()
+        .expect("run resume sweep");
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    let expect_skip = format!("{} already complete", survivors.len());
+    assert!(
+        stdout.contains(&expect_skip),
+        "resume summary {stdout:?} does not report {expect_skip:?}"
+    );
+
+    // Every pre-kill record survives byte-for-byte, and the finished
+    // file covers each cell exactly once.
+    let final_lines = complete_report_lines(&killed_dir);
+    assert_eq!(final_lines.len(), CELLS, "one record per cell");
+    assert_eq!(&final_lines[..survivors.len()], &survivors[..]);
+    let mut cells: Vec<usize> = final_lines.iter().map(|l| cell_index(l)).collect();
+    cells.sort_unstable();
+    assert_eq!(
+        cells,
+        (0..CELLS).collect::<Vec<_>>(),
+        "no cell twice, none missing"
+    );
+
+    // The merged reports are byte-identical to an uninterrupted run.
+    let clean = sweep_cmd(&clean_dir, false)
+        .output()
+        .expect("run uninterrupted sweep");
+    assert!(
+        clean.status.success(),
+        "uninterrupted sweep failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    let killed_merge = merge_shards(&killed_dir).expect("merge killed+resumed dir");
+    let clean_merge = merge_shards(&clean_dir).expect("merge clean dir");
+    assert_eq!(killed_merge.reports, clean_merge.reports);
+
+    let _ = std::fs::remove_dir_all(&killed_dir);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+}

@@ -34,6 +34,19 @@ pub enum ScenarioError {
     /// The MAC layer rejected a command during the run (a client broke
     /// the one-outstanding-broadcast contract).
     Mac(MacError),
+    /// A sweep cell panicked while building or running; the panic was
+    /// caught at the cell boundary so the rest of the sweep stays
+    /// orderly (in-flight cells finish, the executor returns this error
+    /// instead of aborting the process).
+    Panicked {
+        /// Rendered name of the panicking cell.
+        cell: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A sharded-sweep manifest or output file failed I/O or
+    /// validation (mismatched sweep key, corrupt record, torn file).
+    Sweep(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -53,6 +66,10 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Geom(e) => write!(f, "deployment error: {e}"),
             ScenarioError::Phys(e) => write!(f, "physical-layer error: {e}"),
             ScenarioError::Mac(e) => write!(f, "MAC contract error: {e}"),
+            ScenarioError::Panicked { cell, message } => {
+                write!(f, "cell {cell:?} panicked: {message}")
+            }
+            ScenarioError::Sweep(msg) => write!(f, "sweep shard error: {msg}"),
         }
     }
 }
@@ -92,7 +109,7 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        let errs: [ScenarioError; 3] = [
+        let errs: [ScenarioError; 5] = [
             ScenarioError::Parse("bad".into()),
             ScenarioError::Unsupported("no".into()),
             ScenarioError::NoConnectedDeployment {
@@ -101,6 +118,11 @@ mod tests {
                 seed0: 0,
                 tried: 64,
             },
+            ScenarioError::Panicked {
+                cell: "c".into(),
+                message: "boom".into(),
+            },
+            ScenarioError::Sweep("bad manifest".into()),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -51,6 +51,7 @@
 mod build;
 mod error;
 mod report;
+mod shard;
 mod spec;
 mod sweep;
 
@@ -62,11 +63,17 @@ pub use build::{
 };
 pub use error::ScenarioError;
 pub use report::{report_for, Json, Report};
+pub use shard::{
+    manifest_path, merge_shards, output_path, sweep_key, MergedSweep, ReportRecord, ShardOutput,
+};
 pub use spec::{
     DeploymentSpec, DynEvent, DynKind, IdealPolicy, MacKnob, MacSpec, MeasureSpec, ScenarioSpec,
     SeedSpec, SinrSpec, SourceSet, StopSpec, WorkloadSpec,
 };
-pub use sweep::{splitmix64, Axis, ScenarioSet, SweepPlan};
+pub use sweep::{
+    escape_component, splitmix64, unescape_cell_name, unescape_component, Axis, ScenarioSet, Shard,
+    ShardSummary, SweepPlan,
+};
 
 /// The items most scenario programs need, in one import.
 pub mod prelude {
@@ -75,7 +82,8 @@ pub mod prelude {
         connected_uniform, env_backend_override, pool_threads, report_for, resolve_backend,
         DeploymentSpec, DynEvent, DynKind, IdealPolicy, Json, MacKnob, MacSpec, MeasureSpec,
         PreparedDeployment, Report, RunnableScenario, ScenarioCtx, ScenarioError, ScenarioRun,
-        ScenarioSet, ScenarioSpec, SeedSpec, SinrSpec, SourceSet, StopSpec, WorkloadSpec,
+        ScenarioSet, ScenarioSpec, SeedSpec, Shard, ShardOutput, ShardSummary, SinrSpec, SourceSet,
+        StopSpec, WorkloadSpec,
     };
 }
 

@@ -33,8 +33,10 @@
 //! the shared values equal what each cell would have computed, and a
 //! cell that moves nodes anyway forks its gain table copy-on-write.
 
+use std::collections::BTreeSet;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::build::{PreparedDeployment, ScenarioRun, TableWants};
 use crate::spec::{ScenarioSpec, SeedSpec};
@@ -57,7 +59,7 @@ pub fn splitmix64(mut x: u64) -> u64 {
 /// the common cells (`mac.t_mult=2`, `seed=7`) render exactly as
 /// before; an axis value like `a/b=c` renders as `a%2Fb%3Dc` instead of
 /// silently forging extra segments.
-fn escape_component(s: &str) -> String {
+pub fn escape_component(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -68,6 +70,53 @@ fn escape_component(s: &str) -> String {
         }
     }
     out
+}
+
+/// The inverse of [`escape_component`]: decodes the three escape
+/// sequences the escaper emits (`%25` → `%`, `%2F` → `/`, `%3D` → `=`,
+/// hex case-insensitive) and rejects everything else — a `%` followed
+/// by any other sequence cannot have come from [`escape_component`], so
+/// a manifest or filename containing one is corrupt, not merely odd.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending position.
+pub fn unescape_component(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hex: String = chars.by_ref().take(2).map(|(_, c)| c).collect();
+        match hex.to_ascii_uppercase().as_str() {
+            "25" => out.push('%'),
+            "2F" => out.push('/'),
+            "3D" => out.push('='),
+            _ => {
+                return Err(format!(
+                    "invalid escape %{hex} at byte {i} of {s:?} (expected %25, %2F or %3D)"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a rendered sweep cell name (`base/key=value/…`) into its
+/// unescaped segments. After [`escape_component`], a raw `/` appears
+/// only as the segment separator, so a plain split followed by
+/// per-segment unescaping is exact. The resume path matches recorded
+/// cell names against the expanded grid through this helper, so a
+/// manifest whose names decode differently — or not at all — fails
+/// loudly instead of silently pairing the wrong cells.
+///
+/// # Errors
+///
+/// The first segment's [`unescape_component`] error.
+pub fn unescape_cell_name(name: &str) -> Result<Vec<String>, String> {
+    name.split('/').map(unescape_component).collect()
 }
 
 /// One sweep axis: a spec key and the values it takes.
@@ -250,10 +299,32 @@ impl ScenarioSet {
         })
     }
 
+    /// The plan the executor runs: the shared-preparation plan, or —
+    /// with [`shared_prepare`](ScenarioSet::shared_prepare) off — a
+    /// flat plan with every cell prepared privately (the reference leg
+    /// of the equivalence tests must not pay for a plan it ignores).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScenarioSet::cells`].
+    pub fn execution_plan(&self) -> Result<SweepPlan, ScenarioError> {
+        if self.shared_prepare {
+            self.plan()
+        } else {
+            let cells = self.cells()?;
+            let groups = vec![None; cells.len()];
+            Ok(SweepPlan {
+                cells,
+                groups,
+                wants_table: Vec::new(),
+            })
+        }
+    }
+
     /// Builds and runs every cell across `threads` OS threads
-    /// (`std::thread::scope`; a shared atomic work queue keeps the
-    /// threads busy regardless of per-cell cost). Results come back in
-    /// cell order. The first cell error stops workers from claiming
+    /// (`std::thread::scope`; a shared chunk-stealing work queue keeps
+    /// the threads busy regardless of per-cell cost). Results come back
+    /// in cell order. The first cell error stops workers from claiming
     /// further cells (already-running cells finish) and is returned.
     ///
     /// With [`shared_prepare`](ScenarioSet::shared_prepare) on (the
@@ -262,125 +333,329 @@ impl ScenarioSet {
     /// see the module docs; reports are byte-identical to per-cell
     /// preparation.
     ///
+    /// This is the collect-everything convenience over
+    /// [`ScenarioSet::run_sharded`]; a sweep too large to hold in
+    /// memory streams through `run_sharded` instead.
+    ///
     /// # Errors
     ///
     /// The first (in cell order) [`ScenarioError`] any cell produced.
     pub fn run(&self, threads: usize) -> Result<Vec<ScenarioRun>, ScenarioError> {
-        // With sharing disabled there is nothing to group — skip the
-        // planning pass entirely (the reference leg of the equivalence
-        // tests and benches must not pay for a plan it ignores).
-        let plan = if self.shared_prepare {
-            self.plan()?
-        } else {
-            let cells = self.cells()?;
-            let groups = vec![None; cells.len()];
-            SweepPlan {
-                cells,
-                groups,
-                wants_table: Vec::new(),
-            }
-        };
-        let cells = &plan.cells;
-        let threads = crate::pool_threads(Some(threads), Some(cells.len()));
-        let next = AtomicUsize::new(0);
-        let abort = AtomicBool::new(false);
-        // One lazily-prepared slot per deployment group. The first
-        // claimant prepares while holding the lock (later claimants of
-        // the same group block on it), so each group pays its O(n²)
-        // exactly once. A failed preparation is recorded as `Released`
-        // and the affected cells fall back to cold builds, which
-        // reproduce the error per cell — the exact behavior (and error)
-        // per-cell preparation would yield. `remaining` counts the
-        // group's unfinished members; the last one to finish releases
-        // the shared state, so a many-group sweep never holds every
-        // group's O(n²) tables alive simultaneously.
-        struct Group {
-            state: Mutex<GroupState>,
-            remaining: AtomicUsize,
-        }
-        enum GroupState {
-            Pending,
-            Ready(Arc<PreparedDeployment>),
-            Released,
-        }
-        let prepared: Vec<Group> = (0..plan.wants_table.len())
-            .map(|g| Group {
-                state: Mutex::new(GroupState::Pending),
-                remaining: AtomicUsize::new(plan.groups.iter().filter(|x| **x == Some(g)).count()),
+        let plan = self.execution_plan()?;
+        let results: Vec<Mutex<Option<ScenarioRun>>> =
+            plan.cells.iter().map(|_| Mutex::new(None)).collect();
+        self.run_sharded(
+            &plan,
+            threads,
+            Shard::full(),
+            &BTreeSet::new(),
+            &|i, run| {
+                *lock_unpoisoned(&results[i]) = Some(run);
+                Ok(())
+            },
+        )?;
+        Ok(results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("run_sharded returned Ok, so every cell produced a run")
             })
+            .collect())
+    }
+
+    /// The streaming sweep executor: runs the cells of `shard` that are
+    /// not already `completed`, handing each finished [`ScenarioRun`]
+    /// to `sink` **by value** — the executor retains nothing, so
+    /// resident memory stays O(threads) regardless of sweep size
+    /// (pinned by [`ShardSummary::peak_resident_runs`]).
+    ///
+    /// Workers claim cells from a shared atomic cursor in chunks
+    /// (`≈ work/8·threads`, capped at 64) — the `std::thread::scope`
+    /// reimplementation of rayon's work-stealing `par_iter` idiom — so
+    /// a million-cell sweep pays one atomic per chunk, not per cell,
+    /// while uneven per-cell cost still rebalances across threads.
+    /// Shared-preparation groups count only the cells this invocation
+    /// actually executes: the group's last *executed* cell releases the
+    /// shared tables, and a group left with a single cell after
+    /// shard/resume filtering prepares per cell (sharing would buy
+    /// nothing). Reports are byte-identical to [`ScenarioSet::run`] on
+    /// the full grid: per-cell seeds derive from the **global** cell
+    /// index, which sharding never renumbers.
+    ///
+    /// A panicking cell is caught at the cell boundary
+    /// ([`ScenarioError::Panicked`]); a group mutex poisoned by such a
+    /// panic is recovered and the group falls back to per-cell
+    /// preparation, so one bad cell surfaces one error instead of
+    /// aborting the process.
+    ///
+    /// # Errors
+    ///
+    /// The first (in cell order) error any executed cell or `sink` call
+    /// produced; in-flight cells still finish (and flush) first.
+    pub fn run_sharded(
+        &self,
+        plan: &SweepPlan,
+        threads: usize,
+        shard: Shard,
+        completed: &BTreeSet<usize>,
+        sink: &(dyn Fn(usize, ScenarioRun) -> Result<(), ScenarioError> + Sync),
+    ) -> Result<ShardSummary, ScenarioError> {
+        let cells = &plan.cells;
+        let cells_in_shard = (0..cells.len()).filter(|i| shard.owns(*i)).count();
+        let work: Vec<usize> = (0..cells.len())
+            .filter(|i| shard.owns(*i) && !completed.contains(i))
             .collect();
-        let results: Vec<Mutex<Option<Result<ScenarioRun, ScenarioError>>>> =
-            cells.iter().map(|_| Mutex::new(None)).collect();
+        let threads = crate::pool_threads(Some(threads), Some(work.len()));
+        let mut remaining = vec![0usize; plan.wants_table.len()];
+        for &i in &work {
+            if let Some(g) = plan.groups[i] {
+                remaining[g] += 1;
+            }
+        }
+        let groups: Vec<Group> = remaining.into_iter().map(Group::new).collect();
+        let cursor = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let chunk = (work.len() / (threads * 8).max(1)).clamp(1, 64);
+        let errors: Mutex<Vec<(usize, ScenarioError)>> = Mutex::new(Vec::new());
+        let resident = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     if abort.load(Ordering::Relaxed) {
                         break;
                     }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cells.len() {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= work.len() {
                         break;
                     }
-                    let outcome = match plan.groups[i] {
-                        Some(g) => {
-                            let prep = {
-                                let mut state =
-                                    prepared[g].state.lock().expect("no panics under lock");
-                                match &*state {
-                                    GroupState::Pending => {
-                                        match PreparedDeployment::prepare_inner(
-                                            &cells[i],
-                                            plan.wants_table[g],
-                                        ) {
-                                            Ok(p) => {
-                                                let p = Arc::new(p);
-                                                *state = GroupState::Ready(Arc::clone(&p));
-                                                Some(p)
-                                            }
-                                            Err(_) => {
-                                                *state = GroupState::Released;
-                                                None
-                                            }
-                                        }
-                                    }
-                                    GroupState::Ready(p) => Some(Arc::clone(p)),
-                                    GroupState::Released => None,
-                                }
-                            };
-                            let outcome = match prep {
-                                Some(p) => cells[i]
-                                    .build_with_prepared(&p)
-                                    .and_then(crate::RunnableScenario::run),
-                                None => cells[i].run(),
-                            };
-                            if prepared[g].remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                                *prepared[g].state.lock().expect("no panics under lock") =
-                                    GroupState::Released;
-                            }
-                            outcome
+                    for &i in &work[start..(start + chunk).min(work.len())] {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
                         }
-                        None => cells[i].run(),
-                    };
-                    if outcome.is_err() {
-                        abort.store(true, Ordering::Relaxed);
+                        match execute_cell(plan, &groups, i) {
+                            Ok(run) => {
+                                let now = resident.fetch_add(1, Ordering::Relaxed) + 1;
+                                peak.fetch_max(now, Ordering::Relaxed);
+                                let flushed = sink(i, run);
+                                resident.fetch_sub(1, Ordering::Relaxed);
+                                if let Err(e) = flushed {
+                                    abort.store(true, Ordering::Relaxed);
+                                    lock_unpoisoned(&errors).push((i, e));
+                                }
+                            }
+                            Err(e) => {
+                                abort.store(true, Ordering::Relaxed);
+                                lock_unpoisoned(&errors).push((i, e));
+                            }
+                        }
                     }
-                    *results[i].lock().expect("no panics while holding lock") = Some(outcome);
                 });
             }
         });
-        let mut runs = Vec::with_capacity(cells.len());
-        for slot in results {
-            // Claimed cells form a prefix of the cell order, so an
-            // abort's error is always reached before the unclaimed
-            // (None) suffix.
-            match slot.into_inner().expect("worker threads joined") {
-                Some(Ok(run)) => runs.push(run),
-                Some(Err(e)) => return Err(e),
-                None => unreachable!("unclaimed cell before the aborting error"),
-            }
+        let mut errors = errors.into_inner().unwrap_or_else(PoisonError::into_inner);
+        errors.sort_by_key(|(i, _)| *i);
+        if let Some((_, e)) = errors.into_iter().next() {
+            return Err(e);
         }
-        Ok(runs)
+        Ok(ShardSummary {
+            cells_total: cells.len(),
+            cells_in_shard,
+            skipped: cells_in_shard - work.len(),
+            executed: work.len(),
+            peak_resident_runs: peak.load(Ordering::Relaxed),
+        })
     }
+}
+
+/// A deterministic cross-process partition of a sweep's cells: shard
+/// `index` of `count` owns exactly the cells whose **global** index
+/// `i` satisfies `i % count == index`. Partitioning happens after grid
+/// expansion and reseeding, so a cell's spec, seed and report are
+/// byte-identical no matter which shard (or how many) executes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index, `0 ≤ index < count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// The trivial partition: one shard owning every cell.
+    pub fn full() -> Shard {
+        Shard { index: 0, count: 1 }
+    }
+
+    /// Parses the CLI grammar `K/N` (e.g. `0/4`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for anything but `K/N` with `K < N`.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (k, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard {s:?} is not K/N (e.g. 0/4)"))?;
+        let index = k.parse().map_err(|_| format!("shard index {k:?}"))?;
+        let count = n.parse().map_err(|_| format!("shard count {n:?}"))?;
+        if count == 0 || index >= count {
+            return Err(format!("shard {s:?} needs 0 <= K < N"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns global cell index `cell`.
+    pub fn owns(&self, cell: usize) -> bool {
+        cell % self.count == self.index
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// What one [`ScenarioSet::run_sharded`] invocation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Cells in the whole sweep grid.
+    pub cells_total: usize,
+    /// Cells this shard owns.
+    pub cells_in_shard: usize,
+    /// Owned cells skipped because they were already completed.
+    pub skipped: usize,
+    /// Owned cells executed (and flushed) by this invocation.
+    pub executed: usize,
+    /// The most [`ScenarioRun`]s alive inside the executor at once
+    /// (from cell completion until the sink returned). Bounded by the
+    /// worker count — the executor hands every run to the sink by value
+    /// and buffers nothing, which is what makes a million-cell sweep's
+    /// resident memory O(threads) instead of O(cells).
+    pub peak_resident_runs: usize,
+}
+
+/// One lazily-prepared slot per deployment group. The first claimant
+/// prepares while holding the lock (later claimants of the same group
+/// block on it), so each group pays its O(n²) exactly once. A failed
+/// preparation is recorded as `Released` and the affected cells fall
+/// back to cold builds, which reproduce the error per cell — the exact
+/// behavior (and error) per-cell preparation would yield. `remaining`
+/// counts the group's unfinished members **among the cells this
+/// invocation executes**; the last one to finish releases the shared
+/// state, so a many-group sweep never holds every group's O(n²) tables
+/// alive simultaneously.
+struct Group {
+    state: Mutex<GroupState>,
+    remaining: AtomicUsize,
+    /// Sharing only pays for ≥ 2 executed members; a group reduced to
+    /// one cell by shard/resume filtering prepares per cell.
+    shared: bool,
+}
+
+enum GroupState {
+    Pending,
+    Ready(Arc<PreparedDeployment>),
+    Released,
+}
+
+impl Group {
+    fn new(remaining: usize) -> Group {
+        Group {
+            state: Mutex::new(GroupState::Pending),
+            remaining: AtomicUsize::new(remaining),
+            shared: remaining >= 2,
+        }
+    }
+}
+
+/// Locks a mutex, recovering from poisoning instead of propagating the
+/// panic: the executor catches cell panics at the cell boundary, so a
+/// poisoned lock means some *other* cell panicked — this cell's work is
+/// unaffected and must not be collateral damage.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Locks a group's state, recovering from poisoning. A poisoned group
+/// lock means a worker panicked *while preparing* (the only code that
+/// runs under it); whatever it left half-built is discarded by falling
+/// back to per-cell preparation for the rest of the group — the
+/// panicking cell itself surfaces [`ScenarioError::Panicked`] in its
+/// own slot, and every other cell still produces its exact report.
+fn lock_group(m: &Mutex<GroupState>) -> MutexGuard<'_, GroupState> {
+    m.lock().unwrap_or_else(|poison| {
+        let mut state = poison.into_inner();
+        if matches!(*state, GroupState::Pending) {
+            *state = GroupState::Released;
+        }
+        state
+    })
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Executes one cell under the plan's grouping, catching panics at the
+/// cell boundary so they surface as that cell's error instead of
+/// tearing down the sweep.
+fn execute_cell(
+    plan: &SweepPlan,
+    groups: &[Group],
+    i: usize,
+) -> Result<ScenarioRun, ScenarioError> {
+    let cell = &plan.cells[i];
+    let body = || match plan.groups[i] {
+        Some(g) if groups[g].shared => {
+            let prep = {
+                let mut state = lock_group(&groups[g].state);
+                match &*state {
+                    GroupState::Pending => {
+                        #[cfg(test)]
+                        if cell.name.contains("__panic_in_prepare__") {
+                            panic!("injected test panic under the group lock");
+                        }
+                        match PreparedDeployment::prepare_inner(cell, plan.wants_table[g]) {
+                            Ok(p) => {
+                                let p = Arc::new(p);
+                                *state = GroupState::Ready(Arc::clone(&p));
+                                Some(p)
+                            }
+                            Err(_) => {
+                                *state = GroupState::Released;
+                                None
+                            }
+                        }
+                    }
+                    GroupState::Ready(p) => Some(Arc::clone(p)),
+                    GroupState::Released => None,
+                }
+            };
+            let outcome = match prep {
+                Some(p) => cell
+                    .build_with_prepared(&p)
+                    .and_then(crate::RunnableScenario::run),
+                None => cell.run(),
+            };
+            if groups[g].remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *lock_group(&groups[g].state) = GroupState::Released;
+            }
+            outcome
+        }
+        _ => cell.run(),
+    };
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).unwrap_or_else(|payload| {
+        Err(ScenarioError::Panicked {
+            cell: cell.name.clone(),
+            message: panic_message(payload),
+        })
+    })
 }
 
 /// The shared-preparation grouping key of one cell, or `None` when the
@@ -414,7 +689,7 @@ pub struct SweepPlan {
     /// backends — whether preparation must include the shared dense
     /// gain table, a sparse hybrid table (and at which cutoff), or
     /// neither.
-    wants_table: Vec<TableWants>,
+    pub(crate) wants_table: Vec<TableWants>,
 }
 
 impl SweepPlan {
@@ -589,6 +864,168 @@ mod tests {
             .plan()
             .unwrap();
         assert_eq!(plan.groups, vec![None]);
+    }
+
+    #[test]
+    fn unescape_inverts_escape_and_rejects_foreign_escapes() {
+        for raw in ["plain", "a/b=c%d", "%%//==", "", "héllo/=%", "%2F"] {
+            assert_eq!(unescape_component(&escape_component(raw)).unwrap(), raw);
+        }
+        // Lower-case hex (hand-written manifests) decodes too.
+        assert_eq!(unescape_component("a%2fb%3dc%25d").unwrap(), "a/b=c%d");
+        // Anything escape_component could not have produced is corrupt.
+        assert!(unescape_component("%").is_err());
+        assert!(unescape_component("%2").is_err());
+        assert!(unescape_component("%41").is_err());
+        assert_eq!(
+            unescape_cell_name("a%2Fb/name=a%2Fb%3Dc%25d").unwrap(),
+            vec!["a/b".to_string(), "name=a/b=c%d".to_string()]
+        );
+        assert!(unescape_cell_name("ok/%zz").is_err());
+    }
+
+    #[test]
+    fn shard_parse_owns_and_displays() {
+        let s = Shard::parse("1/4").unwrap();
+        assert_eq!(s, Shard { index: 1, count: 4 });
+        assert_eq!(s.to_string(), "1/4");
+        assert!(Shard::parse("4/4").is_err());
+        assert!(Shard::parse("0/0").is_err());
+        assert!(Shard::parse("1").is_err());
+        assert!(Shard::parse("a/b").is_err());
+        let owned: Vec<usize> = (0..10).filter(|i| s.owns(*i)).collect();
+        assert_eq!(owned, vec![1, 5, 9]);
+        assert!((0..10).all(|i| Shard::full().owns(i)));
+        // Every cell has exactly one owner.
+        for i in 0..10 {
+            let owners = (0..4)
+                .filter(|k| {
+                    Shard {
+                        index: *k,
+                        count: 4,
+                    }
+                    .owns(i)
+                })
+                .count();
+            assert_eq!(owners, 1);
+        }
+    }
+
+    #[test]
+    fn sharded_runs_union_to_the_full_sweep_byte_for_byte() {
+        let set = ScenarioSet::new(base())
+            .axis("mac.t_mult", vec!["1".into(), "2".into()])
+            .axis("seed", vec!["1".into(), "2".into(), "3".into()]);
+        let full: Vec<String> = set
+            .run(2)
+            .unwrap()
+            .iter()
+            .map(|r| crate::report_for(r).to_json())
+            .collect();
+        let plan = set.execution_plan().unwrap();
+        let merged: Vec<Mutex<Option<String>>> =
+            (0..plan.cells.len()).map(|_| Mutex::new(None)).collect();
+        let mut summaries = Vec::new();
+        for index in 0..3 {
+            let shard = Shard { index, count: 3 };
+            let summary = set
+                .run_sharded(&plan, 2, shard, &BTreeSet::new(), &|i, run| {
+                    let prev =
+                        lock_unpoisoned(&merged[i]).replace(crate::report_for(&run).to_json());
+                    assert!(prev.is_none(), "cell {i} executed twice");
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(summary.cells_total, 6);
+            assert_eq!(summary.executed, summary.cells_in_shard);
+            assert_eq!(summary.skipped, 0);
+            summaries.push(summary);
+        }
+        assert_eq!(summaries.iter().map(|s| s.executed).sum::<usize>(), 6);
+        for (i, want) in full.iter().enumerate() {
+            assert_eq!(
+                lock_unpoisoned(&merged[i]).as_ref(),
+                Some(want),
+                "cell {i} differs from the single-process run"
+            );
+        }
+    }
+
+    #[test]
+    fn run_sharded_skips_completed_cells() {
+        let set = ScenarioSet::new(base()).axis("seed", vec!["1".into(), "2".into(), "3".into()]);
+        let plan = set.execution_plan().unwrap();
+        let completed = BTreeSet::from([0, 2]);
+        let executed = Mutex::new(Vec::new());
+        let summary = set
+            .run_sharded(&plan, 2, Shard::full(), &completed, &|i, _| {
+                lock_unpoisoned(&executed).push(i);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(summary.skipped, 2);
+        assert_eq!(summary.executed, 1);
+        assert_eq!(*lock_unpoisoned(&executed), vec![1]);
+    }
+
+    #[test]
+    fn lock_group_recovers_poison_and_releases_pending_state() {
+        // A panic while preparing poisons the group lock with the state
+        // still Pending; the recovery path must demote it to Released so
+        // later cells fall back to per-cell preparation instead of
+        // propagating the panic.
+        let poisoned = Mutex::new(GroupState::Pending);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = poisoned.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(poisoned.is_poisoned());
+        assert!(matches!(*lock_group(&poisoned), GroupState::Released));
+        // A lock poisoned while Ready keeps its prepared state: the
+        // panic happened in some cell's run, not under this lock.
+        let ready = Mutex::new(GroupState::Released);
+        *ready.lock().unwrap() = GroupState::Pending;
+        assert!(matches!(*lock_group(&ready), GroupState::Pending));
+    }
+
+    #[test]
+    fn panicking_cell_surfaces_its_own_error_and_spares_the_group() {
+        // Four cells in one shared-prepare group; the injected panic
+        // fires in whichever cell prepares first (under the group lock).
+        // The sweep must return Panicked for exactly that cell — the
+        // other three fall back to per-cell preparation and succeed.
+        let mut spec = base();
+        spec.name = "__panic_in_prepare__".into();
+        let set = ScenarioSet::new(spec).axis(
+            "mac.t_mult",
+            vec!["1".into(), "2".into(), "3".into(), "4".into()],
+        );
+        let plan = set.execution_plan().unwrap();
+        assert_eq!(plan.group_count(), 1, "panic path needs a shared group");
+        // Drive execute_cell directly (the executor aborts on the first
+        // error, which would hide the fallback): cell 0 prepares first,
+        // panics under the group lock and poisons it.
+        let groups = vec![Group::new(4)];
+        let err = execute_cell(&plan, &groups, 0).unwrap_err();
+        match err {
+            ScenarioError::Panicked { cell, message } => {
+                assert!(cell.contains("__panic_in_prepare__"), "{cell}");
+                assert!(message.contains("injected test panic"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other}"),
+        }
+        assert!(groups[0].state.is_poisoned(), "panic under the lock");
+        // Every other cell of the group recovers the poisoned lock,
+        // sees Released and falls back to per-cell preparation.
+        for i in 1..4 {
+            assert!(execute_cell(&plan, &groups, i).is_ok(), "cell {i}");
+        }
+        // The whole-sweep behavior: an orderly error, not an abort of
+        // the process (the old `expect("no panics under lock")`).
+        let err = set
+            .run_sharded(&plan, 1, Shard::full(), &BTreeSet::new(), &|_, _| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::Panicked { .. }), "{err}");
     }
 
     #[test]

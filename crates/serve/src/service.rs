@@ -32,7 +32,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use sinr_scenario::{report_for, Axis, Json, ScenarioError, ScenarioSet, ScenarioSpec};
+use sinr_scenario::{
+    report_for, Axis, Json, ReportRecord, ScenarioError, ScenarioSet, ScenarioSpec,
+};
 
 use crate::cache::{CacheStats, TableCache};
 use crate::json::{self, Value};
@@ -647,15 +649,19 @@ impl Service {
                     } else {
                         misses += 1;
                     }
-                    conn.emit.line(&format!(
-                        "{{\"id\":{},\"event\":\"report\",\"cell\":{},\"name\":{},\
-                         \"cached\":{},\"report\":{}}}",
-                        job.id,
-                        i,
-                        Json::str(&cell.name),
-                        hit,
-                        report
-                    ));
+                    // The record shape is shared with the sharded sweep
+                    // writer so the two NDJSON streams can never drift.
+                    conn.emit.line(
+                        &ReportRecord {
+                            id: Some(job.id),
+                            cell: i,
+                            name: &cell.name,
+                            cached: Some(hit),
+                            shard: None,
+                            report: &report,
+                        }
+                        .render(),
+                    );
                     reports.push(report);
                 }
                 Err(e) => {
