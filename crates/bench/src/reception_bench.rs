@@ -68,6 +68,10 @@ struct Sample {
     /// on the same deployment must broadly agree (grid is conservative,
     /// cached and the parallel wrappers are bit-identical to exact).
     receptions: usize,
+    /// Wall-clock milliseconds of the one-time `prepare` call, so
+    /// table-fill speedups stay visible separately from slot-loop
+    /// speedups (stateless backends report ~0).
+    prepare_ms: f64,
 }
 
 /// The rotating transmitter schedule: even nodes always send, plus the
@@ -89,9 +93,11 @@ fn measure(
     schedule: &[Vec<usize>],
     spec: BackendSpec,
     target_secs: f64,
-) -> (f64, usize) {
+) -> (f64, usize, f64) {
     let mut backend = spec.build();
+    let t_prep = Instant::now();
     backend.prepare(sinr, positions).expect("bench prepare");
+    let prepare_ms = t_prep.elapsed().as_secs_f64() * 1e3;
     let mut out = vec![None; positions.len()];
     // Warm up one full cycle (pays scratch allocation, thread start-up
     // and the cached kernel's first full refresh).
@@ -116,7 +122,7 @@ fn measure(
         }
     }
     let per_slot = t0.elapsed().as_secs_f64() / (cycles * schedule.len()) as f64;
-    (1.0 / per_slot, receptions)
+    (1.0 / per_slot, receptions, prepare_ms)
 }
 
 /// Nodes moved per slot in the moving-uniform workload: `n / MOVERS_DIV`.
@@ -346,6 +352,11 @@ fn validate_json(
             "backend {b} does not appear once per configuration"
         );
     }
+    assert_eq!(
+        json.matches("\"prepare_ms\":").count(),
+        rows,
+        "every sample row must carry its prepare-vs-slot breakdown"
+    );
     for key in [
         "\"bench\":",
         "\"unit\":",
@@ -375,6 +386,24 @@ pub fn run(args: &[String]) {
     let sizes: &[usize] = if smoke { &[64] } else { &[64, 256, 1024] };
     let target_secs = if smoke { 0.01 } else { 0.2 };
 
+    // Snapshot the previous report (if any) before overwriting it, so
+    // the new JSON can record before/after rows for the cached kernel —
+    // the artifact carries its own regression history.
+    let prev = std::fs::read_to_string(&out_path).ok();
+    let prev_rate = |deployment: &str, n: usize, backend: &str| -> Option<f64> {
+        let hay = prev.as_deref()?;
+        let needle = format!(
+            "\"deployment\": \"{deployment}\", \"n\": {n}, \"backend\": \"{backend}\", \"slots_per_sec\": "
+        );
+        let at = hay.find(&needle)? + needle.len();
+        hay[at..]
+            .split(|c: char| c == ',' || c == '}')
+            .next()?
+            .trim()
+            .parse()
+            .ok()
+    };
+
     let sinr = SinrParams::builder().range(16.0).build().unwrap();
     // At least 2 so the parallel rows exist even on single-core runners
     // (below the serial/parallel crossover they measure the automatic
@@ -389,7 +418,9 @@ pub fn run(args: &[String]) {
         BackendSpec::exact(),
         BackendSpec::grid_far_field(cell),
         BackendSpec::cached(),
+        BackendSpec::cached().with_fast32(),
         BackendSpec::hybrid(0.0),
+        BackendSpec::hybrid(0.0).with_fast32(),
         BackendSpec::exact().with_threads(threads),
         BackendSpec::grid_far_field(cell).with_threads(threads),
     ];
@@ -401,7 +432,14 @@ pub fn run(args: &[String]) {
     let mut samples: Vec<Sample> = Vec::new();
     let mut table = Table::new(
         "reception kernel throughput (≈ n/2 transmitters, ~n/16 churn per slot)",
-        &["deployment", "n", "backend", "slots_per_sec", "receptions"],
+        &[
+            "deployment",
+            "n",
+            "backend",
+            "slots_per_sec",
+            "receptions",
+            "prepare_ms",
+        ],
     );
     for &n in sizes {
         let side = (n as f64).sqrt() * 2.2;
@@ -417,7 +455,7 @@ pub fn run(args: &[String]) {
         let schedule = churn_schedule(n);
         for (name, positions) in deployments {
             for (spec, backend_name) in backends.iter().zip(&backend_names) {
-                let (slots_per_sec, receptions) =
+                let (slots_per_sec, receptions, prepare_ms) =
                     measure(&sinr, &positions, &schedule, *spec, target_secs);
                 table.row(vec![
                     name.to_string(),
@@ -425,6 +463,7 @@ pub fn run(args: &[String]) {
                     backend_name.clone(),
                     format!("{slots_per_sec:.0}"),
                     receptions.to_string(),
+                    format!("{prepare_ms:.2}"),
                 ]);
                 samples.push(Sample {
                     deployment: name,
@@ -432,6 +471,7 @@ pub fn run(args: &[String]) {
                     backend: backend_name.clone(),
                     slots_per_sec,
                     receptions,
+                    prepare_ms,
                 });
             }
         }
@@ -511,7 +551,7 @@ pub fn run(args: &[String]) {
             kernels.push(BackendSpec::hybrid(CITY_CUTOFF).with_threads(threads));
             for spec in kernels {
                 let kernel = spec.build().name().to_string();
-                let (slots_per_sec, receptions) =
+                let (slots_per_sec, receptions, _prepare_ms) =
                     measure(&sinr, &positions, &schedule, spec, target_secs);
                 large_table.row(vec![
                     n.to_string(),
@@ -548,8 +588,8 @@ pub fn run(args: &[String]) {
     for (i, s) in samples.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"deployment\": \"{}\", \"n\": {}, \"backend\": \"{}\", \"slots_per_sec\": {:.1}, \"receptions\": {}}}",
-            s.deployment, s.n, s.backend, s.slots_per_sec, s.receptions
+            "    {{\"deployment\": \"{}\", \"n\": {}, \"backend\": \"{}\", \"slots_per_sec\": {:.1}, \"receptions\": {}, \"prepare_ms\": {:.3}}}",
+            s.deployment, s.n, s.backend, s.slots_per_sec, s.receptions, s.prepare_ms
         );
         json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
     }
@@ -598,6 +638,31 @@ pub fn run(args: &[String]) {
         });
     }
     json.push_str("  ],\n");
+    let mut prev_rows = String::new();
+    for s in &samples {
+        if s.backend != "cached" {
+            continue;
+        }
+        if let Some(p) = prev_rate(s.deployment, s.n, "cached") {
+            if !prev_rows.is_empty() {
+                prev_rows.push_str(",\n");
+            }
+            let _ = write!(
+                prev_rows,
+                "    {{\"deployment\": \"{}\", \"n\": {}, \"prev_slots_per_sec\": {:.1}, \"now_slots_per_sec\": {:.1}, \"speedup\": {:.2}}}",
+                s.deployment,
+                s.n,
+                p,
+                s.slots_per_sec,
+                s.slots_per_sec / p.max(1e-9)
+            );
+        }
+    }
+    if !prev_rows.is_empty() {
+        let _ = writeln!(json, "  \"cached_vs_previous\": [");
+        json.push_str(&prev_rows);
+        json.push_str("\n  ],\n");
+    }
     let _ = write!(json, "  \"dense_table_cap\": {}", max_table_bytes());
     if !smoke {
         let _ = write!(
@@ -621,7 +686,8 @@ pub fn run(args: &[String]) {
     );
 
     // The claim this PR makes: at n = 1024 the cached kernel must beat
-    // serial exact by a wide margin under realistic churn.
+    // serial exact by a wide margin under realistic churn, and the f32
+    // fast path must stack on top of the fused SIMD deltas.
     if !smoke {
         for deployment in ["lattice", "uniform"] {
             let rate = |backend: &str| {
@@ -633,15 +699,40 @@ pub fn run(args: &[String]) {
             };
             let exact = rate("exact");
             let cached = rate("cached");
+            let fast = rate("cached:f32");
             let best_accel = rate("grid")
                 .max(rate("exact+par"))
                 .max(rate("grid+par"))
-                .max(cached);
+                .max(cached)
+                .max(fast);
             println!(
-                "n=1024 {deployment}: exact {exact:.0}/s, cached {cached:.0}/s ({:.2}x), best accelerated {best_accel:.0}/s ({:.2}x)",
+                "n=1024 {deployment}: exact {exact:.0}/s, cached {cached:.0}/s ({:.2}x), cached:f32 {fast:.0}/s ({:.2}x), best accelerated {best_accel:.0}/s ({:.2}x)",
                 cached / exact.max(1e-9),
+                fast / exact.max(1e-9),
                 best_accel / exact.max(1e-9)
             );
+        }
+        // The parallel-regression claim: with the hardware cap and the
+        // per-thread work floor in `effective_threads`, a `+par` row
+        // must never fall meaningfully below its serial counterpart.
+        for (par, serial) in [("exact+par", "exact"), ("grid+par", "grid")] {
+            for s in samples.iter().filter(|s| s.backend == par) {
+                let base = samples
+                    .iter()
+                    .find(|b| b.deployment == s.deployment && b.n == s.n && b.backend == serial)
+                    .map(|b| b.slots_per_sec)
+                    .unwrap_or(0.0);
+                let ratio = s.slots_per_sec / base.max(1e-9);
+                println!(
+                    "par check {} n={} {}: {:.0}/s vs {serial} {:.0}/s ({ratio:.2}x){}",
+                    s.deployment,
+                    s.n,
+                    par,
+                    s.slots_per_sec,
+                    base,
+                    if ratio < 0.9 { "  <-- REGRESSION" } else { "" }
+                );
+            }
         }
         // The mobility claim: incremental repair must beat the full
         // re-prepare by a wide margin at n = 1024 with n/32 movers.

@@ -112,7 +112,7 @@ use std::sync::{Arc, OnceLock};
 
 use sinr_geom::{HashGrid, Point};
 
-use crate::{PhysError, SinrParams};
+use crate::{simd, PhysError, SinrParams};
 
 /// How interference sums are computed by [`decide_receptions`].
 ///
@@ -173,6 +173,15 @@ pub struct BackendSpec {
     pub model: InterferenceModel,
     /// OS threads the per-listener loop is split across (1 = serial).
     pub threads: usize,
+    /// Opt-in f32 structure-of-arrays fast path for the table-backed
+    /// kernels (`cached:f32`, `hybrid[:CUTOFF]:f32`): interference
+    /// totals are accumulated in f64 over half-width f32 gain rows —
+    /// the hot sweeps stream half the bytes — with a widened,
+    /// f32-aware drift bound feeding the same guarded exact-f64-replay
+    /// machinery, so decisions stay bit-identical to the f64 kernels
+    /// (and, for `cached:f32`, to [`ExactBackend`]). Ignored by the
+    /// stateless models.
+    pub fast32: bool,
 }
 
 impl Default for BackendSpec {
@@ -180,13 +189,18 @@ impl Default for BackendSpec {
         BackendSpec {
             model: InterferenceModel::Exact,
             threads: 1,
+            fast32: false,
         }
     }
 }
 
 impl From<InterferenceModel> for BackendSpec {
     fn from(model: InterferenceModel) -> Self {
-        BackendSpec { model, threads: 1 }
+        BackendSpec {
+            model,
+            threads: 1,
+            fast32: false,
+        }
     }
 }
 
@@ -209,6 +223,7 @@ impl BackendSpec {
         BackendSpec {
             model: InterferenceModel::GridFarField { cell_size },
             threads: 1,
+            fast32: false,
         }
     }
 
@@ -218,6 +233,7 @@ impl BackendSpec {
         BackendSpec {
             model: InterferenceModel::Cached,
             threads: 1,
+            fast32: false,
         }
     }
 
@@ -236,6 +252,7 @@ impl BackendSpec {
         BackendSpec {
             model: InterferenceModel::Hybrid { cutoff },
             threads: 1,
+            fast32: false,
         }
     }
 
@@ -247,6 +264,28 @@ impl BackendSpec {
     pub fn with_threads(self, threads: usize) -> Self {
         assert!(threads > 0, "threads must be nonzero");
         BackendSpec { threads, ..self }
+    }
+
+    /// Opts into the f32 structure-of-arrays fast path (see
+    /// [`BackendSpec::fast32`]). Decisions are unchanged — proptested
+    /// bit-identical — only the sweep bandwidth is.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the stateless models (exact/grid): only the
+    /// table-backed kernels have gain rows to narrow.
+    pub fn with_fast32(self) -> Self {
+        assert!(
+            matches!(
+                self.model,
+                InterferenceModel::Cached | InterferenceModel::Hybrid { .. }
+            ),
+            "f32 fast path applies to the cached/hybrid kernels only"
+        );
+        BackendSpec {
+            fast32: true,
+            ..self
+        }
     }
 
     /// Resolves the thread count against a concrete deployment size via
@@ -276,6 +315,7 @@ impl BackendSpec {
         BackendSpec {
             model,
             threads: effective_threads(self.threads, listeners),
+            fast32: self.fast32,
         }
     }
 
@@ -290,10 +330,12 @@ impl BackendSpec {
             // (their hot loops are listener-chunked internally), so they
             // never go through `ParallelBackend`.
             InterferenceModel::Cached => {
-                return Box::new(CachedBackend::with_threads(self.threads))
+                return Box::new(CachedBackend::with_threads(self.threads).fast32(self.fast32))
             }
             InterferenceModel::Hybrid { cutoff } => {
-                return Box::new(HybridBackend::with_threads(cutoff, self.threads))
+                return Box::new(
+                    HybridBackend::with_threads(cutoff, self.threads).fast32(self.fast32),
+                )
             }
         };
         if self.threads == 1 {
@@ -315,10 +357,10 @@ impl BackendSpec {
     /// O(n²) preparation across every cell of a sweep group.
     pub fn build_with_table(self, table: Option<&Arc<GainTable>>) -> Box<dyn InterferenceBackend> {
         match (self.model, table) {
-            (InterferenceModel::Cached, Some(table)) => Box::new(CachedBackend::with_shared_table(
-                Arc::clone(table),
-                self.threads,
-            )),
+            (InterferenceModel::Cached, Some(table)) => Box::new(
+                CachedBackend::with_shared_table(Arc::clone(table), self.threads)
+                    .fast32(self.fast32),
+            ),
             _ => self.build(),
         }
     }
@@ -333,11 +375,10 @@ impl BackendSpec {
         match self.model {
             InterferenceModel::Cached => self.build_with_table(tables.and_then(|t| t.dense())),
             InterferenceModel::Hybrid { cutoff } => match tables.and_then(|t| t.hybrid()) {
-                Some(table) => Box::new(HybridBackend::with_shared_table(
-                    cutoff,
-                    Arc::clone(table),
-                    self.threads,
-                )),
+                Some(table) => Box::new(
+                    HybridBackend::with_shared_table(cutoff, Arc::clone(table), self.threads)
+                        .fast32(self.fast32),
+                ),
                 None => self.build(),
             },
             _ => self.build(),
@@ -345,10 +386,12 @@ impl BackendSpec {
     }
 
     /// Parses a spec from a compact string, for CLI/bench selection:
-    /// `exact`, `grid:CELL`, `cached`, `hybrid[:CUTOFF]`, `par:THREADS`,
-    /// or combinations like `grid:CELL:par:THREADS` and
-    /// `hybrid:16:par:8`. The hybrid cutoff is optional — bare `hybrid`
-    /// auto-selects the weak range R at preparation time.
+    /// `exact`, `grid:CELL`, `cached`, `hybrid[:CUTOFF]`, `f32`,
+    /// `par:THREADS`, or combinations like `grid:CELL:par:THREADS`,
+    /// `hybrid:16:par:8`, `cached:f32` and `hybrid:12:f32:par:8`. The
+    /// hybrid cutoff is optional — bare `hybrid` auto-selects the weak
+    /// range R at preparation time — and `f32` (valid after `cached`
+    /// or `hybrid` only) opts into the structure-of-arrays fast path.
     ///
     /// # Errors
     ///
@@ -389,6 +432,19 @@ impl BackendSpec {
                     }
                     spec.model = InterferenceModel::GridFarField { cell_size };
                 }
+                Some("f32") => {
+                    if !matches!(
+                        spec.model,
+                        InterferenceModel::Cached | InterferenceModel::Hybrid { .. }
+                    ) {
+                        return Err(
+                            "f32 applies to the table-backed kernels only, e.g. cached:f32 \
+                             or hybrid:16:f32"
+                                .to_string(),
+                        );
+                    }
+                    spec.fast32 = true;
+                }
                 Some("par") => {
                     let t = parts
                         .next()
@@ -403,7 +459,7 @@ impl BackendSpec {
                 }
                 Some(other) => {
                     return Err(format!(
-                    "unknown backend component {other:?}; expected exact, grid:CELL, cached, hybrid[:CUTOFF] or par:THREADS"
+                    "unknown backend component {other:?}; expected exact, grid:CELL, cached, hybrid[:CUTOFF], f32 or par:THREADS"
                 ))
                 }
             }
@@ -419,6 +475,9 @@ impl std::fmt::Display for BackendSpec {
             InterferenceModel::Cached => write!(f, "cached")?,
             InterferenceModel::Hybrid { cutoff: 0.0 } => write!(f, "hybrid")?,
             InterferenceModel::Hybrid { cutoff } => write!(f, "hybrid:{cutoff}")?,
+        }
+        if self.fast32 {
+            write!(f, ":f32")?;
         }
         if self.threads > 1 {
             write!(f, ":par:{}", self.threads)?;
@@ -705,18 +764,42 @@ fn rebuild_cells(grid: &HashGrid, cells: &mut Vec<((i64, i64), Vec<usize>)>) {
 /// its spawns far sooner than a per-slot loop does.
 pub const PAR_CROSSOVER_LISTENERS: usize = 512;
 
+/// Minimum listeners each spawned thread must own past the crossover.
+///
+/// A per-slot sweep touches ~8–16 bytes per listener per delta sender —
+/// a few microseconds of work per 256 listeners — which is the smallest
+/// chunk that reliably pays for a `thread::scope` spawn/join. Smaller
+/// chunks turned the n=1024 `grid+par` row *slower* than serial `grid`
+/// in BENCH_reception.json; this floor (together with the hardware cap)
+/// is what guarantees `+par` backends are never slower than their
+/// serial counterparts at any benched size.
+pub const PAR_MIN_CHUNK: usize = 256;
+
 /// Resolves a requested thread count against a deployment size: serial
-/// below [`PAR_CROSSOVER_LISTENERS`] listeners, and never more threads
-/// than half the listeners (a thread needs a meaningful chunk to pay for
-/// its spawn). Every parallel path in this module routes through this, so
-/// `with_threads(8)` on a 64-node scenario is a no-op rather than a 2.2x
-/// slowdown.
+/// below [`PAR_CROSSOVER_LISTENERS`] listeners, never more threads than
+/// the machine has cores, and never fewer than [`PAR_MIN_CHUNK`]
+/// listeners per thread. Every parallel path in this module routes
+/// through this, so `with_threads(8)` on a 64-node scenario — or on a
+/// single-core container — is a no-op rather than a slowdown.
 pub fn effective_threads(requested: usize, listeners: usize) -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    let hw = *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+    effective_threads_for(requested, listeners, hw)
+}
+
+/// The injectable core of [`effective_threads`]: the same resolution
+/// against an explicit hardware thread count `hw`, so the crossover,
+/// the hardware cap (no oversubscription: spawning 8 threads on 1 core
+/// made `grid+par` 2x slower than `grid` at n = 1024) and the
+/// per-thread work floor can be pinned by tests independently of the
+/// machine running them.
+pub fn effective_threads_for(requested: usize, listeners: usize, hw: usize) -> usize {
     if listeners < PAR_CROSSOVER_LISTENERS {
-        1
-    } else {
-        requested.clamp(1, listeners / 2)
+        return 1;
     }
+    requested
+        .min(hw.max(1))
+        .clamp(1, (listeners / PAR_MIN_CHUNK).max(1))
 }
 
 /// Runs one task per chunk of pre-split work, spawning a scoped OS
@@ -746,6 +829,27 @@ fn chunked_scope<T: Send>(chunks: Vec<T>, task: impl Fn(T) + Sync) {
 
 /// Default dense gain-table memory cap: 2 GiB (n ≈ 11586).
 const DEFAULT_MAX_TABLE_BYTES: u64 = 2 * 1024 * 1024 * 1024;
+
+/// Granularity of the nearest-sender prune index: one entry of the
+/// gain table's block-min array covers this many consecutive
+/// listeners, and one `u64` word of a sender bitmap covers exactly
+/// one block.
+const PRUNE_BLOCK: usize = 64;
+
+/// Per-row minima of `matrix` (row-major, `n` columns) over
+/// [`PRUNE_BLOCK`]-wide column blocks.
+fn block_min_rows(matrix: &[f64], n: usize) -> Vec<f64> {
+    let nb = n.div_ceil(PRUNE_BLOCK);
+    let mut bmin = vec![f64::INFINITY; n * nb];
+    for (bmins, row) in bmin.chunks_mut(nb.max(1)).zip(matrix.chunks(n.max(1))) {
+        for (bm, chunk) in bmins.iter_mut().zip(row.chunks(PRUNE_BLOCK)) {
+            *bm = chunk
+                .iter()
+                .fold(f64::INFINITY, |m, &v| if v < m { v } else { m });
+        }
+    }
+    bmin
+}
 
 /// Bytes a dense [`GainTable`] needs for an `n`-node deployment: two
 /// n×n `f64` matrices (gains and squared distances), 16 bytes per pair.
@@ -968,6 +1072,19 @@ pub struct GainTable {
     positions: Vec<Point>,
     gains: Vec<f64>,
     d2: Vec<f64>,
+    /// Per-sender *lower bounds* on the squared distance into each
+    /// [`PRUNE_BLOCK`]-wide listener block (`n × ⌈n/PRUNE_BLOCK⌉`,
+    /// row-major). Exact after a build; [`GainTable::move_node`] keeps
+    /// them conservative in O(1) per touched row, so pruning can only
+    /// get less effective under mobility, never unsound.
+    d2_bmin: Vec<f64>,
+    /// Lazy half-width mirror of `gains` for the `:f32` fast path:
+    /// materialized once on first use (nearest-even narrowing of every
+    /// entry), patched in place by [`GainTable::move_node`] when
+    /// already materialized. Never consulted by the f64 sweeps, never
+    /// part of [`GainTable::matches`] — it is a derived view, not
+    /// state.
+    gains32: OnceLock<Vec<f32>>,
 }
 
 impl GainTable {
@@ -1026,11 +1143,21 @@ impl GainTable {
             for (i, (grow, drow)) in grows.chunks_mut(n).zip(drows.chunks_mut(n)).enumerate() {
                 let s = first_row + i;
                 let ps = positions[s];
-                for (u, (gv, dv)) in grow.iter_mut().zip(drow.iter_mut()).enumerate() {
+                // Two passes per row: the squared-distance sweep is pure
+                // mul/add over contiguous memory (the autovectorizable
+                // half of the fill), the gain pass then runs the
+                // transcendental `sqrt → received_power` chain. Per pair
+                // the arithmetic is unchanged — `dist_sq` then
+                // `received_power(dd.sqrt())` — so entries stay
+                // bit-identical to the fused single-pass fill.
+                for (u, dv) in drow.iter_mut().enumerate() {
                     if s != u {
-                        let dd = ps.dist_sq(positions[u]);
-                        *dv = dd;
-                        *gv = params.received_power(dd.sqrt());
+                        *dv = ps.dist_sq(positions[u]);
+                    }
+                }
+                for (u, (gv, dv)) in grow.iter_mut().zip(drow.iter()).enumerate() {
+                    if s != u {
+                        *gv = params.received_power(dv.sqrt());
                     }
                 }
             }
@@ -1050,12 +1177,15 @@ impl GainTable {
         chunked_scope(tasks, |(first_row, grows, drows)| {
             fill(first_row, grows, drows)
         });
+        let d2_bmin = block_min_rows(&d2, n);
         Ok(GainTable {
             n,
             params: *params,
             positions: positions.to_vec(),
             gains,
             d2,
+            d2_bmin,
+            gains32: OnceLock::new(),
         })
     }
 
@@ -1066,12 +1196,18 @@ impl GainTable {
     }
 
     /// Resident size of the table in bytes: the gain and distance
-    /// matrices (`2 × n² × 8`) plus the retained position copy. This is
-    /// the quantity byte-budgeted caches account per entry — a shared
-    /// `Arc` costs this once no matter how many runs adopt it.
+    /// matrices (`2 × n² × 8`) plus the retained position copy, plus
+    /// the f32 mirror (`n² × 4`) once an `:f32` run has materialized
+    /// it. This is the quantity byte-budgeted caches account per entry
+    /// — a shared `Arc` costs this once no matter how many runs adopt
+    /// it.
     pub fn bytes(&self) -> usize {
-        (self.gains.len() + self.d2.len()) * std::mem::size_of::<f64>()
+        (self.gains.len() + self.d2.len() + self.d2_bmin.len()) * std::mem::size_of::<f64>()
             + self.positions.len() * std::mem::size_of::<Point>()
+            + self
+                .gains32
+                .get()
+                .map_or(0, |m| m.len() * std::mem::size_of::<f32>())
     }
 
     /// Whether this cache was built for exactly these parameters and
@@ -1107,6 +1243,32 @@ impl GainTable {
         &self.d2[s * self.n + base..s * self.n + base + len]
     }
 
+    /// Lower bound on sender `s`'s squared distance into listener
+    /// block `b` (covering listeners `[b·PRUNE_BLOCK, (b+1)·PRUNE_BLOCK)`).
+    #[inline]
+    fn d2_block_min(&self, s: usize, b: usize) -> f64 {
+        self.d2_bmin[s * self.n.div_ceil(PRUNE_BLOCK) + b]
+    }
+
+    /// The f32 gain mirror, materialized on first call (O(n²) narrow,
+    /// paid once per table; thread-safe — concurrent sweep chunks
+    /// block on the one initializer).
+    fn gains32(&self) -> &[f32] {
+        self.gains32.get_or_init(|| {
+            let mut mirror = vec![0.0f32; self.gains.len()];
+            simd::narrow_row(&mut mirror, &self.gains);
+            mirror
+        })
+    }
+
+    /// Sender `s`'s f32 mirror gains at the listener range
+    /// `[base, base + len)`. Callers materialize via
+    /// [`GainTable::gains32`] before a parallel sweep.
+    #[inline]
+    fn gain32_row(&self, s: usize, base: usize, len: usize) -> &[f32] {
+        &self.gains32()[s * self.n + base..s * self.n + base + len]
+    }
+
     /// Repairs the table after `node` moved to `to`: its gain/distance
     /// row (node as sender) and column (node as listener) are recomputed
     /// against the current positions, O(n) with the same per-pair
@@ -1115,17 +1277,54 @@ impl GainTable {
     /// symmetric at the bit level (`(-x)·(-x) == x·x` in IEEE 754), so
     /// one distance computation serves both orientations.
     pub fn move_node(&mut self, node: usize, to: Point) {
-        self.positions[node] = to;
-        for other in 0..self.n {
+        let GainTable {
+            n,
+            params,
+            positions,
+            gains,
+            d2,
+            d2_bmin,
+            gains32,
+        } = self;
+        let n = *n;
+        let nb = n.div_ceil(PRUNE_BLOCK);
+        let bnode = node / PRUNE_BLOCK;
+        positions[node] = to;
+        // A materialized f32 mirror is patched in place — O(n) like the
+        // row/column repair itself — so mobility never forces an O(n²)
+        // re-narrow; an unmaterialized mirror stays unmaterialized.
+        let mut mirror = gains32.get_mut();
+        for other in 0..n {
             if other == node {
                 continue;
             }
-            let dd = to.dist_sq(self.positions[other]);
-            let g = self.params.received_power(dd.sqrt());
-            self.d2[node * self.n + other] = dd;
-            self.gains[node * self.n + other] = g;
-            self.d2[other * self.n + node] = dd;
-            self.gains[other * self.n + node] = g;
+            let dd = to.dist_sq(positions[other]);
+            let g = params.received_power(dd.sqrt());
+            d2[node * n + other] = dd;
+            gains[node * n + other] = g;
+            d2[other * n + node] = dd;
+            gains[other * n + node] = g;
+            if let Some(m) = mirror.as_deref_mut() {
+                m[node * n + other] = g as f32;
+                m[other * n + node] = g as f32;
+            }
+            // The other row's block bound only needs to stay a lower
+            // bound: lowering it towards the new entry is O(1); the
+            // (rare) case where the moved entry *was* the minimum and
+            // grew just leaves the bound conservatively loose.
+            let bm = &mut d2_bmin[other * nb + bnode];
+            if dd < *bm {
+                *bm = dd;
+            }
+        }
+        // The moved node's own row changed wholesale — recompute its
+        // block minima exactly.
+        for (b, bm) in d2_bmin[node * nb..node * nb + nb].iter_mut().enumerate() {
+            let lo = b * PRUNE_BLOCK;
+            let hi = (lo + PRUNE_BLOCK).min(n);
+            *bm = d2[node * n + lo..node * n + hi]
+                .iter()
+                .fold(f64::INFINITY, |m, &v| if v < m { v } else { m });
         }
     }
 }
@@ -1184,27 +1383,90 @@ fn listener_chunks<'a>(
 /// [`ExactBackend`] performs, hence identical bits) and nearest senders
 /// re-selected with the exact backend's first-minimum tie-break. Resets
 /// the drift bound to cover only the inherent ordered-sum rounding.
+/// Folds sender `s`'s distance row into the nearest-sender selection
+/// for listeners `[base, base + len)`, skipping the sender's *own*
+/// listener slot. A node's zero self-distance would otherwise capture
+/// its entry on every enter — an entry that is never read while the
+/// node transmits (the decide loop skips `sending` listeners) but that
+/// would orphan the node the moment it stops. Excluding self keeps a
+/// departing transmitter's entry valid across the departure, which
+/// turns the per-slot orphan rescan from "every leaver, every slot"
+/// into the rare genuine case of a listener losing its nearest sender.
+#[inline]
+fn lex_min_skip_self(
+    best_d2: &mut [f64],
+    best_s: &mut [usize],
+    drow: &[f64],
+    s: usize,
+    base: usize,
+) {
+    let len = best_d2.len();
+    if s >= base && s < base + len {
+        let k = s - base;
+        simd::lex_min_row(&mut best_d2[..k], &mut best_s[..k], &drow[..k], s);
+        simd::lex_min_row(
+            &mut best_d2[k + 1..],
+            &mut best_s[k + 1..],
+            &drow[k + 1..],
+            s,
+        );
+    } else {
+        simd::lex_min_row(best_d2, best_s, drow, s);
+    }
+}
+
 fn refresh_range(ls: ListenerState<'_>, cache: &GainTable, senders: &[usize]) {
     let len = ls.total.len();
     ls.total.fill(0.0);
     ls.best_d2.fill(f64::INFINITY);
     ls.best_s.fill(NO_SENDER);
     for &s in senders {
-        let grow = cache.gain_row(s, ls.base, len);
-        for (t, &g) in ls.total.iter_mut().zip(grow) {
-            *t += g;
-        }
-        let drow = cache.d2_row(s, ls.base, len);
-        for ((bd, bs), &d) in ls.best_d2.iter_mut().zip(ls.best_s.iter_mut()).zip(drow) {
-            if d < *bd {
-                *bd = d;
-                *bs = s;
-            }
-        }
+        // The unrolled kernel performs the same single add per listener
+        // in the same sender order as the scalar loop — identical bits,
+        // wider pipes.
+        simd::add_assign(ls.total, cache.gain_row(s, ls.base, len));
+        // Ascending sender order + strict < == the exact backend's
+        // first-minimum tie-break, in select lanes instead of branches.
+        lex_min_skip_self(
+            ls.best_d2,
+            ls.best_s,
+            cache.d2_row(s, ls.base, len),
+            s,
+            ls.base,
+        );
     }
     let kf = senders.len() as f64;
     for (e, t) in ls.err.iter_mut().zip(ls.total.iter()) {
         *e = (kf + 1.0) * f64::EPSILON * t.abs();
+    }
+}
+
+/// [`refresh_range`] over the f32 gain mirror: totals are still f64
+/// accumulators (summing in f32 would drift under cancellation and
+/// force constant replays) but stream half-width rows — the sweep is
+/// memory-bound, so the bandwidth halving is the win. The drift bound
+/// gains one `f32::EPSILON · |total|` term covering the one-time
+/// narrowing error of every summed gain (per term ≤ ½·2⁻²³·|g|, so the
+/// full-strength term covers the sum twice over); nearest-sender
+/// selection stays on the exact f64 distances.
+fn refresh_range_f32(ls: ListenerState<'_>, cache: &GainTable, senders: &[usize]) {
+    let len = ls.total.len();
+    ls.total.fill(0.0);
+    ls.best_d2.fill(f64::INFINITY);
+    ls.best_s.fill(NO_SENDER);
+    for &s in senders {
+        simd::add_assign_f32(ls.total, cache.gain32_row(s, ls.base, len));
+        lex_min_skip_self(
+            ls.best_d2,
+            ls.best_s,
+            cache.d2_row(s, ls.base, len),
+            s,
+            ls.base,
+        );
+    }
+    let kf = senders.len() as f64;
+    for (e, t) in ls.err.iter_mut().zip(ls.total.iter()) {
+        *e = (kf + 1.0) * f64::EPSILON * t.abs() + f64::from(f32::EPSILON) * t.abs();
     }
 }
 
@@ -1258,10 +1520,13 @@ fn delta_range(
         }
     }
     for &gu in &orphaned {
+        // Same symmetric-row rescan as [`patch_nearest_after_delta`]
+        // (identical comparisons, so identical selections).
+        let drow = cache.d2_row(gu, 0, cache.n);
         let mut bd = f64::INFINITY;
         let mut bs = NO_SENDER;
         for &s in senders {
-            let d = cache.dist_sq(s, gu);
+            let d = drow[s];
             if d < bd {
                 bd = d;
                 bs = s;
@@ -1270,6 +1535,228 @@ fn delta_range(
         ls.best_d2[gu - ls.base] = bd;
         ls.best_s[gu - ls.base] = bs;
     }
+}
+
+/// The nearest-sender half of a delta application, shared by the fused
+/// sweeps. The selection state is *exact* (never error-bounded), so
+/// every delta variant must produce the identical final choice
+/// [`delta_range`] does: the lexicographic (distance, sender index)
+/// minimum over the new sender set for every listener.
+///
+/// Three phases, each pruned:
+///
+/// 1. **Mark** — listeners whose tracked nearest departed are flagged
+///    with one bitmap test per listener (no per-listener search).
+/// 2. **Rescan** — each orphan re-derives its nearest from scratch by
+///    reading its *own* distance row (d² is exactly symmetric — dx² +
+///    dy² rounds identically in both directions — so the row holds the
+///    same bits as the column walk the naive rescan would do, without
+///    one cold cache line per candidate). Candidate senders come one
+///    `u64` bitmap word per [`PRUNE_BLOCK`]; a block whose distance
+///    lower bound exceeds the best found so far is skipped whole. The
+///    running comparison is the full (d², s) lexicographic order, so
+///    the seeded out-of-index-order sweep (the orphan's own
+///    neighborhood first, to tighten the prune bound early) still
+///    lands on exactly the ascending scan's winner.
+/// 3. **Arrivals** — per listener block, the loosest tracked entry
+///    bounds what an arriving sender must beat: any arrival whose
+///    block minimum *strictly* exceeds it cannot change a single
+///    selection there (equality could still win the index tie-break,
+///    hence `>` not `>=`) and is skipped without touching the row.
+///    Surviving rows fold with the branchless lexicographic select.
+///
+/// Rescan runs before arrivals so orphan entries are finite again by
+/// the time block maxima are taken (an ∞ entry would disable pruning
+/// for its whole block); arrivals re-competing against already-correct
+/// orphan entries is idempotent under the lexicographic fold.
+fn patch_nearest_after_delta(
+    ls: &mut ListenerState<'_>,
+    cache: &GainTable,
+    senders: &[usize],
+    enters: &[usize],
+    leaves: &[usize],
+) {
+    let len = ls.best_d2.len();
+    let nb = cache.n.div_ceil(PRUNE_BLOCK);
+    let mut orphaned: Vec<usize> = Vec::new();
+    if !leaves.is_empty() {
+        // One bit per node beats a binary search per listener: the scan
+        // runs over every listener whether or not anything left.
+        let mut leave_mask = vec![0u64; nb];
+        for &s in leaves {
+            leave_mask[s >> 6] |= 1 << (s & 63);
+        }
+        for (u, (bd, bs)) in ls.best_d2.iter_mut().zip(ls.best_s.iter_mut()).enumerate() {
+            let b = *bs;
+            if b != NO_SENDER && leave_mask[b >> 6] & (1 << (b & 63)) != 0 {
+                *bd = f64::INFINITY;
+                *bs = NO_SENDER;
+                orphaned.push(ls.base + u);
+            }
+        }
+    }
+    if !orphaned.is_empty() {
+        let mut sender_words = vec![0u64; nb];
+        for &s in senders {
+            sender_words[s >> 6] |= 1 << (s & 63);
+        }
+        for &gu in &orphaned {
+            let drow = cache.d2_row(gu, 0, cache.n);
+            let mut bd = f64::INFINITY;
+            let mut bs = NO_SENDER;
+            let scan_block = |b: usize, bd: &mut f64, bs: &mut usize| {
+                let mut w = sender_words[b];
+                while w != 0 {
+                    let sc = (b << 6) | w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let d = drow[sc];
+                    // The `d < ∞` guard keeps the orphan's own +∞
+                    // diagonal (it may itself still be sending) from
+                    // tying into the selection.
+                    if d < *bd || (d == *bd && d < f64::INFINITY && sc < *bs) {
+                        *bd = d;
+                        *bs = sc;
+                    }
+                }
+            };
+            let b0 = gu / PRUNE_BLOCK;
+            for b in b0.saturating_sub(1)..(b0 + 2).min(nb) {
+                scan_block(b, &mut bd, &mut bs);
+            }
+            for b in 0..nb {
+                if cache.d2_block_min(gu, b) > bd {
+                    continue;
+                }
+                scan_block(b, &mut bd, &mut bs);
+            }
+            ls.best_d2[gu - ls.base] = bd;
+            ls.best_s[gu - ls.base] = bs;
+        }
+    }
+    if !enters.is_empty() {
+        let bfirst = ls.base / PRUNE_BLOCK;
+        let blast = (ls.base + len).div_ceil(PRUNE_BLOCK);
+        for b in bfirst..blast {
+            let lo = (b * PRUNE_BLOCK).max(ls.base);
+            let hi = ((b + 1) * PRUNE_BLOCK).min(ls.base + len);
+            let bd = &mut ls.best_d2[lo - ls.base..hi - ls.base];
+            let bs = &mut ls.best_s[lo - ls.base..hi - ls.base];
+            let bmax = bd.iter().fold(0.0f64, |m, &v| if v > m { v } else { m });
+            for &s in enters {
+                if cache.d2_block_min(s, b) > bmax {
+                    continue;
+                }
+                simd::lex_min_row_idx(bd, bs, cache.d2_row(s, lo, hi - lo), s);
+            }
+        }
+    }
+}
+
+/// Cache-block width of the fused delta sweeps: 1024 listeners × two
+/// f64 scratch lanes is 16 KiB of stack — L1-resident alongside the
+/// gain rows being streamed, so past-L2 tables (n ≥ ~1500) reuse each
+/// scratch line k times instead of refetching totals per sender.
+const DELTA_BLOCK: usize = 1024;
+
+/// Fused, cache-blocked variant of [`delta_range`]: all of a slot's
+/// arrivals and departures are folded per listener block in one pass —
+/// two pure-add accumulations (`pos` over enter rows, `neg` over leave
+/// rows, both SIMD-friendly) finalized by a single
+/// `total += pos − neg` — instead of k separate read-modify-write row
+/// sweeps.
+///
+/// Totals take a *different* rounding path than the one-at-a-time
+/// sweep, which is fine: decisions only ever depend on totals through
+/// the guarded near-threshold machinery, and the drift bound grown
+/// here stays conservative for the fused path. Per block, accumulating
+/// `pos` (ke adds) errs ≤ ke·ε·pos, `neg` ≤ kl·ε·neg, the
+/// subtraction ≤ ε·(pos+neg) and the final add ≤ ε·|new total| —
+/// all absorbed (with the (1+O(ε)) cross terms doubled away) by
+/// `ε·((kf+2)·(pos+neg) + 2·|new total|)` with kf the full delta
+/// count. The nearest-sender half runs [`patch_nearest_after_delta`],
+/// the exact sequence [`delta_range`] performs.
+fn delta_range_batched(
+    ls: ListenerState<'_>,
+    cache: &GainTable,
+    senders: &[usize],
+    enters: &[usize],
+    leaves: &[usize],
+) {
+    let mut ls = ls;
+    let len = ls.total.len();
+    let kf = (enters.len() + leaves.len()) as f64;
+    let mut pos_block = [0.0f64; DELTA_BLOCK];
+    let mut neg_block = [0.0f64; DELTA_BLOCK];
+    let mut start = 0usize;
+    while start < len {
+        let blk = (len - start).min(DELTA_BLOCK);
+        let pos = &mut pos_block[..blk];
+        let neg = &mut neg_block[..blk];
+        pos.fill(0.0);
+        neg.fill(0.0);
+        for &s in leaves {
+            simd::add_assign(neg, cache.gain_row(s, ls.base + start, blk));
+        }
+        for &s in enters {
+            simd::add_assign(pos, cache.gain_row(s, ls.base + start, blk));
+        }
+        for ((t, e), (&p, &ng)) in ls.total[start..start + blk]
+            .iter_mut()
+            .zip(ls.err[start..start + blk].iter_mut())
+            .zip(pos.iter().zip(neg.iter()))
+        {
+            let t_new = *t + (p - ng);
+            *t = t_new;
+            *e += f64::EPSILON * ((kf + 2.0) * (p + ng) + 2.0 * t_new.abs());
+        }
+        start += blk;
+    }
+    patch_nearest_after_delta(&mut ls, cache, senders, enters, leaves);
+}
+
+/// [`delta_range_batched`] over the f32 gain mirror (f64 accumulators,
+/// half-width rows — see [`refresh_range_f32`] for why totals stay
+/// f64). The drift bound gains one `f32::EPSILON · (pos + neg)` term
+/// covering the narrowing error of every folded gain, on top of the
+/// fused-path bound.
+fn delta_range_batched_f32(
+    ls: ListenerState<'_>,
+    cache: &GainTable,
+    senders: &[usize],
+    enters: &[usize],
+    leaves: &[usize],
+) {
+    let mut ls = ls;
+    let len = ls.total.len();
+    let kf = (enters.len() + leaves.len()) as f64;
+    let mut pos_block = [0.0f64; DELTA_BLOCK];
+    let mut neg_block = [0.0f64; DELTA_BLOCK];
+    let mut start = 0usize;
+    while start < len {
+        let blk = (len - start).min(DELTA_BLOCK);
+        let pos = &mut pos_block[..blk];
+        let neg = &mut neg_block[..blk];
+        pos.fill(0.0);
+        neg.fill(0.0);
+        for &s in leaves {
+            simd::add_assign_f32(neg, cache.gain32_row(s, ls.base + start, blk));
+        }
+        for &s in enters {
+            simd::add_assign_f32(pos, cache.gain32_row(s, ls.base + start, blk));
+        }
+        for ((t, e), (&p, &ng)) in ls.total[start..start + blk]
+            .iter_mut()
+            .zip(ls.err[start..start + blk].iter_mut())
+            .zip(pos.iter().zip(neg.iter()))
+        {
+            let t_new = *t + (p - ng);
+            *t = t_new;
+            *e += f64::EPSILON * ((kf + 2.0) * (p + ng) + 2.0 * t_new.abs())
+                + f64::from(f32::EPSILON) * (p + ng);
+        }
+        start += blk;
+    }
+    patch_nearest_after_delta(&mut ls, cache, senders, enters, leaves);
 }
 
 /// The per-run mutable half of the cached kernel: incremental
@@ -1345,6 +1832,9 @@ impl SlotState {
 #[derive(Debug)]
 pub struct CachedBackend {
     threads: usize,
+    /// Stream the f32 gain mirror in the hot sweeps (see
+    /// [`BackendSpec::fast32`]); decisions are unchanged.
+    fast32: bool,
     table: Option<Arc<GainTable>>,
     state: SlotState,
 }
@@ -1374,9 +1864,21 @@ impl CachedBackend {
         assert!(threads > 0, "threads must be nonzero");
         CachedBackend {
             threads,
+            fast32: false,
             table: None,
             state: SlotState::default(),
         }
+    }
+
+    /// Toggles the f32 fast path (see [`BackendSpec::fast32`]):
+    /// refresh and fused delta sweeps stream the table's half-width
+    /// gain mirror into f64 accumulators under a widened drift bound.
+    /// Decisions are bit-identical either way; only sweep bandwidth
+    /// changes. A no-op while `SINR_NO_SIMD` disables the vector
+    /// kernels.
+    pub fn fast32(mut self, fast32: bool) -> Self {
+        self.fast32 = fast32;
+        self
     }
 
     /// A cached kernel around an already-built shared gain table: when
@@ -1394,6 +1896,7 @@ impl CachedBackend {
         assert!(threads > 0, "threads must be nonzero");
         CachedBackend {
             threads,
+            fast32: false,
             table: Some(table),
             state: SlotState::default(),
         }
@@ -1430,6 +1933,14 @@ impl CachedBackend {
                 positions,
                 self.threads,
             )?));
+        }
+        if self.fast32 && simd::enabled() {
+            // Materialize the f32 mirror up front so the cost lands in
+            // preparation (where benches report it as prepare_ms), not
+            // inside the first slot's parallel sweep.
+            if let Some(table) = self.table.as_deref() {
+                table.gains32();
+            }
         }
         self.state.reset(positions.len());
         Ok(())
@@ -1521,6 +2032,7 @@ impl CachedBackend {
                 threads,
                 table,
                 state,
+                ..
             } = self;
             let Some(cache) = table.as_deref() else {
                 return;
@@ -1548,6 +2060,7 @@ impl CachedBackend {
                 threads,
                 table,
                 state,
+                ..
             } = self;
             let Some(cache) = table.as_deref() else {
                 return;
@@ -1620,10 +2133,11 @@ impl CachedBackend {
 
 impl InterferenceBackend for CachedBackend {
     fn name(&self) -> &'static str {
-        if self.threads > 1 {
-            "cached+par"
-        } else {
-            "cached"
+        match (self.fast32, self.threads > 1) {
+            (true, true) => "cached:f32+par",
+            (true, false) => "cached:f32",
+            (false, true) => "cached+par",
+            (false, false) => "cached",
         }
     }
 
@@ -1678,35 +2192,67 @@ impl InterferenceBackend for CachedBackend {
             // surfaces here as the structured error.
             self.prepare_impl(params, positions)?;
         }
+        let use_f32 = self.fast32 && simd::enabled();
         let CachedBackend {
             threads,
             table,
             state,
+            ..
         } = self;
         let Some(cache) = table.as_deref() else {
             return Err(PhysError::BackendNotPrepared { backend: "cached" });
         };
+        if use_f32 {
+            // Usually a no-op: prepare_impl materializes the mirror.
+            // Covers backends constructed around a shared table that was
+            // built before the f32 path was requested.
+            cache.gains32();
+        }
 
         // Diff the sorted sender sets into arrivals and departures.
         diff_sorted(&state.prev, senders, &mut state.enters, &mut state.leaves);
 
         let delta = state.enters.len() + state.leaves.len();
         state.ops_since_refresh += delta as u64;
-        if delta >= senders.len().max(1) || state.ops_since_refresh >= REFRESH_OPS {
+        // Same rationale as the hybrid backend's interval: with fused
+        // batched deltas a refresh is worth ~n/k delta slots, so at
+        // large n the fixed REFRESH_OPS budget would spend more time
+        // refreshing than applying deltas. The guarded replay keeps
+        // decisions exact regardless of how long drift accumulates.
+        let interval = REFRESH_OPS.max(4 * positions.len() as u64);
+        if delta >= senders.len().max(1) || state.ops_since_refresh >= interval {
             // A delta as large as the set itself makes the rebuild the
             // cheaper path; the periodic refresh bounds float drift.
             state.ops_since_refresh = 0;
-            Self::sweep_with(cache, *threads, state, |ls, cache| {
-                refresh_range(ls, cache, senders)
-            });
+            if use_f32 {
+                Self::sweep_with(cache, *threads, state, |ls, cache| {
+                    refresh_range_f32(ls, cache, senders)
+                });
+            } else {
+                Self::sweep_with(cache, *threads, state, |ls, cache| {
+                    refresh_range(ls, cache, senders)
+                });
+            }
         } else if delta > 0 {
             let (enters, leaves) = (
                 std::mem::take(&mut state.enters),
                 std::mem::take(&mut state.leaves),
             );
-            Self::sweep_with(cache, *threads, state, |ls, cache| {
-                delta_range(ls, cache, senders, &enters, &leaves)
-            });
+            if !simd::enabled() {
+                // Escape hatch: the legacy one-sender-at-a-time sweep,
+                // kept callable so CI can diff decisions against it.
+                Self::sweep_with(cache, *threads, state, |ls, cache| {
+                    delta_range(ls, cache, senders, &enters, &leaves)
+                });
+            } else if use_f32 {
+                Self::sweep_with(cache, *threads, state, |ls, cache| {
+                    delta_range_batched_f32(ls, cache, senders, &enters, &leaves)
+                });
+            } else {
+                Self::sweep_with(cache, *threads, state, |ls, cache| {
+                    delta_range_batched(ls, cache, senders, &enters, &leaves)
+                });
+            }
             state.enters = enters;
             state.leaves = leaves;
         }
@@ -1886,6 +2432,11 @@ struct CellSlot {
 #[derive(Debug, Clone, Copy)]
 struct NearLink {
     node: u32,
+    /// The gain narrowed to f32 at build time, filling what used to be
+    /// struct padding (a link stays 16 bytes). One shared table serves
+    /// both `hybrid` and `hybrid:f32` — the f32 sweeps read this lane,
+    /// the f64 sweeps never touch it.
+    gain32: f32,
     gain: f64,
 }
 
@@ -1987,9 +2538,11 @@ fn build_row(
                     continue;
                 }
                 let d2 = positions[m as usize].dist_sq(pu);
+                let gain = params.received_power(d2.sqrt());
                 row.push(NearLink {
                     node: m,
-                    gain: params.received_power(d2.sqrt()),
+                    gain32: gain as f32,
+                    gain,
                 });
             }
         }
@@ -2289,6 +2842,7 @@ impl HybridTable {
                     i,
                     NearLink {
                         node: mu,
+                        gain32: link.gain32,
                         gain: link.gain,
                     },
                 );
@@ -2314,7 +2868,17 @@ fn hybrid_reach(cutoff: f64, cell_size: f64) -> i64 {
 /// identical bits for the near-field portion — and nearest **near**
 /// senders re-selected with the exact backend's first-minimum
 /// tie-break.
-fn hybrid_refresh_range(ls: ListenerState<'_>, table: &HybridTable, sending: &[bool]) {
+///
+/// With `fast32` the near sums stream each link's build-time f32 gain
+/// (f64 accumulator — see [`refresh_range_f32`]), and the drift bound
+/// gains the same `f32::EPSILON · |total|` narrowing term. Nearest
+/// selection stays on the exact f64 distances either way.
+fn hybrid_refresh_range(
+    ls: ListenerState<'_>,
+    table: &HybridTable,
+    sending: &[bool],
+    fast32: bool,
+) {
     for i in 0..ls.total.len() {
         let u = ls.base + i;
         let pu = table.positions[u];
@@ -2327,7 +2891,11 @@ fn hybrid_refresh_range(ls: ListenerState<'_>, table: &HybridTable, sending: &[b
             if !sending[v] {
                 continue;
             }
-            total += link.gain;
+            total += if fast32 {
+                f64::from(link.gain32)
+            } else {
+                link.gain
+            };
             terms += 1;
             let d = table.positions[v].dist_sq(pu);
             if d < bd {
@@ -2336,7 +2904,12 @@ fn hybrid_refresh_range(ls: ListenerState<'_>, table: &HybridTable, sending: &[b
             }
         }
         ls.total[i] = total;
-        ls.err[i] = (f64::from(terms) + 1.0) * f64::EPSILON * total.abs();
+        ls.err[i] = (f64::from(terms) + 1.0) * f64::EPSILON * total.abs()
+            + if fast32 {
+                f64::from(f32::EPSILON) * total.abs()
+            } else {
+                0.0
+            };
         ls.best_d2[i] = bd;
         ls.best_s[i] = bs;
     }
@@ -2349,12 +2922,17 @@ fn hybrid_refresh_range(ls: ListenerState<'_>, table: &HybridTable, sending: &[b
 /// (distance, index) tie-break, and listeners orphaned by a departure
 /// rescan their own row against the **current** sending flags — which
 /// the caller must have updated before this sweep runs.
+///
+/// With `fast32` the gain added/removed per update is the link's
+/// build-time f32 narrowing; each update's drift bump gains a
+/// `f32::EPSILON · |gain|` term covering that one narrowing error.
 fn hybrid_delta_range(
     ls: ListenerState<'_>,
     table: &HybridTable,
     sending: &[bool],
     enters: &[usize],
     leaves: &[usize],
+    fast32: bool,
 ) {
     let lo = ls.base as u32;
     let hi = (ls.base + ls.total.len()) as u32;
@@ -2366,8 +2944,14 @@ fn hybrid_delta_range(
                 break;
             }
             let i = link.node as usize - ls.base;
-            ls.total[i] -= link.gain;
-            ls.err[i] += f64::EPSILON * ls.total[i].abs();
+            if fast32 {
+                let g = f64::from(link.gain32);
+                ls.total[i] -= g;
+                ls.err[i] += f64::EPSILON * ls.total[i].abs() + f64::from(f32::EPSILON) * g.abs();
+            } else {
+                ls.total[i] -= link.gain;
+                ls.err[i] += f64::EPSILON * ls.total[i].abs();
+            }
         }
     }
     let mut orphaned: Vec<usize> = Vec::new();
@@ -2389,8 +2973,14 @@ fn hybrid_delta_range(
                 break;
             }
             let i = link.node as usize - ls.base;
-            ls.total[i] += link.gain;
-            ls.err[i] += f64::EPSILON * ls.total[i].abs();
+            if fast32 {
+                let g = f64::from(link.gain32);
+                ls.total[i] += g;
+                ls.err[i] += f64::EPSILON * ls.total[i].abs() + f64::from(f32::EPSILON) * g.abs();
+            } else {
+                ls.total[i] += link.gain;
+                ls.err[i] += f64::EPSILON * ls.total[i].abs();
+            }
             let d = table.positions[link.node as usize].dist_sq(ps);
             if d < ls.best_d2[i] || (d == ls.best_d2[i] && s < ls.best_s[i]) {
                 ls.best_d2[i] = d;
@@ -2536,6 +3126,9 @@ pub struct HybridBackend {
     threads: usize,
     /// The cutoff as specified (0.0 = auto-resolve to the weak range).
     cutoff: f64,
+    /// Stream build-time f32 near gains (guarded by the widened drift
+    /// bound; see [`hybrid_refresh_range`]).
+    fast32: bool,
     table: Option<Arc<HybridTable>>,
     state: HybridState,
 }
@@ -2567,9 +3160,19 @@ impl HybridBackend {
         HybridBackend {
             threads,
             cutoff,
+            fast32: false,
             table: None,
             state: HybridState::default(),
         }
+    }
+
+    /// Enables (or disables) the f32 near-gain fast path. Decisions
+    /// stay byte-identical to the f64 path — the widened drift bound
+    /// sends every uncertain margin through the exact ordered replay.
+    #[must_use]
+    pub fn fast32(mut self, fast32: bool) -> Self {
+        self.fast32 = fast32;
+        self
     }
 
     /// A hybrid kernel around an already-built shared sparse table:
@@ -2796,8 +3399,11 @@ impl HybridBackend {
             let Some(cache) = table.as_deref() else {
                 return;
             };
+            // Mobility repair stays on the exact f64 gains even in f32
+            // mode: per-update conservative err bumps compose, and the
+            // next refresh re-establishes the f32 sums.
             Self::sweep_with(cache, *threads, state, |ls, table, sending| {
-                hybrid_delta_range(ls, table, sending, &[], &moved_senders)
+                hybrid_delta_range(ls, table, sending, &[], &moved_senders, false)
             });
             state.cell_delta.clear();
             for &s in &moved_senders {
@@ -2866,7 +3472,7 @@ impl HybridBackend {
                 return;
             };
             Self::sweep_with(cache, *threads, state, |ls, table, sending| {
-                hybrid_delta_range(ls, table, sending, &moved_senders, &[])
+                hybrid_delta_range(ls, table, sending, &moved_senders, &[], false)
             });
             state.cell_delta.clear();
             for &s in &moved_senders {
@@ -2915,10 +3521,11 @@ impl HybridBackend {
 
 impl InterferenceBackend for HybridBackend {
     fn name(&self) -> &'static str {
-        if self.threads > 1 {
-            "hybrid+par"
-        } else {
-            "hybrid"
+        match (self.fast32, self.threads > 1) {
+            (true, true) => "hybrid:f32+par",
+            (true, false) => "hybrid:f32",
+            (false, true) => "hybrid+par",
+            (false, false) => "hybrid",
         }
     }
 
@@ -2990,6 +3597,7 @@ impl InterferenceBackend for HybridBackend {
             self.state.sending[s] = true;
         }
 
+        let use_f32 = self.fast32 && simd::enabled();
         {
             let HybridBackend {
                 threads,
@@ -3020,7 +3628,9 @@ impl InterferenceBackend for HybridBackend {
             let interval = REFRESH_OPS.max(positions.len() as u64);
             if delta >= senders.len().max(1) || state.ops_since_refresh >= interval {
                 state.ops_since_refresh = 0;
-                Self::sweep_with(cache, *threads, state, hybrid_refresh_range);
+                Self::sweep_with(cache, *threads, state, |ls, table, sending| {
+                    hybrid_refresh_range(ls, table, sending, use_f32)
+                });
                 Self::far_refresh(cache, *threads, state);
             } else if delta > 0 {
                 let (enters, leaves) = (
@@ -3028,7 +3638,7 @@ impl InterferenceBackend for HybridBackend {
                     std::mem::take(&mut state.leaves),
                 );
                 Self::sweep_with(cache, *threads, state, |ls, table, sending| {
-                    hybrid_delta_range(ls, table, sending, &enters, &leaves)
+                    hybrid_delta_range(ls, table, sending, &enters, &leaves, use_f32)
                 });
                 state.enters = enters;
                 state.leaves = leaves;
@@ -3468,6 +4078,94 @@ mod tests {
     }
 
     #[test]
+    fn fast32_cached_matches_exact_across_churn() {
+        // The f32 fast path takes a different rounding path per slot but
+        // must land on byte-identical decisions: the widened drift bound
+        // sends every uncertain margin through the exact f64 replay.
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(60, 70.0, 9).unwrap();
+        let mut fast = BackendSpec::cached().with_fast32().build();
+        let mut exact = BackendSpec::exact().build();
+        fast.prepare(&p, &pos).unwrap();
+        let mut got = vec![None; pos.len()];
+        let mut want = vec![None; pos.len()];
+        let schedules: Vec<Vec<usize>> = vec![
+            (0..60).step_by(2).collect(),
+            (0..60).step_by(2).skip(3).collect(),
+            (0..60).step_by(3).collect(),
+            (1..60).step_by(2).collect(),
+            Vec::new(),
+            (0..60).step_by(4).collect(),
+            vec![7],
+            (0..60).collect(),
+        ];
+        for (step, senders) in schedules.iter().enumerate() {
+            fast.decide_slot(&p, &pos, senders, &mut got);
+            exact.decide_slot(&p, &pos, senders, &mut want);
+            assert_eq!(got, want, "slot {step}");
+        }
+    }
+
+    #[test]
+    fn fast32_hybrid_matches_f64_hybrid_bit_for_bit() {
+        // hybrid:f32 approximates the same *model* as hybrid (both are
+        // conservative vs exact); their decisions must agree exactly —
+        // the guarded replay erases the narrowing.
+        let p = params();
+        let pos = sinr_geom::deploy::uniform(60, 48.0, 7).unwrap();
+        let mut fast = BackendSpec::hybrid(8.0).with_fast32().build();
+        let mut plain = BackendSpec::hybrid(8.0).build();
+        let mut got = vec![None; pos.len()];
+        let mut want = vec![None; pos.len()];
+        for step in 0..24usize {
+            let senders: Vec<usize> = (0..60).skip(step % 4).step_by(2 + step % 3).collect();
+            fast.decide_slot(&p, &pos, &senders, &mut got);
+            plain.decide_slot(&p, &pos, &senders, &mut want);
+            assert_eq!(got, want, "slot {step}");
+        }
+    }
+
+    #[test]
+    fn fast32_cached_matches_exact_at_lane_remainders() {
+        // n straddling the 4- and 8-lane chunk widths exercises every
+        // SIMD tail; decisions must stay exact at each.
+        let p = params();
+        for n in [63usize, 64, 65] {
+            let pos = sinr_geom::deploy::uniform(n, 70.0, n as u64).unwrap();
+            let mut fast = BackendSpec::cached().with_fast32().build();
+            fast.prepare(&p, &pos).unwrap();
+            let mut got = vec![None; n];
+            for step in 0..6usize {
+                let senders: Vec<usize> = (step % 2..n).step_by(2 + step % 3).collect();
+                fast.decide_slot(&p, &pos, &senders, &mut got);
+                let want = decide_receptions(&p, &pos, &senders, InterferenceModel::Exact);
+                assert_eq!(got, want, "n {n} slot {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn gains32_mirror_tracks_move_node() {
+        let p = params();
+        let mut pos = sinr_geom::deploy::uniform(14, 24.0, 3).unwrap();
+        let mut cache = GainTable::build(&p, &pos, 1);
+        // Materialize the mirror, then move nodes: the in-place patch
+        // must keep every mirrored gain equal to the narrowed rebuild.
+        cache.gains32();
+        pos[3] = Point::new(100.0, 5.25);
+        pos[9] = Point::new(100.0, 12.5);
+        cache.move_node(3, pos[3]);
+        cache.move_node(9, pos[9]);
+        let fresh = GainTable::build(&p, &pos, 1);
+        for s in 0..14 {
+            let mirror = cache.gain32_row(s, 0, 14);
+            for (u, &m) in mirror.iter().enumerate() {
+                assert_eq!(m, fresh.gain(s, u) as f32, "gain32 {s}->{u}");
+            }
+        }
+    }
+
+    #[test]
     fn cached_is_exact_on_symmetric_ties() {
         // Lattice symmetry produces exact SINR ties — the near-threshold
         // territory where the guarded fallback must engage.
@@ -3533,7 +4231,9 @@ mod tests {
         let pos = sinr_geom::deploy::uniform(24, 30.0, 7).unwrap();
         let dense = Arc::new(GainTable::build(&p, &pos, 1));
         // gains + d2 are both n×n f64, positions are n Points.
-        let expect = 2 * 24 * 24 * std::mem::size_of::<f64>() + 24 * std::mem::size_of::<Point>();
+        // gains + d2 are n×n f64, the prune index adds n×⌈n/64⌉ f64.
+        let expect =
+            (2 * 24 * 24 + 24) * std::mem::size_of::<f64>() + 24 * std::mem::size_of::<Point>();
         assert_eq!(dense.bytes(), expect);
 
         let hybrid = Arc::new(HybridTable::build(&p, &pos, 8.0, 1));
@@ -3573,20 +4273,32 @@ mod tests {
 
     #[test]
     fn crossover_keeps_small_deployments_serial() {
-        // The n=64 parallel regression: requested threads are ignored
-        // below the crossover, honored (capped) above it.
-        assert_eq!(effective_threads(8, 64), 1);
-        assert_eq!(effective_threads(8, 256), 1);
-        assert_eq!(effective_threads(8, PAR_CROSSOVER_LISTENERS - 1), 1);
-        assert_eq!(effective_threads(8, PAR_CROSSOVER_LISTENERS), 8);
-        assert_eq!(effective_threads(2, 1024), 2);
-        assert_eq!(effective_threads(1, 4096), 1);
-        // Never more threads than half the listeners.
-        assert_eq!(effective_threads(4096, 1024), 512);
+        // The injectable core pins every decision hw-independently.
+        // Below the crossover, requested threads are ignored outright.
+        assert_eq!(effective_threads_for(8, 64, 8), 1);
+        assert_eq!(effective_threads_for(8, 256, 8), 1);
+        assert_eq!(effective_threads_for(8, PAR_CROSSOVER_LISTENERS - 1, 8), 1);
+        // The n ≥ 256 regression: a single-core host (a CI runner, a
+        // container with one vCPU) must never oversubscribe — requested
+        // parallelism collapses to serial instead of context-thrashing.
+        assert_eq!(effective_threads_for(8, 1024, 1), 1);
+        assert_eq!(effective_threads_for(8, 4096, 1), 1);
+        // Past the crossover on a big machine: capped by cores and by
+        // the per-thread work floor (1024 listeners / PAR_MIN_CHUNK=256
+        // → at most 4 chunks worth spawning).
+        assert_eq!(effective_threads_for(8, PAR_CROSSOVER_LISTENERS, 8), 2);
+        assert_eq!(effective_threads_for(8, 1024, 8), 4);
+        assert_eq!(effective_threads_for(8, 4096, 8), 8);
+        assert_eq!(effective_threads_for(2, 4096, 8), 2);
+        assert_eq!(effective_threads_for(1, 4096, 8), 1);
+        // Never more threads than the work floor allows.
+        assert_eq!(effective_threads_for(4096, 4096, 64), 16);
 
+        // The public wrapper supplies the real core count.
+        assert_eq!(effective_threads(8, 64), 1);
         let spec = BackendSpec::exact().with_threads(8);
         assert_eq!(spec.tuned(64).threads, 1);
-        assert_eq!(spec.tuned(2048).threads, 8);
+        assert_eq!(spec.tuned(2048).threads, effective_threads(8, 2048));
         assert_eq!(spec.tuned(64).model, spec.model);
     }
 
@@ -3603,6 +4315,11 @@ mod tests {
             "cached:par:4",
             "hybrid:par:4",
             "hybrid:2.5:par:8",
+            "cached:f32",
+            "hybrid:f32",
+            "hybrid:16:f32",
+            "cached:f32:par:4",
+            "hybrid:2.5:f32:par:8",
         ] {
             let spec = BackendSpec::parse(s).unwrap();
             let rendered = spec.to_string();
@@ -3630,10 +4347,24 @@ mod tests {
             BackendSpec::parse("hybrid:par:4").unwrap(),
             BackendSpec::hybrid(0.0).with_threads(4)
         );
+        assert_eq!(
+            BackendSpec::parse("cached:f32").unwrap(),
+            BackendSpec::cached().with_fast32()
+        );
+        // `f32` is not numeric, so it must not be swallowed as a hybrid
+        // cutoff.
+        assert_eq!(
+            BackendSpec::parse("hybrid:f32").unwrap(),
+            BackendSpec::hybrid(0.0).with_fast32()
+        );
         assert!(BackendSpec::parse("grid").is_err());
         assert!(BackendSpec::parse("par:0").is_err());
         assert!(BackendSpec::parse("hybrid:-2").is_err());
         assert!(BackendSpec::parse("warp").is_err());
+        // The stateless models have no gain rows to narrow.
+        assert!(BackendSpec::parse("exact:f32").is_err());
+        assert!(BackendSpec::parse("grid:8:f32").is_err());
+        assert!(BackendSpec::parse("f32").is_err());
     }
 
     #[test]
@@ -3660,6 +4391,30 @@ mod tests {
         assert_eq!(
             BackendSpec::hybrid(8.0).with_threads(2).build().name(),
             "hybrid+par"
+        );
+        assert_eq!(
+            BackendSpec::cached().with_fast32().build().name(),
+            "cached:f32"
+        );
+        assert_eq!(
+            BackendSpec::cached()
+                .with_fast32()
+                .with_threads(2)
+                .build()
+                .name(),
+            "cached:f32+par"
+        );
+        assert_eq!(
+            BackendSpec::hybrid(8.0).with_fast32().build().name(),
+            "hybrid:f32"
+        );
+        assert_eq!(
+            BackendSpec::hybrid(8.0)
+                .with_fast32()
+                .with_threads(2)
+                .build()
+                .name(),
+            "hybrid:f32+par"
         );
     }
 
@@ -4206,7 +4961,15 @@ mod tests {
         assert_eq!(small.model, InterferenceModel::Cached);
         let big = BackendSpec::cached().with_threads(8).tuned(100_000);
         assert_eq!(big.model, InterferenceModel::Hybrid { cutoff: 0.0 });
-        assert_eq!(big.build().name(), "hybrid+par");
+        assert_eq!(big.threads, effective_threads(8, 100_000));
+        // The resolved thread count is hardware-capped, so the name is
+        // pinned relative to it rather than absolutely.
+        let expected = if big.threads > 1 {
+            "hybrid+par"
+        } else {
+            "hybrid"
+        };
+        assert_eq!(big.build().name(), expected);
         // Non-cached models never switch.
         let exact = BackendSpec::exact().tuned(100_000);
         assert_eq!(exact.model, InterferenceModel::Exact);

@@ -317,6 +317,25 @@ mod tests {
     }
 
     #[test]
+    fn fast32_requests_share_the_dense_entry() {
+        // `cached:f32` consumes the same dense gain table as `cached`
+        // (the f32 mirror is derived lazily from it), so the want-class
+        // — and therefore the cache entry — must be shared, not forked.
+        if std::env::var("SINR_BACKEND").is_ok() {
+            return;
+        }
+        let dense = spec(11);
+        let mut fast = spec(11);
+        fast.set("backend", "cached:f32").unwrap();
+        let cache = TableCache::new(u64::MAX);
+        assert!(!cache.get_or_prepare(&dense).unwrap().1);
+        let (pp, hit) = cache.get_or_prepare(&fast).unwrap();
+        assert!(hit, "cached:f32 must adopt the dense entry");
+        assert!(pp.gain_table().is_some());
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
     fn oversized_entries_are_served_uncached() {
         let a = spec(8);
         let cache = TableCache::new(16); // nothing fits
